@@ -1,0 +1,182 @@
+// Benchmarks: one testing.B entry point per paper table/figure (driving the
+// same runners as cmd/reachbench, at reduced scale so `go test -bench=.`
+// stays laptop-friendly) plus microbenchmarks for the core building blocks.
+//
+// To regenerate the paper artifacts at full scale-down size, use
+// `go run ./cmd/reachbench -exp all`.
+package streach_test
+
+import (
+	"sync"
+	"testing"
+
+	"streach"
+	"streach/internal/bench"
+)
+
+// benchOpts shrinks the experiment suite for testing.B iteration.
+var benchOpts = bench.Options{
+	RWPSizes: []int{60, 90, 120},
+	VNSizes:  []int{30, 45, 60},
+	Ticks:    600,
+	Queries:  10,
+	Seed:     1,
+}
+
+var (
+	labOnce sync.Once
+	lab     *bench.Lab
+)
+
+// benchLab returns a shared Lab so dataset generation cost is paid once,
+// not inside timing loops.
+func benchLab() *bench.Lab {
+	labOnce.Do(func() {
+		lab = bench.NewLab(benchOpts)
+	})
+	return lab
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	l := benchLab()
+	run := l.ByID(id)
+	if run == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := run(); len(tbl.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkTable1Complexity(b *testing.B)       { runExperiment(b, "table1") }
+func BenchmarkTable2DatasetSizes(b *testing.B)     { runExperiment(b, "table2") }
+func BenchmarkFig8aSpatialResolution(b *testing.B) { runExperiment(b, "fig8a") }
+func BenchmarkFig8bTemporalResolution(b *testing.B) {
+	runExperiment(b, "fig8b")
+}
+func BenchmarkFig9GridConstruction(b *testing.B) { runExperiment(b, "fig9") }
+func BenchmarkSPJvsReachGrid(b *testing.B)       { runExperiment(b, "spj") }
+func BenchmarkFig10ContactNetworkSize(b *testing.B) {
+	runExperiment(b, "fig10")
+}
+func BenchmarkFig11DNConstruction(b *testing.B)    { runExperiment(b, "fig11") }
+func BenchmarkTable4ResolutionDegree(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkFig12PartitionDepth(b *testing.B)    { runExperiment(b, "fig12") }
+func BenchmarkFig13TraversalStrategies(b *testing.B) {
+	runExperiment(b, "fig13")
+}
+func BenchmarkFig14GridVsGraph(b *testing.B) { runExperiment(b, "fig14") }
+func BenchmarkFig15CPUTime(b *testing.B)     { runExperiment(b, "fig15") }
+func BenchmarkTable5aGrailVsReachGraphMemory(b *testing.B) {
+	runExperiment(b, "table5a")
+}
+func BenchmarkTable5bGrailVsReachGraphDisk(b *testing.B) {
+	runExperiment(b, "table5b")
+}
+
+// --- microbenchmarks over the public API ---
+
+var (
+	microOnce  sync.Once
+	microDS    *streach.Dataset
+	microCN    *streach.ContactNetwork
+	microGrid  *streach.ReachGrid
+	microGraph *streach.ReachGraph
+	microWork  []streach.Query
+)
+
+func microSetup(b *testing.B) {
+	b.Helper()
+	microOnce.Do(func() {
+		microDS = streach.GenerateRandomWaypoint(streach.RWPOptions{
+			NumObjects: 150, NumTicks: 1000, Seed: 2,
+		})
+		microCN = microDS.Contacts()
+		var err error
+		microGrid, err = streach.BuildReachGrid(microDS, streach.ReachGridOptions{})
+		if err != nil {
+			panic(err)
+		}
+		microGraph, err = streach.BuildReachGraphFromContacts(microCN, streach.ReachGraphOptions{})
+		if err != nil {
+			panic(err)
+		}
+		microWork = streach.RandomQueries(streach.WorkloadOptions{
+			NumObjects: microDS.NumObjects(), NumTicks: microDS.NumTicks(),
+			Count: 64, Seed: 3,
+		})
+	})
+}
+
+func BenchmarkContactExtraction(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if microDS.Contacts().NumContacts() == 0 {
+			b.Fatal("no contacts")
+		}
+	}
+}
+
+func BenchmarkBuildReachGrid(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := streach.BuildReachGrid(microDS, streach.ReachGridOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildReachGraph(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := streach.BuildReachGraphFromContacts(microCN, streach.ReachGraphOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReachGridQuery(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microGrid.Reachable(microWork[i%len(microWork)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReachGraphQueryBMBFS(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microGraph.Reachable(microWork[i%len(microWork)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReachGraphQueryEDFS(b *testing.B) {
+	microSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microGraph.ReachableStrategy(microWork[i%len(microWork)], streach.EDFS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOracleQuery(b *testing.B) {
+	microSetup(b)
+	oracle := microCN.Oracle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oracle.Reachable(microWork[i%len(microWork)])
+	}
+}

@@ -1,0 +1,93 @@
+// Outbreak-uncertain: probabilistic propagation (§7, U-ReachGraph).
+//
+// Most viral diseases transmit per contact with some probability rather
+// than certainty. This example assigns each contact a transmission
+// probability that decays with contact distance, then asks which
+// individuals are reachable from patient zero above a probability
+// threshold — and compares the answer with the deterministic (p = 1)
+// semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streach"
+)
+
+func main() {
+	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{
+		NumObjects: 400,
+		NumTicks:   1500,
+		Seed:       31,
+	})
+	cn := ds.Contacts()
+
+	// Deterministic baseline: everything transmits.
+	certain := cn.Oracle()
+
+	// Uncertain network: longer contacts transmit more reliably —
+	// p = 1 − 0.6^(validity length).
+	un, err := cn.Uncertain(func(c streach.Contact) float64 {
+		p := 1.0
+		decay := 1.0
+		for i := 0; i < c.Validity.Len() && i < 8; i++ {
+			decay *= 0.6
+		}
+		p -= decay
+		if p < 0.05 {
+			p = 0.05
+		}
+		return p
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	patientZero := streach.ObjectID(123)
+	window := streach.NewInterval(200, 420)
+
+	detSet := certain.ReachableSet(patientZero, window)
+	probs, err := un.BestProbAll(patientZero, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("patient zero %d, window %v\n", patientZero, window)
+	fmt.Printf("deterministic semantics: %d reachable\n", len(detSet))
+	for _, pT := range []float64{0.9, 0.5, 0.1, 0.01} {
+		count := 0
+		for o, p := range probs {
+			if streach.ObjectID(o) != patientZero && p >= pT {
+				count++
+			}
+		}
+		fmt.Printf("P ≥ %-5.2f               : %d reachable\n", pT, count)
+	}
+
+	// Every probabilistically reachable object must be deterministically
+	// reachable (uncertainty only removes paths).
+	det := map[streach.ObjectID]bool{}
+	for _, o := range detSet {
+		det[o] = true
+	}
+	for o, p := range probs {
+		if p > 0 && !det[streach.ObjectID(o)] {
+			log.Fatalf("object %d has P=%v but is not deterministically reachable", o, p)
+		}
+	}
+	fmt.Println("\nconsistency with deterministic semantics verified")
+
+	// Threshold query for a specific pair, as U-ReachGraph §7 defines it.
+	target := detSet[len(detSet)/2]
+	p, err := un.BestProb(patientZero, target, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := un.Reachable(patientZero, target, window, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best transmission probability %d → %d: %.3f (≥ 0.25: %v)\n",
+		patientZero, target, p, ok)
+}

@@ -1,0 +1,95 @@
+// Ablations. Fig12b reproduces the second half of the paper's §6.2.1.4
+// optimization — the number of long-edge resolutions (1..7, optimum 6 =
+// DN1 ∪ DN2 ∪ … ∪ DN32). The remaining ablations quantify design choices
+// DESIGN.md calls out that the paper fixes silently: the buffer-pool size
+// and the bidirectional/multi-resolution split of BM-BFS.
+package bench
+
+import (
+	"fmt"
+
+	"streach/internal/reachgraph"
+)
+
+// resolutionSets returns the HN configurations "DN1 only", "+DN2", …
+// matching the paper's 1..7 resolution counts (we stop at DN64; beyond the
+// typical query interval no level is ever taken).
+func resolutionSets() [][]int {
+	full := []int{2, 4, 8, 16, 32, 64}
+	sets := [][]int{{}} // DN1 only (explicit empty ≠ nil, which means defaults)
+	for i := range full {
+		sets = append(sets, full[:i+1])
+	}
+	return sets
+}
+
+// Fig12b sweeps the number of ReachGraph resolutions (§6.2.1.4).
+func (l *Lab) Fig12b() *Table {
+	t := &Table{
+		ID:      "fig12b",
+		Title:   "ReachGraph I/O vs number of resolutions (§6.2.1.4)",
+		Columns: []string{"Dataset", "HN levels", "IO/query"},
+	}
+	for _, d := range l.comparePair() {
+		work := l.Workload(d, 0)
+		for _, res := range resolutionSets() {
+			// Rebuild the graph augmentation per configuration; Build
+			// re-augments when the cached resolutions differ.
+			io := l.graphQueryCost(l.Graph(d), reachgraph.Params{Resolutions: res},
+				work, reachgraph.BMBFS)
+			label := "DN1 only"
+			if len(res) > 0 {
+				label = fmt.Sprintf("DN1..DN%d", res[len(res)-1])
+			}
+			t.AddRow(d.Name, label, fmt.Sprintf("%.1f", io))
+		}
+	}
+	t.AddNote("paper: optimum at 6 resolutions (DN1..DN32); the curve exposes the trade the")
+	t.AddNote("paper describes in §5.1.2.2 — every level enlarges the vertex records (and thus")
+	t.AddNote("every partition read), while jumps only pay off when traversals would otherwise")
+	t.AddNote("visit many scattered partitions; at laptop-scale fan-outs (~12 vs the paper's")
+	t.AddNote("221-322) the storage side dominates and the optimum sits at fewer levels")
+	return t
+}
+
+// AblationPool sweeps the buffer-pool size for both indexes — the memory
+// budget the paper fixes at 4 GB for 190-760 GB datasets (~1-2%).
+func (l *Lab) AblationPool() *Table {
+	t := &Table{
+		ID:      "ablation-pool",
+		Title:   "Buffer-pool size ablation (design choice; no paper artifact)",
+		Columns: []string{"Dataset", "Pool pages", "ReachGraph IO/q"},
+	}
+	for _, d := range l.comparePair() {
+		g := l.Graph(d)
+		work := l.Workload(d, 0)
+		for _, pool := range []int{1, 16, 64, 256, 1024} {
+			io := l.graphQueryCost(g, reachgraph.Params{PoolPages: pool}, work, reachgraph.BMBFS)
+			t.AddRow(d.Name, fmt.Sprint(pool), fmt.Sprintf("%.1f", io))
+		}
+	}
+	t.AddNote("diminishing returns past the per-query working set; the suite default (64 pages)")
+	t.AddNote("keeps the pool ≈1%% of the store, matching the paper's memory-to-data ratio")
+	return t
+}
+
+// AblationBidirectional isolates the two BM-BFS ingredients: bidirectional
+// meet (B-BFS vs E-BFS) and multi-resolution jumps (BM-BFS vs B-BFS).
+func (l *Lab) AblationBidirectional() *Table {
+	t := &Table{
+		ID:      "ablation-bidir",
+		Title:   "BM-BFS ingredient ablation (design choice; complements Fig. 13)",
+		Columns: []string{"Dataset", "E-BFS IO/q", "+bidirectional (B-BFS)", "+multi-res (BM-BFS)"},
+	}
+	for _, d := range l.comparePair() {
+		g := l.Graph(d)
+		work := l.Workload(d, 0)
+		eb := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.EBFS)
+		bb := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.BBFS)
+		bm := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.BMBFS)
+		t.AddRow(d.Name, fmt.Sprintf("%.1f", eb), fmt.Sprintf("%.1f", bb), fmt.Sprintf("%.1f", bm))
+	}
+	t.AddNote("the bidirectional member-meet contributes most of the saving; long edges add")
+	t.AddNote("on top as graphs grow (their fan-out at our scale is ~12 vs the paper's 221-322)")
+	return t
+}

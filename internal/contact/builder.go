@@ -1,0 +1,92 @@
+// Incremental contact-network construction (§6.2.1.2): positions arrive one
+// time instant at a time (e.g. from a live location feed), contacts open
+// when a pair first joins and close when it parts. Network snapshots can be
+// taken at any point; the builder keeps accepting instants afterwards.
+package contact
+
+import (
+	"streach/internal/geo"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Builder assembles a contact network instant by instant.
+type Builder struct {
+	numObjects   int
+	numTicks     int
+	open         map[stjoin.Pair]trajectory.Tick
+	closed       []Contact
+	pairsPerTick []int32
+	active       map[stjoin.Pair]bool
+}
+
+// NewBuilder returns an empty builder for numObjects objects.
+func NewBuilder(numObjects int) *Builder {
+	return &Builder{
+		numObjects: numObjects,
+		open:       map[stjoin.Pair]trajectory.Tick{},
+		active:     map[stjoin.Pair]bool{},
+	}
+}
+
+// NumTicks returns the number of instants ingested so far.
+func (b *Builder) NumTicks() int { return b.numTicks }
+
+// AddInstant ingests the contact pairs active at the next instant.
+// Contacts absent from pairs that were previously open are closed with the
+// previous instant as their validity end.
+func (b *Builder) AddInstant(pairs []stjoin.Pair) {
+	t := trajectory.Tick(b.numTicks)
+	b.numTicks++
+	for k := range b.active {
+		delete(b.active, k)
+	}
+	var count int32
+	for _, pr := range pairs {
+		if pr.A == pr.B || b.active[pr] {
+			continue
+		}
+		b.active[pr] = true
+		count++
+		if _, isOpen := b.open[pr]; !isOpen {
+			b.open[pr] = t
+		}
+	}
+	b.pairsPerTick = append(b.pairsPerTick, count)
+	for pr, start := range b.open {
+		if !b.active[pr] {
+			b.closed = append(b.closed, Contact{A: pr.A, B: pr.B, Validity: Interval{Lo: start, Hi: t - 1}})
+			delete(b.open, pr)
+		}
+	}
+}
+
+// AddPositions joins the given per-object positions with joiner j and
+// ingests the resulting pairs — the convenience for feeding raw location
+// samples. positions[i] is object i's position at the new instant.
+func (b *Builder) AddPositions(j *stjoin.Joiner, positions []geo.Point) {
+	var pairs []stjoin.Pair
+	j.Join(positions, func(x, y int) bool {
+		pairs = append(pairs, stjoin.MakePair(trajectory.ObjectID(x), trajectory.ObjectID(y)))
+		return true
+	})
+	b.AddInstant(pairs)
+}
+
+// Network snapshots the contact network over the instants ingested so far.
+// Still-open contacts are closed at the last instant in the snapshot; the
+// builder itself keeps them open and remains usable.
+func (b *Builder) Network() *Network {
+	net := &Network{
+		NumObjects:   b.numObjects,
+		NumTicks:     b.numTicks,
+		Contacts:     append([]Contact(nil), b.closed...),
+		pairsPerTick: append([]int32(nil), b.pairsPerTick...),
+	}
+	last := trajectory.Tick(b.numTicks) - 1
+	for pr, start := range b.open {
+		net.Contacts = append(net.Contacts, Contact{A: pr.A, B: pr.B, Validity: Interval{Lo: start, Hi: last}})
+	}
+	net.sortContacts()
+	return net
+}

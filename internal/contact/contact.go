@@ -1,0 +1,264 @@
+// Package contact materializes the contact network C of §3: the set of all
+// contacts between pairs of moving objects, each with a continuous validity
+// interval, plus per-instant snapshot iteration (the G_t of the TEN model in
+// §5.1.1) and the TEN size statistics reported in §6.2.1.1.
+package contact
+
+import (
+	"fmt"
+	"sort"
+
+	"streach/internal/geo"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Interval is a closed tick interval [Lo, Hi]. An interval with Hi < Lo is
+// empty.
+type Interval struct {
+	Lo, Hi trajectory.Tick
+}
+
+// Len returns the number of instants in the interval (|Tp| in the paper).
+func (iv Interval) Len() int {
+	if iv.Hi < iv.Lo {
+		return 0
+	}
+	return int(iv.Hi-iv.Lo) + 1
+}
+
+// Contains reports whether tick t lies inside the interval.
+func (iv Interval) Contains(t trajectory.Tick) bool { return t >= iv.Lo && t <= iv.Hi }
+
+// Overlaps reports whether the two closed intervals share an instant.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Len() > 0 && o.Len() > 0 && iv.Lo <= o.Hi && o.Lo <= iv.Hi
+}
+
+// Intersect returns the common sub-interval (possibly empty).
+func (iv Interval) Intersect(o Interval) Interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d, %d]", iv.Lo, iv.Hi) }
+
+// Contact is one contact c = {A, B} with its validity interval (§3.1).
+// A < B always. Two contacts between the same objects with disjoint
+// validity intervals are distinct contacts, matching the paper's Figure 1
+// (c1 and c4 share objects but are separate contacts).
+type Contact struct {
+	A, B     trajectory.ObjectID
+	Validity Interval
+}
+
+// Network is the contact network C of a dataset over the ticks [0, NumTicks).
+type Network struct {
+	NumObjects int
+	NumTicks   int
+	// Contacts is sorted by Validity.Lo, then A, then B.
+	Contacts []Contact
+	// pairsPerTick[t] counts the contacts active at tick t (used for TEN
+	// statistics).
+	pairsPerTick []int32
+}
+
+// Extract builds the contact network of d over all its ticks by sweeping a
+// per-instant grid-hash join over time and merging consecutive co-location
+// instants into validity intervals (the window trajectory self-join
+// R(T) ⋈_dT R(T) of §4).
+func Extract(d *trajectory.Dataset) *Network {
+	numTicks := d.NumTicks()
+	net := &Network{
+		NumObjects:   d.NumObjects(),
+		NumTicks:     numTicks,
+		pairsPerTick: make([]int32, numTicks),
+	}
+	j := stjoin.NewJoiner(d.Env, d.ContactDist)
+	open := make(map[stjoin.Pair]trajectory.Tick) // pair → validity start
+	active := make(map[stjoin.Pair]bool)
+	pts := make([]geo.Point, 0, d.NumObjects())
+	ids := make([]trajectory.ObjectID, 0, d.NumObjects())
+
+	for t := trajectory.Tick(0); int(t) < numTicks; t++ {
+		pts, ids = pts[:0], ids[:0]
+		for i := range d.Trajs {
+			if d.Trajs[i].Covers(t) {
+				pts = append(pts, d.Trajs[i].At(t))
+				ids = append(ids, d.Trajs[i].Object)
+			}
+		}
+		for k := range active {
+			delete(active, k)
+		}
+		j.Join(pts, func(a, b int) bool {
+			pr := stjoin.MakePair(ids[a], ids[b])
+			active[pr] = true
+			if _, isOpen := open[pr]; !isOpen {
+				open[pr] = t
+			}
+			return true
+		})
+		net.pairsPerTick[t] = int32(len(active))
+		// Close contacts that ended at t-1.
+		for pr, start := range open {
+			if !active[pr] {
+				net.Contacts = append(net.Contacts, Contact{
+					A: pr.A, B: pr.B,
+					Validity: Interval{Lo: start, Hi: t - 1},
+				})
+				delete(open, pr)
+			}
+		}
+	}
+	last := trajectory.Tick(numTicks) - 1
+	for pr, start := range open {
+		net.Contacts = append(net.Contacts, Contact{
+			A: pr.A, B: pr.B,
+			Validity: Interval{Lo: start, Hi: last},
+		})
+	}
+	net.sortContacts()
+	return net
+}
+
+func (n *Network) sortContacts() {
+	sort.Slice(n.Contacts, func(i, k int) bool {
+		ci, ck := n.Contacts[i], n.Contacts[k]
+		if ci.Validity.Lo != ck.Validity.Lo {
+			return ci.Validity.Lo < ck.Validity.Lo
+		}
+		if ci.A != ck.A {
+			return ci.A < ck.A
+		}
+		return ci.B < ck.B
+	})
+}
+
+// FromContacts builds a Network directly from a contact list (used by tests
+// and by the non-immediate extension, which synthesizes contacts rather than
+// extracting them from trajectories). Contacts are copied and normalized.
+func FromContacts(numObjects, numTicks int, contacts []Contact) *Network {
+	net := &Network{
+		NumObjects:   numObjects,
+		NumTicks:     numTicks,
+		pairsPerTick: make([]int32, numTicks),
+	}
+	for _, c := range contacts {
+		if c.A > c.B {
+			c.A, c.B = c.B, c.A
+		}
+		if c.Validity.Len() == 0 {
+			continue
+		}
+		net.Contacts = append(net.Contacts, c)
+		for t := c.Validity.Lo; t <= c.Validity.Hi; t++ {
+			if t >= 0 && int(t) < numTicks {
+				net.pairsPerTick[t]++
+			}
+		}
+	}
+	net.sortContacts()
+	return net
+}
+
+// Snapshot visits every tick in [lo, hi] in increasing order with the set of
+// contact pairs active at that tick (the edge set of G_t). The pairs slice
+// is reused between calls; callers must not retain it. Returning false from
+// visit stops the sweep.
+func (n *Network) Snapshot(lo, hi trajectory.Tick, visit func(t trajectory.Tick, pairs []stjoin.Pair) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= trajectory.Tick(n.NumTicks) {
+		hi = trajectory.Tick(n.NumTicks) - 1
+	}
+	if hi < lo {
+		return
+	}
+	// Contacts are sorted by Validity.Lo: maintain an active list while
+	// sweeping t. Start by locating the first contact that could overlap.
+	var active []Contact
+	idx := 0
+	for ; idx < len(n.Contacts); idx++ {
+		c := n.Contacts[idx]
+		if c.Validity.Lo >= lo {
+			break
+		}
+		if c.Validity.Hi >= lo {
+			active = append(active, c)
+		}
+	}
+	pairs := make([]stjoin.Pair, 0, 64)
+	for t := lo; t <= hi; t++ {
+		for idx < len(n.Contacts) && n.Contacts[idx].Validity.Lo == t {
+			active = append(active, n.Contacts[idx])
+			idx++
+		}
+		pairs = pairs[:0]
+		w := 0
+		for _, c := range active {
+			if c.Validity.Hi >= t {
+				active[w] = c
+				w++
+				pairs = append(pairs, stjoin.Pair{A: c.A, B: c.B})
+			}
+		}
+		active = active[:w]
+		if !visit(t, pairs) {
+			return
+		}
+	}
+}
+
+// PairsAt returns a fresh slice of the contact pairs active at tick t.
+func (n *Network) PairsAt(t trajectory.Tick) []stjoin.Pair {
+	var out []stjoin.Pair
+	n.Snapshot(t, t, func(_ trajectory.Tick, pairs []stjoin.Pair) bool {
+		out = append([]stjoin.Pair(nil), pairs...)
+		return true
+	})
+	return out
+}
+
+// NumContacts returns |C|.
+func (n *Network) NumContacts() int { return len(n.Contacts) }
+
+// ContactInstants returns the total number of (pair, tick) co-location
+// instants, i.e. the number of contact edges in the TEN model.
+func (n *Network) ContactInstants() int64 {
+	var total int64
+	for _, c := range n.pairsPerTick {
+		total += int64(c)
+	}
+	return total
+}
+
+// TENStats describes the size of the Time Expanded Network representation
+// of the contact network (§5.1.1): one vertex per object per instant,
+// holding edges between consecutive instants of the same object, and one
+// contact edge per co-location instant.
+type TENStats struct {
+	Vertices int64
+	Edges    int64
+}
+
+// TEN returns the TEN model size, the "CN" baseline that §6.2.1.1 compares
+// the reduced graph DN against.
+func (n *Network) TEN() TENStats {
+	v := int64(n.NumObjects) * int64(n.NumTicks)
+	holding := int64(n.NumObjects) * int64(n.NumTicks-1)
+	if n.NumTicks == 0 {
+		holding = 0
+	}
+	return TENStats{
+		Vertices: v,
+		Edges:    holding + n.ContactInstants(),
+	}
+}

@@ -1,0 +1,270 @@
+package contact
+
+import (
+	"math/rand"
+	"testing"
+
+	"streach/internal/geo"
+	"streach/internal/mobility"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+func TestIntervalAlgebra(t *testing.T) {
+	a := Interval{Lo: 2, Hi: 5}
+	if a.Len() != 4 {
+		t.Errorf("Len = %d, want 4", a.Len())
+	}
+	if !a.Contains(2) || !a.Contains(5) || a.Contains(1) || a.Contains(6) {
+		t.Error("Contains boundaries wrong")
+	}
+	b := Interval{Lo: 5, Hi: 9}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("touching intervals must overlap (closed semantics)")
+	}
+	c := Interval{Lo: 6, Hi: 9}
+	if a.Overlaps(c) {
+		t.Error("disjoint intervals overlap")
+	}
+	empty := Interval{Lo: 3, Hi: 2}
+	if empty.Len() != 0 || empty.Overlaps(a) || a.Overlaps(empty) {
+		t.Error("empty interval misbehaves")
+	}
+	if got := a.Intersect(b); got != (Interval{Lo: 5, Hi: 5}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Intersect(c); got.Len() != 0 {
+		t.Errorf("Intersect of disjoint = %v", got)
+	}
+}
+
+func TestIntervalIntersectProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a := Interval{Lo: trajectory.Tick(rng.Intn(50)), Hi: trajectory.Tick(rng.Intn(50))}
+		b := Interval{Lo: trajectory.Tick(rng.Intn(50)), Hi: trajectory.Tick(rng.Intn(50))}
+		got := a.Intersect(b)
+		for tk := trajectory.Tick(0); tk < 50; tk++ {
+			want := a.Contains(tk) && b.Contains(tk)
+			if got.Contains(tk) != want {
+				t.Fatalf("Intersect(%v, %v) wrong at %d", a, b, tk)
+			}
+		}
+	}
+}
+
+// figure1Dataset reproduces the paper's Figure 1 contact pattern directly as
+// a contact list: c1={o1,o2}@[0,0], c2={o2,o4}@[1,1], c3={o3,o4}@[1,2],
+// c4={o1,o2}@[2,3]. (Objects renumbered to 0-based.)
+func figure1Network() *Network {
+	return FromContacts(4, 4, []Contact{
+		{A: 0, B: 1, Validity: Interval{0, 0}},
+		{A: 1, B: 3, Validity: Interval{1, 1}},
+		{A: 2, B: 3, Validity: Interval{1, 2}},
+		{A: 0, B: 1, Validity: Interval{2, 3}},
+	})
+}
+
+func TestFromContactsAndSnapshot(t *testing.T) {
+	n := figure1Network()
+	if n.NumContacts() != 4 {
+		t.Fatalf("NumContacts = %d", n.NumContacts())
+	}
+	want := map[trajectory.Tick][]stjoin.Pair{
+		0: {{A: 0, B: 1}},
+		1: {{A: 1, B: 3}, {A: 2, B: 3}},
+		2: {{A: 2, B: 3}, {A: 0, B: 1}},
+		3: {{A: 0, B: 1}},
+	}
+	n.Snapshot(0, 3, func(tk trajectory.Tick, pairs []stjoin.Pair) bool {
+		w := want[tk]
+		if len(pairs) != len(w) {
+			t.Fatalf("t=%d: pairs = %v, want %v", tk, pairs, w)
+		}
+		seen := make(map[stjoin.Pair]bool)
+		for _, p := range pairs {
+			seen[p] = true
+		}
+		for _, p := range w {
+			if !seen[p] {
+				t.Fatalf("t=%d: missing pair %v", tk, p)
+			}
+		}
+		return true
+	})
+}
+
+func TestSnapshotEarlyStopAndClamping(t *testing.T) {
+	n := figure1Network()
+	visits := 0
+	n.Snapshot(-10, 100, func(tk trajectory.Tick, _ []stjoin.Pair) bool {
+		visits++
+		return visits < 2
+	})
+	if visits != 2 {
+		t.Fatalf("visits = %d, want 2 (early stop)", visits)
+	}
+	// Sweep starting mid-way must include contacts opened earlier.
+	got := n.PairsAt(2)
+	if len(got) != 2 {
+		t.Fatalf("PairsAt(2) = %v", got)
+	}
+}
+
+func TestTENStats(t *testing.T) {
+	n := figure1Network()
+	ten := n.TEN()
+	if ten.Vertices != 16 {
+		t.Errorf("TEN vertices = %d, want 16", ten.Vertices)
+	}
+	// Holding edges 4*3=12, contact instants 1+2+2+1=6.
+	if ten.Edges != 18 {
+		t.Errorf("TEN edges = %d, want 18", ten.Edges)
+	}
+	if n.ContactInstants() != 6 {
+		t.Errorf("ContactInstants = %d, want 6", n.ContactInstants())
+	}
+}
+
+func TestExtractSimple(t *testing.T) {
+	// Two objects approach, touch during ticks 2-3, separate; a third never
+	// comes close.
+	mk := func(xs ...float64) []geo.Point {
+		ps := make([]geo.Point, len(xs))
+		for i, x := range xs {
+			ps[i] = geo.Point{X: x, Y: 0}
+		}
+		return ps
+	}
+	d := &trajectory.Dataset{
+		Name:        "t",
+		Env:         geo.NewRect(geo.Point{X: 0, Y: -10}, geo.Point{X: 100, Y: 10}),
+		TickSeconds: 1,
+		ContactDist: 5,
+		Trajs: []trajectory.Trajectory{
+			{Object: 0, Pos: mk(0, 0, 0, 0, 0)},
+			{Object: 1, Pos: mk(20, 10, 4, 3, 30)},
+			{Object: 2, Pos: mk(80, 80, 80, 80, 80)},
+		},
+	}
+	n := Extract(d)
+	if n.NumContacts() != 1 {
+		t.Fatalf("contacts = %+v", n.Contacts)
+	}
+	c := n.Contacts[0]
+	if c.A != 0 || c.B != 1 || c.Validity != (Interval{Lo: 2, Hi: 3}) {
+		t.Fatalf("contact = %+v", c)
+	}
+}
+
+func TestExtractSplitsInterruptedContacts(t *testing.T) {
+	mk := func(xs ...float64) []geo.Point {
+		ps := make([]geo.Point, len(xs))
+		for i, x := range xs {
+			ps[i] = geo.Point{X: x, Y: 0}
+		}
+		return ps
+	}
+	d := &trajectory.Dataset{
+		Name:        "t",
+		Env:         geo.NewRect(geo.Point{X: 0, Y: -10}, geo.Point{X: 100, Y: 10}),
+		TickSeconds: 1,
+		ContactDist: 5,
+		Trajs: []trajectory.Trajectory{
+			{Object: 0, Pos: mk(0, 0, 0, 0, 0)},
+			{Object: 1, Pos: mk(2, 50, 2, 2, 50)}, // in, out, in-in, out
+		},
+	}
+	n := Extract(d)
+	if n.NumContacts() != 2 {
+		t.Fatalf("contacts = %+v", n.Contacts)
+	}
+	if n.Contacts[0].Validity != (Interval{Lo: 0, Hi: 0}) ||
+		n.Contacts[1].Validity != (Interval{Lo: 2, Hi: 3}) {
+		t.Fatalf("validities = %v, %v", n.Contacts[0].Validity, n.Contacts[1].Validity)
+	}
+}
+
+func TestExtractContactRunsToEnd(t *testing.T) {
+	mk := func(xs ...float64) []geo.Point {
+		ps := make([]geo.Point, len(xs))
+		for i, x := range xs {
+			ps[i] = geo.Point{X: x, Y: 0}
+		}
+		return ps
+	}
+	d := &trajectory.Dataset{
+		Name:        "t",
+		Env:         geo.NewRect(geo.Point{X: 0, Y: -10}, geo.Point{X: 100, Y: 10}),
+		TickSeconds: 1,
+		ContactDist: 5,
+		Trajs: []trajectory.Trajectory{
+			{Object: 0, Pos: mk(0, 0, 0)},
+			{Object: 1, Pos: mk(50, 2, 2)},
+		},
+	}
+	n := Extract(d)
+	if n.NumContacts() != 1 || n.Contacts[0].Validity != (Interval{Lo: 1, Hi: 2}) {
+		t.Fatalf("contacts = %+v", n.Contacts)
+	}
+}
+
+func TestExtractMatchesBruteForceOnRWP(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 60, NumTicks: 80, Seed: 11})
+	n := Extract(d)
+	// Brute-force per-instant pair sets must equal snapshot pair sets.
+	for tk := trajectory.Tick(0); int(tk) < d.NumTicks(); tk += 7 {
+		want := make(map[stjoin.Pair]bool)
+		for i := 0; i < d.NumObjects(); i++ {
+			for k := i + 1; k < d.NumObjects(); k++ {
+				if d.Trajs[i].At(tk).Dist(d.Trajs[k].At(tk)) <= d.ContactDist {
+					want[stjoin.Pair{A: trajectory.ObjectID(i), B: trajectory.ObjectID(k)}] = true
+				}
+			}
+		}
+		got := n.PairsAt(tk)
+		if len(got) != len(want) {
+			t.Fatalf("t=%d: %d pairs, want %d", tk, len(got), len(want))
+		}
+		for _, p := range got {
+			if !want[p] {
+				t.Fatalf("t=%d: unexpected pair %v", tk, p)
+			}
+		}
+	}
+}
+
+func TestValidityIntervalsAreMaximalAndDisjoint(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 50, NumTicks: 60, Seed: 13})
+	n := Extract(d)
+	byPair := make(map[stjoin.Pair][]Interval)
+	for _, c := range n.Contacts {
+		byPair[stjoin.Pair{A: c.A, B: c.B}] = append(byPair[stjoin.Pair{A: c.A, B: c.B}], c.Validity)
+	}
+	for pr, ivs := range byPair {
+		for i := 0; i < len(ivs); i++ {
+			for k := i + 1; k < len(ivs); k++ {
+				a, b := ivs[i], ivs[k]
+				if a.Lo > b.Lo {
+					a, b = b, a
+				}
+				if a.Hi+1 >= b.Lo {
+					t.Fatalf("pair %v has mergeable/overlapping intervals %v and %v", pr, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestFromContactsNormalizes(t *testing.T) {
+	n := FromContacts(3, 5, []Contact{
+		{A: 2, B: 0, Validity: Interval{1, 2}}, // reversed pair
+		{A: 0, B: 1, Validity: Interval{4, 3}}, // empty: dropped
+	})
+	if n.NumContacts() != 1 {
+		t.Fatalf("contacts = %+v", n.Contacts)
+	}
+	if n.Contacts[0].A != 0 || n.Contacts[0].B != 2 {
+		t.Fatalf("pair not normalized: %+v", n.Contacts[0])
+	}
+}

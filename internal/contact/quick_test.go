@@ -1,0 +1,99 @@
+package contact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streach/internal/trajectory"
+)
+
+// qi maps arbitrary int16 pairs onto small intervals so that empty,
+// single-instant and overlapping cases all occur frequently.
+func qi(a, b int16) Interval {
+	lo := trajectory.Tick(int(a) % 64)
+	hi := trajectory.Tick(int(b) % 64)
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		x, y := qi(a, b), qi(c, d)
+		got, want := x.Intersect(y), y.Intersect(x)
+		// Empty intervals may differ in representation; compare emptiness
+		// and bounds otherwise.
+		if got.Len() == 0 && want.Len() == 0 {
+			return true
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectIdempotentAndBounded(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		x, y := qi(a, b), qi(c, d)
+		z := x.Intersect(y)
+		if z.Len() == 0 {
+			return true
+		}
+		// The intersection is inside both operands and intersecting again
+		// changes nothing.
+		return z.Lo >= x.Lo && z.Hi <= x.Hi &&
+			z.Lo >= y.Lo && z.Hi <= y.Hi &&
+			z.Intersect(x) == z && z.Intersect(y) == z
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverlapsIffNonEmptyIntersection(t *testing.T) {
+	f := func(a, b, c, d int16) bool {
+		x, y := qi(a, b), qi(c, d)
+		return x.Overlaps(y) == (x.Intersect(y).Len() > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainsConsistent(t *testing.T) {
+	f := func(a, b int16, tt uint8) bool {
+		x := qi(a, b)
+		tk := trajectory.Tick(tt % 64)
+		want := x.Len() > 0 && tk >= x.Lo && tk <= x.Hi
+		if x.Contains(tk) != want {
+			return false
+		}
+		// A contained tick means the singleton interval overlaps.
+		if want && !x.Overlaps(Interval{Lo: tk, Hi: tk}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLenMatchesIteration(t *testing.T) {
+	f := func(a, b int16) bool {
+		x := qi(a, b)
+		n := 0
+		for tk := x.Lo; tk <= x.Hi; tk++ {
+			n++
+			if n > 200 {
+				return false
+			}
+		}
+		if x.Hi < x.Lo {
+			n = 0
+		}
+		return n == x.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

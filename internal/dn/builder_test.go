@@ -1,0 +1,104 @@
+package dn
+
+import (
+	"testing"
+
+	"streach/internal/contact"
+	"streach/internal/mobility"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// TestBuilderIncrementalMatchesBatch feeds the network instant by instant
+// and compares the result with the batch build.
+func TestBuilderIncrementalMatchesBatch(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 35, NumTicks: 240, Seed: 137})
+	net := contact.Extract(d)
+	want := Build(net)
+
+	b := NewBuilder(net.NumObjects)
+	feed(b, net, 0, trajectory.Tick(net.NumTicks-1))
+	compareGraphs(t, b.Graph(), want)
+}
+
+// TestBuilderResumeAfterSnapshot verifies the §6.2.1.2 incremental
+// contract: take a graph snapshot mid-stream (validate it, even augment
+// it), keep appending instants, and end up with the same graph as batch
+// building the full network.
+func TestBuilderResumeAfterSnapshot(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 30, NumTicks: 200, Seed: 139})
+	net := contact.Extract(d)
+	want := Build(net)
+
+	b := NewBuilder(net.NumObjects)
+	half := trajectory.Tick(net.NumTicks / 2)
+	feed(b, net, 0, half-1)
+	mid := b.Graph()
+	if err := mid.Validate(); err != nil {
+		t.Fatalf("mid-stream graph invalid: %v", err)
+	}
+	if mid.NumTicks != int(half) {
+		t.Fatalf("mid-stream ticks: %d, want %d", mid.NumTicks, half)
+	}
+	if err := mid.Augment([]int{2, 4}); err != nil {
+		t.Fatalf("mid-stream augment: %v", err)
+	}
+	feed(b, net, half, trajectory.Tick(net.NumTicks-1))
+	got := b.Graph()
+	if got.Resolutions != nil {
+		t.Fatal("resuming did not invalidate long edges")
+	}
+	compareGraphs(t, got, want)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("final graph invalid: %v", err)
+	}
+}
+
+// TestBuilderEmptyDomains pins the degenerate cases.
+func TestBuilderEmptyDomains(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddInstant(nil)
+	b.AddInstant(nil)
+	g := b.Graph()
+	if g.NumTicks != 2 || len(g.Nodes) != 0 {
+		t.Fatalf("zero-object graph: ticks=%d nodes=%d", g.NumTicks, len(g.Nodes))
+	}
+	b2 := NewBuilder(3)
+	if g2 := b2.Graph(); g2.NumTicks != 0 || len(g2.Nodes) != 0 {
+		t.Fatalf("zero-tick graph: ticks=%d nodes=%d", g2.NumTicks, len(g2.Nodes))
+	}
+}
+
+func feed(b *Builder, net *contact.Network, lo, hi trajectory.Tick) {
+	net.Snapshot(lo, hi, func(_ trajectory.Tick, pairs []stjoin.Pair) bool {
+		b.AddInstant(pairs)
+		return true
+	})
+}
+
+func compareGraphs(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumTicks != want.NumTicks || len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("shape mismatch: got (%d ticks, %d nodes), want (%d, %d)",
+			got.NumTicks, len(got.Nodes), want.NumTicks, len(want.Nodes))
+	}
+	for id := range want.Nodes {
+		a, b := &got.Nodes[id], &want.Nodes[id]
+		if a.Start != b.Start || a.End != b.End {
+			t.Fatalf("node %d span: got [%d,%d], want [%d,%d]", id, a.Start, a.End, b.Start, b.End)
+		}
+		if len(a.Members) != len(b.Members) || len(a.Out) != len(b.Out) || len(a.In) != len(b.In) {
+			t.Fatalf("node %d shape mismatch", id)
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				t.Fatalf("node %d members differ", id)
+			}
+		}
+		for i := range a.Out {
+			if a.Out[i] != b.Out[i] {
+				t.Fatalf("node %d out edges differ", id)
+			}
+		}
+	}
+}

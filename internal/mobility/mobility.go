@@ -1,0 +1,380 @@
+// Package mobility generates the synthetic contact datasets of the paper's
+// §6 at laptop scale:
+//
+//   - RandomWaypoint reproduces the GMSF random-waypoint traces ("RWP
+//     datasets"): individuals in an open environment, mean speed 2 m/s,
+//     positions sampled every 6 s, Bluetooth-range contacts (dT = 25 m).
+//   - NetworkVehicles reproduces the Brinkhoff-style traces ("VN datasets"):
+//     vehicles constrained to a road network, positions sampled every 5 s,
+//     DSRC-range contacts (dT = 300 m).
+//   - TaxiDay substitutes the paper's proprietary Beijing GPS dataset
+//     ("VNR"): a day of hotspot-biased taxi trips recorded every minute and
+//     linearly interpolated to 5 s, exactly as §6 describes.
+//
+// All generators are deterministic given their seed. Scale-down preserves
+// *contact density* (objects per contact disc): the RWP datasets keep the
+// paper's 100 objects/km² with dT = 25 m and the VN datasets keep ~3.3
+// vehicles/km² of city area with dT = 300 m, so component structure and
+// index trade-offs carry over even though absolute sizes shrink.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/trajectory"
+)
+
+// RWPConfig configures RandomWaypoint.
+type RWPConfig struct {
+	NumObjects int
+	NumTicks   int
+	// Env defaults to a square sized for 100 objects/km² when empty.
+	Env geo.Rect
+	// MinSpeed and MaxSpeed bound the per-leg uniform speed in m/s.
+	// Defaults 1 and 3 give the paper's 2 m/s average.
+	MinSpeed, MaxSpeed float64
+	// TickSeconds defaults to 6 (GMSF sampling period used in §6).
+	TickSeconds float64
+	// ContactDist defaults to 25 m (Bluetooth, §6).
+	ContactDist float64
+	// PauseTicks is the maximum pause at each waypoint (uniform in
+	// [0, PauseTicks]); random waypoint commonly includes "thinking time".
+	PauseTicks int
+	Seed       int64
+}
+
+func (c *RWPConfig) applyDefaults() {
+	if c.NumObjects <= 0 {
+		c.NumObjects = 100
+	}
+	if c.NumTicks <= 0 {
+		c.NumTicks = 1000
+	}
+	if c.Env.IsEmpty() || c.Env.Width() <= 0 || c.Env.Height() <= 0 {
+		// 100 objects per km², the paper's RWP density (10k / 100 km²).
+		side := math.Sqrt(float64(c.NumObjects) / 100.0 * 1e6)
+		c.Env = geo.NewRect(geo.Point{}, geo.Point{X: side, Y: side})
+	}
+	if c.MinSpeed <= 0 {
+		c.MinSpeed = 1
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		c.MaxSpeed = c.MinSpeed + 2
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 6
+	}
+	if c.ContactDist <= 0 {
+		c.ContactDist = 25
+	}
+}
+
+// RandomWaypoint generates an RWP dataset: every object repeatedly picks a
+// uniform destination in the environment and a uniform speed, moves there in
+// a straight line, optionally pauses, and repeats (§6, [11]).
+func RandomWaypoint(cfg RWPConfig) *trajectory.Dataset {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &trajectory.Dataset{
+		Name:        fmt.Sprintf("RWP%d", cfg.NumObjects),
+		Env:         cfg.Env,
+		TickSeconds: cfg.TickSeconds,
+		ContactDist: cfg.ContactDist,
+	}
+	for id := 0; id < cfg.NumObjects; id++ {
+		pos := make([]geo.Point, cfg.NumTicks)
+		cur := randPoint(rng, cfg.Env)
+		dest := randPoint(rng, cfg.Env)
+		speed := uniform(rng, cfg.MinSpeed, cfg.MaxSpeed)
+		pause := 0
+		for t := 0; t < cfg.NumTicks; t++ {
+			pos[t] = cur
+			if pause > 0 {
+				pause--
+				continue
+			}
+			step := speed * cfg.TickSeconds
+			// legs bounds the waypoint renewals per tick so a degenerate
+			// environment (or a destination equal to the current position)
+			// cannot stall the sweep.
+			for legs := 0; step > 0 && legs < 64; legs++ {
+				d2 := cur.Dist(dest)
+				if d2 > step {
+					cur = cur.Lerp(dest, step/d2)
+					break
+				}
+				// Arrive, pick the next leg; leftover movement continues
+				// toward the new destination within the same tick.
+				step -= d2
+				cur = dest
+				dest = randPoint(rng, cfg.Env)
+				speed = uniform(rng, cfg.MinSpeed, cfg.MaxSpeed)
+				if cfg.PauseTicks > 0 {
+					pause = rng.Intn(cfg.PauseTicks + 1)
+					break
+				}
+			}
+		}
+		d.Trajs = append(d.Trajs, trajectory.Trajectory{
+			Object: trajectory.ObjectID(id),
+			Pos:    pos,
+		})
+	}
+	return d
+}
+
+// VNConfig configures NetworkVehicles.
+type VNConfig struct {
+	NumObjects int
+	NumTicks   int
+	// Env defaults to a square sized for 3.33 vehicles/km² (the paper's
+	// 1k vehicles / 300 km²) when empty.
+	Env geo.Rect
+	// GridX and GridY are the road-network grid dimensions (default scales
+	// with the environment, one intersection per ~700 m).
+	GridX, GridY int
+	// RemoveFrac is the fraction of side streets removed (default 0.25).
+	RemoveFrac float64
+	// MinSpeed/MaxSpeed bound vehicle speed in m/s (defaults 8 and 14,
+	// i.e. ~30–50 km/h urban driving).
+	MinSpeed, MaxSpeed float64
+	// TickSeconds defaults to 5 (Brinkhoff sampling period used in §6).
+	TickSeconds float64
+	// ContactDist defaults to 300 m (DSRC, §6).
+	ContactDist float64
+	Seed        int64
+}
+
+func (c *VNConfig) applyDefaults() {
+	if c.NumObjects <= 0 {
+		c.NumObjects = 100
+	}
+	if c.NumTicks <= 0 {
+		c.NumTicks = 1000
+	}
+	if c.Env.IsEmpty() || c.Env.Width() <= 0 || c.Env.Height() <= 0 {
+		side := math.Sqrt(float64(c.NumObjects) / 3.33 * 1e6)
+		c.Env = geo.NewRect(geo.Point{}, geo.Point{X: side, Y: side})
+	}
+	if c.GridX <= 0 {
+		c.GridX = maxInt(4, int(c.Env.Width()/700))
+	}
+	if c.GridY <= 0 {
+		c.GridY = maxInt(4, int(c.Env.Height()/700))
+	}
+	if c.RemoveFrac <= 0 {
+		c.RemoveFrac = 0.25
+	}
+	if c.MinSpeed <= 0 {
+		c.MinSpeed = 8
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		c.MaxSpeed = c.MinSpeed + 6
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 5
+	}
+	if c.ContactDist <= 0 {
+		c.ContactDist = 300
+	}
+}
+
+// NetworkVehicles generates a VN dataset: vehicles start at random
+// intersections and repeatedly route to random destination intersections
+// along shortest paths (Brinkhoff's network-based moving-objects model).
+func NetworkVehicles(cfg VNConfig) *trajectory.Dataset {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := roadnet.SyntheticCity(rng, cfg.Env, cfg.GridX, cfg.GridY, cfg.RemoveFrac)
+	d := generateOnNetwork(networkGenConfig{
+		name:        fmt.Sprintf("VN%d", cfg.NumObjects),
+		numObjects:  cfg.NumObjects,
+		numTicks:    cfg.NumTicks,
+		minSpeed:    cfg.MinSpeed,
+		maxSpeed:    cfg.MaxSpeed,
+		tickSeconds: cfg.TickSeconds,
+		contactDist: cfg.ContactDist,
+		env:         cfg.Env,
+		hotspots:    nil,
+		hotspotProb: 0,
+	}, net, rng)
+	return d
+}
+
+// TaxiConfig configures TaxiDay, the Beijing-dataset substitute.
+type TaxiConfig struct {
+	NumObjects int
+	// NumMinutes is the length of the recorded trace in minutes (default
+	// 1440 = one day, as in §6).
+	NumMinutes int
+	// Env defaults to a 600 km²-equivalent scale-down (same density rule as
+	// VN datasets).
+	Env geo.Rect
+	// NumHotspots is the number of popular destinations (default 6);
+	// HotspotProb is the chance a trip targets a hotspot (default 0.6).
+	NumHotspots int
+	HotspotProb float64
+	// InterpFactor densifies the 1-minute fixes; default 12 yields the
+	// 5-second positions used in §6.
+	InterpFactor int
+	ContactDist  float64
+	Seed         int64
+}
+
+func (c *TaxiConfig) applyDefaults() {
+	if c.NumObjects <= 0 {
+		c.NumObjects = 125 // 2500 taxis / 20, matching the scale-down ratio
+	}
+	if c.NumMinutes <= 0 {
+		c.NumMinutes = 1440
+	}
+	if c.Env.IsEmpty() || c.Env.Width() <= 0 || c.Env.Height() <= 0 {
+		side := math.Sqrt(float64(c.NumObjects) / (2500.0 / 600.0) * 1e6)
+		c.Env = geo.NewRect(geo.Point{}, geo.Point{X: side, Y: side})
+	}
+	if c.NumHotspots <= 0 {
+		c.NumHotspots = 6
+	}
+	if c.HotspotProb <= 0 {
+		c.HotspotProb = 0.6
+	}
+	if c.InterpFactor <= 0 {
+		c.InterpFactor = 12
+	}
+	if c.ContactDist <= 0 {
+		c.ContactDist = 300
+	}
+}
+
+// TaxiDay generates the VNR dataset substitute: taxis drive between
+// hotspot-biased destinations on a synthetic road network; positions are
+// recorded once per minute and linearly interpolated to 5-second ticks.
+func TaxiDay(cfg TaxiConfig) *trajectory.Dataset {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gx := maxInt(4, int(cfg.Env.Width()/900))
+	gy := maxInt(4, int(cfg.Env.Height()/900))
+	net := roadnet.SyntheticCity(rng, cfg.Env, gx, gy, 0.2)
+
+	hotspots := make([]roadnet.NodeID, cfg.NumHotspots)
+	for i := range hotspots {
+		hotspots[i] = net.RandomNode(rng)
+	}
+
+	minute := generateOnNetwork(networkGenConfig{
+		name:        "VNR",
+		numObjects:  cfg.NumObjects,
+		numTicks:    cfg.NumMinutes,
+		minSpeed:    7,
+		maxSpeed:    13,
+		tickSeconds: 60,
+		contactDist: cfg.ContactDist,
+		env:         cfg.Env,
+		hotspots:    hotspots,
+		hotspotProb: cfg.HotspotProb,
+	}, net, rng)
+
+	out := &trajectory.Dataset{
+		Name:        "VNR",
+		Env:         cfg.Env,
+		TickSeconds: 60.0 / float64(cfg.InterpFactor),
+		ContactDist: cfg.ContactDist,
+	}
+	for i := range minute.Trajs {
+		out.Trajs = append(out.Trajs, trajectory.Interpolate(&minute.Trajs[i], cfg.InterpFactor))
+	}
+	return out
+}
+
+type networkGenConfig struct {
+	name        string
+	numObjects  int
+	numTicks    int
+	minSpeed    float64
+	maxSpeed    float64
+	tickSeconds float64
+	contactDist float64
+	env         geo.Rect
+	hotspots    []roadnet.NodeID
+	hotspotProb float64
+}
+
+func generateOnNetwork(cfg networkGenConfig, net *roadnet.Network, rng *rand.Rand) *trajectory.Dataset {
+	d := &trajectory.Dataset{
+		Name:        cfg.name,
+		Env:         cfg.env,
+		TickSeconds: cfg.tickSeconds,
+		ContactDist: cfg.contactDist,
+	}
+	router := roadnet.NewRouter(net)
+	pickDest := func(from roadnet.NodeID) roadnet.NodeID {
+		for {
+			var dst roadnet.NodeID
+			if len(cfg.hotspots) > 0 && rng.Float64() < cfg.hotspotProb {
+				dst = cfg.hotspots[rng.Intn(len(cfg.hotspots))]
+			} else {
+				dst = net.RandomNode(rng)
+			}
+			if dst != from {
+				return dst
+			}
+		}
+	}
+	for id := 0; id < cfg.numObjects; id++ {
+		pos := make([]geo.Point, cfg.numTicks)
+		at := net.RandomNode(rng)
+		dest := pickDest(at)
+		path, err := router.ShortestPath(at, dest)
+		if err != nil {
+			// SyntheticCity guarantees connectivity; treat failure as a bug.
+			panic(fmt.Sprintf("mobility: routing failed on connected network: %v", err))
+		}
+		w := roadnet.NewWalker(net, path)
+		speed := uniform(rng, cfg.minSpeed, cfg.maxSpeed)
+		for t := 0; t < cfg.numTicks; t++ {
+			pos[t] = w.Pos()
+			step := speed * cfg.tickSeconds
+			for step > 0 {
+				step -= w.Advance(step)
+				if step <= 1e-9 {
+					break
+				}
+				// Trip finished mid-tick: begin the next one.
+				at, dest = dest, pickDest(dest)
+				path, err = router.ShortestPath(at, dest)
+				if err != nil {
+					panic(fmt.Sprintf("mobility: routing failed on connected network: %v", err))
+				}
+				w = roadnet.NewWalker(net, path)
+				speed = uniform(rng, cfg.minSpeed, cfg.maxSpeed)
+			}
+		}
+		d.Trajs = append(d.Trajs, trajectory.Trajectory{
+			Object: trajectory.ObjectID(id),
+			Pos:    pos,
+		})
+	}
+	return d
+}
+
+func randPoint(rng *rand.Rand, r geo.Rect) geo.Point {
+	return geo.Point{
+		X: r.Min.X + rng.Float64()*r.Width(),
+		Y: r.Min.Y + rng.Float64()*r.Height(),
+	}
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"streach/internal/geo"
+	"streach/internal/trajectory"
+)
+
+func TestRandomWaypointBasics(t *testing.T) {
+	d := RandomWaypoint(RWPConfig{NumObjects: 20, NumTicks: 200, Seed: 1})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.NumObjects() != 20 || d.NumTicks() != 200 {
+		t.Fatalf("shape = %d×%d", d.NumObjects(), d.NumTicks())
+	}
+	if d.ContactDist != 25 || d.TickSeconds != 6 {
+		t.Errorf("defaults wrong: dT=%v tick=%v", d.ContactDist, d.TickSeconds)
+	}
+	if d.Name != "RWP20" {
+		t.Errorf("Name = %q", d.Name)
+	}
+}
+
+func TestRandomWaypointDeterministic(t *testing.T) {
+	a := RandomWaypoint(RWPConfig{NumObjects: 5, NumTicks: 50, Seed: 7})
+	b := RandomWaypoint(RWPConfig{NumObjects: 5, NumTicks: 50, Seed: 7})
+	c := RandomWaypoint(RWPConfig{NumObjects: 5, NumTicks: 50, Seed: 8})
+	for i := range a.Trajs {
+		for k := range a.Trajs[i].Pos {
+			if a.Trajs[i].Pos[k] != b.Trajs[i].Pos[k] {
+				t.Fatal("same seed produced different trajectories")
+			}
+		}
+	}
+	same := true
+	for i := range a.Trajs {
+		for k := range a.Trajs[i].Pos {
+			if a.Trajs[i].Pos[k] != c.Trajs[i].Pos[k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+func TestRandomWaypointSpeedBounds(t *testing.T) {
+	cfg := RWPConfig{NumObjects: 10, NumTicks: 300, Seed: 3, MinSpeed: 1, MaxSpeed: 3}
+	d := RandomWaypoint(cfg)
+	maxStep := cfg.MaxSpeed*d.TickSeconds + 1e-9
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		for k := 1; k < len(tr.Pos); k++ {
+			step := tr.Pos[k].Dist(tr.Pos[k-1])
+			if step > maxStep {
+				t.Fatalf("object %d moved %.2f m in one tick (max %.2f)", i, step, maxStep)
+			}
+		}
+	}
+}
+
+func TestRandomWaypointDensityPreserved(t *testing.T) {
+	d := RandomWaypoint(RWPConfig{NumObjects: 400, NumTicks: 1, Seed: 4})
+	areaKm2 := d.Env.Width() * d.Env.Height() / 1e6
+	density := float64(d.NumObjects()) / areaKm2
+	if math.Abs(density-100) > 1 {
+		t.Errorf("density = %.1f objects/km², want 100", density)
+	}
+}
+
+func TestRandomWaypointPause(t *testing.T) {
+	d := RandomWaypoint(RWPConfig{NumObjects: 10, NumTicks: 400, Seed: 5, PauseTicks: 5})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// With pauses some consecutive samples must coincide.
+	stationary := 0
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		for k := 1; k < len(tr.Pos); k++ {
+			if tr.Pos[k] == tr.Pos[k-1] {
+				stationary++
+			}
+		}
+	}
+	if stationary == 0 {
+		t.Error("PauseTicks > 0 produced no stationary steps")
+	}
+}
+
+func TestNetworkVehiclesBasics(t *testing.T) {
+	d := NetworkVehicles(VNConfig{NumObjects: 15, NumTicks: 150, Seed: 1})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.NumObjects() != 15 || d.NumTicks() != 150 {
+		t.Fatalf("shape = %d×%d", d.NumObjects(), d.NumTicks())
+	}
+	if d.ContactDist != 300 || d.TickSeconds != 5 {
+		t.Errorf("defaults wrong: dT=%v tick=%v", d.ContactDist, d.TickSeconds)
+	}
+	if d.Name != "VN15" {
+		t.Errorf("Name = %q", d.Name)
+	}
+}
+
+func TestNetworkVehiclesMoveAndStayInEnv(t *testing.T) {
+	d := NetworkVehicles(VNConfig{NumObjects: 10, NumTicks: 200, Seed: 2})
+	moved := false
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		for k := 1; k < len(tr.Pos); k++ {
+			if !d.Env.Contains(tr.Pos[k]) {
+				t.Fatalf("vehicle %d leaves environment", i)
+			}
+			if tr.Pos[k] != tr.Pos[k-1] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no vehicle ever moved")
+	}
+}
+
+func TestNetworkVehiclesNonUniform(t *testing.T) {
+	// Vehicles are constrained to roads, so a fine occupancy grid must have
+	// many empty cells — the property §6.3 attributes ReachGraph's VN win to.
+	d := NetworkVehicles(VNConfig{NumObjects: 40, NumTicks: 100, Seed: 3})
+	g := geo.NewGrid(d.Env, d.Env.Width()/40)
+	occupied := make(map[int]bool)
+	for i := range d.Trajs {
+		for _, p := range d.Trajs[i].Pos {
+			occupied[g.CellID(p)] = true
+		}
+	}
+	frac := float64(len(occupied)) / float64(g.NumCells())
+	if frac > 0.7 {
+		t.Errorf("vehicles cover %.0f%% of cells; expected strong road-induced skew", frac*100)
+	}
+}
+
+func TestTaxiDayBasics(t *testing.T) {
+	d := TaxiDay(TaxiConfig{NumObjects: 8, NumMinutes: 30, Seed: 1})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 30 one-minute fixes interpolated ×12 → (30-1)*12+1 ticks.
+	if want := (30-1)*12 + 1; d.NumTicks() != want {
+		t.Fatalf("NumTicks = %d, want %d", d.NumTicks(), want)
+	}
+	if d.TickSeconds != 5 {
+		t.Errorf("TickSeconds = %v, want 5", d.TickSeconds)
+	}
+	if d.Name != "VNR" {
+		t.Errorf("Name = %q", d.Name)
+	}
+}
+
+func TestTaxiDayInterpolationIsSmooth(t *testing.T) {
+	d := TaxiDay(TaxiConfig{NumObjects: 5, NumMinutes: 20, Seed: 2})
+	// Max speed 13 m/s × 60 s per recorded step, spread over 12 sub-steps.
+	maxStep := 13.0*60/12 + 1e-6
+	for i := range d.Trajs {
+		tr := &d.Trajs[i]
+		for k := 1; k < len(tr.Pos); k++ {
+			if s := tr.Pos[k].Dist(tr.Pos[k-1]); s > maxStep {
+				t.Fatalf("taxi %d interpolated step %.1f m exceeds %.1f m", i, s, maxStep)
+			}
+		}
+	}
+}
+
+func TestGeneratorsProduceContacts(t *testing.T) {
+	// Sanity: the default densities must yield some co-located pairs,
+	// otherwise every reachability query would be trivially false.
+	for _, d := range []*trajectory.Dataset{
+		RandomWaypoint(RWPConfig{NumObjects: 100, NumTicks: 100, Seed: 9}),
+		NetworkVehicles(VNConfig{NumObjects: 40, NumTicks: 100, Seed: 9}),
+	} {
+		contacts := 0
+		for t0 := 0; t0 < d.NumTicks(); t0 += 10 {
+			for i := 0; i < d.NumObjects() && contacts == 0; i++ {
+				for j := i + 1; j < d.NumObjects(); j++ {
+					pi := d.Trajs[i].Pos[t0]
+					pj := d.Trajs[j].Pos[t0]
+					if pi.Dist(pj) <= d.ContactDist {
+						contacts++
+						break
+					}
+				}
+			}
+		}
+		if contacts == 0 {
+			t.Errorf("dataset %s produced no contacts at sampled instants", d.Name)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package nonimmediate implements the second §7 extension: non-immediate
+// contacts. An item deposited by object oi at time t (e.g. a virus left on
+// a bus seat) can still infect object oj at time t′ ≥ t if oj comes within
+// dT of the deposit position and t′ − t does not exceed the item lifetime
+// Tt. A non-immediate contact is therefore *directed* and carries both an
+// emission and a reception instant; [t, t′] is its validity interval.
+//
+// Extraction joins each object's position against the "replicated
+// trajectories" of all others — every position sample is replicated for the
+// Tt instants after its timestamp, exactly the adaptation §7 prescribes.
+// Lifetime 0 degenerates to the ordinary immediate contact network, which
+// the tests pin against the deterministic oracle.
+package nonimmediate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"streach/internal/contact"
+	"streach/internal/geo"
+	"streach/internal/queries"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Contact is a directed non-immediate contact: From deposits the item at
+// Emit; To picks it up at Receive (Emit ≤ Receive ≤ Emit + lifetime).
+type Contact struct {
+	From, To      trajectory.ObjectID
+	Emit, Receive trajectory.Tick
+}
+
+// Extract computes all non-immediate contacts of dataset d with the given
+// item lifetime (in ticks). For each reception instant t′ it joins the
+// current positions against the deposit positions of the previous lifetime
+// instants. Lifetime 0 yields the ordinary (bidirectional) contacts.
+func Extract(d *trajectory.Dataset, lifetime int) []Contact {
+	if lifetime < 0 {
+		lifetime = 0
+	}
+	numTicks := trajectory.Tick(d.NumTicks())
+	j := stjoin.NewJoiner(d.Env, d.ContactDist)
+	var out []Contact
+
+	pts := make([]geo.Point, 0, 2*d.NumObjects())
+	ids := make([]trajectory.ObjectID, 0, 2*d.NumObjects())
+	for recv := trajectory.Tick(0); recv < numTicks; recv++ {
+		lo := recv - trajectory.Tick(lifetime)
+		if lo < 0 {
+			lo = 0
+		}
+		for emit := lo; emit <= recv; emit++ {
+			pts, ids = pts[:0], ids[:0]
+			// First block: deposit positions at emit; second block:
+			// receiver positions at recv.
+			n := 0
+			for i := range d.Trajs {
+				if d.Trajs[i].Covers(emit) {
+					pts = append(pts, d.Trajs[i].At(emit))
+					ids = append(ids, d.Trajs[i].Object)
+					n++
+				}
+			}
+			recvBase := n
+			for i := range d.Trajs {
+				if d.Trajs[i].Covers(recv) {
+					pts = append(pts, d.Trajs[i].At(recv))
+					ids = append(ids, d.Trajs[i].Object)
+				}
+			}
+			j.Join(pts, func(a, b int) bool {
+				// Keep only emitter→receiver pairs across the two blocks.
+				if a >= recvBase { // both receivers
+					return true
+				}
+				if b < recvBase { // both emitters
+					return true
+				}
+				from, to := ids[a], ids[b]
+				if from == to {
+					return true
+				}
+				out = append(out, Contact{From: from, To: to, Emit: emit, Receive: recv})
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i], out[k]
+		if a.Receive != b.Receive {
+			return a.Receive < b.Receive
+		}
+		if a.Emit != b.Emit {
+			return a.Emit < b.Emit
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return dedup(out)
+}
+
+func dedup(cs []Contact) []Contact {
+	w := 0
+	for i, c := range cs {
+		if i > 0 && c == cs[i-1] {
+			continue
+		}
+		cs[w] = c
+		w++
+	}
+	return cs[:w]
+}
+
+// Engine evaluates reachability over a set of non-immediate contacts.
+type Engine struct {
+	numObjects int
+	numTicks   int
+	byReceive  [][]Contact // contacts grouped by reception tick
+}
+
+// NewEngine indexes the contacts by reception instant.
+func NewEngine(numObjects, numTicks int, contacts []Contact) (*Engine, error) {
+	if numObjects <= 0 || numTicks <= 0 {
+		return nil, errors.New("nonimmediate: empty domain")
+	}
+	e := &Engine{
+		numObjects: numObjects,
+		numTicks:   numTicks,
+		byReceive:  make([][]Contact, numTicks),
+	}
+	for _, c := range contacts {
+		if c.From < 0 || int(c.From) >= numObjects || c.To < 0 || int(c.To) >= numObjects {
+			return nil, fmt.Errorf("nonimmediate: contact %+v outside object domain", c)
+		}
+		if c.Emit > c.Receive || c.Emit < 0 || int(c.Receive) >= numTicks {
+			return nil, fmt.Errorf("nonimmediate: contact %+v outside time domain", c)
+		}
+		e.byReceive[c.Receive] = append(e.byReceive[c.Receive], c)
+	}
+	return e, nil
+}
+
+// never marks an object that does not receive the item.
+const never = trajectory.Tick(-1)
+
+// InfectionTimes returns, for every object, the earliest instant in iv at
+// which it holds an item initiated by src at iv.Lo, or −1 if it never does.
+func (e *Engine) InfectionTimes(src trajectory.ObjectID, iv contact.Interval) ([]trajectory.Tick, error) {
+	if src < 0 || int(src) >= e.numObjects {
+		return nil, fmt.Errorf("nonimmediate: source %d outside [0, %d)", src, e.numObjects)
+	}
+	inf := make([]trajectory.Tick, e.numObjects)
+	for i := range inf {
+		inf[i] = never
+	}
+	iv = iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(e.numTicks - 1)})
+	if iv.Len() == 0 {
+		return inf, nil
+	}
+	inf[src] = iv.Lo
+	for t := iv.Lo; t <= iv.Hi; t++ {
+		group := e.byReceive[t]
+		if len(group) == 0 {
+			continue
+		}
+		// Fixpoint within the reception instant: a fresh infection at t
+		// can immediately hand the item onward through a same-instant
+		// contact (Emit == Receive == t).
+		for changed := true; changed; {
+			changed = false
+			for _, c := range group {
+				if inf[c.To] != never {
+					continue
+				}
+				// The emitter must hold the item at the emission instant,
+				// and the emission must fall inside the query interval.
+				if ft := inf[c.From]; ft != never && ft <= c.Emit && c.Emit >= iv.Lo {
+					inf[c.To] = t
+					changed = true
+				}
+			}
+		}
+	}
+	return inf, nil
+}
+
+// Reachable answers the reachability query under non-immediate semantics.
+func (e *Engine) Reachable(q queries.Query) (bool, error) {
+	if q.Dst < 0 || int(q.Dst) >= e.numObjects {
+		return false, fmt.Errorf("nonimmediate: destination %d outside [0, %d)", q.Dst, e.numObjects)
+	}
+	if q.Src == q.Dst {
+		return q.Interval.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(e.numTicks - 1)}).Len() > 0, nil
+	}
+	inf, err := e.InfectionTimes(q.Src, q.Interval)
+	if err != nil {
+		return false, err
+	}
+	return inf[q.Dst] != never, nil
+}
+
+// ReachableSet returns every object holding the item by the end of iv.
+func (e *Engine) ReachableSet(src trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, error) {
+	inf, err := e.InfectionTimes(src, iv)
+	if err != nil {
+		return nil, err
+	}
+	var out []trajectory.ObjectID
+	for o, t := range inf {
+		if t != never {
+			out = append(out, trajectory.ObjectID(o))
+		}
+	}
+	return out, nil
+}

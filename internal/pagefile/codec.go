@@ -1,0 +1,136 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder serializes index records into the byte blobs stored by a Store.
+// It is a thin, allocation-friendly wrapper over little-endian encoding;
+// every index layout in streach (grid cells, graph partitions, hash tables)
+// uses it so that on-disk formats stay uniform and testable.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset clears the encoder for reuse.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 appends a fixed-width 32-bit value.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 appends a fixed-width signed 32-bit value.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 appends a fixed-width 64-bit value.
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 appends a fixed-width signed 64-bit value.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Float64 appends an IEEE-754 double.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Int32Slice appends a length-prefixed slice of int32.
+func (e *Encoder) Int32Slice(vs []int32) {
+	e.Uint32(uint32(len(vs)))
+	for _, v := range vs {
+		e.Int32(v)
+	}
+}
+
+// Raw appends bytes verbatim (for records pre-encoded with another
+// Encoder).
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder reads back records written by Encoder. Decoding past the end of
+// the buffer or with inconsistent lengths returns an error rather than
+// panicking, so corrupted pages surface as errors (failure injection in
+// tests relies on this).
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("pagefile: decode past end (need %d bytes, have %d)", n, len(d.buf)-d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint32 reads a fixed-width 32-bit value (0 after an error).
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Int32 reads a fixed-width signed 32-bit value.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 reads a fixed-width 64-bit value (0 after an error).
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int64 reads a fixed-width signed 64-bit value.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Float64 reads an IEEE-754 double.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Int32Slice reads a length-prefixed slice of int32.
+func (d *Decoder) Int32Slice() []int32 {
+	n := int(d.Uint32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n*4 > d.Remaining() {
+		d.err = fmt.Errorf("pagefile: implausible slice length %d with %d bytes left", n, d.Remaining())
+		return nil
+	}
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = d.Int32()
+	}
+	return vs
+}

@@ -1,0 +1,305 @@
+// Package pagefile simulates the disk subsystem of the paper's evaluation:
+// a paged store with a buffer pool and an I/O accountant that distinguishes
+// random from sequential page accesses.
+//
+// The paper measures index performance as the number of random I/Os, with
+// sequential accesses normalized to 1/20 of a random access (§6, citing
+// Corral et al.). Reproducing the experiments therefore needs a disk *model*
+// rather than a physical disk: Store places serialized blobs on consecutive
+// 4 KiB pages, and Stats counts a page read as sequential exactly when it is
+// the physical successor of the previously read page.
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of one disk page in bytes (Table 3: 4 KiB pages).
+const PageSize = 4096
+
+// SeqCostRatio is how many sequential accesses cost as much as one random
+// access (§6).
+const SeqCostRatio = 20
+
+// ErrCorruptBlob is returned when a blob fails its integrity check on read.
+var ErrCorruptBlob = errors.New("pagefile: corrupt blob")
+
+// Stats accumulates I/O counts. The zero value is ready to use.
+type Stats struct {
+	RandomReads     int64
+	SequentialReads int64
+	PagesWritten    int64
+	BufferHits      int64
+
+	lastPage int64 // physical id of the last page fetched from "disk"
+	valid    bool  // whether lastPage is meaningful
+}
+
+// Normalized returns the paper's headline metric: random reads plus
+// sequential reads scaled by 1/SeqCostRatio.
+func (s *Stats) Normalized() float64 {
+	return float64(s.RandomReads) + float64(s.SequentialReads)/SeqCostRatio
+}
+
+// Reset zeroes all counters, starting a new measurement window.
+func (s *Stats) Reset() { *s = Stats{} }
+
+func (s *Stats) recordRead(page int64) {
+	if s.valid && page == s.lastPage+1 {
+		s.SequentialReads++
+	} else {
+		s.RandomReads++
+	}
+	s.lastPage = page
+	s.valid = true
+}
+
+// Store is an append-only simulated disk holding fixed-size pages. Blobs
+// (serialized index nodes, grid cells, partitions …) are written onto runs
+// of consecutive pages; reading a blob fetches its pages through the buffer
+// pool and charges the Stats.
+type Store struct {
+	pages [][]byte
+	stats Stats
+	pool  *BufferPool
+}
+
+// NewStore returns an empty store whose reads go through a buffer pool of
+// poolPages pages. poolPages ≤ 0 disables caching entirely.
+func NewStore(poolPages int) *Store {
+	st := &Store{}
+	if poolPages > 0 {
+		st.pool = NewBufferPool(poolPages)
+	}
+	return st
+}
+
+// Stats exposes the store's I/O accountant.
+func (st *Store) Stats() *Stats { return &st.stats }
+
+// NumPages returns the number of pages written so far.
+func (st *Store) NumPages() int64 { return int64(len(st.pages)) }
+
+// SizeBytes returns the total on-disk size.
+func (st *Store) SizeBytes() int64 { return st.NumPages() * PageSize }
+
+// DropCache empties the buffer pool (e.g. between measured queries) without
+// touching the I/O counters.
+func (st *Store) DropCache() {
+	if st.pool != nil {
+		st.pool.Clear()
+	}
+}
+
+// BlobRef locates a blob on the store.
+type BlobRef struct {
+	Page  int64 // first page
+	Bytes int32 // payload length in bytes
+}
+
+// Null reports whether the reference does not point at any blob.
+func (r BlobRef) Null() bool { return r.Bytes == 0 && r.Page == 0 }
+
+// blobHeader is a small per-blob integrity header: payload length plus an
+// additive checksum, letting ReadBlob detect truncated or corrupted pages.
+const blobHeaderSize = 8
+
+// AppendBlob writes data onto fresh consecutive pages and returns its
+// reference. An empty blob is legal and occupies one page.
+func (st *Store) AppendBlob(data []byte) BlobRef {
+	buf := make([]byte, blobHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[4:8], checksum(data))
+	copy(buf[blobHeaderSize:], data)
+
+	first := int64(len(st.pages))
+	for off := 0; off < len(buf) || off == 0; off += PageSize {
+		end := off + PageSize
+		if end > len(buf) {
+			end = len(buf)
+		}
+		page := make([]byte, PageSize)
+		copy(page, buf[off:end])
+		st.pages = append(st.pages, page)
+		st.stats.PagesWritten++
+		if end == len(buf) {
+			break
+		}
+	}
+	return BlobRef{Page: first, Bytes: int32(len(buf))}
+}
+
+// ReadBlob fetches the blob at ref, charging the stats for pages that miss
+// the buffer pool. The returned slice must not be modified.
+func (st *Store) ReadBlob(ref BlobRef) ([]byte, error) {
+	if ref.Bytes < blobHeaderSize {
+		return nil, fmt.Errorf("%w: header too short (%d bytes)", ErrCorruptBlob, ref.Bytes)
+	}
+	numPages := (int64(ref.Bytes) + PageSize - 1) / PageSize
+	if ref.Page < 0 || ref.Page+numPages > int64(len(st.pages)) {
+		return nil, fmt.Errorf("pagefile: blob [%d, %d) outside store of %d pages",
+			ref.Page, ref.Page+numPages, len(st.pages))
+	}
+	buf := make([]byte, 0, numPages*PageSize)
+	for p := ref.Page; p < ref.Page+numPages; p++ {
+		buf = append(buf, st.fetchPage(p)...)
+	}
+	buf = buf[:ref.Bytes]
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if int64(n) != int64(ref.Bytes)-blobHeaderSize {
+		return nil, fmt.Errorf("%w: length mismatch (header %d, ref %d)", ErrCorruptBlob, n, ref.Bytes-blobHeaderSize)
+	}
+	payload := buf[blobHeaderSize:]
+	if checksum(payload) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptBlob)
+	}
+	return payload, nil
+}
+
+// fetchPage returns page p's bytes, via the buffer pool when present.
+func (st *Store) fetchPage(p int64) []byte {
+	if st.pool != nil {
+		if data, ok := st.pool.Get(p); ok {
+			st.stats.BufferHits++
+			return data
+		}
+	}
+	st.stats.recordRead(p)
+	data := st.pages[p]
+	if st.pool != nil {
+		st.pool.Put(p, data)
+	}
+	return data
+}
+
+// CorruptPage flips a byte of page p. It exists for failure-injection tests.
+func (st *Store) CorruptPage(p int64, offset int) error {
+	if p < 0 || p >= int64(len(st.pages)) {
+		return fmt.Errorf("pagefile: no page %d", p)
+	}
+	st.pages[p][offset%PageSize] ^= 0xFF
+	// Invalidate any cached copy so the corruption is observable.
+	if st.pool != nil {
+		st.pool.Evict(p)
+	}
+	return nil
+}
+
+func checksum(data []byte) uint32 {
+	// FNV-1a, inlined to keep the page format self-contained.
+	h := uint32(2166136261)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// BufferPool is a fixed-capacity LRU page cache.
+type BufferPool struct {
+	capacity int
+	entries  map[int64]*poolNode
+	head     *poolNode // most recently used
+	tail     *poolNode // least recently used
+}
+
+type poolNode struct {
+	page       int64
+	data       []byte
+	prev, next *poolNode
+}
+
+// NewBufferPool returns a pool holding at most capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{capacity: capacity, entries: make(map[int64]*poolNode)}
+}
+
+// Len returns the number of cached pages.
+func (bp *BufferPool) Len() int { return len(bp.entries) }
+
+// Get returns the cached bytes of page p and marks it most recently used.
+func (bp *BufferPool) Get(p int64) ([]byte, bool) {
+	n, ok := bp.entries[p]
+	if !ok {
+		return nil, false
+	}
+	bp.moveToFront(n)
+	return n.data, true
+}
+
+// Put caches page p, evicting the least recently used page if full.
+func (bp *BufferPool) Put(p int64, data []byte) {
+	if n, ok := bp.entries[p]; ok {
+		n.data = data
+		bp.moveToFront(n)
+		return
+	}
+	n := &poolNode{page: p, data: data}
+	bp.entries[p] = n
+	bp.pushFront(n)
+	if len(bp.entries) > bp.capacity {
+		bp.evictTail()
+	}
+}
+
+// Evict removes page p from the pool if present.
+func (bp *BufferPool) Evict(p int64) {
+	if n, ok := bp.entries[p]; ok {
+		bp.unlink(n)
+		delete(bp.entries, p)
+	}
+}
+
+// Clear empties the pool.
+func (bp *BufferPool) Clear() {
+	bp.entries = make(map[int64]*poolNode)
+	bp.head, bp.tail = nil, nil
+}
+
+func (bp *BufferPool) pushFront(n *poolNode) {
+	n.prev = nil
+	n.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = n
+	}
+	bp.head = n
+	if bp.tail == nil {
+		bp.tail = n
+	}
+}
+
+func (bp *BufferPool) unlink(n *poolNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		bp.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		bp.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (bp *BufferPool) moveToFront(n *poolNode) {
+	if bp.head == n {
+		return
+	}
+	bp.unlink(n)
+	bp.pushFront(n)
+}
+
+func (bp *BufferPool) evictTail() {
+	if bp.tail == nil {
+		return
+	}
+	t := bp.tail
+	bp.unlink(t)
+	delete(bp.entries, t.page)
+}

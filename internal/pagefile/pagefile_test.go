@@ -1,0 +1,296 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendAndReadBlob(t *testing.T) {
+	st := NewStore(0)
+	data := []byte("hello spatiotemporal world")
+	ref := st.AppendBlob(data)
+	got, err := st.ReadBlob(ref)
+	if err != nil {
+		t.Fatalf("ReadBlob: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round-trip mismatch: %q", got)
+	}
+}
+
+func TestBlobSpanningMultiplePages(t *testing.T) {
+	st := NewStore(0)
+	data := make([]byte, 3*PageSize+17)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(data)
+	ref := st.AppendBlob(data)
+	if st.NumPages() != 4 {
+		t.Fatalf("NumPages = %d, want 4", st.NumPages())
+	}
+	got, err := st.ReadBlob(ref)
+	if err != nil {
+		t.Fatalf("ReadBlob: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-page round-trip mismatch")
+	}
+}
+
+func TestEmptyBlob(t *testing.T) {
+	st := NewStore(0)
+	ref := st.AppendBlob(nil)
+	got, err := st.ReadBlob(ref)
+	if err != nil {
+		t.Fatalf("ReadBlob: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty blob read back %d bytes", len(got))
+	}
+}
+
+func TestSequentialVsRandomAccounting(t *testing.T) {
+	st := NewStore(0)
+	big := make([]byte, 5*PageSize)
+	refBig := st.AppendBlob(big) // pages 0..5
+	small := []byte("x")
+	refSmall := st.AppendBlob(small) // page 6
+
+	if _, err := st.ReadBlob(refBig); err != nil {
+		t.Fatal(err)
+	}
+	s := st.Stats()
+	// First page random, remaining 5 sequential.
+	if s.RandomReads != 1 || s.SequentialReads != 5 {
+		t.Fatalf("big blob: random=%d sequential=%d, want 1/5", s.RandomReads, s.SequentialReads)
+	}
+	// Reading the next physical page continues the sequential run.
+	if _, err := st.ReadBlob(refSmall); err != nil {
+		t.Fatal(err)
+	}
+	if s.RandomReads != 1 || s.SequentialReads != 6 {
+		t.Fatalf("adjacent blob: random=%d sequential=%d, want 1/6", s.RandomReads, s.SequentialReads)
+	}
+	// Jumping backwards is random.
+	if _, err := st.ReadBlob(refBig); err != nil {
+		t.Fatal(err)
+	}
+	if s.RandomReads != 2 {
+		t.Fatalf("backward jump: random=%d, want 2", s.RandomReads)
+	}
+	wantNorm := 2 + 11.0/20
+	if got := s.Normalized(); got != wantNorm {
+		t.Fatalf("Normalized = %v, want %v", got, wantNorm)
+	}
+	s.Reset()
+	if s.RandomReads != 0 || s.SequentialReads != 0 || s.Normalized() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestBufferPoolAvoidsIO(t *testing.T) {
+	st := NewStore(16)
+	ref := st.AppendBlob([]byte("cached"))
+	if _, err := st.ReadBlob(ref); err != nil {
+		t.Fatal(err)
+	}
+	first := st.Stats().RandomReads
+	if _, err := st.ReadBlob(ref); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().RandomReads != first {
+		t.Fatal("second read should hit the buffer pool")
+	}
+	if st.Stats().BufferHits == 0 {
+		t.Fatal("expected buffer hits")
+	}
+	st.DropCache()
+	if _, err := st.ReadBlob(ref); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().RandomReads == first {
+		t.Fatal("read after DropCache should hit disk")
+	}
+}
+
+func TestReadBlobErrors(t *testing.T) {
+	st := NewStore(0)
+	ref := st.AppendBlob([]byte("data"))
+
+	if _, err := st.ReadBlob(BlobRef{Page: 99, Bytes: 32}); err == nil {
+		t.Error("out-of-range blob accepted")
+	}
+	if _, err := st.ReadBlob(BlobRef{Page: 0, Bytes: 2}); err == nil {
+		t.Error("undersized blob accepted")
+	}
+	// Corrupt the payload: checksum must catch it.
+	if err := st.CorruptPage(ref.Page, blobHeaderSize+1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := st.ReadBlob(ref)
+	if !errors.Is(err, ErrCorruptBlob) {
+		t.Errorf("corrupted read returned %v, want ErrCorruptBlob", err)
+	}
+	if err := st.CorruptPage(12345, 0); err == nil {
+		t.Error("CorruptPage of missing page should fail")
+	}
+}
+
+func TestCorruptionVisibleThroughPool(t *testing.T) {
+	st := NewStore(8)
+	ref := st.AppendBlob([]byte("payload"))
+	if _, err := st.ReadBlob(ref); err != nil {
+		t.Fatal(err) // warm the cache
+	}
+	if err := st.CorruptPage(ref.Page, blobHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ReadBlob(ref); !errors.Is(err, ErrCorruptBlob) {
+		t.Errorf("cached corruption returned %v, want ErrCorruptBlob", err)
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Put(1, []byte{1})
+	bp.Put(2, []byte{2})
+	if _, ok := bp.Get(1); !ok { // 1 becomes MRU
+		t.Fatal("page 1 missing")
+	}
+	bp.Put(3, []byte{3}) // evicts 2 (LRU)
+	if _, ok := bp.Get(2); ok {
+		t.Fatal("page 2 should have been evicted")
+	}
+	if _, ok := bp.Get(1); !ok {
+		t.Fatal("page 1 should survive")
+	}
+	if _, ok := bp.Get(3); !ok {
+		t.Fatal("page 3 should be cached")
+	}
+	if bp.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", bp.Len())
+	}
+}
+
+func TestBufferPoolUpdateAndEvict(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Put(1, []byte{1})
+	bp.Put(1, []byte{9}) // update, no growth
+	if bp.Len() != 1 {
+		t.Fatalf("Len after update = %d, want 1", bp.Len())
+	}
+	if d, _ := bp.Get(1); d[0] != 9 {
+		t.Fatal("update not visible")
+	}
+	bp.Evict(1)
+	if _, ok := bp.Get(1); ok {
+		t.Fatal("evicted page still cached")
+	}
+	bp.Evict(42) // no-op must not panic
+	bp.Clear()
+	if bp.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+}
+
+func TestBufferPoolStress(t *testing.T) {
+	// Random ops; model with a reference map + recency list semantics
+	// implicitly checked by capacity invariant.
+	bp := NewBufferPool(8)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		p := int64(rng.Intn(32))
+		switch rng.Intn(3) {
+		case 0:
+			bp.Put(p, []byte{byte(p)})
+		case 1:
+			if d, ok := bp.Get(p); ok && d[0] != byte(p) {
+				t.Fatal("wrong payload")
+			}
+		case 2:
+			bp.Evict(p)
+		}
+		if bp.Len() > 8 {
+			t.Fatalf("capacity exceeded: %d", bp.Len())
+		}
+	}
+}
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uint32(42)
+	e.Int32(-7)
+	e.Uint64(1 << 40)
+	e.Int64(-1 << 40)
+	e.Float64(3.25)
+	e.Int32Slice([]int32{1, -2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint32(); v != 42 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if v := d.Int32(); v != -7 {
+		t.Errorf("Int32 = %d", v)
+	}
+	if v := d.Uint64(); v != 1<<40 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := d.Int64(); v != -1<<40 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v := d.Float64(); v != 3.25 {
+		t.Errorf("Float64 = %v", v)
+	}
+	s := d.Int32Slice()
+	if len(s) != 3 || s[0] != 1 || s[1] != -2 || s[2] != 3 {
+		t.Errorf("Int32Slice = %v", s)
+	}
+	if d.Err() != nil {
+		t.Errorf("Err = %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if d.Uint32(); d.Err() == nil {
+		t.Error("short read should error")
+	}
+	// After the first error all reads return zero values.
+	if v := d.Uint64(); v != 0 {
+		t.Error("post-error read should be 0")
+	}
+
+	// Implausible slice length.
+	e := NewEncoder(8)
+	e.Uint32(1 << 30)
+	d2 := NewDecoder(e.Bytes())
+	if d2.Int32Slice(); d2.Err() == nil {
+		t.Error("oversized slice length should error")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.Uint32(1)
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNullBlobRef(t *testing.T) {
+	var r BlobRef
+	if !r.Null() {
+		t.Error("zero BlobRef should be Null")
+	}
+	if (BlobRef{Page: 3, Bytes: 10}).Null() {
+		t.Error("real BlobRef reported Null")
+	}
+}

@@ -1,0 +1,115 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickBlobRoundTrip stores arbitrary payloads and reads them back.
+func TestQuickBlobRoundTrip(t *testing.T) {
+	st := NewStore(8)
+	f := func(payload []byte) bool {
+		ref := st.AppendBlob(payload)
+		got, err := st.ReadBlob(ref)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCorruptionDetected flips one byte of a stored blob at an
+// arbitrary offset; ReadBlob must fail with ErrCorruptBlob.
+func TestQuickCorruptionDetected(t *testing.T) {
+	f := func(payload []byte, where uint16) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		st := NewStore(0) // no pool: corruption must be visible immediately
+		ref := st.AppendBlob(payload)
+		// Corrupt a byte inside the blob's payload region.
+		page := ref.Page + int64(int(where)%int((int64(ref.Bytes)+PageSize-1)/PageSize))
+		off := int(where) % PageSize
+		// Stay within the blob's meaningful bytes on the last page.
+		if page == ref.Page+int64(ref.Bytes-1)/PageSize {
+			off = off % (int(ref.Bytes) - int(page-ref.Page)*PageSize)
+		}
+		if err := st.CorruptPage(page, off); err != nil {
+			return false
+		}
+		_, err := st.ReadBlob(ref)
+		return errors.Is(err, ErrCorruptBlob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncoderDecoderRoundTrip round-trips random record shapes.
+func TestQuickEncoderDecoderRoundTrip(t *testing.T) {
+	f := func(a int32, b uint32, c int64, d float64, s []int32) bool {
+		e := NewEncoder(64)
+		e.Int32(a)
+		e.Uint32(b)
+		e.Int64(c)
+		e.Float64(d)
+		e.Int32Slice(s)
+		dec := NewDecoder(e.Bytes())
+		if dec.Int32() != a || dec.Uint32() != b || dec.Int64() != c {
+			return false
+		}
+		if got := dec.Float64(); got != d && !(got != got && d != d) { // NaN-safe
+			return false
+		}
+		got := dec.Int32Slice()
+		if dec.Err() != nil || len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return dec.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPoolNeverExceedsCapacity hammers a pool with arbitrary page
+// sequences and checks the capacity invariant plus hit correctness.
+func TestQuickPoolNeverExceedsCapacity(t *testing.T) {
+	f := func(pages []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%7) + 1
+		bp := NewBufferPool(capacity)
+		shadow := map[int64][]byte{}
+		for i, p := range pages {
+			page := int64(p % 32)
+			data := []byte{byte(i)}
+			bp.Put(page, data)
+			shadow[page] = data
+			if bp.Len() > capacity {
+				return false
+			}
+			if got, ok := bp.Get(page); !ok || got[0] != data[0] {
+				return false // just-inserted page must be resident
+			}
+		}
+		// Every hit must return the latest value.
+		for page, want := range shadow {
+			if got, ok := bp.Get(page); ok && !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package queries defines reachability queries, the random workloads of §6,
+// and a brute-force propagation oracle that serves as ground truth for every
+// index and traversal strategy in streach.
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streach/internal/contact"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Query is a reachability query q : Src ⤳ Dst over Interval (§3.2).
+type Query struct {
+	Src, Dst trajectory.ObjectID
+	Interval contact.Interval
+}
+
+func (q Query) String() string {
+	return fmt.Sprintf("q: %d ~%v~> %d", q.Src, q.Interval, q.Dst)
+}
+
+// WorkloadConfig parametrizes RandomWorkload. The defaults reproduce §6:
+// "query sources, destinations are selected randomly and query interval is
+// selected as a random interval where the length of the interval is a
+// random number between 150 and 350".
+type WorkloadConfig struct {
+	NumObjects int
+	NumTicks   int
+	Count      int
+	MinLen     int // minimum interval length in ticks (default 150)
+	MaxLen     int // maximum interval length in ticks (default 350)
+	Seed       int64
+}
+
+// RandomWorkload generates Count random queries. Interval lengths are
+// clamped to the dataset's time domain; Src and Dst are always distinct when
+// NumObjects > 1.
+func RandomWorkload(cfg WorkloadConfig) []Query {
+	if cfg.MinLen <= 0 {
+		cfg.MinLen = 150
+	}
+	if cfg.MaxLen < cfg.MinLen {
+		cfg.MaxLen = 350
+	}
+	if cfg.MaxLen > cfg.NumTicks {
+		cfg.MaxLen = cfg.NumTicks
+	}
+	if cfg.MinLen > cfg.MaxLen {
+		cfg.MinLen = cfg.MaxLen
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Query, 0, cfg.Count)
+	for i := 0; i < cfg.Count; i++ {
+		length := cfg.MinLen
+		if cfg.MaxLen > cfg.MinLen {
+			length += rng.Intn(cfg.MaxLen - cfg.MinLen + 1)
+		}
+		lo := 0
+		if cfg.NumTicks > length {
+			lo = rng.Intn(cfg.NumTicks - length + 1)
+		}
+		src := trajectory.ObjectID(rng.Intn(cfg.NumObjects))
+		dst := src
+		for dst == src && cfg.NumObjects > 1 {
+			dst = trajectory.ObjectID(rng.Intn(cfg.NumObjects))
+		}
+		out = append(out, Query{
+			Src: src,
+			Dst: dst,
+			Interval: contact.Interval{
+				Lo: trajectory.Tick(lo),
+				Hi: trajectory.Tick(lo + length - 1),
+			},
+		})
+	}
+	return out
+}
+
+// Oracle evaluates reachability by direct simulation of item propagation
+// over the contact network: at every instant of the query interval the item
+// spreads through the connected component of each carrier (transfer within a
+// contact is instantaneous, and objects hold items forever). This is the
+// semantics of §3.2 executed literally, with no indexing — O(|Tp|·|O|) per
+// query — so every engine is validated against it.
+type Oracle struct {
+	net      *contact.Network
+	parent   []int32
+	size     []int32
+	infected []bool
+}
+
+// NewOracle returns an oracle over net.
+func NewOracle(net *contact.Network) *Oracle {
+	n := net.NumObjects
+	return &Oracle{
+		net:      net,
+		parent:   make([]int32, n),
+		size:     make([]int32, n),
+		infected: make([]bool, n),
+	}
+}
+
+// Reachable answers the query against ground truth.
+func (o *Oracle) Reachable(q Query) bool {
+	reached := false
+	o.propagate(q.Src, q.Interval, func(obj trajectory.ObjectID) bool {
+		if obj == q.Dst {
+			reached = true
+			return false // stop early
+		}
+		return true
+	})
+	return reached
+}
+
+// ReachableSet returns all objects reachable from src during iv (including
+// src itself), the batch primitive behind the paper's epidemic and
+// watch-list scenarios (§1).
+func (o *Oracle) ReachableSet(src trajectory.ObjectID, iv contact.Interval) []trajectory.ObjectID {
+	var out []trajectory.ObjectID
+	o.propagate(src, iv, func(obj trajectory.ObjectID) bool {
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// EarliestReach returns the first tick in iv at which dst holds the item, or
+// false. It implements |T'p| of Theorems 4.1/5.4: the smallest prefix of the
+// query interval that decides a positive query.
+func (o *Oracle) EarliestReach(q Query) (trajectory.Tick, bool) {
+	when := trajectory.Tick(-1)
+	cur := trajectory.Tick(-1)
+	o.propagate2(q.Src, q.Interval, func(t trajectory.Tick) { cur = t }, func(obj trajectory.ObjectID) bool {
+		if obj == q.Dst {
+			when = cur
+			return false
+		}
+		return true
+	})
+	return when, when >= 0
+}
+
+// propagate runs the simulation, invoking onInfect (src first, at iv.Lo) for
+// every newly infected object. onInfect returning false aborts.
+func (o *Oracle) propagate(src trajectory.ObjectID, iv contact.Interval, onInfect func(trajectory.ObjectID) bool) {
+	o.propagate2(src, iv, nil, onInfect)
+}
+
+func (o *Oracle) propagate2(src trajectory.ObjectID, iv contact.Interval,
+	onTick func(trajectory.Tick), onInfect func(trajectory.ObjectID) bool) {
+
+	n := o.net.NumObjects
+	if int(src) < 0 || int(src) >= n || iv.Len() == 0 {
+		return
+	}
+	for i := range o.infected {
+		o.infected[i] = false
+	}
+	o.infected[src] = true
+	if onTick != nil {
+		onTick(iv.Lo)
+	}
+	if !onInfect(src) {
+		return
+	}
+	stopped := false
+	o.net.Snapshot(iv.Lo, iv.Hi, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		if onTick != nil {
+			onTick(t)
+		}
+		for i := 0; i < n; i++ {
+			o.parent[i] = int32(i)
+			o.size[i] = 1
+		}
+		for _, pr := range pairs {
+			ra, rb := o.find(int32(pr.A)), o.find(int32(pr.B))
+			if ra == rb {
+				continue
+			}
+			if o.size[ra] < o.size[rb] {
+				ra, rb = rb, ra
+			}
+			o.parent[rb] = ra
+			o.size[ra] += o.size[rb]
+		}
+		// An infected member infects its whole component.
+		infectedRoot := make(map[int32]bool)
+		for i := 0; i < n; i++ {
+			if o.infected[i] {
+				infectedRoot[o.find(int32(i))] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !o.infected[i] && infectedRoot[o.find(int32(i))] {
+				o.infected[i] = true
+				if !onInfect(trajectory.ObjectID(i)) {
+					stopped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	_ = stopped
+}
+
+func (o *Oracle) find(x int32) int32 {
+	for o.parent[x] != x {
+		o.parent[x] = o.parent[o.parent[x]]
+		x = o.parent[x]
+	}
+	return x
+}

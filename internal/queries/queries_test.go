@@ -1,0 +1,203 @@
+package queries
+
+import (
+	"math/rand"
+	"testing"
+
+	"streach/internal/contact"
+	"streach/internal/mobility"
+	"streach/internal/trajectory"
+)
+
+func figure1Network() *contact.Network {
+	return contact.FromContacts(4, 4, []contact.Contact{
+		{A: 0, B: 1, Validity: contact.Interval{Lo: 0, Hi: 0}},
+		{A: 1, B: 3, Validity: contact.Interval{Lo: 1, Hi: 1}},
+		{A: 2, B: 3, Validity: contact.Interval{Lo: 1, Hi: 2}},
+		{A: 0, B: 1, Validity: contact.Interval{Lo: 2, Hi: 3}},
+	})
+}
+
+func TestOracleFigure1(t *testing.T) {
+	o := NewOracle(figure1Network())
+	// §1: "The object o4 is reachable from o1 during time interval [0, 1]"
+	// (0-based: 3 from 0); "o1 is not reachable from o4 during [0,1]".
+	cases := []struct {
+		q    Query
+		want bool
+	}{
+		{Query{Src: 0, Dst: 3, Interval: contact.Interval{Lo: 0, Hi: 1}}, true},
+		{Query{Src: 3, Dst: 0, Interval: contact.Interval{Lo: 0, Hi: 1}}, false},
+		// §4 example: for q: o1 ⤳[2,3] o2, contact c4 suffices.
+		{Query{Src: 0, Dst: 1, Interval: contact.Interval{Lo: 2, Hi: 3}}, true},
+		// o3 never reaches o1 within [2,3] (no connecting contacts).
+		{Query{Src: 2, Dst: 0, Interval: contact.Interval{Lo: 2, Hi: 3}}, false},
+		// Within a single instant, contact chains propagate instantly.
+		{Query{Src: 1, Dst: 2, Interval: contact.Interval{Lo: 1, Hi: 1}}, true},
+		// Time-respecting order matters: o4→o1 succeeds over the full
+		// interval (o4-o2 at 1, o2-o1 at 2).
+		{Query{Src: 3, Dst: 0, Interval: contact.Interval{Lo: 0, Hi: 3}}, true},
+	}
+	for _, tc := range cases {
+		if got := o.Reachable(tc.q); got != tc.want {
+			t.Errorf("%v = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestOracleSnapshotSymmetryAndTransitivity(t *testing.T) {
+	// Properties 5.1 and 5.2 on random networks.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		ticks := 5 + rng.Intn(20)
+		var cs []contact.Contact
+		for i := 0; i < rng.Intn(25); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			lo := rng.Intn(ticks)
+			cs = append(cs, contact.Contact{
+				A: trajectory.ObjectID(a), B: trajectory.ObjectID(b),
+				Validity: contact.Interval{Lo: trajectory.Tick(lo), Hi: trajectory.Tick(lo + rng.Intn(3))},
+			})
+		}
+		net := contact.FromContacts(n, ticks, cs)
+		o := NewOracle(net)
+		// Snapshot symmetry: single-instant reachability is symmetric.
+		for tk := 0; tk < ticks; tk++ {
+			iv := contact.Interval{Lo: trajectory.Tick(tk), Hi: trajectory.Tick(tk)}
+			for a := 0; a < n; a++ {
+				for b := a + 1; b < n; b++ {
+					ab := o.Reachable(Query{Src: trajectory.ObjectID(a), Dst: trajectory.ObjectID(b), Interval: iv})
+					ba := o.Reachable(Query{Src: trajectory.ObjectID(b), Dst: trajectory.ObjectID(a), Interval: iv})
+					if ab != ba {
+						t.Fatalf("snapshot symmetry violated at t=%d for %d,%d", tk, a, b)
+					}
+				}
+			}
+		}
+		// Transitivity: a⤳b during [t1,t2] and b⤳c during [t2,t3] ⇒ a⤳c
+		// during [t1,t3].
+		for i := 0; i < 40; i++ {
+			a := trajectory.ObjectID(rng.Intn(n))
+			b := trajectory.ObjectID(rng.Intn(n))
+			c := trajectory.ObjectID(rng.Intn(n))
+			t1 := rng.Intn(ticks)
+			t2 := t1 + rng.Intn(ticks-t1)
+			t3 := t2 + rng.Intn(ticks-t2)
+			ab := o.Reachable(Query{Src: a, Dst: b, Interval: contact.Interval{Lo: trajectory.Tick(t1), Hi: trajectory.Tick(t2)}})
+			bc := o.Reachable(Query{Src: b, Dst: c, Interval: contact.Interval{Lo: trajectory.Tick(t2), Hi: trajectory.Tick(t3)}})
+			if ab && bc {
+				if !o.Reachable(Query{Src: a, Dst: c, Interval: contact.Interval{Lo: trajectory.Tick(t1), Hi: trajectory.Tick(t3)}}) {
+					t.Fatalf("transitivity violated: %d⤳%d[%d,%d], %d⤳%d[%d,%d]", a, b, t1, t2, b, c, t2, t3)
+				}
+			}
+		}
+	}
+}
+
+func TestReachableSetMonotone(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 60, NumTicks: 120, Seed: 4})
+	net := contact.Extract(d)
+	o := NewOracle(net)
+	src := trajectory.ObjectID(0)
+	prev := 0
+	for _, hi := range []trajectory.Tick{10, 40, 80, 119} {
+		set := o.ReachableSet(src, contact.Interval{Lo: 0, Hi: hi})
+		if len(set) < prev {
+			t.Fatalf("reachable set shrank: %d → %d at hi=%d", prev, len(set), hi)
+		}
+		prev = len(set)
+		if set[0] != src {
+			t.Fatal("source must be first in its own reachable set")
+		}
+	}
+}
+
+func TestReachableSetConsistentWithReachable(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 50, NumTicks: 100, Seed: 5})
+	net := contact.Extract(d)
+	o := NewOracle(net)
+	iv := contact.Interval{Lo: 10, Hi: 90}
+	src := trajectory.ObjectID(7)
+	set := make(map[trajectory.ObjectID]bool)
+	for _, obj := range o.ReachableSet(src, iv) {
+		set[obj] = true
+	}
+	for dst := 0; dst < d.NumObjects(); dst++ {
+		q := Query{Src: src, Dst: trajectory.ObjectID(dst), Interval: iv}
+		want := set[trajectory.ObjectID(dst)] || trajectory.ObjectID(dst) == src
+		if got := o.Reachable(q); got != want && dst != int(src) {
+			t.Fatalf("Reachable(%v) = %v, ReachableSet says %v", q, got, want)
+		}
+	}
+}
+
+func TestEarliestReach(t *testing.T) {
+	o := NewOracle(figure1Network())
+	// o1 → o4 over [0,3]: earliest delivery is tick 1 (o2 hands over at 1).
+	tk, ok := o.EarliestReach(Query{Src: 0, Dst: 3, Interval: contact.Interval{Lo: 0, Hi: 3}})
+	if !ok || tk != 1 {
+		t.Fatalf("EarliestReach = %d, %v; want 1, true", tk, ok)
+	}
+	// Self-query: reached at interval start.
+	tk, ok = o.EarliestReach(Query{Src: 2, Dst: 2, Interval: contact.Interval{Lo: 1, Hi: 3}})
+	if !ok || tk != 1 {
+		t.Fatalf("self EarliestReach = %d, %v", tk, ok)
+	}
+	if _, ok := o.EarliestReach(Query{Src: 2, Dst: 0, Interval: contact.Interval{Lo: 2, Hi: 3}}); ok {
+		t.Fatal("unreachable query reported a reach time")
+	}
+}
+
+func TestOracleDegenerateInputs(t *testing.T) {
+	o := NewOracle(figure1Network())
+	if o.Reachable(Query{Src: 99, Dst: 0, Interval: contact.Interval{Lo: 0, Hi: 3}}) {
+		t.Error("out-of-range source reachable")
+	}
+	if o.Reachable(Query{Src: 0, Dst: 1, Interval: contact.Interval{Lo: 3, Hi: 1}}) {
+		t.Error("empty interval reachable")
+	}
+	if set := o.ReachableSet(0, contact.Interval{Lo: 2, Hi: 1}); set != nil {
+		t.Error("empty interval produced a reachable set")
+	}
+}
+
+func TestRandomWorkloadRespectsConfig(t *testing.T) {
+	w := RandomWorkload(WorkloadConfig{
+		NumObjects: 50, NumTicks: 1000, Count: 200, MinLen: 150, MaxLen: 350, Seed: 1,
+	})
+	if len(w) != 200 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, q := range w {
+		if q.Src == q.Dst {
+			t.Fatal("src == dst")
+		}
+		l := q.Interval.Len()
+		if l < 150 || l > 350 {
+			t.Fatalf("interval length %d outside [150, 350]", l)
+		}
+		if q.Interval.Lo < 0 || int(q.Interval.Hi) >= 1000 {
+			t.Fatalf("interval %v outside domain", q.Interval)
+		}
+	}
+}
+
+func TestRandomWorkloadClampsToDomain(t *testing.T) {
+	w := RandomWorkload(WorkloadConfig{NumObjects: 5, NumTicks: 60, Count: 50, Seed: 2})
+	for _, q := range w {
+		if q.Interval.Len() > 60 {
+			t.Fatalf("interval %v longer than domain", q.Interval)
+		}
+	}
+	// Deterministic for a fixed seed.
+	w2 := RandomWorkload(WorkloadConfig{NumObjects: 5, NumTicks: 60, Count: 50, Seed: 2})
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("workload not deterministic")
+		}
+	}
+}

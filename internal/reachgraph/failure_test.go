@@ -1,0 +1,64 @@
+package reachgraph
+
+import (
+	"errors"
+	"testing"
+
+	"streach/internal/pagefile"
+	"streach/internal/trajectory"
+)
+
+// TestCorruptedPartitionSurfacesError damages partition pages and checks
+// queries report ErrCorruptBlob rather than silently mis-answering.
+func TestCorruptedPartitionSurfacesError(t *testing.T) {
+	f := newFixture(t, 40, 250, 61)
+	ix, err := Build(f.g, Params{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < ix.Store().NumPages(); p += 5 {
+		if err := ix.Store().CorruptPage(p, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var failures int
+	for _, q := range f.workload(40, 20, 200, 63) {
+		_, err := ix.Reach(q)
+		if err != nil {
+			if !errors.Is(err, pagefile.ErrCorruptBlob) {
+				t.Fatalf("%v: unexpected error type: %v", q, err)
+			}
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no query hit a corrupted page")
+	}
+	t.Logf("%d/40 queries surfaced corruption", failures)
+}
+
+// TestTruncatedDirectoryFails damages an object-directory blob and checks
+// the entry lookup fails loudly.
+func TestTruncatedDirectoryFails(t *testing.T) {
+	f := newFixture(t, 20, 100, 67)
+	ix, err := Build(f.g, Params{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Directories are the last blobs written; damage the final page.
+	if err := ix.Store().CorruptPage(ix.Store().NumPages()-1, 3); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	for o := 0; o < 20 && !sawErr; o++ {
+		if _, _, err := ix.findVertex(trajectory.ObjectID(o), 50); err != nil {
+			if !errors.Is(err, pagefile.ErrCorruptBlob) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no directory lookup surfaced the corruption")
+	}
+}

@@ -1,0 +1,115 @@
+// Memory-resident ReachGraph evaluation (§6.4, Table 5a).
+//
+// The same traversal strategies run directly on the in-memory dn.Graph,
+// with no page store and no I/O accounting. This is the configuration the
+// paper uses to compare ReachGraph against GRAIL on memory-resident contact
+// datasets, and it also provides the CPU-time measurements of Figure 15.
+package reachgraph
+
+import (
+	"fmt"
+
+	"streach/internal/contact"
+	"streach/internal/dn"
+	"streach/internal/queries"
+	"streach/internal/trajectory"
+)
+
+// Mem is a memory-resident ReachGraph over a reduced graph.
+type Mem struct {
+	g           *dn.Graph
+	resolutions []int
+	recs        []vertexRec // lazily materialized views, indexed by NodeID
+	ready       []bool
+}
+
+// NewMem wraps g for in-memory query evaluation. g must carry bidirectional
+// long edges when BM-BFS will be used; NewMem computes them at the given
+// resolutions if absent (pass nil resolutions for a DN1-only graph serving
+// B-BFS/E-BFS/E-DFS).
+func NewMem(g *dn.Graph, resolutions []int) (*Mem, error) {
+	if resolutions != nil && (!sameResolutions(g.Resolutions, resolutions) || !g.HasReverseLongs()) {
+		if err := g.AugmentBidirectional(resolutions); err != nil {
+			return nil, err
+		}
+	}
+	return &Mem{
+		g:           g,
+		resolutions: resolutions,
+		recs:        make([]vertexRec, len(g.Nodes)),
+		ready:       make([]bool, len(g.Nodes)),
+	}, nil
+}
+
+// vertex materializes (once) a record view of node id. Partition hints are
+// meaningless in memory and ignored.
+func (m *Mem) vertex(id dn.NodeID, _ int32) (*vertexRec, error) {
+	if id < 0 || int(id) >= len(m.g.Nodes) {
+		return nil, fmt.Errorf("reachgraph: no vertex %d", id)
+	}
+	if m.ready[id] {
+		return &m.recs[id], nil
+	}
+	nd := &m.g.Nodes[id]
+	rec := vertexRec{
+		id:      id,
+		start:   nd.Start,
+		end:     nd.End,
+		members: nd.Members,
+		out:     plainEdges(nd.Out),
+		in:      plainEdges(nd.In),
+	}
+	for _, L := range m.resolutions {
+		if ts := m.g.LongOut(id, L); len(ts) > 0 {
+			if rec.longOut == nil {
+				rec.longOut = make(map[int][]edge, 2)
+			}
+			rec.longOut[L] = plainEdges(ts)
+		}
+		if ss := m.g.LongIn(id, L); len(ss) > 0 {
+			if rec.longIn == nil {
+				rec.longIn = make(map[int][]edge, 2)
+			}
+			rec.longIn[L] = plainEdges(ss)
+		}
+	}
+	m.recs[id] = rec
+	m.ready[id] = true
+	return &m.recs[id], nil
+}
+
+func plainEdges(ids []dn.NodeID) []edge {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]edge, len(ids))
+	for i, v := range ids {
+		out[i] = edge{node: v, part: -1}
+	}
+	return out
+}
+
+// Reach answers q with BM-BFS.
+func (m *Mem) Reach(q queries.Query) (bool, error) { return m.ReachStrategy(q, BMBFS) }
+
+// ReachStrategy answers q with the chosen strategy.
+func (m *Mem) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
+	if int(q.Src) < 0 || int(q.Src) >= m.g.NumObjects ||
+		int(q.Dst) < 0 || int(q.Dst) >= m.g.NumObjects {
+		return false, fmt.Errorf("reachgraph: query objects outside [0, %d)", m.g.NumObjects)
+	}
+	iv := q.Interval.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(m.g.NumTicks - 1)})
+	if iv.Len() == 0 {
+		return false, nil
+	}
+	if q.Src == q.Dst {
+		return true, nil
+	}
+	v1 := m.g.NodeOf(q.Src, iv.Lo)
+	v2 := m.g.NodeOf(q.Dst, iv.Hi)
+	res := m.resolutions
+	if s == BBFS || s == EBFS || s == EDFS {
+		res = nil
+	}
+	return traverse(m, s, entry{v1, -1}, entry{v2, -1}, iv, res, m.g.NumTicks)
+}

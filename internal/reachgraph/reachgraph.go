@@ -1,0 +1,469 @@
+// Package reachgraph implements the ReachGraph index of §5: the reduced,
+// multi-resolution contact-network hyper graph HN placed on disk in
+// topologically ordered partitions, with the BM-BFS bidirectional
+// multi-resolution traversal of §5.2 plus the B-BFS, E-BFS and E-DFS
+// comparison strategies of §6.2.2.
+//
+// Disk layout (§5.1.3). The vertices of HN are partitioned by iterating in
+// topological order: every vertex not yet assigned roots a partition that
+// absorbs the unassigned vertices within DN1-distance PartitionDepth of it
+// (long edges are ignored while partitioning, preserving temporal locality).
+// Each partition is serialized onto consecutive pages, in generation order.
+// Vertex records embed the partition ID of every referenced neighbour, so a
+// traversal never needs a global vertex→partition map: the only in-memory
+// state is the partition catalogue (one BlobRef per partition), mirroring
+// the paper's in-memory hash table of Ht locations. A per-object run
+// directory on disk implements FindVertex — locating the vertex of object o
+// at instant t — in one blob read.
+package reachgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"streach/internal/contact"
+	"streach/internal/dn"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/trajectory"
+)
+
+// Params configures index construction.
+type Params struct {
+	// PartitionDepth is dp: vertices within this DN1 distance of a
+	// partition root join its partition. Defaults to 32, the paper's
+	// empirical optimum.
+	PartitionDepth int
+	// Resolutions lists the long-edge levels, ascending powers of two.
+	// Nil selects the paper's optimum {2, 4, 8, 16, 32}
+	// (HN = DN1 ∪ DN2 ∪ … ∪ DN32); an explicit empty slice builds a
+	// DN1-only index with no long edges.
+	Resolutions []int
+	// PoolPages sizes the store's LRU buffer pool. Defaults to 64.
+	PoolPages int
+}
+
+func (p *Params) applyDefaults() {
+	if p.PartitionDepth <= 0 {
+		p.PartitionDepth = 32
+	}
+	if p.Resolutions == nil {
+		p.Resolutions = []int{2, 4, 8, 16, 32}
+	}
+	if p.PoolPages == 0 {
+		p.PoolPages = 64
+	}
+}
+
+// Index is a disk-resident ReachGraph.
+type Index struct {
+	params     Params
+	store      *pagefile.Store
+	numObjects int
+	numTicks   int
+	numNodes   int
+
+	partRefs []pagefile.BlobRef // partition catalogue (in memory, as in §5.1.3)
+	dirRefs  []pagefile.BlobRef // per-object run directory blobs
+}
+
+// Build constructs the ReachGraph of the reduced graph g. Long edges at
+// params.Resolutions are computed (bidirectionally) if g does not already
+// carry them.
+func Build(g *dn.Graph, params Params) (*Index, error) {
+	params.applyDefaults()
+	if len(g.Nodes) == 0 {
+		return nil, errors.New("reachgraph: empty graph")
+	}
+	if !sameResolutions(g.Resolutions, params.Resolutions) || !g.HasReverseLongs() {
+		if err := g.AugmentBidirectional(params.Resolutions); err != nil {
+			return nil, err
+		}
+	}
+	ix := &Index{
+		params:     params,
+		store:      pagefile.NewStore(params.PoolPages),
+		numObjects: g.NumObjects,
+		numTicks:   g.NumTicks,
+		numNodes:   len(g.Nodes),
+	}
+
+	partOf, parts := partition(g, params.PartitionDepth)
+
+	// Serialize partitions in generation order. A partition blob starts
+	// with a record directory — (vertex id, record length) pairs — so a
+	// traversal can decode only the vertices it actually visits.
+	enc := pagefile.NewEncoder(1 << 14)
+	rec := pagefile.NewEncoder(1 << 12)
+	for _, members := range parts {
+		enc.Reset()
+		rec.Reset()
+		enc.Uint32(uint32(len(members)))
+		for _, id := range members {
+			before := rec.Len()
+			encodeVertex(rec, g, id, partOf)
+			enc.Int32(int32(id))
+			enc.Uint32(uint32(rec.Len() - before))
+		}
+		enc.Raw(rec.Bytes())
+		ix.partRefs = append(ix.partRefs, ix.store.AppendBlob(enc.Bytes()))
+	}
+
+	// Per-object run directory: triples (end, node, partition), run order.
+	ix.dirRefs = make([]pagefile.BlobRef, g.NumObjects)
+	for o := 0; o < g.NumObjects; o++ {
+		runs := g.RunsOf(trajectory.ObjectID(o))
+		enc.Reset()
+		enc.Uint32(uint32(len(runs)))
+		for _, id := range runs {
+			enc.Int32(int32(g.Nodes[id].End))
+			enc.Int32(int32(id))
+			enc.Int32(partOf[id])
+		}
+		ix.dirRefs[o] = ix.store.AppendBlob(enc.Bytes())
+	}
+	return ix, nil
+}
+
+func sameResolutions(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// partition assigns every vertex to a partition per §5.1.3 and returns the
+// assignment plus the member lists in generation order.
+func partition(g *dn.Graph, depth int) (partOf []int32, parts [][]dn.NodeID) {
+	n := len(g.Nodes)
+	partOf = make([]int32, n)
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	type qitem struct {
+		id dn.NodeID
+		d  int
+	}
+	queue := make([]qitem, 0, 64)
+	for root := 0; root < n; root++ {
+		if partOf[root] >= 0 {
+			continue
+		}
+		pid := int32(len(parts))
+		members := []dn.NodeID{dn.NodeID(root)}
+		partOf[root] = pid
+		queue = append(queue[:0], qitem{dn.NodeID(root), 0})
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			if it.d == depth {
+				continue
+			}
+			for _, v := range g.Nodes[it.id].Out {
+				if partOf[v] >= 0 {
+					continue
+				}
+				partOf[v] = pid
+				members = append(members, v)
+				queue = append(queue, qitem{v, it.d + 1})
+			}
+		}
+		parts = append(parts, members)
+	}
+	return partOf, parts
+}
+
+// encodeVertex appends one vertex record. Every referenced neighbour is
+// stored as a (node, partition) pair so traversal is self-routing.
+func encodeVertex(enc *pagefile.Encoder, g *dn.Graph, id dn.NodeID, partOf []int32) {
+	nd := &g.Nodes[id]
+	enc.Int32(int32(id))
+	enc.Int32(int32(nd.Start))
+	enc.Int32(int32(nd.End))
+	enc.Uint32(uint32(len(nd.Members)))
+	for _, m := range nd.Members {
+		enc.Int32(int32(m))
+	}
+	encodeEdges(enc, nd.Out, partOf)
+	encodeEdges(enc, nd.In, partOf)
+	// Forward long edges, ascending resolution; only levels with targets.
+	fwdLevels := make([]int, 0, len(g.Resolutions))
+	for _, L := range g.Resolutions {
+		if len(g.LongOut(id, L)) > 0 {
+			fwdLevels = append(fwdLevels, L)
+		}
+	}
+	enc.Uint32(uint32(len(fwdLevels)))
+	for _, L := range fwdLevels {
+		enc.Uint32(uint32(L))
+		encodeEdges(enc, g.LongOut(id, L), partOf)
+	}
+	revLevels := make([]int, 0, len(g.Resolutions))
+	for _, L := range g.Resolutions {
+		if len(g.LongIn(id, L)) > 0 {
+			revLevels = append(revLevels, L)
+		}
+	}
+	enc.Uint32(uint32(len(revLevels)))
+	for _, L := range revLevels {
+		enc.Uint32(uint32(L))
+		encodeEdges(enc, g.LongIn(id, L), partOf)
+	}
+}
+
+func encodeEdges(enc *pagefile.Encoder, edges []dn.NodeID, partOf []int32) {
+	enc.Uint32(uint32(len(edges)))
+	for _, v := range edges {
+		enc.Int32(int32(v))
+		enc.Int32(partOf[v])
+	}
+}
+
+// edge references a neighbour vertex together with the partition holding it.
+type edge struct {
+	node dn.NodeID
+	part int32
+}
+
+// vertexRec is a decoded vertex record.
+type vertexRec struct {
+	id         dn.NodeID
+	start, end trajectory.Tick
+	members    []trajectory.ObjectID
+	out, in    []edge
+	longOut    map[int][]edge // by resolution
+	longIn     map[int][]edge
+}
+
+func decodeEdges(dec *pagefile.Decoder) []edge {
+	n := dec.Uint32()
+	if dec.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]edge, n)
+	for i := range out {
+		out[i] = edge{node: dn.NodeID(dec.Int32()), part: dec.Int32()}
+	}
+	return out
+}
+
+func decodeVertex(dec *pagefile.Decoder) *vertexRec {
+	v := &vertexRec{
+		id:    dn.NodeID(dec.Int32()),
+		start: trajectory.Tick(dec.Int32()),
+		end:   trajectory.Tick(dec.Int32()),
+	}
+	nm := dec.Uint32()
+	if dec.Err() != nil {
+		return v
+	}
+	v.members = make([]trajectory.ObjectID, nm)
+	for i := range v.members {
+		v.members[i] = trajectory.ObjectID(dec.Int32())
+	}
+	v.out = decodeEdges(dec)
+	v.in = decodeEdges(dec)
+	nf := dec.Uint32()
+	if nf > 0 {
+		v.longOut = make(map[int][]edge, nf)
+		for i := uint32(0); i < nf && dec.Err() == nil; i++ {
+			L := int(dec.Uint32())
+			v.longOut[L] = decodeEdges(dec)
+		}
+	}
+	nr := dec.Uint32()
+	if nr > 0 {
+		v.longIn = make(map[int][]edge, nr)
+		for i := uint32(0); i < nr && dec.Err() == nil; i++ {
+			L := int(dec.Uint32())
+			v.longIn[L] = decodeEdges(dec)
+		}
+	}
+	return v
+}
+
+// Store exposes the underlying simulated disk.
+func (ix *Index) Store() *pagefile.Store { return ix.store }
+
+// Stats exposes the I/O accountant charged by queries.
+func (ix *Index) Stats() *pagefile.Stats { return ix.store.Stats() }
+
+// NumPartitions returns the number of disk partitions.
+func (ix *Index) NumPartitions() int { return len(ix.partRefs) }
+
+// NumTicks returns |T| of the indexed graph.
+func (ix *Index) NumTicks() int { return ix.numTicks }
+
+// cursor is the per-query working set: buffered partitions (the paper's
+// traversal buffer) with raw record slices, decoded lazily on first visit.
+type cursor struct {
+	ix    *Index
+	verts map[dn.NodeID]*vertexRec // decoded records
+	raw   map[dn.NodeID][]byte     // undecoded record slices
+	parts map[int32]bool
+}
+
+func (ix *Index) newCursor() *cursor {
+	return &cursor{
+		ix:    ix,
+		verts: make(map[dn.NodeID]*vertexRec),
+		raw:   make(map[dn.NodeID][]byte),
+		parts: make(map[int32]bool),
+	}
+}
+
+// loadPartition reads partition pid and registers its record slices; no
+// vertex is decoded until visited.
+func (c *cursor) loadPartition(pid int32) error {
+	if c.parts[pid] {
+		return nil
+	}
+	c.parts[pid] = true
+	if pid < 0 || int(pid) >= len(c.ix.partRefs) {
+		return fmt.Errorf("reachgraph: no partition %d", pid)
+	}
+	data, err := c.ix.store.ReadBlob(c.ix.partRefs[pid])
+	if err != nil {
+		return fmt.Errorf("reachgraph: partition %d: %w", pid, err)
+	}
+	dec := pagefile.NewDecoder(data)
+	n := int(dec.Uint32())
+	ids := make([]dn.NodeID, n)
+	lens := make([]uint32, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		ids[i] = dn.NodeID(dec.Int32())
+		lens[i] = dec.Uint32()
+		total += int(lens[i])
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("reachgraph: partition %d: %w", pid, err)
+	}
+	body := data[len(data)-dec.Remaining():]
+	if len(body) < total {
+		return fmt.Errorf("reachgraph: partition %d truncated (%d < %d)", pid, len(body), total)
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		c.raw[ids[i]] = body[off : off+int(lens[i])]
+		off += int(lens[i])
+	}
+	return nil
+}
+
+// vertex returns the record of node id, loading its partition and decoding
+// the record on first use.
+func (c *cursor) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
+	if v, ok := c.verts[id]; ok {
+		return v, nil
+	}
+	if _, ok := c.raw[id]; !ok {
+		if err := c.loadPartition(part); err != nil {
+			return nil, err
+		}
+	}
+	buf, ok := c.raw[id]
+	if !ok {
+		return nil, fmt.Errorf("reachgraph: vertex %d missing from partition %d", id, part)
+	}
+	dec := pagefile.NewDecoder(buf)
+	v := decodeVertex(dec)
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("reachgraph: vertex %d: %w", id, err)
+	}
+	c.verts[id] = v
+	return v, nil
+}
+
+// findVertex implements FindVertex(Ht(o), o, t): it reads o's run directory
+// and returns the (node, partition) of the run covering t.
+func (ix *Index) findVertex(o trajectory.ObjectID, t trajectory.Tick) (dn.NodeID, int32, error) {
+	if int(o) < 0 || int(o) >= ix.numObjects {
+		return dn.Invalid, -1, fmt.Errorf("reachgraph: object %d outside [0, %d)", o, ix.numObjects)
+	}
+	data, err := ix.store.ReadBlob(ix.dirRefs[o])
+	if err != nil {
+		return dn.Invalid, -1, fmt.Errorf("reachgraph: directory of object %d: %w", o, err)
+	}
+	dec := pagefile.NewDecoder(data)
+	n := int(dec.Uint32())
+	type runEntry struct {
+		end  trajectory.Tick
+		node dn.NodeID
+		part int32
+	}
+	runs := make([]runEntry, n)
+	for i := range runs {
+		runs[i] = runEntry{
+			end:  trajectory.Tick(dec.Int32()),
+			node: dn.NodeID(dec.Int32()),
+			part: dec.Int32(),
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return dn.Invalid, -1, fmt.Errorf("reachgraph: directory of object %d: %w", o, err)
+	}
+	i := sort.Search(n, func(i int) bool { return runs[i].end >= t })
+	if i == n {
+		return dn.Invalid, -1, fmt.Errorf("reachgraph: object %d has no run at tick %d", o, t)
+	}
+	return runs[i].node, runs[i].part, nil
+}
+
+// clampInterval intersects iv with the index's time domain.
+func (ix *Index) clampInterval(iv contact.Interval) contact.Interval {
+	return iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(ix.numTicks - 1)})
+}
+
+func (ix *Index) validateQuery(q queries.Query) error {
+	if int(q.Src) < 0 || int(q.Src) >= ix.numObjects {
+		return fmt.Errorf("reachgraph: source %d outside [0, %d)", q.Src, ix.numObjects)
+	}
+	if int(q.Dst) < 0 || int(q.Dst) >= ix.numObjects {
+		return fmt.Errorf("reachgraph: destination %d outside [0, %d)", q.Dst, ix.numObjects)
+	}
+	return nil
+}
+
+// Reach answers q with the default BM-BFS strategy.
+func (ix *Index) Reach(q queries.Query) (bool, error) {
+	return ix.ReachStrategy(q, BMBFS)
+}
+
+// ReachStrategy answers q with the chosen traversal strategy, charging all
+// page reads to Stats().
+func (ix *Index) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return false, err
+	}
+	iv := ix.clampInterval(q.Interval)
+	if iv.Len() == 0 {
+		return false, nil
+	}
+	if q.Src == q.Dst {
+		return true, nil
+	}
+	v1, p1, err := ix.findVertex(q.Src, iv.Lo)
+	if err != nil {
+		return false, err
+	}
+	v2, p2, err := ix.findVertex(q.Dst, iv.Hi)
+	if err != nil {
+		return false, err
+	}
+	c := ix.newCursor()
+	return traverse(diskAccess{c}, s, entry{v1, p1}, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)
+}
+
+// diskAccess adapts a cursor to the traversal's graph-access interface.
+type diskAccess struct{ c *cursor }
+
+func (d diskAccess) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
+	return d.c.vertex(id, part)
+}

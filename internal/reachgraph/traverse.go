@@ -1,0 +1,359 @@
+// Traversal strategies over HN (§5.2, §6.2.2).
+//
+// BM-BFS is the paper's contribution: a bidirectional BFS where the forward
+// sweep covers [t1, mid] and the backward sweep covers [mid, t2]
+// (mid = (t1+t2)/2), taking long edges at the highest admissible resolution
+// in both directions. The query is answered positively as soon as the
+// forward and backward object sets intersect: an object that holds the item
+// by mid and can still deliver it to the destination after mid (Theorem 5.3
+// and Property 5.2).
+//
+// Invariants maintained by the expansion rules, which carry the correctness
+// proof:
+//
+//   - Forward: a vertex is visited with an arrival time a within its span
+//     and a ≤ mid; all of its member objects hold the item at a. A level-L
+//     edge is taken only when its departure boundary is ≥ the arrival time
+//     (the item is already present at departure) and its arrival boundary is
+//     ≤ mid (the sweep never overshoots the meeting point). Because a
+//     level-L edge enumerates *every* vertex reachable at the arrival
+//     boundary, skipping intermediate vertices loses no objects: object
+//     sets only grow at run boundaries, and every carrier's own run at the
+//     boundary is among the targets.
+//   - Backward: the exact time-mirror, using the reverse long edges of
+//     dn.AugmentBidirectional, whose boundaries are aligned from the end of
+//     the time domain.
+//
+// B-BFS is BM-BFS restricted to resolution DN1; E-BFS and E-DFS are
+// unidirectional traversals that ignore vertex members and long edges and
+// terminate only on reaching the destination vertex itself (the naïve
+// baselines of Figure 13).
+package reachgraph
+
+import (
+	"streach/internal/contact"
+	"streach/internal/dn"
+	"streach/internal/trajectory"
+)
+
+// Strategy selects a traversal algorithm.
+type Strategy int
+
+const (
+	// BMBFS is bidirectional multi-resolution BFS (Algorithm 2).
+	BMBFS Strategy = iota
+	// BBFS is bidirectional BFS at resolution DN1 only.
+	BBFS
+	// EBFS is unidirectional external BFS over DN1.
+	EBFS
+	// EDFS is unidirectional external DFS over DN1, the paper's baseline.
+	EDFS
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case BMBFS:
+		return "BM-BFS"
+	case BBFS:
+		return "B-BFS"
+	case EBFS:
+		return "E-BFS"
+	case EDFS:
+		return "E-DFS"
+	}
+	return "unknown"
+}
+
+// graphAccess abstracts vertex retrieval so the same traversal code runs
+// against the disk-resident index (charging I/O) and the memory-resident
+// graph (Table 5a).
+type graphAccess interface {
+	vertex(id dn.NodeID, part int32) (*vertexRec, error)
+}
+
+// entry is a traversal starting point: a vertex and the partition hint that
+// locates it (ignored by memory access).
+type entry struct {
+	node dn.NodeID
+	part int32
+}
+
+// traverse runs strategy s from v1 (source vertex at iv.Lo) toward v2
+// (destination vertex at iv.Hi). numTicks is the graph's time domain size,
+// needed to mirror reverse long-edge boundaries.
+func traverse(g graphAccess, s Strategy, v1, v2 entry,
+	iv contact.Interval, resolutions []int, numTicks int) (bool, error) {
+
+	if v1.node == dn.Invalid || v2.node == dn.Invalid {
+		return false, nil
+	}
+	if v1.node == v2.node {
+		return true, nil
+	}
+	switch s {
+	case BMBFS:
+		return bidirectional(g, v1, v2, iv, resolutions, numTicks)
+	case BBFS:
+		return bidirectional(g, v1, v2, iv, nil, numTicks)
+	case EBFS:
+		return unidirectional(g, v1, v2, iv, false)
+	case EDFS:
+		return unidirectional(g, v1, v2, iv, true)
+	}
+	return false, errUnknownStrategy
+}
+
+type strategyError string
+
+func (e strategyError) Error() string { return string(e) }
+
+const errUnknownStrategy = strategyError("reachgraph: unknown traversal strategy")
+
+// objSet tracks the objects collected by one traversal direction.
+type objSet map[trajectory.ObjectID]struct{}
+
+// addAndMeet inserts the members of v into own and reports whether any of
+// them is already in other (the OF ∩ OB test of Algorithm 2).
+func addAndMeet(own, other objSet, members []trajectory.ObjectID) bool {
+	meet := false
+	for _, o := range members {
+		own[o] = struct{}{}
+		if _, ok := other[o]; ok {
+			meet = true
+		}
+	}
+	return meet
+}
+
+// tickItem is a queue entry: a vertex plus its arrival time (forward) or
+// injection bound (backward).
+type tickItem struct {
+	e entry
+	t trajectory.Tick
+}
+
+// bidirectional implements BM-BFS (resolutions non-nil) and B-BFS
+// (resolutions nil), alternating one dequeue per direction like the
+// parallel ProcessQueue calls of Algorithm 2.
+func bidirectional(g graphAccess, v1, v2 entry, iv contact.Interval,
+	resolutions []int, numTicks int) (bool, error) {
+
+	mid := iv.Lo + trajectory.Tick(iv.Len()/2)
+	fw := &frontier{
+		queue:   []tickItem{{v1, iv.Lo}},
+		visited: map[dn.NodeID]trajectory.Tick{},
+		own:     objSet{},
+	}
+	bw := &frontier{
+		queue:   []tickItem{{v2, iv.Hi}},
+		visited: map[dn.NodeID]trajectory.Tick{},
+		own:     objSet{},
+	}
+	for len(fw.queue) > 0 || len(bw.queue) > 0 {
+		meet, err := stepForward(g, fw, bw.own, mid, resolutions)
+		if err != nil || meet {
+			return meet, err
+		}
+		meet, err = stepBackward(g, bw, fw.own, mid, resolutions, numTicks)
+		if err != nil || meet {
+			return meet, err
+		}
+	}
+	return false, nil
+}
+
+// frontier is one direction's BFS state.
+type frontier struct {
+	queue   []tickItem
+	visited map[dn.NodeID]trajectory.Tick
+	own     objSet
+}
+
+// betterForward reports whether arrival a improves on the recorded visit
+// (forward wants the earliest arrival).
+func (f *frontier) betterForward(id dn.NodeID, a trajectory.Tick) bool {
+	prev, ok := f.visited[id]
+	return !ok || a < prev
+}
+
+// betterBackward reports whether bound b improves on the recorded visit
+// (backward wants the latest injection bound).
+func (f *frontier) betterBackward(id dn.NodeID, b trajectory.Tick) bool {
+	prev, ok := f.visited[id]
+	return !ok || b > prev
+}
+
+// stepForward processes one forward queue entry.
+func stepForward(g graphAccess, fw *frontier, other objSet, mid trajectory.Tick, resolutions []int) (bool, error) {
+	it, ok := pop(&fw.queue)
+	if !ok {
+		return false, nil
+	}
+	if !fw.betterForward(it.e.node, it.t) {
+		return false, nil
+	}
+	fw.visited[it.e.node] = it.t
+	v, err := g.vertex(it.e.node, it.e.part)
+	if err != nil {
+		return false, err
+	}
+	if addAndMeet(fw.own, other, v.members) {
+		return true, nil
+	}
+	if v.end >= mid {
+		// The vertex spans the meeting point: its members carry the item
+		// through mid; no further forward expansion is needed.
+		return false, nil
+	}
+	// Highest admissible resolution first (§5.2): departure must not
+	// precede the arrival time and the hop must not overshoot mid.
+	for li := len(resolutions) - 1; li >= 0; li-- {
+		L := resolutions[li]
+		targets, okL := v.longOut[L]
+		if !okL || len(targets) == 0 {
+			continue
+		}
+		dep, okB := boundary(v, L)
+		if !okB || dep < it.t || dep+trajectory.Tick(L) > mid {
+			continue
+		}
+		arr := dep + trajectory.Tick(L)
+		for _, e := range targets {
+			if fw.betterForward(e.node, arr) {
+				fw.queue = append(fw.queue, tickItem{entry{e.node, e.part}, arr})
+			}
+		}
+		return false, nil
+	}
+	// Fall back to DN1 edges: depart at the span end, arrive one instant
+	// later (always ≤ mid here since v.end < mid).
+	arr := v.end + 1
+	for _, e := range v.out {
+		if fw.betterForward(e.node, arr) {
+			fw.queue = append(fw.queue, tickItem{entry{e.node, e.part}, arr})
+		}
+	}
+	return false, nil
+}
+
+// stepBackward processes one backward queue entry; the time-mirror of
+// stepForward.
+func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick,
+	resolutions []int, numTicks int) (bool, error) {
+	it, ok := pop(&bw.queue)
+	if !ok {
+		return false, nil
+	}
+	if !bw.betterBackward(it.e.node, it.t) {
+		return false, nil
+	}
+	bw.visited[it.e.node] = it.t
+	v, err := g.vertex(it.e.node, it.e.part)
+	if err != nil {
+		return false, err
+	}
+	if addAndMeet(bw.own, other, v.members) {
+		return true, nil
+	}
+	if v.start <= mid {
+		return false, nil
+	}
+	for li := len(resolutions) - 1; li >= 0; li-- {
+		L := resolutions[li]
+		sources, okL := v.longIn[L]
+		if !okL || len(sources) == 0 {
+			continue
+		}
+		arr, okB := revBoundaryOf(v, L, numTicks)
+		if !okB || arr > it.t || arr-trajectory.Tick(L) < mid {
+			continue
+		}
+		dep := arr - trajectory.Tick(L)
+		for _, e := range sources {
+			if bw.betterBackward(e.node, dep) {
+				bw.queue = append(bw.queue, tickItem{entry{e.node, e.part}, dep})
+			}
+		}
+		return false, nil
+	}
+	bound := v.start - 1
+	for _, e := range v.in {
+		if bw.betterBackward(e.node, bound) {
+			bw.queue = append(bw.queue, tickItem{entry{e.node, e.part}, bound})
+		}
+	}
+	return false, nil
+}
+
+// unidirectional implements E-BFS and E-DFS: expand DN1 edges from v1,
+// terminating only when the destination vertex v2 itself is reached. Vertex
+// members and long edges are never consulted, matching the baselines of
+// §6.2.2. Edge spans grow strictly along DN1 edges, so a vertex starting
+// after iv.Hi cannot lead to v2 and is not expanded; that is the only
+// pruning the naïve traversals get.
+func unidirectional(g graphAccess, v1, v2 entry, iv contact.Interval, depthFirst bool) (bool, error) {
+	visited := map[dn.NodeID]bool{v1.node: true}
+	stack := []entry{v1}
+	for len(stack) > 0 {
+		var cur entry
+		if depthFirst {
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		} else {
+			cur = stack[0]
+			stack = stack[1:]
+		}
+		if cur.node == v2.node {
+			return true, nil
+		}
+		v, err := g.vertex(cur.node, cur.part)
+		if err != nil {
+			return false, err
+		}
+		if v.start > iv.Hi {
+			continue
+		}
+		for _, e := range v.out {
+			if visited[e.node] {
+				continue
+			}
+			visited[e.node] = true
+			stack = append(stack, entry{e.node, e.part})
+		}
+	}
+	return false, nil
+}
+
+func pop(q *[]tickItem) (tickItem, bool) {
+	if len(*q) == 0 {
+		return tickItem{}, false
+	}
+	it := (*q)[0]
+	*q = (*q)[1:]
+	return it, true
+}
+
+// boundary mirrors dn.Graph.Boundary on a decoded record: the departure
+// time of v's level-L long edges.
+func boundary(v *vertexRec, L int) (trajectory.Tick, bool) {
+	ta := v.end - v.end%trajectory.Tick(L)
+	if ta < v.start {
+		return 0, false
+	}
+	return ta, true
+}
+
+// revBoundaryOf mirrors dn.Graph.RevBoundary on a decoded record.
+func revBoundaryOf(v *vertexRec, L int, numTicks int) (trajectory.Tick, bool) {
+	last := trajectory.Tick(numTicks - 1)
+	m := (last - v.start) - (last-v.start)%trajectory.Tick(L)
+	tb := last - m
+	if tb > v.end {
+		return 0, false
+	}
+	if int(tb) < L {
+		return 0, false
+	}
+	return tb, true
+}

@@ -1,0 +1,62 @@
+package reachgrid
+
+import (
+	"errors"
+	"testing"
+
+	"streach/internal/contact"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/trajectory"
+)
+
+// TestCorruptedStoreSurfacesError flips bytes across the store and checks
+// that queries touching the damage report ErrCorruptBlob instead of
+// returning wrong answers or panicking.
+func TestCorruptedStoreSurfacesError(t *testing.T) {
+	d := testDataset(t, 40, 200, 51)
+	ix := buildIndex(t, d, Params{PoolPages: -1}) // disable caching: damage must be seen
+	work := queries.RandomWorkload(queries.WorkloadConfig{
+		NumObjects: d.NumObjects(), NumTicks: d.NumTicks(),
+		Count: 30, MinLen: 50, MaxLen: 150, Seed: 53,
+	})
+	// Corrupt every 7th page.
+	var corrupted int
+	for p := int64(0); p < ix.Store().NumPages(); p += 7 {
+		if err := ix.Store().CorruptPage(p, 13); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted == 0 {
+		t.Fatal("no pages corrupted")
+	}
+	var failures int
+	for _, q := range work {
+		_, err := ix.Reach(q)
+		if err != nil {
+			if !errors.Is(err, pagefile.ErrCorruptBlob) {
+				t.Fatalf("%v: unexpected error type: %v", q, err)
+			}
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no query hit a corrupted page; corruption pattern too sparse for the test")
+	}
+	t.Logf("%d/%d queries surfaced corruption", failures, len(work))
+}
+
+// TestSPJCorruptionSurfaces does the same through the SPJ path, which reads
+// every cell and must therefore always hit the damage.
+func TestSPJCorruptionSurfaces(t *testing.T) {
+	d := testDataset(t, 30, 120, 57)
+	ix := buildIndex(t, d, Params{PoolPages: -1})
+	if err := ix.Store().CorruptPage(ix.Store().NumPages()/2, 99); err != nil {
+		t.Fatal(err)
+	}
+	q := queries.Query{Src: 0, Dst: 5, Interval: contact.Interval{Lo: 0, Hi: trajectory.Tick(d.NumTicks() - 1)}}
+	if _, err := ix.SPJReach(q); !errors.Is(err, pagefile.ErrCorruptBlob) {
+		t.Fatalf("SPJ over corrupted store: err = %v, want ErrCorruptBlob", err)
+	}
+}

@@ -1,0 +1,507 @@
+// Package reachgrid implements the ReachGrid index of §4: a spatiotemporal
+// grid over trajectory segments that supports reachability queries by a
+// guided, incremental expansion of the contact network.
+//
+// Layout (§4.1). The time domain is partitioned into buckets of BucketTicks
+// instants (the temporal grid T1…Tn); within each bucket a uniform spatial
+// grid of CellSize-wide cells partitions the trajectory segments. A cell
+// blob stores the full bucket segment of every object that has at least one
+// sample inside the cell during the bucket, with positions in timestamp
+// order. Blobs are appended bucket by bucket and, within a bucket, in cell
+// order — cells of Ci precede cells of Cj for i < j, the placement rule the
+// paper derives from early query termination. A per-bucket object directory
+// (the paper's external hash table) maps each object to its cell at the
+// bucket start so the query source can be located in O(1) page reads.
+//
+// Query processing (§4.2, Algorithm 1). The seed set starts as {source}.
+// Sweeping the query interval bucket by bucket, the processor loads the
+// cells containing the seeds, prefetches the "potential seed cells" — cells
+// within dT of the minimum bounding rectangles of the seeds' remaining
+// segments — and joins the buffered segments instant by instant. Objects
+// joining a seed's connected component become seeds immediately (the
+// recursive restart at t′ of §4.2); the sweep stops as soon as the
+// destination is infected. Cells are buffered for the duration of a bucket
+// and discarded at its end.
+package reachgrid
+
+import (
+	"errors"
+	"fmt"
+
+	"streach/internal/contact"
+	"streach/internal/geo"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Params configures index construction.
+type Params struct {
+	// CellSize is the spatial resolution RS: the side length of a grid
+	// cell, in the dataset's length unit. Defaults to 1/8 of the
+	// environment width.
+	CellSize float64
+	// BucketTicks is the temporal resolution RT: the number of instants
+	// per time bucket. Defaults to 20, the paper's empirical optimum.
+	BucketTicks int
+	// PoolPages sizes the store's LRU buffer pool. Defaults to 64 pages.
+	PoolPages int
+}
+
+func (p *Params) applyDefaults(env geo.Rect) {
+	if p.CellSize <= 0 {
+		p.CellSize = env.Width() / 8
+	}
+	if p.BucketTicks <= 0 {
+		p.BucketTicks = 20
+	}
+	if p.PoolPages == 0 {
+		p.PoolPages = 64
+	}
+}
+
+// dirEntriesPerBlob is the number of object→cell entries per directory
+// blob; 1000 int32 entries plus the blob header fit one 4 KiB page.
+const dirEntriesPerBlob = 1000
+
+// bucketMeta locates one time bucket's blobs on the store.
+type bucketMeta struct {
+	span     contact.Interval
+	cellRefs []pagefile.BlobRef // indexed by cell ID; Null ⇒ empty cell
+	dirRefs  []pagefile.BlobRef // object directory, chunks of dirEntriesPerBlob
+}
+
+// Index is a disk-resident ReachGrid. The in-memory part is only the blob
+// catalogue (a few bytes per cell); all trajectory data lives on the
+// simulated store and is charged to the I/O stats when read.
+type Index struct {
+	params     Params
+	store      *pagefile.Store
+	grid       geo.Grid
+	numObjects int
+	numTicks   int
+	dT         float64
+	buckets    []bucketMeta
+}
+
+// Build constructs the ReachGrid of dataset d.
+func Build(d *trajectory.Dataset, params Params) (*Index, error) {
+	params.applyDefaults(d.Env)
+	if d.NumObjects() == 0 || d.NumTicks() == 0 {
+		return nil, errors.New("reachgrid: empty dataset")
+	}
+	ix := &Index{
+		params:     params,
+		store:      pagefile.NewStore(params.PoolPages),
+		grid:       geo.NewGrid(d.Env, params.CellSize),
+		numObjects: d.NumObjects(),
+		numTicks:   d.NumTicks(),
+		dT:         d.ContactDist,
+	}
+	numCells := ix.grid.NumCells()
+	enc := pagefile.NewEncoder(4096)
+	cellObjs := make([][]trajectory.ObjectID, numCells) // objects per cell, this bucket
+	touched := make([]int, 0, 64)
+	seen := make(map[int]bool, 16)
+
+	for lo := trajectory.Tick(0); int(lo) < ix.numTicks; lo += trajectory.Tick(params.BucketTicks) {
+		hi := lo + trajectory.Tick(params.BucketTicks) - 1
+		if int(hi) >= ix.numTicks {
+			hi = trajectory.Tick(ix.numTicks - 1)
+		}
+		meta := bucketMeta{
+			span:     contact.Interval{Lo: lo, Hi: hi},
+			cellRefs: make([]pagefile.BlobRef, numCells),
+		}
+		dir := make([]int32, ix.numObjects)
+
+		for i := range d.Trajs {
+			tr := &d.Trajs[i]
+			o := tr.Object
+			dir[o] = int32(ix.grid.CellID(tr.AtClamped(lo)))
+			seg := tr.Slice(lo, hi)
+			for k := range seen {
+				delete(seen, k)
+			}
+			for _, p := range seg.Pos {
+				id := ix.grid.CellID(p)
+				if !seen[id] {
+					seen[id] = true
+					if len(cellObjs[id]) == 0 {
+						touched = append(touched, id)
+					}
+					cellObjs[id] = append(cellObjs[id], o)
+				}
+			}
+		}
+		// Write cells in ascending cell-ID order for a deterministic,
+		// locality-friendly layout.
+		sortInts(touched)
+		for _, id := range touched {
+			enc.Reset()
+			enc.Uint32(uint32(len(cellObjs[id])))
+			for _, o := range cellObjs[id] {
+				seg := d.Trajs[o].Slice(lo, hi)
+				enc.Int32(int32(o))
+				enc.Int32(int32(seg.Start))
+				enc.Uint32(uint32(len(seg.Pos)))
+				for _, p := range seg.Pos {
+					enc.Float64(p.X)
+					enc.Float64(p.Y)
+				}
+			}
+			meta.cellRefs[id] = ix.store.AppendBlob(enc.Bytes())
+			cellObjs[id] = cellObjs[id][:0]
+		}
+		touched = touched[:0]
+		// Directory chunks follow the bucket's cells.
+		for off := 0; off < len(dir); off += dirEntriesPerBlob {
+			end := off + dirEntriesPerBlob
+			if end > len(dir) {
+				end = len(dir)
+			}
+			enc.Reset()
+			enc.Int32Slice(dir[off:end])
+			meta.dirRefs = append(meta.dirRefs, ix.store.AppendBlob(enc.Bytes()))
+		}
+		ix.buckets = append(ix.buckets, meta)
+	}
+	return ix, nil
+}
+
+// Store exposes the underlying simulated disk (for size and placement
+// inspection).
+func (ix *Index) Store() *pagefile.Store { return ix.store }
+
+// Stats exposes the I/O accountant charged by queries.
+func (ix *Index) Stats() *pagefile.Stats { return ix.store.Stats() }
+
+// Grid returns the spatial grid geometry.
+func (ix *Index) Grid() geo.Grid { return ix.grid }
+
+// NumBuckets returns the number of temporal buckets.
+func (ix *Index) NumBuckets() int { return len(ix.buckets) }
+
+// bucketOf returns the bucket index containing tick t.
+func (ix *Index) bucketOf(t trajectory.Tick) int { return int(t) / ix.params.BucketTicks }
+
+// clampInterval intersects iv with the index's time domain.
+func (ix *Index) clampInterval(iv contact.Interval) contact.Interval {
+	return iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(ix.numTicks - 1)})
+}
+
+// validateQuery rejects object IDs outside the dataset.
+func (ix *Index) validateQuery(q queries.Query) error {
+	if int(q.Src) < 0 || int(q.Src) >= ix.numObjects {
+		return fmt.Errorf("reachgrid: source %d outside [0, %d)", q.Src, ix.numObjects)
+	}
+	if int(q.Dst) < 0 || int(q.Dst) >= ix.numObjects {
+		return fmt.Errorf("reachgrid: destination %d outside [0, %d)", q.Dst, ix.numObjects)
+	}
+	return nil
+}
+
+// Reach answers the reachability query q : Src ⤳ Dst over q.Interval using
+// the guided expansion of Algorithm 1. I/O is charged to Stats().
+func (ix *Index) Reach(q queries.Query) (bool, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return false, err
+	}
+	iv := ix.clampInterval(q.Interval)
+	if iv.Len() == 0 {
+		return false, nil
+	}
+	if q.Src == q.Dst {
+		return true, nil
+	}
+	reached := false
+	err := ix.sweep(q.Src, iv, func(o trajectory.ObjectID) bool {
+		if o == q.Dst {
+			reached = true
+			return false
+		}
+		return true
+	})
+	return reached, err
+}
+
+// ReachableSet returns every object reachable from src during iv (including
+// src), the batch primitive behind the paper's epidemic and watch-list
+// scenarios. The expansion is still guided: only cells near the growing seed
+// set are read.
+func (ix *Index) ReachableSet(src trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, error) {
+	if int(src) < 0 || int(src) >= ix.numObjects {
+		return nil, fmt.Errorf("reachgrid: source %d outside [0, %d)", src, ix.numObjects)
+	}
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return nil, nil
+	}
+	out := []trajectory.ObjectID{src}
+	err := ix.sweep(src, iv, func(o trajectory.ObjectID) bool {
+		out = append(out, o)
+		return true
+	})
+	return out, err
+}
+
+// bucketState is the per-bucket working set of the sweep: the decoded cells
+// (the paper's buffered cells, discarded at bucket end) and the segments of
+// the objects they contain.
+type bucketState struct {
+	loaded map[int]bool
+	segs   map[trajectory.ObjectID]trajectory.Segment
+}
+
+// sweep runs Algorithm 1, invoking onInfect for every object that becomes
+// reachable from src (src excluded). onInfect returning false terminates the
+// sweep early (the paper's termination on discovering the destination).
+func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, onInfect func(trajectory.ObjectID) bool) error {
+	seeds := make([]bool, ix.numObjects)
+	seeds[src] = true
+	seedList := []trajectory.ObjectID{src}
+
+	joiner := stjoin.NewJoiner(ix.grid.Env(), ix.dT)
+	uf := newUnionFind(ix.numObjects)
+	cellsBuf := make([]int, 0, 16)
+
+	for bi := ix.bucketOf(iv.Lo); bi <= ix.bucketOf(iv.Hi) && bi < len(ix.buckets); bi++ {
+		w := ix.buckets[bi].span.Intersect(iv)
+		if w.Len() == 0 {
+			continue
+		}
+		st := &bucketState{
+			loaded: make(map[int]bool),
+			segs:   make(map[trajectory.ObjectID]trajectory.Segment),
+		}
+		// Locate and load the cells of the current seeds (C_{S_i}), then
+		// prefetch the potential-seed cells N_i around their MBRs.
+		if err := ix.admitSeeds(bi, st, seedList, w.Lo, w.Hi, cellsBuf); err != nil {
+			return err
+		}
+		for t := w.Lo; t <= w.Hi; t++ {
+			// Fixpoint per instant: a new seed at t can infect further
+			// objects at the same instant once its cells are loaded
+			// (the recursive restart at t′ in §4.2).
+			for {
+				fresh := ix.infectAt(st, seeds, t, joiner, uf)
+				if len(fresh) == 0 {
+					break
+				}
+				for _, o := range fresh {
+					seedList = append(seedList, o)
+					if !onInfect(o) {
+						return nil
+					}
+				}
+				if err := ix.admitSeeds(bi, st, fresh, t, w.Hi, cellsBuf); err != nil {
+					return err
+				}
+			}
+		}
+		// Cells buffered during Ti are discarded at the end of Ti.
+	}
+	return nil
+}
+
+// admitSeeds loads, for every object in objs, the cell containing it at the
+// bucket start (via the object directory) and all cells within dT of the
+// MBR of its segment over [cur, hi]. The neighbourhood cells of the whole
+// batch are loaded in ascending cell order: cells are placed in that order
+// on disk, so contiguous neighbourhoods cost sequential rather than random
+// reads.
+func (ix *Index) admitSeeds(bi int, st *bucketState, objs []trajectory.ObjectID, cur, hi trajectory.Tick, cellsBuf []int) error {
+	pending := cellsBuf[:0]
+	for _, o := range objs {
+		if _, ok := st.segs[o]; !ok {
+			cell, err := ix.dirLookup(bi, o)
+			if err != nil {
+				return err
+			}
+			if err := ix.loadCell(bi, cell, st); err != nil {
+				return err
+			}
+		}
+		seg, ok := st.segs[o]
+		if !ok {
+			// The directory pointed at a cell that does not contain the
+			// object's segment; the layout guarantees this cannot happen.
+			return fmt.Errorf("reachgrid: object %d missing from its directory cell in bucket %d", o, bi)
+		}
+		mbr := segMBR(seg, cur, hi).Expand(ix.dT)
+		pending = ix.grid.CellsIntersecting(mbr, pending)
+	}
+	sortInts(pending)
+	for _, id := range pending {
+		if err := ix.loadCell(bi, id, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// infectAt joins the buffered segments at instant t and merges connected
+// components; every object in a component that contains a seed becomes a
+// seed. It returns the newly infected objects.
+func (ix *Index) infectAt(st *bucketState, seeds []bool, t trajectory.Tick, joiner *stjoin.Joiner, uf *unionFind) []trajectory.ObjectID {
+	pts := make([]geo.Point, 0, len(st.segs))
+	ids := make([]trajectory.ObjectID, 0, len(st.segs))
+	for o, seg := range st.segs {
+		if seg.Covers(t) {
+			pts = append(pts, seg.At(t))
+			ids = append(ids, o)
+		}
+	}
+	if len(pts) < 2 {
+		return nil
+	}
+	uf.reset(ids)
+	joiner.Join(pts, func(a, b int) bool {
+		uf.union(int32(ids[a]), int32(ids[b]))
+		return true
+	})
+	seedRoots := make(map[int32]bool, 4)
+	for _, o := range ids {
+		if seeds[o] {
+			seedRoots[uf.find(int32(o))] = true
+		}
+	}
+	var fresh []trajectory.ObjectID
+	for _, o := range ids {
+		if !seeds[o] && seedRoots[uf.find(int32(o))] {
+			seeds[o] = true
+			fresh = append(fresh, o)
+		}
+	}
+	return fresh
+}
+
+// loadCell reads a cell blob (if present and not yet buffered) and registers
+// its segments.
+func (ix *Index) loadCell(bi, cell int, st *bucketState) error {
+	if st.loaded[cell] {
+		return nil
+	}
+	st.loaded[cell] = true
+	ref := ix.buckets[bi].cellRefs[cell]
+	if ref.Null() {
+		return nil
+	}
+	data, err := ix.store.ReadBlob(ref)
+	if err != nil {
+		return fmt.Errorf("reachgrid: cell %d of bucket %d: %w", cell, bi, err)
+	}
+	dec := pagefile.NewDecoder(data)
+	n := dec.Uint32()
+	for i := uint32(0); i < n; i++ {
+		o := trajectory.ObjectID(dec.Int32())
+		start := trajectory.Tick(dec.Int32())
+		cnt := dec.Uint32()
+		if dec.Err() != nil {
+			break
+		}
+		if _, dup := st.segs[o]; dup {
+			// The object was already decoded from another cell it spans;
+			// skip its positions.
+			for k := uint32(0); k < cnt; k++ {
+				dec.Float64()
+				dec.Float64()
+			}
+			continue
+		}
+		pos := make([]geo.Point, cnt)
+		for k := range pos {
+			pos[k] = geo.Point{X: dec.Float64(), Y: dec.Float64()}
+		}
+		st.segs[o] = trajectory.Segment{Object: o, Start: start, Pos: pos}
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("reachgrid: cell %d of bucket %d: %w", cell, bi, err)
+	}
+	return nil
+}
+
+// dirLookup reads the object directory entry of o for bucket bi: the cell
+// containing o at the bucket start (one page read, typically a buffer hit
+// for subsequent seeds).
+func (ix *Index) dirLookup(bi int, o trajectory.ObjectID) (int, error) {
+	chunk := int(o) / dirEntriesPerBlob
+	data, err := ix.store.ReadBlob(ix.buckets[bi].dirRefs[chunk])
+	if err != nil {
+		return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d: %w", chunk, bi, err)
+	}
+	dec := pagefile.NewDecoder(data)
+	cells := dec.Int32Slice()
+	if err := dec.Err(); err != nil {
+		return 0, err
+	}
+	idx := int(o) % dirEntriesPerBlob
+	if idx >= len(cells) {
+		return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d truncated", chunk, bi)
+	}
+	return int(cells[idx]), nil
+}
+
+// segMBR returns the bounding rectangle of seg's samples within [lo, hi].
+func segMBR(seg trajectory.Segment, lo, hi trajectory.Tick) geo.Rect {
+	if lo < seg.Start {
+		lo = seg.Start
+	}
+	if hi > seg.End() {
+		hi = seg.End()
+	}
+	r := geo.EmptyRect()
+	for t := lo; t <= hi; t++ {
+		r = r.ExtendPoint(seg.At(t))
+	}
+	return r
+}
+
+// unionFind is a small union-find over object IDs, reset per instant.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	return &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+}
+
+// reset prepares the structure for the given participants.
+func (u *unionFind) reset(ids []trajectory.ObjectID) {
+	for _, o := range ids {
+		u.parent[o] = int32(o)
+		u.size[o] = 1
+	}
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+func sortInts(s []int) {
+	// Insertion sort: cell lists per bucket are short and nearly sorted
+	// (objects are scanned in ID order over a locality-preserving grid).
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && s[k] < s[k-1]; k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
+}

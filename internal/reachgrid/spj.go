@@ -1,0 +1,91 @@
+// SPJ is the naïve baseline of §6.1.2: materialize the contact network C′
+// relevant to the query interval by retrieving *all* trajectory segments
+// that overlap it, then traverse C′ to verify reachability. It shares the
+// ReachGrid store and layout, so the two approaches are compared on
+// identical data placement — the difference measured is purely the guided
+// expansion.
+package reachgrid
+
+import (
+	"fmt"
+
+	"streach/internal/geo"
+	"streach/internal/queries"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// SPJReach answers q by the full spatiotemporal-join pipeline: every cell of
+// every bucket overlapping the query interval is read from disk, the
+// per-instant contact graph is built by joining all buffered segments, and
+// the item is propagated until the destination is found or the interval is
+// exhausted.
+func (ix *Index) SPJReach(q queries.Query) (bool, error) {
+	if err := ix.validateQuery(q); err != nil {
+		return false, err
+	}
+	iv := ix.clampInterval(q.Interval)
+	if iv.Len() == 0 {
+		return false, nil
+	}
+	if q.Src == q.Dst {
+		return true, nil
+	}
+
+	joiner := stjoin.NewJoiner(ix.grid.Env(), ix.dT)
+	uf := newUnionFind(ix.numObjects)
+	seeds := make([]bool, ix.numObjects)
+	seeds[q.Src] = true
+
+	for bi := ix.bucketOf(iv.Lo); bi <= ix.bucketOf(iv.Hi) && bi < len(ix.buckets); bi++ {
+		w := ix.buckets[bi].span.Intersect(iv)
+		if w.Len() == 0 {
+			continue
+		}
+		// Retrieve the entire bucket: every cell, in placement order
+		// (mostly sequential reads — SPJ's one redeeming quality).
+		st := &bucketState{
+			loaded: make(map[int]bool),
+			segs:   make(map[trajectory.ObjectID]trajectory.Segment),
+		}
+		for cell := 0; cell < ix.grid.NumCells(); cell++ {
+			if err := ix.loadCell(bi, cell, st); err != nil {
+				return false, fmt.Errorf("spj: %w", err)
+			}
+		}
+		pts := make([]geo.Point, 0, len(st.segs))
+		ids := make([]trajectory.ObjectID, 0, len(st.segs))
+		for t := w.Lo; t <= w.Hi; t++ {
+			pts, ids = pts[:0], ids[:0]
+			for o, seg := range st.segs {
+				if seg.Covers(t) {
+					pts = append(pts, seg.At(t))
+					ids = append(ids, o)
+				}
+			}
+			if len(pts) < 2 {
+				continue
+			}
+			uf.reset(ids)
+			joiner.Join(pts, func(a, b int) bool {
+				uf.union(int32(ids[a]), int32(ids[b]))
+				return true
+			})
+			seedRoots := make(map[int32]bool, 8)
+			for _, o := range ids {
+				if seeds[o] {
+					seedRoots[uf.find(int32(o))] = true
+				}
+			}
+			for _, o := range ids {
+				if !seeds[o] && seedRoots[uf.find(int32(o))] {
+					seeds[o] = true
+					if o == q.Dst {
+						return true, nil
+					}
+				}
+			}
+		}
+	}
+	return false, nil
+}

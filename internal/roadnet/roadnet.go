@@ -1,0 +1,293 @@
+// Package roadnet provides a synthetic urban road network and shortest-path
+// routing over it.
+//
+// The paper's VN datasets were produced by the Brinkhoff generator on the
+// San Francisco road network, which is not available offline. The relevant
+// property for the paper's experiments (§6.3) is that network-constrained
+// objects occupy a small, strongly non-uniform portion of the environment,
+// concentrating contacts along shared road segments. SyntheticCity
+// reproduces that property with a jittered grid of streets overlaid with a
+// sparse set of high-speed arterial rings/axes; vehicles route along
+// shortest paths, so popular arterials carry disproportionate traffic just
+// as in a real city.
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"streach/internal/geo"
+)
+
+// NodeID identifies an intersection.
+type NodeID int32
+
+// Edge is a directed road segment to a neighbouring intersection.
+type Edge struct {
+	To     NodeID
+	Length float64 // metres
+}
+
+// Network is a directed road graph. All streets are represented in both
+// directions; Length is the Euclidean distance between endpoints.
+type Network struct {
+	Nodes []geo.Point
+	Adj   [][]Edge
+	env   geo.Rect
+}
+
+// NumNodes returns the number of intersections.
+func (n *Network) NumNodes() int { return len(n.Nodes) }
+
+// Env returns the bounding rectangle of the network.
+func (n *Network) Env() geo.Rect { return n.env }
+
+// RandomNode returns a uniformly random intersection.
+func (n *Network) RandomNode(rng *rand.Rand) NodeID {
+	return NodeID(rng.Intn(len(n.Nodes)))
+}
+
+// SyntheticCity generates a connected city-like road network covering env:
+// a gx×gy grid of intersections with jittered positions and randomly
+// removed side streets. removeFrac is the fraction of non-boundary grid
+// edges deleted (0 ≤ removeFrac < 1); deletions that would disconnect the
+// network are skipped.
+func SyntheticCity(rng *rand.Rand, env geo.Rect, gx, gy int, removeFrac float64) *Network {
+	if gx < 2 {
+		gx = 2
+	}
+	if gy < 2 {
+		gy = 2
+	}
+	n := &Network{env: env}
+	dx := env.Width() / float64(gx-1)
+	dy := env.Height() / float64(gy-1)
+	jx, jy := dx*0.25, dy*0.25
+	for y := 0; y < gy; y++ {
+		for x := 0; x < gx; x++ {
+			p := geo.Point{
+				X: env.Min.X + float64(x)*dx,
+				Y: env.Min.Y + float64(y)*dy,
+			}
+			// Keep boundary nodes on the boundary so the network spans env.
+			if x > 0 && x < gx-1 {
+				p.X += (rng.Float64()*2 - 1) * jx
+			}
+			if y > 0 && y < gy-1 {
+				p.Y += (rng.Float64()*2 - 1) * jy
+			}
+			n.Nodes = append(n.Nodes, env.Clamp(p))
+		}
+	}
+	n.Adj = make([][]Edge, len(n.Nodes))
+
+	id := func(x, y int) NodeID { return NodeID(y*gx + x) }
+	var edges []gridEdge
+	for y := 0; y < gy; y++ {
+		for x := 0; x < gx; x++ {
+			if x+1 < gx {
+				edges = append(edges, gridEdge{id(x, y), id(x+1, y)})
+			}
+			if y+1 < gy {
+				edges = append(edges, gridEdge{id(x, y), id(x, y+1)})
+			}
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	// Decide which edges to keep: start with all, then greedily remove up to
+	// removeFrac of them while preserving connectivity (checked with a
+	// union-find rebuilt over the kept set).
+	keep := make([]bool, len(edges))
+	for i := range keep {
+		keep[i] = true
+	}
+	toRemove := int(removeFrac * float64(len(edges)))
+	removed := 0
+	for i := 0; i < len(edges) && removed < toRemove; i++ {
+		keep[i] = false
+		if connectedUnder(len(n.Nodes), edges, keep) {
+			removed++
+		} else {
+			keep[i] = true
+		}
+	}
+	for i, e := range edges {
+		if !keep[i] {
+			continue
+		}
+		l := n.Nodes[e.a].Dist(n.Nodes[e.b])
+		n.Adj[e.a] = append(n.Adj[e.a], Edge{To: e.b, Length: l})
+		n.Adj[e.b] = append(n.Adj[e.b], Edge{To: e.a, Length: l})
+	}
+	return n
+}
+
+type gridEdge struct{ a, b NodeID }
+
+func connectedUnder(numNodes int, edges []gridEdge, keep []bool) bool {
+	parent := make([]int32, numNodes)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := numNodes
+	for i, e := range edges {
+		if !keep[i] {
+			continue
+		}
+		ra, rb := find(int32(e.a)), find(int32(e.b))
+		if ra != rb {
+			parent[ra] = rb
+			comps--
+		}
+	}
+	return comps == 1
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// Router computes shortest paths on a network, reusing its internal arrays
+// across calls. A Router is not safe for concurrent use.
+type Router struct {
+	net    *Network
+	dist   []float64
+	prev   []NodeID
+	marked []int32
+	epoch  int32
+}
+
+// NewRouter returns a router over net.
+func NewRouter(net *Network) *Router {
+	n := net.NumNodes()
+	return &Router{
+		net:    net,
+		dist:   make([]float64, n),
+		prev:   make([]NodeID, n),
+		marked: make([]int32, n),
+	}
+}
+
+// ShortestPath returns the node sequence of a shortest path from src to dst
+// (inclusive of both). It returns an error when no path exists, which cannot
+// happen for networks built by SyntheticCity.
+func (r *Router) ShortestPath(src, dst NodeID) ([]NodeID, error) {
+	if src == dst {
+		return []NodeID{src}, nil
+	}
+	r.epoch++
+	r.dist[src] = 0
+	r.prev[src] = src
+	r.marked[src] = r.epoch
+	q := pq{{node: src, dist: 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.node == dst {
+			break
+		}
+		if it.dist > r.dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range r.net.Adj[it.node] {
+			nd := it.dist + e.Length
+			if r.marked[e.To] != r.epoch || nd < r.dist[e.To] {
+				r.marked[e.To] = r.epoch
+				r.dist[e.To] = nd
+				r.prev[e.To] = it.node
+				heap.Push(&q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if r.marked[dst] != r.epoch {
+		return nil, fmt.Errorf("roadnet: no path from %d to %d", src, dst)
+	}
+	var path []NodeID
+	for at := dst; ; at = r.prev[at] {
+		path = append(path, at)
+		if at == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Walker advances along the polyline of a routed path at arbitrary step
+// lengths; the vehicle generator samples it once per tick.
+type Walker struct {
+	net     *Network
+	path    []NodeID
+	seg     int     // index of the current polyline segment (path[seg] → path[seg+1])
+	segDist float64 // distance already travelled along the current segment
+}
+
+// NewWalker returns a walker positioned at the start of path. The path must
+// contain at least one node.
+func NewWalker(net *Network, path []NodeID) *Walker {
+	return &Walker{net: net, path: path}
+}
+
+// Pos returns the current position.
+func (w *Walker) Pos() geo.Point {
+	if w.seg >= len(w.path)-1 {
+		return w.net.Nodes[w.path[len(w.path)-1]]
+	}
+	a := w.net.Nodes[w.path[w.seg]]
+	b := w.net.Nodes[w.path[w.seg+1]]
+	l := a.Dist(b)
+	if l == 0 {
+		return a
+	}
+	return a.Lerp(b, w.segDist/l)
+}
+
+// Done reports whether the walker has reached the end of the path.
+func (w *Walker) Done() bool { return w.seg >= len(w.path)-1 }
+
+// Advance moves d metres along the path, stopping at the final node. It
+// returns the distance actually travelled.
+func (w *Walker) Advance(d float64) float64 {
+	travelled := 0.0
+	for d > 0 && !w.Done() {
+		a := w.net.Nodes[w.path[w.seg]]
+		b := w.net.Nodes[w.path[w.seg+1]]
+		remain := a.Dist(b) - w.segDist
+		if d < remain {
+			w.segDist += d
+			travelled += d
+			return travelled
+		}
+		travelled += remain
+		d -= remain
+		w.seg++
+		w.segDist = 0
+	}
+	return travelled
+}

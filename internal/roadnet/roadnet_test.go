@@ -1,0 +1,212 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streach/internal/geo"
+)
+
+func testNet(t *testing.T, seed int64, gx, gy int, removeFrac float64) *Network {
+	t.Helper()
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 5000, Y: 5000})
+	return SyntheticCity(rand.New(rand.NewSource(seed)), env, gx, gy, removeFrac)
+}
+
+func TestSyntheticCityShape(t *testing.T) {
+	n := testNet(t, 1, 8, 6, 0.2)
+	if n.NumNodes() != 48 {
+		t.Fatalf("NumNodes = %d, want 48", n.NumNodes())
+	}
+	for i, p := range n.Nodes {
+		if !n.Env().Contains(p) {
+			t.Fatalf("node %d at %v escapes the environment", i, p)
+		}
+	}
+	// Every node keeps at least one incident street (connectivity implies it).
+	for i, adj := range n.Adj {
+		if len(adj) == 0 {
+			t.Fatalf("node %d is isolated", i)
+		}
+	}
+}
+
+func TestSyntheticCitySymmetricEdges(t *testing.T) {
+	n := testNet(t, 2, 6, 6, 0.3)
+	for a, adj := range n.Adj {
+		for _, e := range adj {
+			found := false
+			for _, back := range n.Adj[e.To] {
+				if back.To == NodeID(a) && back.Length == e.Length {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d has no symmetric counterpart", a, e.To)
+			}
+		}
+	}
+}
+
+func TestSyntheticCityConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		n := testNet(t, seed, 10, 10, 0.35)
+		// BFS from node 0 must reach every node.
+		seen := make([]bool, n.NumNodes())
+		queue := []NodeID{0}
+		seen[0] = true
+		count := 1
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range n.Adj[v] {
+				if !seen[e.To] {
+					seen[e.To] = true
+					count++
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		if count != n.NumNodes() {
+			t.Fatalf("seed %d: network disconnected (%d of %d reachable)", seed, count, n.NumNodes())
+		}
+	}
+}
+
+func TestShortestPathTrivial(t *testing.T) {
+	n := testNet(t, 3, 5, 5, 0)
+	r := NewRouter(n)
+	p, err := r.ShortestPath(7, 7)
+	if err != nil || len(p) != 1 || p[0] != 7 {
+		t.Fatalf("self path = %v, %v", p, err)
+	}
+}
+
+func pathLength(n *Network, path []NodeID) float64 {
+	var l float64
+	for i := 0; i+1 < len(path); i++ {
+		l += n.Nodes[path[i]].Dist(n.Nodes[path[i+1]])
+	}
+	return l
+}
+
+func TestShortestPathIsOptimalOnGrid(t *testing.T) {
+	// On a full grid with no jitter-independent shortcuts, compare Dijkstra
+	// against a brute-force Bellman-Ford distance computation.
+	n := testNet(t, 4, 6, 6, 0.25)
+	r := NewRouter(n)
+	const src = NodeID(0)
+
+	dist := make([]float64, n.NumNodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < n.NumNodes(); iter++ {
+		for v := range n.Adj {
+			for _, e := range n.Adj[v] {
+				if nd := dist[v] + e.Length; nd < dist[e.To] {
+					dist[e.To] = nd
+				}
+			}
+		}
+	}
+
+	for dst := NodeID(0); int(dst) < n.NumNodes(); dst++ {
+		p, err := r.ShortestPath(src, dst)
+		if err != nil {
+			t.Fatalf("no path to %d: %v", dst, err)
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		got := pathLength(n, p)
+		if math.Abs(got-dist[dst]) > 1e-6 {
+			t.Fatalf("path to %d has length %.3f, optimum %.3f", dst, got, dist[dst])
+		}
+		// Consecutive path nodes must be road neighbours.
+		for i := 0; i+1 < len(p); i++ {
+			ok := false
+			for _, e := range n.Adj[p[i]] {
+				if e.To == p[i+1] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("path %v uses non-edge %d→%d", p, p[i], p[i+1])
+			}
+		}
+	}
+}
+
+func TestRouterReuse(t *testing.T) {
+	n := testNet(t, 5, 8, 8, 0.2)
+	r := NewRouter(n)
+	rng := rand.New(rand.NewSource(6))
+	// Repeated queries must not interfere (epoch-based resets).
+	for i := 0; i < 50; i++ {
+		src, dst := n.RandomNode(rng), n.RandomNode(rng)
+		p1, err1 := r.ShortestPath(src, dst)
+		p2, err2 := r.ShortestPath(src, dst)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unexpected error: %v / %v", err1, err2)
+		}
+		if math.Abs(pathLength(n, p1)-pathLength(n, p2)) > 1e-9 {
+			t.Fatalf("router state leaked between queries: %v vs %v", p1, p2)
+		}
+	}
+}
+
+func TestWalker(t *testing.T) {
+	n := &Network{
+		Nodes: []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}},
+		Adj: [][]Edge{
+			{{To: 1, Length: 10}},
+			{{To: 0, Length: 10}, {To: 2, Length: 10}},
+			{{To: 1, Length: 10}},
+		},
+		env: geo.NewRect(geo.Point{}, geo.Point{X: 10, Y: 10}),
+	}
+	w := NewWalker(n, []NodeID{0, 1, 2})
+	if w.Pos() != (geo.Point{X: 0, Y: 0}) {
+		t.Fatalf("start pos = %v", w.Pos())
+	}
+	if got := w.Advance(5); got != 5 {
+		t.Fatalf("Advance(5) travelled %v", got)
+	}
+	if w.Pos() != (geo.Point{X: 5, Y: 0}) {
+		t.Fatalf("pos after 5 = %v", w.Pos())
+	}
+	// Cross the corner.
+	if got := w.Advance(8); got != 8 {
+		t.Fatalf("Advance(8) travelled %v", got)
+	}
+	if w.Pos() != (geo.Point{X: 10, Y: 3}) {
+		t.Fatalf("pos after corner = %v", w.Pos())
+	}
+	// Run past the end: travel is truncated.
+	got := w.Advance(100)
+	if math.Abs(got-7) > 1e-9 {
+		t.Fatalf("Advance(100) travelled %v, want 7", got)
+	}
+	if !w.Done() {
+		t.Error("walker should be done")
+	}
+	if w.Pos() != (geo.Point{X: 10, Y: 10}) {
+		t.Fatalf("final pos = %v", w.Pos())
+	}
+	if w.Advance(1) != 0 {
+		t.Error("advancing a done walker should travel 0")
+	}
+}
+
+func TestWalkerSingleNodePath(t *testing.T) {
+	n := &Network{Nodes: []geo.Point{{X: 3, Y: 4}}, Adj: [][]Edge{nil}}
+	w := NewWalker(n, []NodeID{0})
+	if !w.Done() || w.Pos() != (geo.Point{X: 3, Y: 4}) {
+		t.Error("single-node walker should be done at the node")
+	}
+}

@@ -1,0 +1,69 @@
+package stjoin
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streach/internal/geo"
+)
+
+// TestQuickJoinMatchesBruteForce compares the grid-hash join against the
+// O(n²) scan for arbitrary point clouds, including points outside the
+// nominal environment (the joiner clamps them into boundary cells).
+func TestQuickJoinMatchesBruteForce(t *testing.T) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100})
+	f := func(raw []uint16, dtRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		dT := 1 + float64(dtRaw%40)
+		pts := make([]geo.Point, len(raw)/2)
+		for i := range pts {
+			pts[i] = geo.Point{
+				X: float64(raw[2*i]%120) - 10, // some points outside env
+				Y: float64(raw[2*i+1]%120) - 10,
+			}
+		}
+		j := NewJoiner(env, dT)
+		var got [][2]int
+		j.Join(pts, func(a, b int) bool {
+			got = append(got, [2]int{a, b})
+			return true
+		})
+		var want [][2]int
+		for a := 0; a < len(pts); a++ {
+			for b := a + 1; b < len(pts); b++ {
+				if pts[a].Dist2(pts[b]) <= dT*dT {
+					want = append(want, [2]int{a, b})
+				}
+			}
+		}
+		sortPairs(got)
+		sortPairs(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortPairs(ps [][2]int) {
+	sort.Slice(ps, func(i, k int) bool {
+		if ps[i][0] != ps[k][0] {
+			return ps[i][0] < ps[k][0]
+		}
+		return ps[i][1] < ps[k][1]
+	})
+}

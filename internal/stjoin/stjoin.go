@@ -1,0 +1,205 @@
+// Package stjoin implements the spatiotemporal join primitives of §4: given
+// object positions at a time instant, find all pairs within the contact
+// threshold dT. Contact extraction (offline) and ReachGrid's seed expansion
+// (online) are both built on the per-instant grid-hash join provided here,
+// swept over time exactly like the Closest-Point-of-Approach join of
+// Arumugam & Jermaine that the paper adopts.
+package stjoin
+
+import (
+	"streach/internal/geo"
+	"streach/internal/trajectory"
+)
+
+// Joiner finds all point pairs within a fixed distance threshold using a
+// uniform bucket grid whose cells are at least dT wide, so matching pairs
+// always fall in the same or an adjacent cell. A Joiner allocates its
+// buckets once and is reused across time instants; it is not safe for
+// concurrent use.
+type Joiner struct {
+	env    geo.Rect
+	dT     float64
+	dT2    float64
+	nx, ny int
+	cellW  float64
+	cellH  float64
+
+	buckets [][]int32 // point indices per cell, cleared lazily via touched
+	touched []int32   // cells used by the current Join call
+}
+
+// NewJoiner returns a joiner for points inside env with threshold dT > 0.
+func NewJoiner(env geo.Rect, dT float64) *Joiner {
+	if dT <= 0 {
+		dT = 1
+	}
+	nx := int(env.Width() / dT)
+	if nx < 1 {
+		nx = 1
+	}
+	ny := int(env.Height() / dT)
+	if ny < 1 {
+		ny = 1
+	}
+	return &Joiner{
+		env:     env,
+		dT:      dT,
+		dT2:     dT * dT,
+		nx:      nx,
+		ny:      ny,
+		cellW:   env.Width() / float64(nx),
+		cellH:   env.Height() / float64(ny),
+		buckets: make([][]int32, nx*ny),
+		touched: make([]int32, 0, 64),
+	}
+}
+
+func (j *Joiner) cellOf(p geo.Point) (int, int) {
+	cx := int((p.X - j.env.Min.X) / j.cellW)
+	cy := int((p.Y - j.env.Min.Y) / j.cellH)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= j.nx {
+		cx = j.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= j.ny {
+		cy = j.ny - 1
+	}
+	return cx, cy
+}
+
+// Join emits every unordered pair (a, b), a < b, of indices into pts whose
+// points are within dT of each other. emit returning false aborts the join
+// early (used for first-match queries). The order of emitted pairs is
+// deterministic for a fixed input.
+func (j *Joiner) Join(pts []geo.Point, emit func(a, b int) bool) {
+	defer j.clear()
+	for i, p := range pts {
+		cx, cy := j.cellOf(p)
+		id := cy*j.nx + cx
+		if len(j.buckets[id]) == 0 {
+			j.touched = append(j.touched, int32(id))
+		}
+		j.buckets[id] = append(j.buckets[id], int32(i))
+	}
+	for _, id := range j.touched {
+		cx, cy := int(id)%j.nx, int(id)/j.nx
+		bucket := j.buckets[id]
+		// Pairs within the cell.
+		for x := 0; x < len(bucket); x++ {
+			for y := x + 1; y < len(bucket); y++ {
+				if !j.tryEmit(pts, bucket[x], bucket[y], emit) {
+					return
+				}
+			}
+		}
+		// Pairs with forward neighbour cells (E, NW, N, NE) so each
+		// neighbouring pair of cells is examined exactly once.
+		for _, d := range [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+			nxc, nyc := cx+d[0], cy+d[1]
+			if nxc < 0 || nxc >= j.nx || nyc < 0 || nyc >= j.ny {
+				continue
+			}
+			other := j.buckets[nyc*j.nx+nxc]
+			for _, a := range bucket {
+				for _, b := range other {
+					if !j.tryEmit(pts, a, b, emit) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+func (j *Joiner) tryEmit(pts []geo.Point, a, b int32, emit func(a, b int) bool) bool {
+	if pts[a].Dist2(pts[b]) > j.dT2 {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return emit(int(a), int(b))
+}
+
+func (j *Joiner) clear() {
+	for _, id := range j.touched {
+		j.buckets[id] = j.buckets[id][:0]
+	}
+	j.touched = j.touched[:0]
+}
+
+// Pair is an unordered object pair with A < B.
+type Pair struct {
+	A, B trajectory.ObjectID
+}
+
+// MakePair normalizes (a, b) into a Pair.
+func MakePair(a, b trajectory.ObjectID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// InstantPairs returns all contact pairs of dataset d at tick t, using j
+// (which must have been built with d.Env and d.ContactDist). The result is
+// freshly allocated; pairs are unique.
+func InstantPairs(j *Joiner, d *trajectory.Dataset, t trajectory.Tick) []Pair {
+	pts := make([]geo.Point, d.NumObjects())
+	ids := make([]trajectory.ObjectID, d.NumObjects())
+	for i := range d.Trajs {
+		pts[i] = d.Trajs[i].AtClamped(t)
+		ids[i] = d.Trajs[i].Object
+	}
+	var out []Pair
+	j.Join(pts, func(a, b int) bool {
+		out = append(out, MakePair(ids[a], ids[b]))
+		return true
+	})
+	return out
+}
+
+// SweepJoin sweeps the ticks of [lo, hi] in increasing order and joins the
+// provided segments at every instant, emitting (objA, objB, t) for each pair
+// of distinct objects within dT at tick t. Segments that do not cover a tick
+// are skipped at that tick. emit returning false aborts the sweep — the
+// early-termination behaviour Algorithm 1 relies on. Multiple segments of
+// the same object are tolerated (duplicates are suppressed per instant).
+func SweepJoin(j *Joiner, segs []trajectory.Segment, lo, hi trajectory.Tick,
+	emit func(a, b trajectory.ObjectID, t trajectory.Tick) bool) {
+
+	pts := make([]geo.Point, 0, len(segs))
+	ids := make([]trajectory.ObjectID, 0, len(segs))
+	present := make(map[trajectory.ObjectID]bool, len(segs))
+	for t := lo; t <= hi; t++ {
+		pts, ids = pts[:0], ids[:0]
+		for k := range present {
+			delete(present, k)
+		}
+		for i := range segs {
+			if !segs[i].Covers(t) || present[segs[i].Object] {
+				continue
+			}
+			present[segs[i].Object] = true
+			pts = append(pts, segs[i].At(t))
+			ids = append(ids, segs[i].Object)
+		}
+		stop := false
+		j.Join(pts, func(a, b int) bool {
+			if ids[a] == ids[b] {
+				return true
+			}
+			if !emit(ids[a], ids[b], t) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

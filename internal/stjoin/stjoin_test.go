@@ -1,0 +1,209 @@
+package stjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"streach/internal/geo"
+	"streach/internal/trajectory"
+)
+
+func bruteForcePairs(pts []geo.Point, dT float64) map[[2]int]bool {
+	out := make(map[[2]int]bool)
+	for i := range pts {
+		for k := i + 1; k < len(pts); k++ {
+			if pts[i].Dist(pts[k]) <= dT {
+				out[[2]int{i, k}] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 1000, Y: 800})
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		dT := 5 + rng.Float64()*100
+		j := NewJoiner(env, dT)
+		n := 1 + rng.Intn(200)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 800}
+		}
+		want := bruteForcePairs(pts, dT)
+		got := make(map[[2]int]bool)
+		j.Join(pts, func(a, b int) bool {
+			key := [2]int{a, b}
+			if got[key] {
+				t.Fatalf("duplicate pair %v", key)
+			}
+			got[key] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (dT=%.1f, n=%d): got %d pairs, want %d", trial, dT, n, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("missing pair %v", k)
+			}
+		}
+	}
+}
+
+func TestJoinEarlyStop(t *testing.T) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100})
+	j := NewJoiner(env, 50)
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 2, Y: 2}, {X: 3, Y: 3}}
+	calls := 0
+	j.Join(pts, func(a, b int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early stop ignored: %d calls", calls)
+	}
+	// The joiner must be reusable after an aborted join.
+	total := 0
+	j.Join(pts, func(a, b int) bool { total++; return true })
+	if total != 6 {
+		t.Fatalf("join after abort found %d pairs, want 6", total)
+	}
+}
+
+func TestJoinerReuseIsClean(t *testing.T) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100})
+	j := NewJoiner(env, 10)
+	a := []geo.Point{{X: 5, Y: 5}, {X: 6, Y: 6}}
+	count := 0
+	j.Join(a, func(int, int) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("first join = %d pairs", count)
+	}
+	// A second call with far-apart points must see none of the first call's
+	// points.
+	b := []geo.Point{{X: 90, Y: 90}}
+	count = 0
+	j.Join(b, func(int, int) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("stale state: %d pairs", count)
+	}
+}
+
+func TestJoinTinyEnvironment(t *testing.T) {
+	// dT larger than the environment: single bucket, all pairs compared.
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 10, Y: 10})
+	j := NewJoiner(env, 100)
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 10, Y: 10}, {X: 5, Y: 5}}
+	count := 0
+	j.Join(pts, func(int, int) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("got %d pairs, want 3", count)
+	}
+}
+
+func TestMakePair(t *testing.T) {
+	if MakePair(5, 2) != (Pair{A: 2, B: 5}) {
+		t.Error("MakePair should normalize order")
+	}
+	if MakePair(2, 5) != (Pair{A: 2, B: 5}) {
+		t.Error("MakePair changed ordered input")
+	}
+}
+
+func TestInstantPairs(t *testing.T) {
+	d := &trajectory.Dataset{
+		Name:        "t",
+		Env:         geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100}),
+		TickSeconds: 1,
+		ContactDist: 10,
+		Trajs: []trajectory.Trajectory{
+			{Object: 0, Pos: []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 50}}},
+			{Object: 1, Pos: []geo.Point{{X: 5, Y: 0}, {X: 90, Y: 90}}},
+			{Object: 2, Pos: []geo.Point{{X: 90, Y: 90}, {X: 55, Y: 50}}},
+		},
+	}
+	j := NewJoiner(d.Env, d.ContactDist)
+	p0 := InstantPairs(j, d, 0)
+	if len(p0) != 1 || p0[0] != (Pair{A: 0, B: 1}) {
+		t.Fatalf("t=0 pairs = %v", p0)
+	}
+	p1 := InstantPairs(j, d, 1)
+	if len(p1) != 1 || p1[0] != (Pair{A: 0, B: 2}) {
+		t.Fatalf("t=1 pairs = %v", p1)
+	}
+}
+
+func TestSweepJoinOrderAndEarlyStop(t *testing.T) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100})
+	j := NewJoiner(env, 5)
+	// Object 0 stays at origin; object 1 arrives at tick 2; object 2 at tick 4.
+	segs := []trajectory.Segment{
+		{Object: 0, Start: 0, Pos: []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 0, Y: 0}, {X: 0, Y: 0}, {X: 0, Y: 0}}},
+		{Object: 1, Start: 0, Pos: []geo.Point{{X: 50, Y: 0}, {X: 25, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 0}}},
+		{Object: 2, Start: 0, Pos: []geo.Point{{X: 0, Y: 50}, {X: 0, Y: 40}, {X: 0, Y: 30}, {X: 0, Y: 15}, {X: 0, Y: 3}}},
+	}
+	type hit struct {
+		a, b trajectory.ObjectID
+		t    trajectory.Tick
+	}
+	var hits []hit
+	SweepJoin(j, segs, 0, 4, func(a, b trajectory.ObjectID, tk trajectory.Tick) bool {
+		hits = append(hits, hit{a, b, tk})
+		return true
+	})
+	// Ticks must be non-decreasing, and the first contact is 0-1 at tick 2.
+	if len(hits) == 0 {
+		t.Fatal("no contacts found")
+	}
+	if !sort.SliceIsSorted(hits, func(i, k int) bool { return hits[i].t < hits[k].t }) {
+		t.Fatalf("hits out of time order: %v", hits)
+	}
+	first := hits[0]
+	if MakePair(first.a, first.b) != (Pair{A: 0, B: 1}) || first.t != 2 {
+		t.Fatalf("first contact = %+v, want 0-1@2", first)
+	}
+	// Early stop after the first hit.
+	count := 0
+	SweepJoin(j, segs, 0, 4, func(a, b trajectory.ObjectID, tk trajectory.Tick) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop ignored: %d emissions", count)
+	}
+}
+
+func TestSweepJoinSkipsUncoveredTicksAndDuplicates(t *testing.T) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100})
+	j := NewJoiner(env, 5)
+	segs := []trajectory.Segment{
+		{Object: 0, Start: 0, Pos: []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}},
+		// Object 1 appears only at ticks 3-4, colocated with object 0's
+		// position — but object 0's segment has ended, so no contact.
+		{Object: 1, Start: 3, Pos: []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}},
+		// Duplicate segment for object 0 (an object can be stored in
+		// multiple grid cells); must not produce a self-contact.
+		{Object: 0, Start: 0, Pos: []geo.Point{{X: 0, Y: 0}, {X: 0, Y: 0}}},
+	}
+	SweepJoin(j, segs, 0, 4, func(a, b trajectory.ObjectID, tk trajectory.Tick) bool {
+		t.Fatalf("unexpected contact %d-%d@%d", a, b, tk)
+		return true
+	})
+}
+
+func BenchmarkJoin1000(b *testing.B) {
+	env := geo.NewRect(geo.Point{}, geo.Point{X: 3162, Y: 3162}) // 10 km², 100/km²
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 1000)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 3162, Y: rng.Float64() * 3162}
+	}
+	j := NewJoiner(env, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Join(pts, func(int, int) bool { return true })
+	}
+}

@@ -1,0 +1,231 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streach/internal/contact"
+	"streach/internal/mobility"
+	"streach/internal/queries"
+)
+
+// handNetwork builds the worked example used by several tests:
+//
+//	0 —0.5— 1 at ticks [0,1]
+//	1 —0.8— 2 at tick  [3,3]
+//	0 —0.9— 3 at tick  [2,2]
+//	3 —0.9— 2 at tick  [4,4]
+//
+// Best 0→2 paths: via 1 = 0.4, via 3 = 0.81.
+func handNetwork() *Network {
+	return &Network{
+		NumObjects: 4,
+		NumTicks:   6,
+		Contacts: []Contact{
+			{A: 0, B: 1, Validity: contact.Interval{Lo: 0, Hi: 1}, Prob: 0.5},
+			{A: 1, B: 2, Validity: contact.Interval{Lo: 3, Hi: 3}, Prob: 0.8},
+			{A: 0, B: 3, Validity: contact.Interval{Lo: 2, Hi: 2}, Prob: 0.9},
+			{A: 2, B: 3, Validity: contact.Interval{Lo: 4, Hi: 4}, Prob: 0.9},
+		},
+	}
+}
+
+func TestHandExample(t *testing.T) {
+	e, err := NewEngine(handNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := contact.Interval{Lo: 0, Hi: 5}
+	p, err := e.BestProb(0, 2, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.81) > 1e-12 {
+		t.Fatalf("BestProb(0→2) = %v, want 0.81", p)
+	}
+	pd, err := e.BestProbDijkstra(0, 2, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pd-0.81) > 1e-12 {
+		t.Fatalf("Dijkstra(0→2) = %v, want 0.81", pd)
+	}
+	// Threshold queries around the optimum.
+	if ok, _ := e.Reachable(0, 2, iv, 0.8); !ok {
+		t.Error("Reachable at pT=0.8: want true")
+	}
+	if ok, _ := e.Reachable(0, 2, iv, 0.82); ok {
+		t.Error("Reachable at pT=0.82: want false")
+	}
+}
+
+// TestEarlierCostlierPath exercises the Pareto case: the cheaper path into
+// an intermediate object arrives too late for the onward contact, so the
+// optimum must route through the costlier-but-earlier arrival.
+func TestEarlierCostlierPath(t *testing.T) {
+	n := &Network{
+		NumObjects: 4,
+		NumTicks:   10,
+		Contacts: []Contact{
+			// Expensive early arrival at object 2.
+			{A: 0, B: 2, Validity: contact.Interval{Lo: 0, Hi: 0}, Prob: 0.3},
+			// Cheap late arrival at object 2 via object 1.
+			{A: 0, B: 1, Validity: contact.Interval{Lo: 0, Hi: 0}, Prob: 0.9},
+			{A: 1, B: 2, Validity: contact.Interval{Lo: 6, Hi: 6}, Prob: 0.9},
+			// Onward contact expires before the cheap arrival.
+			{A: 2, B: 3, Validity: contact.Interval{Lo: 2, Hi: 2}, Prob: 1.0},
+		},
+	}
+	e, err := NewEngine(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := contact.Interval{Lo: 0, Hi: 9}
+	want := 0.3
+	p, _ := e.BestProb(0, 3, iv)
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("sweep BestProb(0→3) = %v, want %v", p, want)
+	}
+	pd, _ := e.BestProbDijkstra(0, 3, iv)
+	if math.Abs(pd-want) > 1e-12 {
+		t.Fatalf("Dijkstra BestProb(0→3) = %v, want %v", pd, want)
+	}
+}
+
+func TestSameInstantChain(t *testing.T) {
+	n := &Network{
+		NumObjects: 3,
+		NumTicks:   2,
+		Contacts: []Contact{
+			{A: 0, B: 1, Validity: contact.Interval{Lo: 0, Hi: 0}, Prob: 0.5},
+			{A: 1, B: 2, Validity: contact.Interval{Lo: 0, Hi: 0}, Prob: 0.5},
+		},
+	}
+	e, err := NewEngine(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e.BestProb(0, 2, contact.Interval{Lo: 0, Hi: 0})
+	if math.Abs(p-0.25) > 1e-12 {
+		t.Fatalf("same-instant chain: %v, want 0.25", p)
+	}
+}
+
+func TestSweepAgreesWithDijkstraRandom(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 40, NumTicks: 250, Seed: 41})
+	net := contact.Extract(d)
+	rng := rand.New(rand.NewSource(43))
+	un := FromNetwork(net, func(contact.Contact) float64 {
+		return 0.2 + 0.8*rng.Float64()
+	})
+	e, err := NewEngine(un)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := queries.RandomWorkload(queries.WorkloadConfig{
+		NumObjects: 40, NumTicks: 250, Count: 80, MinLen: 20, MaxLen: 200, Seed: 47,
+	})
+	for _, q := range work {
+		a, err := e.BestProb(q.Src, q.Dst, q.Interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.BestProbDijkstra(q.Src, q.Dst, q.Interval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("%v: sweep %v, dijkstra %v", q, a, b)
+		}
+	}
+}
+
+// TestCertainNetworkMatchesDeterministicOracle pins the p=1 special case to
+// the deterministic reachability semantics.
+func TestCertainNetworkMatchesDeterministicOracle(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 35, NumTicks: 200, Seed: 53})
+	net := contact.Extract(d)
+	oracle := queries.NewOracle(net)
+	un := FromNetwork(net, func(contact.Contact) float64 { return 1 })
+	e, err := NewEngine(un)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := queries.RandomWorkload(queries.WorkloadConfig{
+		NumObjects: 35, NumTicks: 200, Count: 80, MinLen: 10, MaxLen: 150, Seed: 59,
+	})
+	for _, q := range work {
+		want := oracle.Reachable(q)
+		got, err := e.Reachable(q.Src, q.Dst, q.Interval, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: uncertain %v, oracle %v", q, got, want)
+		}
+	}
+}
+
+func TestValidationAndDegenerates(t *testing.T) {
+	if _, err := NewEngine(&Network{}); err == nil {
+		t.Error("empty network: want error")
+	}
+	bad := handNetwork()
+	bad.Contacts[0].Prob = 1.5
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("probability > 1: want error")
+	}
+	e, err := NewEngine(handNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BestProb(-1, 0, contact.Interval{Lo: 0, Hi: 1}); err == nil {
+		t.Error("bad source: want error")
+	}
+	p, err := e.BestProb(0, 2, contact.Interval{Lo: 3, Hi: 1})
+	if err != nil || p != 0 {
+		t.Errorf("empty interval: got (%v, %v)", p, err)
+	}
+	ok, err := e.Reachable(2, 2, contact.Interval{Lo: 0, Hi: 1}, 1)
+	if err != nil || !ok {
+		t.Errorf("self query: got (%v, %v)", ok, err)
+	}
+	// FromNetwork drops non-positive probabilities and clamps p > 1.
+	det := contact.FromContacts(2, 5, []contact.Contact{
+		{A: 0, B: 1, Validity: contact.Interval{Lo: 0, Hi: 1}},
+	})
+	un := FromNetwork(det, func(contact.Contact) float64 { return -1 })
+	if len(un.Contacts) != 0 {
+		t.Errorf("negative probability not dropped: %v", un.Contacts)
+	}
+	un = FromNetwork(det, func(contact.Contact) float64 { return 7 })
+	if len(un.Contacts) != 1 || un.Contacts[0].Prob != 1 {
+		t.Errorf("probability not clamped: %v", un.Contacts)
+	}
+}
+
+func TestBestProbAllMonotoneInInterval(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 30, NumTicks: 150, Seed: 61})
+	net := contact.Extract(d)
+	rng := rand.New(rand.NewSource(67))
+	un := FromNetwork(net, func(contact.Contact) float64 { return 0.3 + 0.7*rng.Float64() })
+	e, err := NewEngine(un)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := e.BestProbAll(3, contact.Interval{Lo: 10, Hi: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := e.BestProbAll(3, contact.Interval{Lo: 10, Hi: 140})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range short {
+		if long[o] < short[o]-1e-12 {
+			t.Fatalf("object %d: widening the interval reduced probability %v → %v",
+				o, short[o], long[o])
+		}
+	}
+}
