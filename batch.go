@@ -1,0 +1,103 @@
+// Batch evaluation for serving-style workloads: a bounded worker pool
+// drives one Engine through a query slice under a context.
+
+package streach
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchOptions configures EvaluateBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; values ≤ 0 select GOMAXPROCS. The
+	// pool never exceeds the number of queries.
+	Workers int
+	// ContinueOnError keeps evaluating the remaining queries after a
+	// query fails instead of cancelling the batch; the first error is
+	// still returned.
+	ContinueOnError bool
+}
+
+// EvaluateBatch evaluates every query in qs against e with a bounded worker
+// pool. results[i] answers qs[i]; its Evaluated field reports whether the
+// query ran (cancellation or a failure leaves the remainder unevaluated
+// unless ContinueOnError is set). The first query error, or the context's
+// error when the batch was cancelled, is returned alongside the partial
+// results.
+//
+// Engines serialize their own query evaluation, so a batch against a single
+// disk-resident engine is processed one query at a time regardless of
+// Workers — the pool bounds scheduling, keeps cancellation responsive and
+// lets concurrency-tolerant engines overlap work.
+func EvaluateBatch(ctx context.Context, e Engine, qs []Query, opts BatchOptions) ([]Result, error) {
+	results := make([]Result, len(qs))
+	if len(qs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			if !opts.ContinueOnError {
+				cancel()
+			}
+		})
+	}
+
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := e.Reachable(ctx, qs[i])
+				if err != nil {
+					if ctx.Err() != nil && !opts.ContinueOnError {
+						fail(ctx.Err())
+						return
+					}
+					fail(fmt.Errorf("streach: batch query %d (%v): %w", i, qs[i], err))
+					if !opts.ContinueOnError {
+						return
+					}
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+
+feed:
+	for i := range qs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, ctx.Err()
+}

@@ -7,6 +7,7 @@
 package streach_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -77,6 +78,7 @@ func BenchmarkTable5aGrailVsReachGraphMemory(b *testing.B) {
 func BenchmarkTable5bGrailVsReachGraphDisk(b *testing.B) {
 	runExperiment(b, "table5b")
 }
+func BenchmarkBackendsSweep(b *testing.B) { runExperiment(b, "backends") }
 
 // --- microbenchmarks over the public API ---
 
@@ -178,5 +180,35 @@ func BenchmarkOracleQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		oracle.Reachable(microWork[i%len(microWork)])
+	}
+}
+
+func BenchmarkEngineQuery(b *testing.B) {
+	microSetup(b)
+	e, err := streach.Open("reachgraph", microCN, streach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Reachable(ctx, microWork[i%len(microWork)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateBatch(b *testing.B) {
+	microSetup(b)
+	e, err := streach.Open("reachgraph-mem", microCN, streach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := streach.EvaluateBatch(ctx, e, microWork, streach.BatchOptions{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,17 @@
+// Bridges between the facade types and the module's internal packages, used
+// by internal/bench to drive the public Engine registry over datasets and
+// contact networks it already holds. The internal parameter types make
+// these constructors uncallable from outside the module.
+
+package streach
+
+import (
+	"streach/internal/contact"
+	"streach/internal/trajectory"
+)
+
+// WrapDataset adapts an internal trajectory dataset to the facade type.
+func WrapDataset(d *trajectory.Dataset) *Dataset { return &Dataset{d: d} }
+
+// WrapContactNetwork adapts an internal contact network to the facade type.
+func WrapContactNetwork(n *contact.Network) *ContactNetwork { return &ContactNetwork{net: n} }

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	reachbench -exp all                 # every artifact, paper order
+//	reachbench -exp all                # every artifact, paper order
 //	reachbench -exp fig13,table5b      # selected artifacts
 //	reachbench -list                   # available experiment ids
 //	reachbench -exp fig14 -queries 200 -ticks 4000 -scale large
+//	reachbench -exp backends -backends reachgrid,reachgraph,grail
 //
 // Each experiment prints a table whose rows mirror the series of the paper
 // artifact, with a footnote quoting the paper-reported numbers for
-// comparison. EXPERIMENTS.md in the repository root records one full run.
+// comparison. Query evaluators are drawn from the public backend registry
+// (streach.Backends); the "backends" experiment sweeps every registered
+// backend, restricted by the -backends flag.
 package main
 
 import (
@@ -20,17 +23,19 @@ import (
 	"strings"
 	"time"
 
+	"streach"
 	"streach/internal/bench"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list available experiment ids and exit")
-		queries = flag.Int("queries", 0, "random queries per measurement point (default 60)")
-		ticks   = flag.Int("ticks", 0, "time-domain length in ticks (default 2000)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		scale   = flag.String("scale", "small", "dataset scale: small | medium | large")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list available experiment ids and exit")
+		queries  = flag.Int("queries", 0, "random queries per measurement point (default 60)")
+		ticks    = flag.Int("ticks", 0, "time-domain length in ticks (default 2000)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		scale    = flag.String("scale", "small", "dataset scale: small | medium | large")
+		backends = flag.String("backends", "", "comma-separated registry backends for the 'backends' experiment (default: all)")
 	)
 	flag.Parse()
 
@@ -38,10 +43,25 @@ func main() {
 		for _, id := range bench.IDs() {
 			fmt.Println(id)
 		}
+		fmt.Println("\nregistered backends:")
+		for _, info := range streach.BackendInfos() {
+			fmt.Printf("  %-16s %s\n", info.Name, info.Description)
+		}
 		return
 	}
 
 	opts := bench.Options{Queries: *queries, Ticks: *ticks, Seed: *seed}
+	if *backends != "" {
+		opts.Backends = strings.Split(*backends, ",")
+		for i := range opts.Backends {
+			opts.Backends[i] = strings.TrimSpace(opts.Backends[i])
+			if _, ok := streach.LookupBackend(opts.Backends[i]); !ok {
+				fmt.Fprintf(os.Stderr, "reachbench: unknown backend %q (available: %s)\n",
+					opts.Backends[i], strings.Join(streach.Backends(), ", "))
+				os.Exit(2)
+			}
+		}
+	}
 	switch *scale {
 	case "small":
 		// Defaults.

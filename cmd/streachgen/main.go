@@ -5,15 +5,21 @@
 //	streachgen -kind rwp -objects 500 -ticks 2000 -seed 7          # summary
 //	streachgen -kind vn -objects 200 -contacts                     # + contact stats
 //	streachgen -kind taxi -csv /tmp/vnr.csv                        # trajectory CSV
+//	streachgen -kind rwp -backend reachgraph -queries 100          # serve a workload
 //
-// The CSV format is one row per (object, tick): object,tick,x,y.
+// The CSV format is one row per (object, tick): object,tick,x,y. With
+// -backend, the named registry backend (see -backend list) is opened over
+// the generated dataset and a random workload is batch-evaluated through
+// it, reporting per-query I/O and latency.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"streach"
 )
@@ -27,8 +33,18 @@ func main() {
 		seed        = flag.Int64("seed", 1, "generator seed")
 		contactsFlg = flag.Bool("contacts", false, "extract and summarize the contact network")
 		csvPath     = flag.String("csv", "", "write trajectories as CSV to this path")
+		backend     = flag.String("backend", "", "registry backend to serve -queries through ('list' to enumerate)")
+		queriesFlg  = flag.Int("queries", 0, "random queries to evaluate against -backend")
+		workers     = flag.Int("workers", 0, "batch worker-pool bound (default GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *backend == "list" {
+		for _, info := range streach.BackendInfos() {
+			fmt.Printf("%-16s %s\n", info.Name, info.Description)
+		}
+		return
+	}
 
 	var ds *streach.Dataset
 	switch *kind {
@@ -81,6 +97,61 @@ func main() {
 		}
 		fmt.Printf("csv        %s\n", *csvPath)
 	}
+
+	if *backend != "" {
+		if err := serve(ds, *backend, *queriesFlg, *workers, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "streachgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// serve opens the named backend over ds and batch-evaluates a random
+// workload through it, summarizing the typed per-query results.
+func serve(ds *streach.Dataset, backend string, count, workers int, seed int64) error {
+	if count <= 0 {
+		count = 50
+	}
+	e, err := streach.Open(backend, ds, streach.Options{})
+	if err != nil {
+		return err
+	}
+	work := streach.RandomQueries(streach.WorkloadOptions{
+		NumObjects: ds.NumObjects(),
+		NumTicks:   ds.NumTicks(),
+		Count:      count,
+		Seed:       seed + 13,
+	})
+	start := time.Now()
+	results, err := streach.EvaluateBatch(context.Background(), e, work,
+		streach.BatchOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	var positive, expanded int
+	var io float64
+	var lat time.Duration
+	for _, r := range results {
+		if r.Reachable {
+			positive++
+		}
+		io += r.IO.Normalized
+		lat += r.Latency
+		expanded += r.Expanded
+	}
+	n := len(results)
+	fmt.Printf("\nbackend    %s\n", e.Name())
+	if e.IndexBytes() > 0 {
+		fmt.Printf("index      %d KiB on disk\n", e.IndexBytes()/1024)
+	}
+	fmt.Printf("queries    %d (%d positive)\n", n, positive)
+	fmt.Printf("IO/query   %.1f normalized\n", io/float64(n))
+	fmt.Printf("lat/query  %s (batch wall %s)\n",
+		(lat / time.Duration(n)).Round(time.Microsecond), wall.Round(time.Millisecond))
+	fmt.Printf("expanded   %.1f per query\n", float64(expanded)/float64(n))
+	return nil
 }
 
 func writeCSV(ds *streach.Dataset, path string) error {

@@ -1,0 +1,569 @@
+// The unified engine API: every query evaluator in the package — the two
+// paper indexes, the baselines of §6 and the ground-truth oracle — is
+// obtainable from a backend registry under a stable name and satisfies one
+// Engine interface. Engines answer queries with typed Results carrying the
+// per-query I/O delta, wall latency and expansion counters, replacing the
+// mutable IOStats()/ResetStats() measurement pattern for serving-style use.
+
+package streach
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streach/internal/dn"
+	"streach/internal/grail"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/reachgraph"
+	"streach/internal/reachgrid"
+)
+
+// Engine is the uniform query interface every registered backend satisfies.
+// Engines are safe for concurrent use: disk-resident backends serialize
+// query evaluation internally (one simulated disk arm), which also keeps the
+// per-query I/O deltas exact.
+type Engine interface {
+	// Name returns the registry name the engine was opened under.
+	Name() string
+	// Reachable answers the reachability query q. The context is checked
+	// before evaluation begins; a long-running evaluation is not
+	// interrupted mid-query.
+	Reachable(ctx context.Context, q Query) (Result, error)
+	// ReachableSet returns every object reachable from src during iv
+	// (including src when the interval overlaps the time domain). Backends
+	// without a native set primitive answer with one point query per
+	// candidate object, honouring ctx between candidates.
+	ReachableSet(ctx context.Context, src ObjectID, iv Interval) (SetResult, error)
+	// IndexBytes returns the on-disk size of the engine's index; zero for
+	// memory-resident backends.
+	IndexBytes() int64
+}
+
+// Result is the typed answer to one reachability query.
+type Result struct {
+	// Query echoes the evaluated query.
+	Query Query
+	// Reachable is the boolean answer.
+	Reachable bool
+	// IO is the simulated disk traffic this query alone charged (zero for
+	// memory-resident backends).
+	IO IOStats
+	// Latency is the wall time spent evaluating the query.
+	Latency time.Duration
+	// Expanded counts the evaluation frontier: objects infected by
+	// propagation-style backends, vertex visits by graph traversals.
+	Expanded int
+	// Evaluated reports whether the query ran; EvaluateBatch leaves it
+	// false for queries skipped after cancellation or a failure.
+	Evaluated bool
+}
+
+// SetResult is the typed answer to one reachable-set query.
+type SetResult struct {
+	// Src and Interval echo the evaluated query.
+	Src      ObjectID
+	Interval Interval
+	// Objects is the reachable set, src included (empty when the interval
+	// misses the time domain).
+	Objects []ObjectID
+	// IO, Latency mirror Result.
+	IO      IOStats
+	Latency time.Duration
+	// Expanded is the size of the reachable set.
+	Expanded int
+}
+
+// Errors returned by Open.
+var (
+	// ErrUnknownBackend reports a name absent from the registry.
+	ErrUnknownBackend = errors.New("streach: unknown backend")
+	// ErrNeedsTrajectories reports a trajectory-indexing backend opened
+	// from a bare contact network.
+	ErrNeedsTrajectories = errors.New("streach: backend indexes trajectories; open it from a *Dataset")
+)
+
+// Source is a data source an engine can be opened from: a *Dataset (full
+// trajectory archive) or a *ContactNetwork (pre-extracted contacts, e.g. a
+// ContactStream snapshot). Graph-based backends accept either; ReachGrid
+// and SPJ index raw trajectories and need a *Dataset.
+type Source interface {
+	sourceDataset() *Dataset
+	sourceContacts() *ContactNetwork
+}
+
+func (ds *Dataset) sourceDataset() *Dataset         { return ds }
+func (ds *Dataset) sourceContacts() *ContactNetwork { return ds.Contacts() }
+
+func (cn *ContactNetwork) sourceDataset() *Dataset         { return nil }
+func (cn *ContactNetwork) sourceContacts() *ContactNetwork { return cn }
+
+// Options configures Open. The zero value selects the paper's empirical
+// optima for every backend; fields irrelevant to the opened backend are
+// ignored.
+type Options struct {
+	// PoolPages sizes the buffer pool of the simulated disk
+	// (disk-resident backends).
+	PoolPages int
+
+	// CellSize is the ReachGrid spatial resolution RS in metres
+	// (reachgrid, spj).
+	CellSize float64
+	// BucketTicks is the ReachGrid temporal resolution RT in instants
+	// (reachgrid, spj).
+	BucketTicks int
+
+	// PartitionDepth is the ReachGraph partition depth dp.
+	PartitionDepth int
+	// Resolutions lists the ReachGraph long-edge levels (ascending powers
+	// of two); nil selects {2, 4, 8, 16, 32}.
+	Resolutions []int
+
+	// GrailPasses is the GRAIL label count d; zero selects 5.
+	GrailPasses int
+	// Seed seeds GRAIL's randomized labelling.
+	Seed int64
+}
+
+// BackendInfo describes one registered backend.
+type BackendInfo struct {
+	// Name is the registry name accepted by Open.
+	Name string
+	// Description is a one-line summary.
+	Description string
+	// DiskResident reports whether queries charge simulated disk I/O.
+	DiskResident bool
+	// NeedsTrajectories reports whether Open requires a *Dataset source.
+	NeedsTrajectories bool
+}
+
+// backendSpec is a registry entry.
+type backendSpec struct {
+	info BackendInfo
+	open func(src Source, opts Options) (engineCore, error)
+}
+
+// defaultResolutions are the paper's optimal long-edge levels (§6.2.1.4).
+func defaultResolutions(res []int) []int {
+	if res == nil {
+		return []int{2, 4, 8, 16, 32}
+	}
+	return res
+}
+
+func grailPasses(opts Options) int {
+	if opts.GrailPasses <= 0 {
+		return 5
+	}
+	return opts.GrailPasses
+}
+
+// registry holds every backend under its canonical name; aliases maps
+// accepted alternate spellings onto canonical names.
+var (
+	registry = map[string]backendSpec{}
+	aliases  = map[string]string{
+		"reachgraph-bmbfs": "reachgraph",
+		"grail-disk":       "grail",
+	}
+)
+
+func register(info BackendInfo, open func(Source, Options) (engineCore, error)) {
+	registry[info.Name] = backendSpec{info: info, open: open}
+}
+
+func init() {
+	register(BackendInfo{
+		Name:              "reachgrid",
+		Description:       "spatiotemporal grid with guided on-the-fly expansion (§4)",
+		DiskResident:      true,
+		NeedsTrajectories: true,
+	}, func(src Source, opts Options) (engineCore, error) {
+		ix, err := buildGridIndex(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		return gridCore{ix}, nil
+	})
+	register(BackendInfo{
+		Name:              "spj",
+		Description:       "naive spatiotemporal-join pipeline over the ReachGrid layout (§6.1.2)",
+		DiskResident:      true,
+		NeedsTrajectories: true,
+	}, func(src Source, opts Options) (engineCore, error) {
+		ix, err := buildGridIndex(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		return spjCore{ix}, nil
+	})
+	for _, s := range []Strategy{BMBFS, BBFS, EBFS, EDFS} {
+		name := "reachgraph"
+		if s != BMBFS {
+			name += "-" + strings.ToLower(strings.ReplaceAll(s.String(), "-", ""))
+		}
+		strat := s
+		register(BackendInfo{
+			Name:         name,
+			Description:  fmt.Sprintf("disk-partitioned contact-network DAG, %s traversal (§5)", strat),
+			DiskResident: true,
+		}, func(src Source, opts Options) (engineCore, error) {
+			ix, err := reachgraph.Build(dn.Build(src.sourceContacts().net), reachgraph.Params{
+				PartitionDepth: opts.PartitionDepth,
+				Resolutions:    opts.Resolutions,
+				PoolPages:      opts.PoolPages,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return graphCore{ix: ix, strategy: strat}, nil
+		})
+	}
+	register(BackendInfo{
+		Name:        "reachgraph-mem",
+		Description: "memory-resident ReachGraph, BM-BFS traversal (§6.4)",
+	}, func(src Source, opts Options) (engineCore, error) {
+		m, err := reachgraph.NewMem(dn.Build(src.sourceContacts().net), defaultResolutions(opts.Resolutions))
+		if err != nil {
+			return nil, err
+		}
+		return graphMemCore{m}, nil
+	})
+	register(BackendInfo{
+		Name:         "grail",
+		Description:  "GRAIL interval labelling, disk-resident adaptation (§6.4)",
+		DiskResident: true,
+	}, func(src Source, opts Options) (engineCore, error) {
+		dk, err := grail.NewDisk(dn.Build(src.sourceContacts().net), grailPasses(opts), opts.Seed, opts.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		return grailDiskCore{dk}, nil
+	})
+	register(BackendInfo{
+		Name:        "grail-mem",
+		Description: "GRAIL interval labelling, memory-resident (§6.4)",
+	}, func(src Source, opts Options) (engineCore, error) {
+		m, err := grail.NewMem(dn.Build(src.sourceContacts().net), grailPasses(opts), opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return grailMemCore{m}, nil
+	})
+	register(BackendInfo{
+		Name:        "oracle",
+		Description: "brute-force propagation simulation, the ground truth (§3.2)",
+	}, func(src Source, opts Options) (engineCore, error) {
+		return oracleCore{queries.NewOracle(src.sourceContacts().net)}, nil
+	})
+}
+
+func buildGridIndex(src Source, opts Options) (*reachgrid.Index, error) {
+	return reachgrid.Build(src.sourceDataset().d, reachgrid.Params{
+		CellSize:    opts.CellSize,
+		BucketTicks: opts.BucketTicks,
+		PoolPages:   opts.PoolPages,
+	})
+}
+
+// Backends lists the registered backend names in sorted order.
+func Backends() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BackendInfos describes every registered backend, sorted by name.
+func BackendInfos() []BackendInfo {
+	infos := make([]BackendInfo, 0, len(registry))
+	for _, name := range Backends() {
+		infos = append(infos, registry[name].info)
+	}
+	return infos
+}
+
+// LookupBackend resolves a backend name or registered alias to its
+// BackendInfo, reporting whether Open would accept the name.
+func LookupBackend(name string) (BackendInfo, bool) {
+	spec, ok := lookupSpec(name)
+	return spec.info, ok
+}
+
+func lookupSpec(name string) (backendSpec, bool) {
+	canonical := strings.ToLower(strings.TrimSpace(name))
+	if alias, ok := aliases[canonical]; ok {
+		canonical = alias
+	}
+	spec, ok := registry[canonical]
+	return spec, ok
+}
+
+// Open builds the named backend over src and returns it as an Engine.
+// Backend selection is by registry name (see Backends); src is a *Dataset
+// or, for graph-based backends, optionally a pre-extracted *ContactNetwork
+// such as a ContactStream snapshot.
+func Open(name string, src Source, opts Options) (Engine, error) {
+	spec, ok := lookupSpec(name)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (available: %s)",
+			ErrUnknownBackend, name, strings.Join(Backends(), ", "))
+	}
+	if src == nil {
+		return nil, fmt.Errorf("streach: open %q: nil source", spec.info.Name)
+	}
+	if spec.info.NeedsTrajectories && src.sourceDataset() == nil {
+		return nil, fmt.Errorf("open %q: %w", spec.info.Name, ErrNeedsTrajectories)
+	}
+	core, err := spec.open(src, opts)
+	if err != nil {
+		return nil, fmt.Errorf("streach: open %q: %w", spec.info.Name, err)
+	}
+	// Engines start with zeroed counters and a cold buffer pool:
+	// construction traffic is not query traffic.
+	if s := core.stats(); s != nil {
+		s.Reset()
+	}
+	core.dropCache()
+	numObjects, numTicks := sourceDims(src)
+	return &engine{
+		name:       spec.info.Name,
+		core:       core,
+		numObjects: numObjects,
+		numTicks:   numTicks,
+	}, nil
+}
+
+func sourceDims(src Source) (numObjects, numTicks int) {
+	if ds := src.sourceDataset(); ds != nil {
+		return ds.NumObjects(), ds.NumTicks()
+	}
+	cn := src.sourceContacts()
+	return cn.NumObjects(), cn.NumTicks()
+}
+
+// engineCore is the minimal backend surface the uniform engine wraps.
+type engineCore interface {
+	// reach answers q, returning the expansion counter alongside.
+	reach(q Query) (ok bool, expanded int, err error)
+	// reachSet returns the native reachable set, or errNoNativeSet when
+	// the backend has no set primitive.
+	reachSet(src ObjectID, iv Interval) ([]ObjectID, error)
+	// stats exposes the I/O accountant; nil for memory-resident backends.
+	stats() *pagefile.Stats
+	// indexBytes is the simulated on-disk index size.
+	indexBytes() int64
+	// dropCache empties the buffer pool; no-op for memory-resident
+	// backends.
+	dropCache()
+}
+
+// errNoNativeSet makes the engine fall back to per-object point queries.
+var errNoNativeSet = errors.New("streach: backend has no native set primitive")
+
+// engine adapts an engineCore to the Engine interface, serializing access
+// (the simulated disk has one arm; serialization also keeps per-query I/O
+// deltas exact) and measuring each query.
+type engine struct {
+	name string
+	mu   sync.Mutex
+	core engineCore
+
+	numObjects int
+	numTicks   int
+}
+
+func (e *engine) Name() string { return e.name }
+
+func (e *engine) IndexBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.core.indexBytes()
+}
+
+func (e *engine) ioSnapshot() IOStats {
+	if s := e.core.stats(); s != nil {
+		return statsOf(s)
+	}
+	return IOStats{}
+}
+
+// sub returns the fieldwise I/O delta s − prev with Normalized recomputed
+// from the deltas.
+func (s IOStats) sub(prev IOStats) IOStats {
+	d := IOStats{
+		RandomReads:     s.RandomReads - prev.RandomReads,
+		SequentialReads: s.SequentialReads - prev.SequentialReads,
+		BufferHits:      s.BufferHits - prev.BufferHits,
+	}
+	d.Normalized = float64(d.RandomReads) + float64(d.SequentialReads)/pagefile.SeqCostRatio
+	return d
+}
+
+func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Checked under the lock: a query that queued behind a slow one must
+	// not start evaluating after its context was cancelled.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	before := e.ioSnapshot()
+	start := time.Now()
+	ok, expanded, err := e.core.reach(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Query:     q,
+		Reachable: ok,
+		IO:        e.ioSnapshot().sub(before),
+		Latency:   time.Since(start),
+		Expanded:  expanded,
+		Evaluated: true,
+	}, nil
+}
+
+func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (SetResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return SetResult{}, err
+	}
+	before := e.ioSnapshot()
+	start := time.Now()
+	objs, err := e.core.reachSet(src, iv)
+	if errors.Is(err, errNoNativeSet) {
+		objs, err = e.setViaPointQueries(ctx, src, iv)
+	}
+	if err != nil {
+		return SetResult{}, err
+	}
+	return SetResult{
+		Src:      src,
+		Interval: iv,
+		Objects:  objs,
+		IO:       e.ioSnapshot().sub(before),
+		Latency:  time.Since(start),
+		Expanded: len(objs),
+	}, nil
+}
+
+// setViaPointQueries answers a reachable-set query with one point query per
+// candidate destination, mirroring the semantics of the native set
+// primitives: src is included exactly when the interval overlaps the time
+// domain. Called with e.mu held.
+func (e *engine) setViaPointQueries(ctx context.Context, src ObjectID, iv Interval) ([]ObjectID, error) {
+	if int(src) < 0 || int(src) >= e.numObjects {
+		return nil, fmt.Errorf("streach: source %d outside [0, %d)", src, e.numObjects)
+	}
+	if iv.Intersect(Interval{Lo: 0, Hi: Tick(e.numTicks - 1)}).Len() == 0 {
+		return nil, nil
+	}
+	out := []ObjectID{src}
+	for o := 0; o < e.numObjects; o++ {
+		if ObjectID(o) == src {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ok, _, err := e.core.reach(Query{Src: src, Dst: ObjectID(o), Interval: iv})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, ObjectID(o))
+		}
+	}
+	return out, nil
+}
+
+// --- backend cores ---
+
+type gridCore struct{ ix *reachgrid.Index }
+
+func (c gridCore) reach(q Query) (bool, int, error) { return c.ix.ReachCounted(q) }
+func (c gridCore) reachSet(src ObjectID, iv Interval) ([]ObjectID, error) {
+	return c.ix.ReachableSet(src, iv)
+}
+func (c gridCore) stats() *pagefile.Stats { return c.ix.Stats() }
+func (c gridCore) indexBytes() int64      { return c.ix.Store().SizeBytes() }
+func (c gridCore) dropCache()             { c.ix.Store().DropCache() }
+
+type spjCore struct{ ix *reachgrid.Index }
+
+func (c spjCore) reach(q Query) (bool, int, error) { return c.ix.SPJReachCounted(q) }
+func (c spjCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+	return nil, errNoNativeSet
+}
+func (c spjCore) stats() *pagefile.Stats { return c.ix.Stats() }
+func (c spjCore) indexBytes() int64      { return c.ix.Store().SizeBytes() }
+func (c spjCore) dropCache()             { c.ix.Store().DropCache() }
+
+type graphCore struct {
+	ix       *reachgraph.Index
+	strategy Strategy
+}
+
+func (c graphCore) reach(q Query) (bool, int, error) {
+	return c.ix.ReachStrategyCounted(q, c.strategy)
+}
+func (c graphCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+	return nil, errNoNativeSet
+}
+func (c graphCore) stats() *pagefile.Stats { return c.ix.Stats() }
+func (c graphCore) indexBytes() int64      { return c.ix.Store().SizeBytes() }
+func (c graphCore) dropCache()             { c.ix.Store().DropCache() }
+
+type graphMemCore struct{ m *reachgraph.Mem }
+
+func (c graphMemCore) reach(q Query) (bool, int, error) {
+	return c.m.ReachStrategyCounted(q, BMBFS)
+}
+func (c graphMemCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+	return nil, errNoNativeSet
+}
+func (c graphMemCore) stats() *pagefile.Stats { return nil }
+func (c graphMemCore) indexBytes() int64      { return 0 }
+func (c graphMemCore) dropCache()             {}
+
+type grailDiskCore struct{ dk *grail.Disk }
+
+func (c grailDiskCore) reach(q Query) (bool, int, error) { return c.dk.ReachCounted(q) }
+func (c grailDiskCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+	return nil, errNoNativeSet
+}
+func (c grailDiskCore) stats() *pagefile.Stats { return c.dk.Stats() }
+func (c grailDiskCore) indexBytes() int64      { return c.dk.Store().SizeBytes() }
+func (c grailDiskCore) dropCache()             { c.dk.Store().DropCache() }
+
+type grailMemCore struct{ m *grail.Mem }
+
+func (c grailMemCore) reach(q Query) (bool, int, error) { return c.m.ReachCounted(q) }
+func (c grailMemCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+	return nil, errNoNativeSet
+}
+func (c grailMemCore) stats() *pagefile.Stats { return nil }
+func (c grailMemCore) indexBytes() int64      { return 0 }
+func (c grailMemCore) dropCache()             {}
+
+type oracleCore struct{ o *queries.Oracle }
+
+func (c oracleCore) reach(q Query) (bool, int, error) {
+	ok, expanded := c.o.ReachableCounted(q)
+	return ok, expanded, nil
+}
+func (c oracleCore) reachSet(src ObjectID, iv Interval) ([]ObjectID, error) {
+	return c.o.ReachableSet(src, iv), nil
+}
+func (c oracleCore) stats() *pagefile.Stats { return nil }
+func (c oracleCore) indexBytes() int64      { return 0 }
+func (c oracleCore) dropCache()             {}

@@ -3,11 +3,13 @@
 // A location feed arrives one instant at a time — there is no complete
 // trajectory archive to batch-index. The stream ingests positions as they
 // come; every few minutes an analyst snapshots the network built so far,
-// indexes it, and answers the queries that have queued up, while the stream
-// keeps running.
+// opens a ReachGraph backend directly over the snapshot (a ContactNetwork
+// is a registry Source — no trajectory archive needed), and answers the
+// queries that have queued up, while the stream keeps running.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,17 +41,18 @@ func main() {
 	}
 
 	// Analysts check in at three points of the day.
+	ctx := context.Background()
 	oracle := ds.Contacts().Oracle() // ground truth over the full archive
 	for _, checkpoint := range []int{400, 800, 1200} {
 		feed(checkpoint)
 		snap := stream.Snapshot()
-		graph, err := streach.BuildReachGraphFromContacts(snap, streach.ReachGraphOptions{})
+		graph, err := streach.Open("reachgraph", snap, streach.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Queries about the recent past — the last ~30 minutes of feed.
 		lo := streach.Tick(checkpoint - 300)
-		queries := streach.RandomQueries(streach.WorkloadOptions{
+		all := streach.RandomQueries(streach.WorkloadOptions{
 			NumObjects: ds.NumObjects(),
 			NumTicks:   checkpoint,
 			Count:      200,
@@ -57,24 +60,26 @@ func main() {
 			MaxLen:     250,
 			Seed:       int64(checkpoint),
 		})
-		var answered, positive int
-		for _, q := range queries {
-			if q.Interval.Lo < lo {
-				continue
+		recent := all[:0]
+		for _, q := range all {
+			if q.Interval.Lo >= lo {
+				recent = append(recent, q)
 			}
-			got, err := graph.Reachable(q)
-			if err != nil {
-				log.Fatal(err)
+		}
+		results, err := streach.EvaluateBatch(ctx, graph, recent, streach.BatchOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var positive int
+		for _, r := range results {
+			if r.Reachable != oracle.Reachable(r.Query) {
+				log.Fatalf("snapshot graph disagrees with ground truth on %v", r.Query)
 			}
-			if got != oracle.Reachable(q) {
-				log.Fatalf("snapshot graph disagrees with ground truth on %v", q)
-			}
-			answered++
-			if got {
+			if r.Reachable {
 				positive++
 			}
 		}
 		fmt.Printf("tick %4d: snapshot has %6d contacts; answered %3d queries (%3d positive), all verified\n",
-			checkpoint, snap.NumContacts(), answered, positive)
+			checkpoint, snap.NumContacts(), len(results), positive)
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,9 +23,14 @@ func main() {
 		Seed:       31,
 	})
 	cn := ds.Contacts()
+	ctx := context.Background()
 
-	// Deterministic baseline: everything transmits.
-	certain := cn.Oracle()
+	// Deterministic baseline: everything transmits. The ground-truth
+	// engine comes from the registry like any other backend.
+	certain, err := streach.Open("oracle", cn, streach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Uncertain network: longer contacts transmit more reliably —
 	// p = 1 − 0.6^(validity length).
@@ -47,7 +53,11 @@ func main() {
 	patientZero := streach.ObjectID(123)
 	window := streach.NewInterval(200, 420)
 
-	detSet := certain.ReachableSet(patientZero, window)
+	det, err := certain.ReachableSet(ctx, patientZero, window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detSet := det.Objects
 	probs, err := un.BestProbAll(patientZero, window)
 	if err != nil {
 		log.Fatal(err)
@@ -67,12 +77,12 @@ func main() {
 
 	// Every probabilistically reachable object must be deterministically
 	// reachable (uncertainty only removes paths).
-	det := map[streach.ObjectID]bool{}
+	detMember := map[streach.ObjectID]bool{}
 	for _, o := range detSet {
-		det[o] = true
+		detMember[o] = true
 	}
 	for o, p := range probs {
-		if p > 0 && !det[streach.ObjectID(o)] {
+		if p > 0 && !detMember[streach.ObjectID(o)] {
 			log.Fatalf("object %d has P=%v but is not deterministically reachable", o, p)
 		}
 	}

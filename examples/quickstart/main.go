@@ -1,9 +1,11 @@
-// Quickstart: generate a small contact dataset, build both indexes, and
-// answer a handful of reachability queries, cross-checking the two indexes
-// against the brute-force oracle.
+// Quickstart: generate a small contact dataset, open both paper indexes
+// from the backend registry, and answer a handful of reachability queries,
+// cross-checking the indexes against the brute-force oracle. Backends are
+// selected by name — swap the strings to try any of streach.Backends().
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,24 +22,22 @@ func main() {
 	})
 	fmt.Printf("dataset %s: %d objects × %d ticks, dT = %.0f m\n",
 		ds.Name(), ds.NumObjects(), ds.NumTicks(), ds.ContactDist())
+	fmt.Printf("contact network: %d contacts\n", ds.Contacts().NumContacts())
+	fmt.Printf("registered backends: %v\n", streach.Backends())
 
-	// Extract the contact network once; both the ReachGraph index and the
-	// reference oracle are derived from it.
-	cn := ds.Contacts()
-	fmt.Printf("contact network: %d contacts\n", cn.NumContacts())
-
-	grid, err := streach.BuildReachGrid(ds, streach.ReachGridOptions{})
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+	engines := make([]streach.Engine, 0, 3)
+	for _, name := range []string{"reachgrid", "reachgraph", "oracle"} {
+		e, err := streach.Open(name, ds, streach.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e.IndexBytes() > 0 {
+			fmt.Printf("%-10s index: %d KiB on disk\n", e.Name(), e.IndexBytes()/1024)
+		}
+		engines = append(engines, e)
 	}
-	graph, err := streach.BuildReachGraphFromContacts(cn, streach.ReachGraphOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("ReachGrid index: %d KiB on disk\n", grid.IndexBytes()/1024)
-	fmt.Printf("ReachGraph index: %d KiB on disk\n", graph.IndexBytes()/1024)
 
-	oracle := cn.Oracle()
 	queries := streach.RandomQueries(streach.WorkloadOptions{
 		NumObjects: ds.NumObjects(),
 		NumTicks:   ds.NumTicks(),
@@ -46,25 +46,28 @@ func main() {
 	})
 
 	fmt.Println("\nquery                         grid   graph  oracle")
+	totals := make([]float64, len(engines))
 	for _, q := range queries {
-		g1, err := grid.Reachable(q)
-		if err != nil {
-			log.Fatal(err)
+		answers := make([]streach.Result, len(engines))
+		for i, e := range engines {
+			r, err := e.Reachable(ctx, q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			answers[i] = r
+			totals[i] += r.IO.Normalized
 		}
-		g2, err := graph.Reachable(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		truth := oracle.Reachable(q)
-		fmt.Printf("%-28s  %-5v  %-5v  %-5v\n", q, g1, g2, truth)
-		if g1 != truth || g2 != truth {
-			log.Fatalf("index disagrees with ground truth on %v", q)
+		fmt.Printf("%-28s  %-5v  %-5v  %-5v\n", q,
+			answers[0].Reachable, answers[1].Reachable, answers[2].Reachable)
+		for i, r := range answers {
+			if r.Reachable != answers[2].Reachable {
+				log.Fatalf("%s disagrees with ground truth on %v", engines[i].Name(), q)
+			}
 		}
 	}
 
-	gs, hs := grid.IOStats(), graph.IOStats()
-	fmt.Printf("\nReachGrid : %.1f normalized IOs (%d random, %d sequential)\n",
-		gs.Normalized, gs.RandomReads, gs.SequentialReads)
-	fmt.Printf("ReachGraph: %.1f normalized IOs (%d random, %d sequential)\n",
-		hs.Normalized, hs.RandomReads, hs.SequentialReads)
+	fmt.Println()
+	for i, e := range engines[:2] {
+		fmt.Printf("%-10s: %.1f normalized IOs over the batch\n", e.Name(), totals[i])
+	}
 }

@@ -4,13 +4,16 @@
 // window, investigators need everyone who could have met a watched person —
 // directly or through intermediaries. That is *backward* reachability:
 // find all u such that the watched person is reachable FROM u. The example
-// evaluates the batch with ReachGraph's bidirectional traversal and
-// verifies the result set against the oracle.
+// evaluates the candidate batch with EvaluateBatch over the ReachGraph
+// backend — the serving-style path, with per-query I/O deltas and context
+// cancellation — and verifies a sample against the oracle backend.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"streach"
 )
@@ -22,52 +25,63 @@ func main() {
 		NumTicks:   1500,
 		Seed:       23,
 	})
-	cn := ds.Contacts()
-	graph, err := streach.BuildReachGraphFromContacts(cn, streach.ReachGraphOptions{})
+	graph, err := streach.Open("reachgraph", ds, streach.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	oracle := cn.Oracle()
+	oracle, err := streach.Open("oracle", ds, streach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	watch := []streach.ObjectID{17, 204}
 	window := streach.NewInterval(300, 360)
+
+	// The whole investigation gets a deadline; a cancelled context stops
+	// the batch between queries.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
 	for _, suspect := range watch {
 		// Backward reachability: test every candidate as a source toward
 		// the suspect (the paper's "reachable from/to any individual in
 		// O" batch).
-		var met []streach.ObjectID
+		batch := make([]streach.Query, 0, ds.NumObjects()-1)
 		for o := 0; o < ds.NumObjects(); o++ {
-			cand := streach.ObjectID(o)
-			if cand == suspect {
-				continue
-			}
-			ok, err := graph.Reachable(streach.Query{Src: cand, Dst: suspect, Interval: window})
-			if err != nil {
-				log.Fatal(err)
-			}
-			if ok {
-				met = append(met, cand)
+			if cand := streach.ObjectID(o); cand != suspect {
+				batch = append(batch, streach.Query{Src: cand, Dst: suspect, Interval: window})
 			}
 		}
-		fmt.Printf("suspect %3d: %3d vehicles could have fed information during %v\n",
-			suspect, len(met), window)
+		results, err := streach.EvaluateBatch(ctx, graph, batch, streach.BatchOptions{Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var met []streach.Result
+		var io float64
+		for _, r := range results {
+			io += r.IO.Normalized
+			if r.Reachable {
+				met = append(met, r)
+			}
+		}
+		fmt.Printf("suspect %3d: %3d vehicles could have fed information during %v (batch: %.1f IOs)\n",
+			suspect, len(met), window, io)
 
 		// Verify a sample of the batch against ground truth.
 		verified := 0
-		for i, cand := range met {
+		for i, r := range met {
 			if i%25 != 0 {
 				continue
 			}
-			if !oracle.Reachable(streach.Query{Src: cand, Dst: suspect, Interval: window}) {
-				log.Fatalf("false positive: %d ⤳ %d", cand, suspect)
+			truth, err := oracle.Reachable(ctx, r.Query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !truth.Reachable {
+				log.Fatalf("false positive: %v", r.Query)
 			}
 			verified++
 		}
 		fmt.Printf("             %d spot-checked against the oracle\n", verified)
 	}
-
-	st := graph.IOStats()
-	fmt.Printf("\nbatch cost: %.1f normalized IOs (%d random + %d sequential, %d buffer hits)\n",
-		st.Normalized, st.RandomReads, st.SequentialReads, st.BufferHits)
 }

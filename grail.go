@@ -1,0 +1,88 @@
+// GRAIL baseline (§6): randomized interval labelling over the reduced
+// contact-network DAG, exported through the facade in both its
+// memory-resident form and the disk-resident adaptation of §6.4. The same
+// engines are registered in the backend registry as "grail-mem" and
+// "grail".
+
+package streach
+
+import (
+	"streach/internal/dn"
+	"streach/internal/grail"
+)
+
+// GrailOptions configures BuildGrail. Zero values select five label passes
+// and the memory-resident engine.
+type GrailOptions struct {
+	// Passes is the label count d (independent randomized DFS passes).
+	Passes int
+	// Seed seeds the randomized labelling.
+	Seed int64
+	// Disk lays the labelled vertices on the simulated disk in generation
+	// order (the §6.4 adaptation); queries then charge IOStats.
+	Disk bool
+	// PoolPages sizes the buffer pool of the simulated disk (Disk only).
+	PoolPages int
+}
+
+// Grail is a GRAIL query engine over one contact network.
+type Grail struct {
+	mem  *grail.Mem
+	disk *grail.Disk
+}
+
+// BuildGrail labels cn's reduced graph and returns a GRAIL engine.
+func BuildGrail(cn *ContactNetwork, opts GrailOptions) (*Grail, error) {
+	g := dn.Build(cn.net)
+	d := opts.Passes
+	if d <= 0 {
+		d = 5
+	}
+	if opts.Disk {
+		dk, err := grail.NewDisk(g, d, opts.Seed, opts.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		return &Grail{disk: dk}, nil
+	}
+	m, err := grail.NewMem(g, d, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Grail{mem: m}, nil
+}
+
+// Reachable answers q by label-pruned DFS.
+func (g *Grail) Reachable(q Query) (bool, error) {
+	if g.disk != nil {
+		return g.disk.Reach(q)
+	}
+	return g.mem.Reach(q)
+}
+
+// IOStats returns the accumulated disk traffic (zero for the
+// memory-resident engine).
+func (g *Grail) IOStats() IOStats {
+	if g.disk == nil {
+		return IOStats{}
+	}
+	return statsOf(g.disk.Stats())
+}
+
+// ResetStats zeroes the I/O counters and drops the buffer pool (no-op for
+// the memory-resident engine).
+func (g *Grail) ResetStats() {
+	if g.disk != nil {
+		g.disk.Stats().Reset()
+		g.disk.Store().DropCache()
+	}
+}
+
+// IndexBytes returns the on-disk size of the labelled vertex file (zero for
+// the memory-resident engine).
+func (g *Grail) IndexBytes() int64 {
+	if g.disk == nil {
+		return 0
+	}
+	return g.disk.Store().SizeBytes()
+}

@@ -2,13 +2,14 @@
 // optimization — the number of long-edge resolutions (1..7, optimum 6 =
 // DN1 ∪ DN2 ∪ … ∪ DN32). The remaining ablations quantify design choices
 // DESIGN.md calls out that the paper fixes silently: the buffer-pool size
-// and the bidirectional/multi-resolution split of BM-BFS.
+// and the bidirectional/multi-resolution split of BM-BFS. All evaluators
+// come from the registry; a configuration is a backend name plus Options.
 package bench
 
 import (
 	"fmt"
 
-	"streach/internal/reachgraph"
+	"streach"
 )
 
 // resolutionSets returns the HN configurations "DN1 only", "+DN2", …
@@ -33,10 +34,7 @@ func (l *Lab) Fig12b() *Table {
 	for _, d := range l.comparePair() {
 		work := l.Workload(d, 0)
 		for _, res := range resolutionSets() {
-			// Rebuild the graph augmentation per configuration; Build
-			// re-augments when the cached resolutions differ.
-			io := l.graphQueryCost(l.Graph(d), reachgraph.Params{Resolutions: res},
-				work, reachgraph.BMBFS)
+			io := l.graphQueryCost(d, "reachgraph", streach.Options{Resolutions: res}, work)
 			label := "DN1 only"
 			if len(res) > 0 {
 				label = fmt.Sprintf("DN1..DN%d", res[len(res)-1])
@@ -61,10 +59,9 @@ func (l *Lab) AblationPool() *Table {
 		Columns: []string{"Dataset", "Pool pages", "ReachGraph IO/q"},
 	}
 	for _, d := range l.comparePair() {
-		g := l.Graph(d)
 		work := l.Workload(d, 0)
 		for _, pool := range []int{1, 16, 64, 256, 1024} {
-			io := l.graphQueryCost(g, reachgraph.Params{PoolPages: pool}, work, reachgraph.BMBFS)
+			io := l.graphQueryCost(d, "reachgraph", streach.Options{PoolPages: pool}, work)
 			t.AddRow(d.Name, fmt.Sprint(pool), fmt.Sprintf("%.1f", io))
 		}
 	}
@@ -82,12 +79,13 @@ func (l *Lab) AblationBidirectional() *Table {
 		Columns: []string{"Dataset", "E-BFS IO/q", "+bidirectional (B-BFS)", "+multi-res (BM-BFS)"},
 	}
 	for _, d := range l.comparePair() {
-		g := l.Graph(d)
 		work := l.Workload(d, 0)
-		eb := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.EBFS)
-		bb := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.BBFS)
-		bm := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.BMBFS)
-		t.AddRow(d.Name, fmt.Sprintf("%.1f", eb), fmt.Sprintf("%.1f", bb), fmt.Sprintf("%.1f", bm))
+		row := []string{d.Name}
+		for _, backend := range []string{"reachgraph-ebfs", "reachgraph-bbfs", "reachgraph"} {
+			io := l.graphQueryCost(d, backend, streach.Options{}, work)
+			row = append(row, fmt.Sprintf("%.1f", io))
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("the bidirectional member-meet contributes most of the saving; long edges add")
 	t.AddNote("on top as graphs grow (their fan-out at our scale is ~12 vs the paper's 221-322)")

@@ -1,15 +1,13 @@
 // Cross-index experiments: Figure 14 (ReachGrid vs ReachGraph I/O),
 // Figure 15 (CPU time) and Table 5 (GRAIL vs ReachGraph, memory- and
-// disk-resident).
+// disk-resident). Every evaluator is selected from the public backend
+// registry by name, so adding a column is adding a string.
 package bench
 
 import (
 	"fmt"
-	"time"
 
-	"streach/internal/grail"
-	"streach/internal/reachgraph"
-	"streach/internal/reachgrid"
+	"streach"
 	"streach/internal/trajectory"
 )
 
@@ -31,33 +29,15 @@ func (l *Lab) Fig14() *Table {
 		Columns: []string{"Dataset", "|Tp|", "ReachGrid IO/q", "ReachGraph IO/q"},
 	}
 	for _, d := range l.comparePair() {
-		grid, err := reachgrid.Build(d, l.gridParams(d))
-		if err != nil {
-			panic(err)
-		}
-		graph, err := reachgraph.Build(l.Graph(d), reachgraph.Params{})
-		if err != nil {
-			panic(err)
-		}
 		w := WavefrontTicks(d)
 		for _, length := range []int{w / 3, w, 5 * w / 3} {
+			// Fresh engines per measurement point: each |Tp| series starts
+			// with a cold buffer pool, as the paper's per-point runs do.
+			grid := l.OpenBackend("reachgrid", d, l.gridParams(d))
+			graph := l.OpenBackend("reachgraph", d, streach.Options{})
 			work := l.Workload(d, length)
-			grid.Stats().Reset()
-			grid.Store().DropCache()
-			for _, q := range work {
-				if _, err := grid.Reach(q); err != nil {
-					panic(err)
-				}
-			}
-			gridIO := grid.Stats().Normalized() / float64(len(work))
-			graph.Stats().Reset()
-			graph.Store().DropCache()
-			for _, q := range work {
-				if _, err := graph.Reach(q); err != nil {
-					panic(err)
-				}
-			}
-			graphIO := graph.Stats().Normalized() / float64(len(work))
+			gridIO, _, _ := engineCost(grid, work)
+			graphIO, _, _ := engineCost(graph, work)
 			t.AddRow(d.Name, fmt.Sprint(length),
 				fmt.Sprintf("%.1f", gridIO), fmt.Sprintf("%.1f", graphIO))
 		}
@@ -78,31 +58,12 @@ func (l *Lab) Fig15() *Table {
 		Columns: []string{"Dataset", "ReachGrid", "ReachGraph"},
 	}
 	for _, d := range l.comparePair() {
-		grid, err := reachgrid.Build(d, l.gridParams(d))
-		if err != nil {
-			panic(err)
-		}
-		graph, err := reachgraph.Build(l.Graph(d), reachgraph.Params{})
-		if err != nil {
-			panic(err)
-		}
+		grid := l.OpenBackend("reachgrid", d, l.gridParams(d))
+		graph := l.OpenBackend("reachgraph", d, streach.Options{})
 		work := l.Workload(d, 0)
-		gridT := timed(func() {
-			for _, q := range work {
-				if _, err := grid.Reach(q); err != nil {
-					panic(err)
-				}
-			}
-		})
-		graphT := timed(func() {
-			for _, q := range work {
-				if _, err := graph.Reach(q); err != nil {
-					panic(err)
-				}
-			}
-		})
-		n := time.Duration(len(work))
-		t.AddRow(d.Name, fmtDur(gridT/n), fmtDur(graphT/n))
+		_, gridT, _ := engineCost(grid, work)
+		_, graphT, _ := engineCost(graph, work)
+		t.AddRow(d.Name, fmtDur(gridT), fmtDur(graphT))
 	}
 	t.AddNote("paper: ReachGraph has far lower CPU time — precomputation replaces query-time spatiotemporal joins (Fig. 15)")
 	return t
@@ -116,32 +77,12 @@ func (l *Lab) Table5a() *Table {
 		Columns: []string{"Dataset", "GRAIL", "ReachGraph"},
 	}
 	for _, d := range l.comparePair() {
-		g := l.Graph(d)
-		gr, err := grail.NewMem(g, 5, l.opts.Seed+9)
-		if err != nil {
-			panic(err)
-		}
-		mem, err := reachgraph.NewMem(g, []int{2, 4, 8, 16, 32})
-		if err != nil {
-			panic(err)
-		}
+		gr := l.OpenBackend("grail-mem", d, streach.Options{Seed: l.opts.Seed + 9})
+		rg := l.OpenBackend("reachgraph-mem", d, streach.Options{})
 		work := l.Workload(d, 0)
-		grailT := timed(func() {
-			for _, q := range work {
-				if _, err := gr.Reach(q); err != nil {
-					panic(err)
-				}
-			}
-		})
-		rgT := timed(func() {
-			for _, q := range work {
-				if _, err := mem.Reach(q); err != nil {
-					panic(err)
-				}
-			}
-		})
-		n := time.Duration(len(work))
-		t.AddRow(d.Name, fmtDur(grailT/n), fmtDur(rgT/n))
+		_, grailT, _ := engineCost(gr, work)
+		_, rgT, _ := engineCost(rg, work)
+		t.AddRow(d.Name, fmtDur(grailT), fmtDur(rgT))
 	}
 	t.AddNote("paper (Table 5a): comparable in memory — GRAIL 3.5 ms vs RG 9.0 ms on VN2k, 60 ms vs 39 ms on RWP20k")
 	return t
@@ -155,32 +96,11 @@ func (l *Lab) Table5b() *Table {
 		Columns: []string{"Dataset", "GRAIL IO/q", "ReachGraph IO/q", "Saved"},
 	}
 	for _, d := range l.comparePair() {
-		g := l.Graph(d)
-		gd, err := grail.NewDisk(g, 5, l.opts.Seed+9, 64)
-		if err != nil {
-			panic(err)
-		}
-		ix, err := reachgraph.Build(g, reachgraph.Params{})
-		if err != nil {
-			panic(err)
-		}
+		gd := l.OpenBackend("grail", d, streach.Options{Seed: l.opts.Seed + 9})
+		rg := l.OpenBackend("reachgraph", d, streach.Options{})
 		work := l.Workload(d, 0)
-		gd.Stats().Reset()
-		gd.Store().DropCache()
-		for _, q := range work {
-			if _, err := gd.Reach(q); err != nil {
-				panic(err)
-			}
-		}
-		grailIO := gd.Stats().Normalized() / float64(len(work))
-		ix.Stats().Reset()
-		ix.Store().DropCache()
-		for _, q := range work {
-			if _, err := ix.Reach(q); err != nil {
-				panic(err)
-			}
-		}
-		rgIO := ix.Stats().Normalized() / float64(len(work))
+		grailIO, _, _ := engineCost(gd, work)
+		rgIO, _, _ := engineCost(rg, work)
 		t.AddRow(d.Name, fmt.Sprintf("%.1f", grailIO), fmt.Sprintf("%.1f", rgIO),
 			fmt.Sprintf("%.0f%%", 100*(1-rgIO/grailIO)))
 	}

@@ -1,15 +1,17 @@
 // ReachGraph experiments: Figure 10 (contact network size + reduction
 // ratios), Figure 11 (DN construction time), Table 4 (multi-resolution
 // degree), Figure 12 (partition depth) and Figure 13 (traversal
-// strategies).
+// strategies). Query measurements open "reachgraph*" registry backends —
+// traversal strategy selection is a backend-name string; the structural
+// figures (10, 11, Table 4) inspect the internal reduced graph directly.
 package bench
 
 import (
 	"fmt"
 
+	"streach"
 	"streach/internal/dn"
 	"streach/internal/queries"
-	"streach/internal/reachgraph"
 	"streach/internal/trajectory"
 )
 
@@ -91,23 +93,13 @@ func (l *Lab) Table4() *Table {
 	return t
 }
 
-// graphQueryCost builds a ReachGraph with the given params and returns the
-// mean normalized I/O per query under strategy s.
-func (l *Lab) graphQueryCost(g *dn.Graph, params reachgraph.Params,
-	work []queries.Query, s reachgraph.Strategy) float64 {
+// graphQueryCost opens a ReachGraph-family registry backend with the given
+// options and returns the mean normalized I/O per query.
+func (l *Lab) graphQueryCost(d *trajectory.Dataset, backend string,
+	opts streach.Options, work []queries.Query) float64 {
 
-	ix, err := reachgraph.Build(g, params)
-	if err != nil {
-		panic(err)
-	}
-	ix.Stats().Reset()
-	ix.Store().DropCache()
-	for _, q := range work {
-		if _, err := ix.ReachStrategy(q, s); err != nil {
-			panic(err)
-		}
-	}
-	return ix.Stats().Normalized() / float64(len(work))
+	io, _, _ := engineCost(l.OpenBackend(backend, d, opts), work)
+	return io
 }
 
 // Fig12 sweeps the partition depth dp.
@@ -117,15 +109,11 @@ func (l *Lab) Fig12() *Table {
 		Title:   "ReachGraph I/O vs partition depth (Fig. 12)",
 		Columns: []string{"Dataset", "Depth", "IO/query"},
 	}
-	for _, d := range []*trajectory.Dataset{
-		l.RWP(l.opts.RWPSizes[len(l.opts.RWPSizes)/2]),
-		l.VN(l.opts.VNSizes[len(l.opts.VNSizes)/2]),
-	} {
-		g := l.Graph(d)
+	for _, d := range l.comparePair() {
 		work := l.Workload(d, 0)
 		for _, depth := range []int{1, 2, 4, 8, 16, 32, 64} {
-			io := l.graphQueryCost(g, reachgraph.Params{PartitionDepth: depth},
-				work, reachgraph.BMBFS)
+			io := l.graphQueryCost(d, "reachgraph",
+				streach.Options{PartitionDepth: depth}, work)
 			t.AddRow(d.Name, fmt.Sprint(depth), fmt.Sprintf("%.1f", io))
 		}
 	}
@@ -140,16 +128,14 @@ func (l *Lab) Fig13() *Table {
 		Title:   "ReachGraph traversal strategies (Fig. 13)",
 		Columns: []string{"Dataset", "BM-BFS IO/q", "B-BFS IO/q", "E-DFS IO/q"},
 	}
-	for _, d := range []*trajectory.Dataset{
-		l.RWP(l.opts.RWPSizes[len(l.opts.RWPSizes)/2]),
-		l.VN(l.opts.VNSizes[len(l.opts.VNSizes)/2]),
-	} {
-		g := l.Graph(d)
+	for _, d := range l.comparePair() {
 		work := l.Workload(d, 0)
-		bm := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.BMBFS)
-		bb := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.BBFS)
-		ed := l.graphQueryCost(g, reachgraph.Params{}, work, reachgraph.EDFS)
-		t.AddRow(d.Name, fmt.Sprintf("%.1f", bm), fmt.Sprintf("%.1f", bb), fmt.Sprintf("%.1f", ed))
+		row := []string{d.Name}
+		for _, backend := range []string{"reachgraph", "reachgraph-bbfs", "reachgraph-edfs"} {
+			io := l.graphQueryCost(d, backend, streach.Options{}, work)
+			row = append(row, fmt.Sprintf("%.1f", io))
+		}
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: BM-BFS beats E-DFS by >80%% and B-BFS by >15%% on RWP20k and VN2k (Fig. 13)")
 	return t

@@ -1,11 +1,13 @@
 // ReachGrid experiments: Table 2 (dataset sizes), Figure 8 (resolution
 // optimization), Figure 9 (construction time) and the §6.1.2 SPJ
-// comparison.
+// comparison. Query measurements open the "reachgrid" and "spj" registry
+// backends; only the construction-time figure builds the index directly.
 package bench
 
 import (
 	"fmt"
 
+	"streach"
 	"streach/internal/reachgrid"
 	"streach/internal/trajectory"
 )
@@ -49,23 +51,14 @@ func (l *Lab) Table2() *Table {
 	return t
 }
 
-// gridQueryCost builds a ReachGrid with the given resolutions and returns
-// the mean normalized I/O per query of the wavefront-scaled workload (the
-// regime in which resolution trade-offs are visible; see WavefrontTicks).
+// gridQueryCost opens a "reachgrid" backend at the given resolutions and
+// returns the mean normalized I/O per query of the wavefront-scaled
+// workload (the regime in which resolution trade-offs are visible; see
+// WavefrontTicks).
 func (l *Lab) gridQueryCost(d *trajectory.Dataset, cellSize float64, bucketTicks int) float64 {
-	ix, err := reachgrid.Build(d, reachgrid.Params{CellSize: cellSize, BucketTicks: bucketTicks})
-	if err != nil {
-		panic(fmt.Sprintf("bench: reachgrid %s: %v", d.Name, err))
-	}
-	work := l.Workload(d, WavefrontTicks(d))
-	ix.Stats().Reset()
-	ix.Store().DropCache()
-	for _, q := range work {
-		if _, err := ix.Reach(q); err != nil {
-			panic(err)
-		}
-	}
-	return ix.Stats().Normalized() / float64(len(work))
+	e := l.OpenBackend("reachgrid", d, streach.Options{CellSize: cellSize, BucketTicks: bucketTicks})
+	io, _, _ := engineCost(e, l.Workload(d, WavefrontTicks(d)))
+	return io
 }
 
 // Fig8a sweeps the spatial resolution at fixed temporal resolution 20.
@@ -150,28 +143,16 @@ func (l *Lab) SPJ() *Table {
 	}
 	sets = append(sets, l.VN(l.opts.VNSizes[len(l.opts.VNSizes)-1]))
 	for _, d := range sets {
-		ix, err := reachgrid.Build(d, l.gridParams(d))
-		if err != nil {
-			panic(err)
-		}
+		// The two backends share build parameters, so the data placement
+		// is identical and the difference measured is purely the guided
+		// expansion.
+		opts := l.gridParams(d)
+		grid := l.OpenBackend("reachgrid", d, opts)
+		spj := l.OpenBackend("spj", d, opts)
 		length := WavefrontTicks(d)
 		work := l.Workload(d, length)
-		ix.Stats().Reset()
-		ix.Store().DropCache()
-		for _, q := range work {
-			if _, err := ix.Reach(q); err != nil {
-				panic(err)
-			}
-		}
-		guided := ix.Stats().Normalized() / float64(len(work))
-		ix.Stats().Reset()
-		ix.Store().DropCache()
-		for _, q := range work {
-			if _, err := ix.SPJReach(q); err != nil {
-				panic(err)
-			}
-		}
-		naive := ix.Stats().Normalized() / float64(len(work))
+		guided, _, _ := engineCost(grid, work)
+		naive, _, _ := engineCost(spj, work)
 		t.AddRow(d.Name, fmt.Sprint(length), fmt.Sprintf("%.1f", guided),
 			fmt.Sprintf("%.1f", naive), fmt.Sprintf("%.0f%%", 100*(1-guided/naive)))
 	}
@@ -184,8 +165,8 @@ func (l *Lab) SPJ() *Table {
 // gridParams returns the ReachGrid resolutions the Figure 8 sweeps select
 // at laptop scale: coarse cells that keep tens of objects per cell (the
 // paper's 1024 m cells hold ~100 objects of RWP10k) and the paper's RT=20.
-func (l *Lab) gridParams(d *trajectory.Dataset) reachgrid.Params {
-	return reachgrid.Params{CellSize: d.Env.Width() / 4, BucketTicks: 20}
+func (l *Lab) gridParams(d *trajectory.Dataset) streach.Options {
+	return streach.Options{CellSize: d.Env.Width() / 4, BucketTicks: 20}
 }
 
 // prefixDataset restricts d to its first `ticks` instants (the growing-|T|

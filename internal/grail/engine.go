@@ -50,12 +50,18 @@ func (m *Mem) Labels() *Labels { return m.labels }
 
 // Reach answers the reachability query by label-pruned DFS.
 func (m *Mem) Reach(q queries.Query) (bool, error) {
+	ok, _, err := m.ReachCounted(q)
+	return ok, err
+}
+
+// ReachCounted is Reach plus the number of vertices the pruned DFS visited.
+func (m *Mem) ReachCounted(q queries.Query) (bool, int, error) {
 	u, v, done, ans, err := entryVertices(m.g, q)
 	if done || err != nil {
-		return ans, err
+		return ans, 0, err
 	}
 	if !m.labels.MayReach(u, v) {
-		return false, nil
+		return false, 0, nil
 	}
 	visited := make(map[dn.NodeID]bool, 64)
 	stack := []dn.NodeID{u}
@@ -64,7 +70,7 @@ func (m *Mem) Reach(q queries.Query) (bool, error) {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if cur == v {
-			return true, nil
+			return true, len(visited), nil
 		}
 		for _, c := range m.g.Nodes[cur].Out {
 			if !visited[c] && m.labels.MayReach(c, v) {
@@ -73,7 +79,7 @@ func (m *Mem) Reach(q queries.Query) (bool, error) {
 			}
 		}
 	}
-	return false, nil
+	return false, len(visited), nil
 }
 
 // entryVertices maps a query to its DN entry vertices and handles the
@@ -272,21 +278,27 @@ func contains(u, v *diskVertex) bool {
 // Reach answers q with the disk-resident label-pruned DFS, charging all
 // page reads to Stats().
 func (dk *Disk) Reach(q queries.Query) (bool, error) {
+	ok, _, err := dk.ReachCounted(q)
+	return ok, err
+}
+
+// ReachCounted is Reach plus the number of vertices the pruned DFS visited.
+func (dk *Disk) ReachCounted(q queries.Query) (bool, int, error) {
 	u, v, done, ans, err := dk.entry(q)
 	if done || err != nil {
-		return ans, err
+		return ans, 0, err
 	}
 	cache := make(map[dn.NodeID]*diskVertex, 64)
 	uRec, err := dk.fetch(u, cache)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	vRec, err := dk.fetch(v, cache)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	if !contains(uRec, vRec) {
-		return false, nil
+		return false, 0, nil
 	}
 	visited := map[dn.NodeID]bool{u: true}
 	stack := []dn.NodeID{u}
@@ -294,11 +306,11 @@ func (dk *Disk) Reach(q queries.Query) (bool, error) {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if cur == v {
-			return true, nil
+			return true, len(visited), nil
 		}
 		rec, err := dk.fetch(cur, cache)
 		if err != nil {
-			return false, err
+			return false, len(visited), err
 		}
 		for _, c := range rec.out {
 			if visited[c] {
@@ -309,14 +321,14 @@ func (dk *Disk) Reach(q queries.Query) (bool, error) {
 			// saving is in never descending below a pruned child.
 			cRec, err := dk.fetch(c, cache)
 			if err != nil {
-				return false, err
+				return false, len(visited), err
 			}
 			if contains(cRec, vRec) {
 				stack = append(stack, c)
 			}
 		}
 	}
-	return false, nil
+	return false, len(visited), nil
 }
 
 // entry mirrors entryVertices using the on-disk directory.

@@ -105,15 +105,24 @@ func NewOracle(net *contact.Network) *Oracle {
 
 // Reachable answers the query against ground truth.
 func (o *Oracle) Reachable(q Query) bool {
+	ok, _ := o.ReachableCounted(q)
+	return ok
+}
+
+// ReachableCounted is Reachable plus the number of objects infected (src
+// included) before the simulation terminated.
+func (o *Oracle) ReachableCounted(q Query) (bool, int) {
 	reached := false
+	expanded := 0
 	o.propagate(q.Src, q.Interval, func(obj trajectory.ObjectID) bool {
+		expanded++
 		if obj == q.Dst {
 			reached = true
 			return false // stop early
 		}
 		return true
 	})
-	return reached
+	return reached, expanded
 }
 
 // ReachableSet returns all objects reachable from src during iv (including

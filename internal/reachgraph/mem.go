@@ -94,16 +94,22 @@ func (m *Mem) Reach(q queries.Query) (bool, error) { return m.ReachStrategy(q, B
 
 // ReachStrategy answers q with the chosen strategy.
 func (m *Mem) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
+	ok, _, err := m.ReachStrategyCounted(q, s)
+	return ok, err
+}
+
+// ReachStrategyCounted is ReachStrategy plus the number of vertex visits.
+func (m *Mem) ReachStrategyCounted(q queries.Query, s Strategy) (bool, int, error) {
 	if int(q.Src) < 0 || int(q.Src) >= m.g.NumObjects ||
 		int(q.Dst) < 0 || int(q.Dst) >= m.g.NumObjects {
-		return false, fmt.Errorf("reachgraph: query objects outside [0, %d)", m.g.NumObjects)
+		return false, 0, fmt.Errorf("reachgraph: query objects outside [0, %d)", m.g.NumObjects)
 	}
 	iv := q.Interval.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(m.g.NumTicks - 1)})
 	if iv.Len() == 0 {
-		return false, nil
+		return false, 0, nil
 	}
 	if q.Src == q.Dst {
-		return true, nil
+		return true, 0, nil
 	}
 	v1 := m.g.NodeOf(q.Src, iv.Lo)
 	v2 := m.g.NodeOf(q.Dst, iv.Hi)
@@ -111,5 +117,7 @@ func (m *Mem) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
 	if s == BBFS || s == EBFS || s == EDFS {
 		res = nil
 	}
-	return traverse(m, s, entry{v1, -1}, entry{v2, -1}, iv, res, m.g.NumTicks)
+	var visits int
+	ok, err := traverse(countingAccess{m, &visits}, s, entry{v1, -1}, entry{v2, -1}, iv, res, m.g.NumTicks)
+	return ok, visits, err
 }

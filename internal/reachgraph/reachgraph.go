@@ -439,26 +439,36 @@ func (ix *Index) Reach(q queries.Query) (bool, error) {
 // ReachStrategy answers q with the chosen traversal strategy, charging all
 // page reads to Stats().
 func (ix *Index) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
+	ok, _, err := ix.ReachStrategyCounted(q, s)
+	return ok, err
+}
+
+// ReachStrategyCounted is ReachStrategy plus the number of vertex visits the
+// traversal performed.
+func (ix *Index) ReachStrategyCounted(q queries.Query, s Strategy) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	iv := ix.clampInterval(q.Interval)
 	if iv.Len() == 0 {
-		return false, nil
+		return false, 0, nil
 	}
 	if q.Src == q.Dst {
-		return true, nil
+		return true, 0, nil
 	}
 	v1, p1, err := ix.findVertex(q.Src, iv.Lo)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	v2, p2, err := ix.findVertex(q.Dst, iv.Hi)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	c := ix.newCursor()
-	return traverse(diskAccess{c}, s, entry{v1, p1}, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)
+	var visits int
+	ok, err := traverse(countingAccess{diskAccess{c}, &visits}, s,
+		entry{v1, p1}, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)
+	return ok, visits, err
 }
 
 // diskAccess adapts a cursor to the traversal's graph-access interface.

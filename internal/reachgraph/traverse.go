@@ -79,6 +79,18 @@ type entry struct {
 	part int32
 }
 
+// countingAccess wraps a graphAccess and counts vertex visits, the
+// expansion metric the facade surfaces per query.
+type countingAccess struct {
+	g graphAccess
+	n *int
+}
+
+func (c countingAccess) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
+	*c.n++
+	return c.g.vertex(id, part)
+}
+
 // traverse runs strategy s from v1 (source vertex at iv.Lo) toward v2
 // (destination vertex at iv.Hi). numTicks is the graph's time domain size,
 // needed to mirror reverse long-edge boundaries.

@@ -205,25 +205,35 @@ func (ix *Index) validateQuery(q queries.Query) error {
 // Reach answers the reachability query q : Src ⤳ Dst over q.Interval using
 // the guided expansion of Algorithm 1. I/O is charged to Stats().
 func (ix *Index) Reach(q queries.Query) (bool, error) {
+	ok, _, err := ix.ReachCounted(q)
+	return ok, err
+}
+
+// ReachCounted is Reach plus the number of objects the guided expansion
+// infected (src included) before terminating — the frontier size the facade
+// surfaces per query.
+func (ix *Index) ReachCounted(q queries.Query) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	iv := ix.clampInterval(q.Interval)
 	if iv.Len() == 0 {
-		return false, nil
+		return false, 0, nil
 	}
 	if q.Src == q.Dst {
-		return true, nil
+		return true, 1, nil
 	}
 	reached := false
+	expanded := 1 // src
 	err := ix.sweep(q.Src, iv, func(o trajectory.ObjectID) bool {
+		expanded++
 		if o == q.Dst {
 			reached = true
 			return false
 		}
 		return true
 	})
-	return reached, err
+	return reached, expanded, err
 }
 
 // ReachableSet returns every object reachable from src during iv (including

@@ -21,16 +21,24 @@ import (
 // the item is propagated until the destination is found or the interval is
 // exhausted.
 func (ix *Index) SPJReach(q queries.Query) (bool, error) {
+	ok, _, err := ix.SPJReachCounted(q)
+	return ok, err
+}
+
+// SPJReachCounted is SPJReach plus the number of objects infected during
+// propagation (src included).
+func (ix *Index) SPJReachCounted(q queries.Query) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
-		return false, err
+		return false, 0, err
 	}
 	iv := ix.clampInterval(q.Interval)
 	if iv.Len() == 0 {
-		return false, nil
+		return false, 0, nil
 	}
 	if q.Src == q.Dst {
-		return true, nil
+		return true, 1, nil
 	}
+	expanded := 1 // src
 
 	joiner := stjoin.NewJoiner(ix.grid.Env(), ix.dT)
 	uf := newUnionFind(ix.numObjects)
@@ -50,7 +58,7 @@ func (ix *Index) SPJReach(q queries.Query) (bool, error) {
 		}
 		for cell := 0; cell < ix.grid.NumCells(); cell++ {
 			if err := ix.loadCell(bi, cell, st); err != nil {
-				return false, fmt.Errorf("spj: %w", err)
+				return false, expanded, fmt.Errorf("spj: %w", err)
 			}
 		}
 		pts := make([]geo.Point, 0, len(st.segs))
@@ -80,12 +88,13 @@ func (ix *Index) SPJReach(q queries.Query) (bool, error) {
 			for _, o := range ids {
 				if !seeds[o] && seedRoots[uf.find(int32(o))] {
 					seeds[o] = true
+					expanded++
 					if o == q.Dst {
-						return true, nil
+						return true, expanded, nil
 					}
 				}
 			}
 		}
 	}
-	return false, nil
+	return false, expanded, nil
 }

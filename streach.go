@@ -35,20 +35,32 @@
 //
 // # Quick start
 //
+// Every evaluator is registered in a backend registry under a stable name
+// (Backends lists them) and satisfies the Engine interface; queries return
+// typed Results carrying the answer, the per-query I/O delta, wall latency
+// and an expansion counter:
+//
 //	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{
 //		NumObjects: 500, NumTicks: 2000, Seed: 1,
 //	})
-//	rg, err := streach.BuildReachGraph(ds, streach.ReachGraphOptions{})
+//	eng, err := streach.Open("reachgraph", ds, streach.Options{})
 //	if err != nil { ... }
-//	reachable, err := rg.Reachable(streach.Query{
+//	res, err := eng.Reachable(ctx, streach.Query{
 //		Src: 3, Dst: 11, Interval: streach.NewInterval(100, 400),
 //	})
+//	// res.Reachable, res.IO.Normalized, res.Latency, res.Expanded
+//
+// EvaluateBatch drives a query batch through an engine with a bounded
+// worker pool and context cancellation. The concrete index types
+// (BuildReachGrid, BuildReachGraph, BuildGrail, …) remain available for
+// code that manages index lifecycles directly.
 package streach
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"streach/internal/contact"
 	"streach/internal/dn"
@@ -117,6 +129,9 @@ type TaxiOptions = mobility.TaxiConfig
 // discrete time domain plus the contact threshold metadata.
 type Dataset struct {
 	d *trajectory.Dataset
+
+	cnOnce sync.Once
+	cn     *ContactNetwork
 }
 
 // GenerateRandomWaypoint synthesizes an RWP dataset.
@@ -156,9 +171,14 @@ func (ds *Dataset) SizeBytes() int64 { return ds.d.SizeBytes() }
 func (ds *Dataset) Position(o ObjectID, t Tick) Point { return ds.d.Traj(o).AtClamped(t) }
 
 // Contacts extracts the dataset's contact network by a window trajectory
-// self-join over the full time domain.
+// self-join over the full time domain. The extraction runs once; subsequent
+// calls (including the ones Open performs for graph-based backends) return
+// the same network.
 func (ds *Dataset) Contacts() *ContactNetwork {
-	return &ContactNetwork{net: contact.Extract(ds.d)}
+	ds.cnOnce.Do(func() {
+		ds.cn = &ContactNetwork{net: contact.Extract(ds.d)}
+	})
+	return ds.cn
 }
 
 // ContactNetwork is the materialized contact network C of a dataset.
@@ -406,8 +426,9 @@ func (un *UncertainNetwork) BestProbAll(src ObjectID, iv Interval) ([]float64, e
 // ContactStream ingests a live position feed one instant at a time and
 // maintains the contact network incrementally (§6.2.1.2) — the alternative
 // to batch-extracting contacts from a complete trajectory archive.
-// Snapshots can be taken at any point and fed to
-// BuildReachGraphFromContacts while the stream keeps running.
+// Snapshots can be taken at any point and used as an Open source (any
+// graph-based backend) or fed to BuildReachGraphFromContacts while the
+// stream keeps running.
 type ContactStream struct {
 	b          *contact.Builder
 	j          *stjoin.Joiner
