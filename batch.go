@@ -28,10 +28,14 @@ type BatchOptions struct {
 // error when the batch was cancelled, is returned alongside the partial
 // results.
 //
-// Engines serialize their own query evaluation, so a batch against a single
-// disk-resident engine is processed one query at a time regardless of
-// Workers — the pool bounds scheduling, keeps cancellation responsive and
-// lets concurrency-tolerant engines overlap work.
+// Registry engines evaluate read-only queries fully in parallel — each
+// query threads its own I/O accountant through the traversal and the
+// buffer pool is latched per page shard — so batch throughput scales with
+// Workers up to GOMAXPROCS. Every Result still carries its exact per-query
+// I/O delta; the deltas of successfully evaluated queries sum to the
+// engine's cumulative IOTotals and, for engines sharing a BufferPool, to
+// the pool's global counters (a query that errors or is cancelled
+// mid-evaluation charges the totals but returns no delta).
 func EvaluateBatch(ctx context.Context, e Engine, qs []Query, opts BatchOptions) ([]Result, error) {
 	results := make([]Result, len(qs))
 	if len(qs) == 0 {

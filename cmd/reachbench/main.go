@@ -8,18 +8,24 @@
 //	reachbench -list                   # available experiment ids
 //	reachbench -exp fig14 -queries 200 -ticks 4000 -scale large
 //	reachbench -exp backends -backends reachgrid,reachgraph,grail
+//	reachbench -exp concurrency -json BENCH_pr.json -scale tiny
 //
 // Each experiment prints a table whose rows mirror the series of the paper
 // artifact, with a footnote quoting the paper-reported numbers for
 // comparison. Query evaluators are drawn from the public backend registry
-// (streach.Backends); the "backends" experiment sweeps every registered
-// backend, restricted by the -backends flag.
+// (streach.Backends); the "backends" and "concurrency" experiments sweep
+// every registered backend, restricted by the -backends flag.
+//
+// -json additionally writes the concurrency sweep as a machine-readable
+// report (schema streach-bench/v1) to the given path — the format CI
+// validates and archives as the perf trajectory (BENCH_*.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -34,8 +40,10 @@ func main() {
 		queries  = flag.Int("queries", 0, "random queries per measurement point (default 60)")
 		ticks    = flag.Int("ticks", 0, "time-domain length in ticks (default 2000)")
 		seed     = flag.Int64("seed", 1, "generator seed")
-		scale    = flag.String("scale", "small", "dataset scale: small | medium | large")
-		backends = flag.String("backends", "", "comma-separated registry backends for the 'backends' experiment (default: all)")
+		scale    = flag.String("scale", "small", "dataset scale: tiny | small | medium | large")
+		backends = flag.String("backends", "", "comma-separated registry backends for the 'backends'/'concurrency' experiments (default: all)")
+		workers  = flag.String("workers", "", "comma-separated worker counts for the 'concurrency' experiment (default 1,2,4,8)")
+		jsonOut  = flag.String("json", "", "write the concurrency sweep as a streach-bench/v1 JSON report to this path")
 	)
 	flag.Parse()
 
@@ -62,7 +70,27 @@ func main() {
 			}
 		}
 	}
+	if *workers != "" {
+		for _, part := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "reachbench: bad -workers entry %q\n", part)
+				os.Exit(2)
+			}
+			opts.Workers = append(opts.Workers, w)
+		}
+	}
 	switch *scale {
+	case "tiny":
+		// CI smoke preset: seconds, not minutes.
+		opts.RWPSizes = []int{48}
+		opts.VNSizes = []int{24}
+		if opts.Ticks == 0 {
+			opts.Ticks = 240
+		}
+		if opts.Queries == 0 {
+			opts.Queries = 12
+		}
 	case "small":
 		// Defaults.
 	case "medium":
@@ -102,6 +130,14 @@ func main() {
 		table := run()
 		table.Render(os.Stdout)
 		fmt.Printf("  [%s took %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		recs := lab.ConcurrencyRecords()
+		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d concurrency records to %s\n", len(recs), *jsonOut)
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }

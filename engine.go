@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"streach/internal/dn"
@@ -25,9 +24,13 @@ import (
 )
 
 // Engine is the uniform query interface every registered backend satisfies.
-// Engines are safe for concurrent use: disk-resident backends serialize
-// query evaluation internally (one simulated disk arm), which also keeps the
-// per-query I/O deltas exact.
+// Engines are safe for concurrent use and evaluate read-only queries fully
+// in parallel: every query threads its own I/O accountant through the
+// traversal, and the shared buffer pool uses page-sharded latches with
+// atomic counters, so no query ever serializes behind another. Per-query
+// I/O deltas stay exact under concurrency (each query models its own disk
+// arm); the deltas of successfully evaluated queries sum to the engine's
+// cumulative IOTotals.
 type Engine interface {
 	// Name returns the registry name the engine was opened under.
 	Name() string
@@ -43,6 +46,12 @@ type Engine interface {
 	// IndexBytes returns the on-disk size of the engine's index; zero for
 	// memory-resident backends.
 	IndexBytes() int64
+	// IOTotals returns the engine's cumulative simulated disk traffic
+	// (zero for memory-resident backends). Totals are concurrency-safe;
+	// the IO deltas of successfully evaluated queries sum to them exactly
+	// (queries that error or are cancelled mid-evaluation charge the
+	// totals but return no delta).
+	IOTotals() IOStats
 }
 
 // Result is the typed answer to one reachability query.
@@ -103,13 +112,31 @@ func (ds *Dataset) sourceContacts() *ContactNetwork { return ds.Contacts() }
 func (cn *ContactNetwork) sourceDataset() *Dataset         { return nil }
 func (cn *ContactNetwork) sourceContacts() *ContactNetwork { return cn }
 
+// BufferPool is a concurrency-safe LRU page cache for the simulated disk.
+// One pool can back several engines over the same dataset (pages are keyed
+// by store identity), giving all readers a common page budget; its global
+// hit/miss/eviction counters are atomic.
+type BufferPool = pagefile.BufferPool
+
+// PoolStats is a snapshot of a BufferPool's global counters.
+type PoolStats = pagefile.PoolStats
+
+// NewBufferPool returns a pool holding at most pages cached pages, for
+// sharing across the engines of one dataset via Options.Pool.
+func NewBufferPool(pages int) *BufferPool { return pagefile.NewBufferPool(pages) }
+
 // Options configures Open. The zero value selects the paper's empirical
 // optima for every backend; fields irrelevant to the opened backend are
 // ignored.
 type Options struct {
-	// PoolPages sizes the buffer pool of the simulated disk
-	// (disk-resident backends).
+	// PoolPages sizes the private buffer pool of the simulated disk
+	// (disk-resident backends). Ignored when Pool is set.
 	PoolPages int
+	// Pool, when non-nil, is a buffer pool shared across engines: every
+	// disk-resident backend opened with the same Pool draws on one common
+	// page budget (the serving configuration — one cache per dataset, many
+	// concurrent readers).
+	Pool *BufferPool
 
 	// CellSize is the ReachGrid spatial resolution RS in metres
 	// (reachgrid, spj).
@@ -217,6 +244,7 @@ func init() {
 				PartitionDepth: opts.PartitionDepth,
 				Resolutions:    opts.Resolutions,
 				PoolPages:      opts.PoolPages,
+				Pool:           opts.Pool,
 			})
 			if err != nil {
 				return nil, err
@@ -232,14 +260,14 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return graphMemCore{m}, nil
+		return graphMemCore{m: m}, nil
 	})
 	register(BackendInfo{
 		Name:         "grail",
 		Description:  "GRAIL interval labelling, disk-resident adaptation (§6.4)",
 		DiskResident: true,
 	}, func(src Source, opts Options) (engineCore, error) {
-		dk, err := grail.NewDisk(dn.Build(src.sourceContacts().net), grailPasses(opts), opts.Seed, opts.PoolPages)
+		dk, err := grail.NewDisk(dn.Build(src.sourceContacts().net), grailPasses(opts), opts.Seed, opts.PoolPages, opts.Pool)
 		if err != nil {
 			return nil, err
 		}
@@ -253,13 +281,13 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return grailMemCore{m}, nil
+		return grailMemCore{m: m}, nil
 	})
 	register(BackendInfo{
 		Name:        "oracle",
 		Description: "brute-force propagation simulation, the ground truth (§3.2)",
 	}, func(src Source, opts Options) (engineCore, error) {
-		return oracleCore{queries.NewOracle(src.sourceContacts().net)}, nil
+		return oracleCore{o: queries.NewOracle(src.sourceContacts().net)}, nil
 	})
 }
 
@@ -268,6 +296,7 @@ func buildGridIndex(src Source, opts Options) (*reachgrid.Index, error) {
 		CellSize:    opts.CellSize,
 		BucketTicks: opts.BucketTicks,
 		PoolPages:   opts.PoolPages,
+		Pool:        opts.Pool,
 	})
 }
 
@@ -327,10 +356,9 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 		return nil, fmt.Errorf("streach: open %q: %w", spec.info.Name, err)
 	}
 	// Engines start with zeroed counters and a cold buffer pool:
-	// construction traffic is not query traffic.
-	if s := core.stats(); s != nil {
-		s.Reset()
-	}
+	// construction traffic is not query traffic. With a shared pool only
+	// this engine's pages are evicted.
+	core.resetIO()
 	core.dropCache()
 	numObjects, numTicks := sourceDims(src)
 	return &engine{
@@ -350,30 +378,36 @@ func sourceDims(src Source) (numObjects, numTicks int) {
 }
 
 // engineCore is the minimal backend surface the uniform engine wraps.
+// Implementations must be safe for concurrent calls: all traversal state is
+// per-call and page reads are charged to the caller's accountant.
 type engineCore interface {
-	// reach answers q, returning the expansion counter alongside.
-	reach(q Query) (ok bool, expanded int, err error)
+	// reach answers q, returning the expansion counter alongside and
+	// charging page reads to acct.
+	reach(q Query, acct *pagefile.Stats) (ok bool, expanded int, err error)
 	// reachSet returns the native reachable set, or errNoNativeSet when
 	// the backend has no set primitive.
-	reachSet(src ObjectID, iv Interval) ([]ObjectID, error)
-	// stats exposes the I/O accountant; nil for memory-resident backends.
-	stats() *pagefile.Stats
+	reachSet(src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error)
+	// ioTotals snapshots the cumulative I/O counters; zero for
+	// memory-resident backends.
+	ioTotals() pagefile.Stats
+	// resetIO zeroes the cumulative counters; no-op for memory-resident
+	// backends.
+	resetIO()
 	// indexBytes is the simulated on-disk index size.
 	indexBytes() int64
-	// dropCache empties the buffer pool; no-op for memory-resident
-	// backends.
+	// dropCache evicts the engine's pages from the buffer pool; no-op for
+	// memory-resident backends.
 	dropCache()
 }
 
 // errNoNativeSet makes the engine fall back to per-object point queries.
 var errNoNativeSet = errors.New("streach: backend has no native set primitive")
 
-// engine adapts an engineCore to the Engine interface, serializing access
-// (the simulated disk has one arm; serialization also keeps per-query I/O
-// deltas exact) and measuring each query.
+// engine adapts an engineCore to the Engine interface, measuring each query
+// through its own I/O accountant. There is no engine-level lock: cores are
+// concurrency-safe and queries run fully in parallel.
 type engine struct {
 	name string
-	mu   sync.Mutex
 	core engineCore
 
 	numObjects int
@@ -382,49 +416,28 @@ type engine struct {
 
 func (e *engine) Name() string { return e.name }
 
-func (e *engine) IndexBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.core.indexBytes()
-}
+func (e *engine) IndexBytes() int64 { return e.core.indexBytes() }
 
-func (e *engine) ioSnapshot() IOStats {
-	if s := e.core.stats(); s != nil {
-		return statsOf(s)
-	}
-	return IOStats{}
-}
-
-// sub returns the fieldwise I/O delta s − prev with Normalized recomputed
-// from the deltas.
-func (s IOStats) sub(prev IOStats) IOStats {
-	d := IOStats{
-		RandomReads:     s.RandomReads - prev.RandomReads,
-		SequentialReads: s.SequentialReads - prev.SequentialReads,
-		BufferHits:      s.BufferHits - prev.BufferHits,
-	}
-	d.Normalized = float64(d.RandomReads) + float64(d.SequentialReads)/pagefile.SeqCostRatio
-	return d
+func (e *engine) IOTotals() IOStats {
+	return statsOf(e.core.ioTotals())
 }
 
 func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	// Checked under the lock: a query that queued behind a slow one must
-	// not start evaluating after its context was cancelled.
+	// A query that queued behind slow ones must not start evaluating after
+	// its context was cancelled.
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	before := e.ioSnapshot()
+	var acct pagefile.Stats
 	start := time.Now()
-	ok, expanded, err := e.core.reach(q)
+	ok, expanded, err := e.core.reach(q, &acct)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
 		Query:     q,
 		Reachable: ok,
-		IO:        e.ioSnapshot().sub(before),
+		IO:        statsOf(acct),
 		Latency:   time.Since(start),
 		Expanded:  expanded,
 		Evaluated: true,
@@ -432,16 +445,14 @@ func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
 }
 
 func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (SetResult, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return SetResult{}, err
 	}
-	before := e.ioSnapshot()
+	var acct pagefile.Stats
 	start := time.Now()
-	objs, err := e.core.reachSet(src, iv)
+	objs, err := e.core.reachSet(src, iv, &acct)
 	if errors.Is(err, errNoNativeSet) {
-		objs, err = e.setViaPointQueries(ctx, src, iv)
+		objs, err = e.setViaPointQueries(ctx, src, iv, &acct)
 	}
 	if err != nil {
 		return SetResult{}, err
@@ -450,7 +461,7 @@ func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (S
 		Src:      src,
 		Interval: iv,
 		Objects:  objs,
-		IO:       e.ioSnapshot().sub(before),
+		IO:       statsOf(acct),
 		Latency:  time.Since(start),
 		Expanded: len(objs),
 	}, nil
@@ -459,8 +470,8 @@ func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (S
 // setViaPointQueries answers a reachable-set query with one point query per
 // candidate destination, mirroring the semantics of the native set
 // primitives: src is included exactly when the interval overlaps the time
-// domain. Called with e.mu held.
-func (e *engine) setViaPointQueries(ctx context.Context, src ObjectID, iv Interval) ([]ObjectID, error) {
+// domain. All point queries charge the one accountant of the set query.
+func (e *engine) setViaPointQueries(ctx context.Context, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
 	if int(src) < 0 || int(src) >= e.numObjects {
 		return nil, fmt.Errorf("streach: source %d outside [0, %d)", src, e.numObjects)
 	}
@@ -475,7 +486,7 @@ func (e *engine) setViaPointQueries(ctx context.Context, src ObjectID, iv Interv
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ok, _, err := e.core.reach(Query{Src: src, Dst: ObjectID(o), Interval: iv})
+		ok, _, err := e.core.reach(Query{Src: src, Dst: ObjectID(o), Interval: iv}, acct)
 		if err != nil {
 			return nil, err
 		}
@@ -488,82 +499,102 @@ func (e *engine) setViaPointQueries(ctx context.Context, src ObjectID, iv Interv
 
 // --- backend cores ---
 
+// memCore supplies the no-op I/O surface shared by memory-resident cores.
+type memCore struct{}
+
+func (memCore) ioTotals() pagefile.Stats { return pagefile.Stats{} }
+func (memCore) resetIO()                 {}
+func (memCore) indexBytes() int64        { return 0 }
+func (memCore) dropCache()               {}
+
 type gridCore struct{ ix *reachgrid.Index }
 
-func (c gridCore) reach(q Query) (bool, int, error) { return c.ix.ReachCounted(q) }
-func (c gridCore) reachSet(src ObjectID, iv Interval) ([]ObjectID, error) {
-	return c.ix.ReachableSet(src, iv)
+func (c gridCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.ReachCounted(q, acct)
 }
-func (c gridCore) stats() *pagefile.Stats { return c.ix.Stats() }
-func (c gridCore) indexBytes() int64      { return c.ix.Store().SizeBytes() }
-func (c gridCore) dropCache()             { c.ix.Store().DropCache() }
+func (c gridCore) reachSet(src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
+	return c.ix.ReachableSet(src, iv, acct)
+}
+func (c gridCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
+func (c gridCore) resetIO()                 { c.ix.ResetCounters() }
+func (c gridCore) indexBytes() int64        { return c.ix.Store().SizeBytes() }
+func (c gridCore) dropCache()               { c.ix.Store().DropCache() }
 
 type spjCore struct{ ix *reachgrid.Index }
 
-func (c spjCore) reach(q Query) (bool, int, error) { return c.ix.SPJReachCounted(q) }
-func (c spjCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+func (c spjCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.SPJReachCounted(q, acct)
+}
+func (c spjCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
-func (c spjCore) stats() *pagefile.Stats { return c.ix.Stats() }
-func (c spjCore) indexBytes() int64      { return c.ix.Store().SizeBytes() }
-func (c spjCore) dropCache()             { c.ix.Store().DropCache() }
+func (c spjCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
+func (c spjCore) resetIO()                 { c.ix.ResetCounters() }
+func (c spjCore) indexBytes() int64        { return c.ix.Store().SizeBytes() }
+func (c spjCore) dropCache()               { c.ix.Store().DropCache() }
 
 type graphCore struct {
 	ix       *reachgraph.Index
 	strategy Strategy
 }
 
-func (c graphCore) reach(q Query) (bool, int, error) {
-	return c.ix.ReachStrategyCounted(q, c.strategy)
+func (c graphCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.ReachStrategyCounted(q, c.strategy, acct)
 }
-func (c graphCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+func (c graphCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
-func (c graphCore) stats() *pagefile.Stats { return c.ix.Stats() }
-func (c graphCore) indexBytes() int64      { return c.ix.Store().SizeBytes() }
-func (c graphCore) dropCache()             { c.ix.Store().DropCache() }
+func (c graphCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
+func (c graphCore) resetIO()                 { c.ix.ResetCounters() }
+func (c graphCore) indexBytes() int64        { return c.ix.Store().SizeBytes() }
+func (c graphCore) dropCache()               { c.ix.Store().DropCache() }
 
-type graphMemCore struct{ m *reachgraph.Mem }
+type graphMemCore struct {
+	memCore
+	m *reachgraph.Mem
+}
 
-func (c graphMemCore) reach(q Query) (bool, int, error) {
+func (c graphMemCore) reach(q Query, _ *pagefile.Stats) (bool, int, error) {
 	return c.m.ReachStrategyCounted(q, BMBFS)
 }
-func (c graphMemCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+func (c graphMemCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
-func (c graphMemCore) stats() *pagefile.Stats { return nil }
-func (c graphMemCore) indexBytes() int64      { return 0 }
-func (c graphMemCore) dropCache()             {}
 
 type grailDiskCore struct{ dk *grail.Disk }
 
-func (c grailDiskCore) reach(q Query) (bool, int, error) { return c.dk.ReachCounted(q) }
-func (c grailDiskCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+func (c grailDiskCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.dk.ReachCounted(q, acct)
+}
+func (c grailDiskCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
-func (c grailDiskCore) stats() *pagefile.Stats { return c.dk.Stats() }
-func (c grailDiskCore) indexBytes() int64      { return c.dk.Store().SizeBytes() }
-func (c grailDiskCore) dropCache()             { c.dk.Store().DropCache() }
+func (c grailDiskCore) ioTotals() pagefile.Stats { return c.dk.Counters() }
+func (c grailDiskCore) resetIO()                 { c.dk.ResetCounters() }
+func (c grailDiskCore) indexBytes() int64        { return c.dk.Store().SizeBytes() }
+func (c grailDiskCore) dropCache()               { c.dk.Store().DropCache() }
 
-type grailMemCore struct{ m *grail.Mem }
+type grailMemCore struct {
+	memCore
+	m *grail.Mem
+}
 
-func (c grailMemCore) reach(q Query) (bool, int, error) { return c.m.ReachCounted(q) }
-func (c grailMemCore) reachSet(ObjectID, Interval) ([]ObjectID, error) {
+func (c grailMemCore) reach(q Query, _ *pagefile.Stats) (bool, int, error) {
+	return c.m.ReachCounted(q)
+}
+func (c grailMemCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
-func (c grailMemCore) stats() *pagefile.Stats { return nil }
-func (c grailMemCore) indexBytes() int64      { return 0 }
-func (c grailMemCore) dropCache()             {}
 
-type oracleCore struct{ o *queries.Oracle }
+type oracleCore struct {
+	memCore
+	o *queries.Oracle
+}
 
-func (c oracleCore) reach(q Query) (bool, int, error) {
+func (c oracleCore) reach(q Query, _ *pagefile.Stats) (bool, int, error) {
 	ok, expanded := c.o.ReachableCounted(q)
 	return ok, expanded, nil
 }
-func (c oracleCore) reachSet(src ObjectID, iv Interval) ([]ObjectID, error) {
+func (c oracleCore) reachSet(src ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, error) {
 	return c.o.ReachableSet(src, iv), nil
 }
-func (c oracleCore) stats() *pagefile.Stats { return nil }
-func (c oracleCore) indexBytes() int64      { return 0 }
-func (c oracleCore) dropCache()             {}

@@ -235,8 +235,9 @@ type blockingEngine struct {
 	started chan struct{}
 }
 
-func (b *blockingEngine) Name() string      { return "blocking" }
-func (b *blockingEngine) IndexBytes() int64 { return 0 }
+func (b *blockingEngine) Name() string              { return "blocking" }
+func (b *blockingEngine) IndexBytes() int64         { return 0 }
+func (b *blockingEngine) IOTotals() streach.IOStats { return streach.IOStats{} }
 func (b *blockingEngine) Reachable(ctx context.Context, q streach.Query) (streach.Result, error) {
 	select {
 	case b.started <- struct{}{}:
@@ -303,8 +304,9 @@ func TestEvaluateBatchCancellation(t *testing.T) {
 // failingEngine fails every query, for the ContinueOnError path.
 type failingEngine struct{ calls int }
 
-func (f *failingEngine) Name() string      { return "failing" }
-func (f *failingEngine) IndexBytes() int64 { return 0 }
+func (f *failingEngine) Name() string              { return "failing" }
+func (f *failingEngine) IndexBytes() int64         { return 0 }
+func (f *failingEngine) IOTotals() streach.IOStats { return streach.IOStats{} }
 func (f *failingEngine) Reachable(ctx context.Context, q streach.Query) (streach.Result, error) {
 	f.calls++
 	if q.Src == 2 {

@@ -39,7 +39,7 @@ func BuildGrail(cn *ContactNetwork, opts GrailOptions) (*Grail, error) {
 		d = 5
 	}
 	if opts.Disk {
-		dk, err := grail.NewDisk(g, d, opts.Seed, opts.PoolPages)
+		dk, err := grail.NewDisk(g, d, opts.Seed, opts.PoolPages, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -66,14 +66,14 @@ func (g *Grail) IOStats() IOStats {
 	if g.disk == nil {
 		return IOStats{}
 	}
-	return statsOf(g.disk.Stats())
+	return statsOf(g.disk.Counters())
 }
 
 // ResetStats zeroes the I/O counters and drops the buffer pool (no-op for
 // the memory-resident engine).
 func (g *Grail) ResetStats() {
 	if g.disk != nil {
-		g.disk.Stats().Reset()
+		g.disk.ResetCounters()
 		g.disk.Store().DropCache()
 	}
 }

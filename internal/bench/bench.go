@@ -53,9 +53,13 @@ type Options struct {
 	Queries int
 	// Seed fixes all generators.
 	Seed int64
-	// Backends restricts the cross-backend experiment ("backends") to the
-	// named registry backends. Default: every registered backend.
+	// Backends restricts the cross-backend experiments ("backends",
+	// "concurrency") to the named registry backends. Default: every
+	// registered backend.
 	Backends []string
+	// Workers lists the EvaluateBatch pool sizes the "concurrency"
+	// experiment sweeps. Default {1, 2, 4, 8}.
+	Workers []int
 }
 
 func (o *Options) applyDefaults() {
@@ -79,6 +83,9 @@ func (o *Options) applyDefaults() {
 	}
 	if len(o.Backends) == 0 {
 		o.Backends = streach.Backends()
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
 	}
 }
 
@@ -154,6 +161,7 @@ type Lab struct {
 	contacts map[string]*contact.Network
 	graphs   map[string]*dn.Graph
 	pub      map[string]*streach.Dataset
+	concRecs []Record // memoized concurrency sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -409,6 +417,7 @@ func (l *Lab) All() []*Table {
 		l.Table5a(),
 		l.Table5b(),
 		l.BackendSweep(),
+		l.Concurrency(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
 	}
@@ -455,6 +464,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.SPJ
 	case "backends":
 		return l.BackendSweep
+	case "concurrency":
+		return l.Concurrency
 	}
 	return nil
 }
@@ -464,6 +475,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
-		"table5a", "table5b", "backends", "ablation-pool", "ablation-bidir",
+		"table5a", "table5b", "backends", "concurrency",
+		"ablation-pool", "ablation-bidir",
 	}
 }

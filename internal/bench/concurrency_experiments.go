@@ -1,0 +1,124 @@
+// The concurrency experiment: workers × backends batch throughput. This is
+// the serving-side counterpart of the paper's I/O experiments — engines are
+// lock-free readers over a shared buffer pool, so batch throughput must
+// scale with the worker count (near-linearly for memory-resident backends,
+// and clearly above 1× for disk-resident ones once the pool is warm). Its
+// records feed the machine-readable perf trajectory (BENCH_*.json).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streach"
+)
+
+// ConcurrencyRecords runs the standard workload through every selected
+// backend at each worker count and returns one Record per (backend,
+// workers) point. The engine (and its buffer pool) is opened once per
+// backend and warmed with one untimed pass, so the sweep measures steady
+// serving throughput, not cold-cache construction effects. The sweep runs
+// once per Lab; the table view and the JSON reporter share its records.
+func (l *Lab) ConcurrencyRecords() []Record {
+	if l.concRecs != nil {
+		return l.concRecs
+	}
+	d := l.RWP(l.opts.RWPSizes[len(l.opts.RWPSizes)/2])
+	// Replicate the standard workload so every timed run has enough
+	// queries to amortize pool startup and scheduler noise.
+	base := l.Workload(d, 0)
+	batch := append([]streach.Query(nil), base...)
+	for len(batch) < 4*len(base) {
+		batch = append(batch, base...)
+	}
+	ctx := context.Background()
+
+	var recs []Record
+	for _, name := range l.opts.Backends {
+		e := l.OpenBackend(name, d, streach.Options{})
+		// Warm pass: fills the buffer pool and faults in every structure.
+		if _, err := streach.EvaluateBatch(ctx, e, batch, streach.BatchOptions{Workers: 1}); err != nil {
+			panic(fmt.Sprintf("bench: concurrency warm-up %s: %v", name, err))
+		}
+		backendRecs := make([]Record, 0, len(l.opts.Workers))
+		for _, workers := range l.opts.Workers {
+			backendRecs = append(backendRecs, l.measureBatch(e, d.Name, batch, workers))
+		}
+		// Normalize speedups against the lowest worker count measured
+		// (the 1-worker run when present), independent of sweep order.
+		base := backendRecs[0]
+		for _, rec := range backendRecs[1:] {
+			if rec.Workers < base.Workers {
+				base = rec
+			}
+		}
+		for i := range backendRecs {
+			backendRecs[i].SpeedupVs1Worker = backendRecs[i].QueriesPerSec / base.QueriesPerSec
+		}
+		recs = append(recs, backendRecs...)
+	}
+	l.concRecs = recs
+	return recs
+}
+
+// measureBatch times one EvaluateBatch run and distils it into a Record.
+func (l *Lab) measureBatch(e streach.Engine, dataset string, batch []streach.Query, workers int) Record {
+	start := time.Now()
+	results, err := streach.EvaluateBatch(context.Background(), e, batch, streach.BatchOptions{Workers: workers})
+	elapsed := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("bench: concurrency batch %s x%d: %v", e.Name(), workers, err))
+	}
+	lats := make([]time.Duration, 0, len(results))
+	var pages, hits int64
+	var normalized float64
+	for _, r := range results {
+		lats = append(lats, r.Latency)
+		pages += r.IO.RandomReads + r.IO.SequentialReads
+		hits += r.IO.BufferHits
+		normalized += r.IO.Normalized
+	}
+	p50, p95 := latencyPercentiles(lats)
+	hitRate := 0.0
+	if hits+pages > 0 {
+		hitRate = float64(hits) / float64(hits+pages)
+	}
+	return Record{
+		Experiment:           "concurrency",
+		Backend:              e.Name(),
+		Dataset:              dataset,
+		Workers:              workers,
+		Queries:              len(batch),
+		QueriesPerSec:        float64(len(batch)) / elapsed.Seconds(),
+		P50LatencyUS:         p50,
+		P95LatencyUS:         p95,
+		PagesRead:            pages,
+		NormalizedIOPerQuery: normalized / float64(len(batch)),
+		CacheHitRate:         hitRate,
+	}
+}
+
+// Concurrency renders the workers × backends sweep as a table (the
+// human-readable view of ConcurrencyRecords).
+func (l *Lab) Concurrency() *Table {
+	t := &Table{
+		ID:      "concurrency",
+		Title:   "Batch throughput vs workers (lock-free engines, warm pool)",
+		Columns: []string{"Backend", "Dataset", "Workers", "q/s", "p50", "p95", "Speedup", "Hit rate"},
+	}
+	for _, rec := range l.ConcurrencyRecords() {
+		t.AddRow(
+			rec.Backend, rec.Dataset, fmt.Sprint(rec.Workers),
+			fmt.Sprintf("%.0f", rec.QueriesPerSec),
+			fmt.Sprintf("%.0fµs", rec.P50LatencyUS),
+			fmt.Sprintf("%.0fµs", rec.P95LatencyUS),
+			fmt.Sprintf("%.2fx", rec.SpeedupVs1Worker),
+			fmt.Sprintf("%.0f%%", 100*rec.CacheHitRate),
+		)
+	}
+	t.AddNote("one engine per backend, pool warmed by an untimed pass; speedup is q/s vs the")
+	t.AddNote("same backend at 1 worker — memory backends should approach the worker count,")
+	t.AddNote("disk backends stay >1x on a warm pool (page-sharded latches, no global lock)")
+	return t
+}

@@ -1,0 +1,126 @@
+// Machine-readable benchmark output. Experiments that feed the perf
+// trajectory (BENCH_*.json files and CI artifacts) emit flat Records; a
+// Report wraps them with a schema tag and environment stamp so downstream
+// tooling can validate and compare runs across commits.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion tags every Report; consumers must reject unknown schemas.
+const SchemaVersion = "streach-bench/v1"
+
+// Record is one measurement point of a machine-readable experiment: one
+// backend on one dataset at one worker count.
+type Record struct {
+	// Experiment is the experiment id (e.g. "concurrency").
+	Experiment string `json:"experiment"`
+	// Backend is the registry backend name.
+	Backend string `json:"backend"`
+	// Dataset names the dataset (e.g. "RWP400").
+	Dataset string `json:"dataset"`
+	// Workers is the EvaluateBatch pool size of this point.
+	Workers int `json:"workers"`
+	// Queries is the batch size evaluated.
+	Queries int `json:"queries"`
+	// QueriesPerSec is batch throughput: Queries / wall time.
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// P50LatencyUS and P95LatencyUS are per-query latency percentiles in
+	// microseconds.
+	P50LatencyUS float64 `json:"p50_latency_us"`
+	P95LatencyUS float64 `json:"p95_latency_us"`
+	// PagesRead is the number of pages fetched from the simulated disk
+	// (pool misses); zero for memory-resident backends.
+	PagesRead int64 `json:"pages_read"`
+	// NormalizedIOPerQuery is the paper's I/O metric averaged per query.
+	NormalizedIOPerQuery float64 `json:"normalized_io_per_query"`
+	// CacheHitRate is buffer-pool hits / (hits + pages read).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// SpeedupVs1Worker is this point's throughput over the same backend's
+	// throughput at the lowest worker count swept (the 1-worker run when
+	// the sweep includes one; that record reports 1.0).
+	SpeedupVs1Worker float64 `json:"speedup_vs_1_worker"`
+}
+
+// Report is the JSON document wrapping an experiment's records.
+type Report struct {
+	Schema      string   `json:"schema"`
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Records     []Record `json:"records"`
+}
+
+// WriteJSON writes recs as an indented Report document.
+func WriteJSON(w io.Writer, recs []Record) error {
+	rep := Report{
+		Schema:      SchemaVersion,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Records:     recs,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJSONFile writes recs to path, creating or truncating it.
+func WriteJSONFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses and validates a Report document (the consumer side of
+// the CI artifact pipeline).
+func ReadReport(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: malformed report: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: unknown schema %q (want %q)", rep.Schema, SchemaVersion)
+	}
+	if len(rep.Records) == 0 {
+		return nil, fmt.Errorf("bench: report has no records")
+	}
+	for i, rec := range rep.Records {
+		if rec.Experiment == "" || rec.Backend == "" || rec.Dataset == "" {
+			return nil, fmt.Errorf("bench: record %d missing identity: %+v", i, rec)
+		}
+		if rec.QueriesPerSec <= 0 || rec.Queries <= 0 {
+			return nil, fmt.Errorf("bench: record %d has non-positive throughput: %+v", i, rec)
+		}
+	}
+	return &rep, nil
+}
+
+// latencyPercentiles returns the p50 and p95 of ds in microseconds.
+func latencyPercentiles(ds []time.Duration) (p50, p95 float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Microsecond)
+	}
+	return at(0.50), at(0.95)
+}

@@ -126,8 +126,10 @@ type diskVertex struct {
 }
 
 // NewDisk labels g and lays the labelled vertices out on a simulated disk
-// in vertex (generation) order.
-func NewDisk(g *dn.Graph, d int, seed int64, poolPages int) (*Disk, error) {
+// in vertex (generation) order. pool, when non-nil, is a buffer pool shared
+// with other indexes over the same dataset; otherwise a private pool of
+// poolPages pages is used (0 selects 64, negative disables caching).
+func NewDisk(g *dn.Graph, d int, seed int64, poolPages int, pool *pagefile.BufferPool) (*Disk, error) {
 	if len(g.Nodes) == 0 {
 		return nil, errors.New("grail: empty graph")
 	}
@@ -139,7 +141,7 @@ func NewDisk(g *dn.Graph, d int, seed int64, poolPages int) (*Disk, error) {
 		poolPages = 64
 	}
 	dk := &Disk{
-		store:      pagefile.NewStore(poolPages),
+		store:      pagefile.NewStoreWith(pool, poolPages),
 		d:          d,
 		numObjects: g.NumObjects,
 		numTicks:   g.NumTicks,
@@ -197,15 +199,19 @@ func NewDisk(g *dn.Graph, d int, seed int64, poolPages int) (*Disk, error) {
 	return dk, nil
 }
 
-// Stats exposes the I/O accountant.
-func (dk *Disk) Stats() *pagefile.Stats { return dk.store.Stats() }
+// Counters returns the store's cumulative I/O totals; per-query accountants
+// passed to ReachCounted sum to consecutive Counters differences.
+func (dk *Disk) Counters() pagefile.Stats { return dk.store.Counters() }
+
+// ResetCounters zeroes the cumulative totals.
+func (dk *Disk) ResetCounters() { dk.store.ResetCounters() }
 
 // Store exposes the simulated disk.
 func (dk *Disk) Store() *pagefile.Store { return dk.store }
 
 // findVertex locates object o's vertex at tick t via the on-disk directory.
-func (dk *Disk) findVertex(o trajectory.ObjectID, t trajectory.Tick) (dn.NodeID, error) {
-	data, err := dk.store.ReadBlob(dk.dirRefs[o])
+func (dk *Disk) findVertex(o trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) (dn.NodeID, error) {
+	data, err := dk.store.ReadBlob(dk.dirRefs[o], acct)
 	if err != nil {
 		return dn.Invalid, fmt.Errorf("grail: directory of object %d: %w", o, err)
 	}
@@ -231,11 +237,11 @@ func (dk *Disk) findVertex(o trajectory.ObjectID, t trajectory.Tick) (dn.NodeID,
 
 // fetch decodes the record of vertex id, reading its blob if the per-query
 // cache misses.
-func (dk *Disk) fetch(id dn.NodeID, cache map[dn.NodeID]*diskVertex) (*diskVertex, error) {
+func (dk *Disk) fetch(id dn.NodeID, cache map[dn.NodeID]*diskVertex, acct *pagefile.Stats) (*diskVertex, error) {
 	if v, ok := cache[id]; ok {
 		return v, nil
 	}
-	data, err := dk.store.ReadBlob(dk.blobRefs[dk.blobOf[id]])
+	data, err := dk.store.ReadBlob(dk.blobRefs[dk.blobOf[id]], acct)
 	if err != nil {
 		return nil, fmt.Errorf("grail: blob of vertex %d: %w", id, err)
 	}
@@ -276,24 +282,28 @@ func contains(u, v *diskVertex) bool {
 }
 
 // Reach answers q with the disk-resident label-pruned DFS, charging all
-// page reads to Stats().
+// page reads to the store's cumulative Counters through a query-scoped
+// accountant.
 func (dk *Disk) Reach(q queries.Query) (bool, error) {
-	ok, _, err := dk.ReachCounted(q)
+	var acct pagefile.Stats
+	ok, _, err := dk.ReachCounted(q, &acct)
 	return ok, err
 }
 
 // ReachCounted is Reach plus the number of vertices the pruned DFS visited.
-func (dk *Disk) ReachCounted(q queries.Query) (bool, int, error) {
-	u, v, done, ans, err := dk.entry(q)
+// Page reads are charged to acct (which may be nil) in addition to the
+// cumulative counters; all traversal state is per-query.
+func (dk *Disk) ReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, error) {
+	u, v, done, ans, err := dk.entry(q, acct)
 	if done || err != nil {
 		return ans, 0, err
 	}
 	cache := make(map[dn.NodeID]*diskVertex, 64)
-	uRec, err := dk.fetch(u, cache)
+	uRec, err := dk.fetch(u, cache, acct)
 	if err != nil {
 		return false, 0, err
 	}
-	vRec, err := dk.fetch(v, cache)
+	vRec, err := dk.fetch(v, cache, acct)
 	if err != nil {
 		return false, 0, err
 	}
@@ -308,7 +318,7 @@ func (dk *Disk) ReachCounted(q queries.Query) (bool, int, error) {
 		if cur == v {
 			return true, len(visited), nil
 		}
-		rec, err := dk.fetch(cur, cache)
+		rec, err := dk.fetch(cur, cache, acct)
 		if err != nil {
 			return false, len(visited), err
 		}
@@ -319,7 +329,7 @@ func (dk *Disk) ReachCounted(q queries.Query) (bool, int, error) {
 			visited[c] = true
 			// Pruning requires the child's labels — a disk read; the
 			// saving is in never descending below a pruned child.
-			cRec, err := dk.fetch(c, cache)
+			cRec, err := dk.fetch(c, cache, acct)
 			if err != nil {
 				return false, len(visited), err
 			}
@@ -332,7 +342,7 @@ func (dk *Disk) ReachCounted(q queries.Query) (bool, int, error) {
 }
 
 // entry mirrors entryVertices using the on-disk directory.
-func (dk *Disk) entry(q queries.Query) (u, v dn.NodeID, done, ans bool, err error) {
+func (dk *Disk) entry(q queries.Query, acct *pagefile.Stats) (u, v dn.NodeID, done, ans bool, err error) {
 	if int(q.Src) < 0 || int(q.Src) >= dk.numObjects ||
 		int(q.Dst) < 0 || int(q.Dst) >= dk.numObjects {
 		return 0, 0, true, false, fmt.Errorf("grail: query objects outside [0, %d)", dk.numObjects)
@@ -344,10 +354,10 @@ func (dk *Disk) entry(q queries.Query) (u, v dn.NodeID, done, ans bool, err erro
 	if q.Src == q.Dst {
 		return 0, 0, true, true, nil
 	}
-	if u, err = dk.findVertex(q.Src, iv.Lo); err != nil {
+	if u, err = dk.findVertex(q.Src, iv.Lo, acct); err != nil {
 		return 0, 0, true, false, err
 	}
-	if v, err = dk.findVertex(q.Dst, iv.Hi); err != nil {
+	if v, err = dk.findVertex(q.Dst, iv.Hi, acct); err != nil {
 		return 0, 0, true, false, err
 	}
 	if u == v {

@@ -107,7 +107,7 @@ func TestDiskMatchesMem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dk, err := NewDisk(g, 2, 17, 32)
+	dk, err := NewDisk(g, 2, 17, 32, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,14 +128,14 @@ func TestDiskMatchesMem(t *testing.T) {
 			t.Fatalf("%v: mem %v, disk %v", q, a, b)
 		}
 	}
-	if dk.Stats().RandomReads == 0 {
+	if dk.Counters().RandomReads == 0 {
 		t.Error("disk engine reported no random reads")
 	}
 }
 
 func TestDiskDegenerates(t *testing.T) {
 	g, _, _ := buildGraph(t, 10, 60, 35)
-	dk, err := NewDisk(g, 2, 1, 8)
+	dk, err := NewDisk(g, 2, 1, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestDiskDegenerates(t *testing.T) {
 }
 
 func TestNewDiskEmptyGraph(t *testing.T) {
-	if _, err := NewDisk(&dn.Graph{}, 2, 1, 8); err == nil {
+	if _, err := NewDisk(&dn.Graph{}, 2, 1, 8, nil); err == nil {
 		t.Fatal("empty graph: want error")
 	}
 }

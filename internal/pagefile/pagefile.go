@@ -6,14 +6,39 @@
 // sequential accesses normalized to 1/20 of a random access (§6, citing
 // Corral et al.). Reproducing the experiments therefore needs a disk *model*
 // rather than a physical disk: Store places serialized blobs on consecutive
-// 4 KiB pages, and Stats counts a page read as sequential exactly when it is
-// the physical successor of the previously read page.
+// 4 KiB pages, and a Stats accountant counts a page read as sequential
+// exactly when it is the physical successor of the previously read page of
+// the same access stream.
+//
+// # Concurrency model
+//
+// The layer is built for serving-style workloads where many read-only
+// queries run in parallel over one or more stores:
+//
+//   - Stats is a per-stream accountant. Each query owns one (it models the
+//     query's own disk arm, so sequential detection stays exact under
+//     concurrency) and threads it through ReadBlob. A Stats must not be
+//     shared between goroutines.
+//   - Store keeps cumulative totals in atomic counters (Counters), charged
+//     on every read alongside the caller's accountant, so per-query deltas
+//     sum exactly to the store totals.
+//   - BufferPool is a page-sharded LRU safe for concurrent use: pages hash
+//     onto independently latched shards, and the hit/miss/eviction counters
+//     are atomic. One pool can be shared by several stores (pages are keyed
+//     by store identity), giving all readers of one dataset a common page
+//     budget.
+//
+// Writes (AppendBlob) happen during index construction, before queries
+// start; they are serialized against reads by the store's internal lock but
+// are not designed for concurrent bulk loading.
 package pagefile
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of one disk page in bytes (Table 3: 4 KiB pages).
@@ -26,7 +51,9 @@ const SeqCostRatio = 20
 // ErrCorruptBlob is returned when a blob fails its integrity check on read.
 var ErrCorruptBlob = errors.New("pagefile: corrupt blob")
 
-// Stats accumulates I/O counts. The zero value is ready to use.
+// Stats accumulates I/O counts for one access stream (typically one query).
+// The zero value is ready to use. A Stats is not safe for concurrent use;
+// concurrent queries each own one and their deltas sum to Store.Counters.
 type Stats struct {
 	RandomReads     int64
 	SequentialReads int64
@@ -39,58 +66,130 @@ type Stats struct {
 
 // Normalized returns the paper's headline metric: random reads plus
 // sequential reads scaled by 1/SeqCostRatio.
-func (s *Stats) Normalized() float64 {
+func (s Stats) Normalized() float64 {
 	return float64(s.RandomReads) + float64(s.SequentialReads)/SeqCostRatio
 }
 
 // Reset zeroes all counters, starting a new measurement window.
 func (s *Stats) Reset() { *s = Stats{} }
 
-func (s *Stats) recordRead(page int64) {
-	if s.valid && page == s.lastPage+1 {
+// Add accumulates d into s, ignoring d's stream position.
+func (s *Stats) Add(d Stats) {
+	s.RandomReads += d.RandomReads
+	s.SequentialReads += d.SequentialReads
+	s.PagesWritten += d.PagesWritten
+	s.BufferHits += d.BufferHits
+}
+
+// sequential reports whether fetching page would continue this stream's
+// sequential run, and records the fetch.
+func (s *Stats) sequential(page int64) bool {
+	seq := s.valid && page == s.lastPage+1
+	if seq {
 		s.SequentialReads++
 	} else {
 		s.RandomReads++
 	}
 	s.lastPage = page
 	s.valid = true
+	return seq
 }
+
+// storeIDs hands every store a process-unique identity for shared-pool keys.
+var storeIDs atomic.Uint64
 
 // Store is an append-only simulated disk holding fixed-size pages. Blobs
 // (serialized index nodes, grid cells, partitions …) are written onto runs
 // of consecutive pages; reading a blob fetches its pages through the buffer
-// pool and charges the Stats.
+// pool and charges both the caller's per-stream Stats and the store's
+// atomic totals. Reads are safe for concurrent use.
 type Store struct {
+	id     uint64
+	pool   *BufferPool
+	shared bool // pool is shared with other stores; DropCache evicts only our pages
+
+	mu    sync.RWMutex
 	pages [][]byte
-	stats Stats
-	pool  *BufferPool
+
+	randomReads     atomic.Int64
+	sequentialReads atomic.Int64
+	bufferHits      atomic.Int64
+	pagesWritten    atomic.Int64
 }
 
-// NewStore returns an empty store whose reads go through a buffer pool of
-// poolPages pages. poolPages ≤ 0 disables caching entirely.
+// NewStore returns an empty store whose reads go through a private buffer
+// pool of poolPages pages. poolPages ≤ 0 disables caching entirely.
 func NewStore(poolPages int) *Store {
-	st := &Store{}
+	st := &Store{id: storeIDs.Add(1)}
 	if poolPages > 0 {
 		st.pool = NewBufferPool(poolPages)
 	}
 	return st
 }
 
-// Stats exposes the store's I/O accountant.
-func (st *Store) Stats() *Stats { return &st.stats }
+// NewStoreShared returns an empty store whose reads go through pool, a
+// buffer pool shared with other stores (the page budget is common). A nil
+// pool disables caching.
+func NewStoreShared(pool *BufferPool) *Store {
+	return &Store{id: storeIDs.Add(1), pool: pool, shared: pool != nil}
+}
+
+// NewStoreWith is the constructor index builders use: it selects the shared
+// pool when non-nil and otherwise a private pool of poolPages pages
+// (NewStore semantics).
+func NewStoreWith(pool *BufferPool, poolPages int) *Store {
+	if pool != nil {
+		return NewStoreShared(pool)
+	}
+	return NewStore(poolPages)
+}
+
+// Counters returns a snapshot of the store's cumulative I/O totals. The
+// snapshot carries no stream position; per-query deltas (the Stats threaded
+// through ReadBlob) sum exactly to consecutive Counters differences.
+func (st *Store) Counters() Stats {
+	return Stats{
+		RandomReads:     st.randomReads.Load(),
+		SequentialReads: st.sequentialReads.Load(),
+		BufferHits:      st.bufferHits.Load(),
+		PagesWritten:    st.pagesWritten.Load(),
+	}
+}
+
+// ResetCounters zeroes the cumulative totals, starting a new measurement
+// window. In-flight reads may straddle the reset.
+func (st *Store) ResetCounters() {
+	st.randomReads.Store(0)
+	st.sequentialReads.Store(0)
+	st.bufferHits.Store(0)
+	st.pagesWritten.Store(0)
+}
+
+// Pool exposes the store's buffer pool (nil when caching is disabled).
+func (st *Store) Pool() *BufferPool { return st.pool }
 
 // NumPages returns the number of pages written so far.
-func (st *Store) NumPages() int64 { return int64(len(st.pages)) }
+func (st *Store) NumPages() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return int64(len(st.pages))
+}
 
 // SizeBytes returns the total on-disk size.
 func (st *Store) SizeBytes() int64 { return st.NumPages() * PageSize }
 
-// DropCache empties the buffer pool (e.g. between measured queries) without
-// touching the I/O counters.
+// DropCache evicts this store's pages from the buffer pool (e.g. between
+// measured queries) without touching the I/O counters. Pages of other
+// stores sharing the pool are left resident.
 func (st *Store) DropCache() {
-	if st.pool != nil {
-		st.pool.Clear()
+	if st.pool == nil {
+		return
 	}
+	if st.shared {
+		st.pool.EvictStore(st.id)
+		return
+	}
+	st.pool.Clear()
 }
 
 // BlobRef locates a blob on the store.
@@ -114,6 +213,7 @@ func (st *Store) AppendBlob(data []byte) BlobRef {
 	binary.LittleEndian.PutUint32(buf[4:8], checksum(data))
 	copy(buf[blobHeaderSize:], data)
 
+	st.mu.Lock()
 	first := int64(len(st.pages))
 	for off := 0; off < len(buf) || off == 0; off += PageSize {
 		end := off + PageSize
@@ -123,28 +223,37 @@ func (st *Store) AppendBlob(data []byte) BlobRef {
 		page := make([]byte, PageSize)
 		copy(page, buf[off:end])
 		st.pages = append(st.pages, page)
-		st.stats.PagesWritten++
+		st.pagesWritten.Add(1)
 		if end == len(buf) {
 			break
 		}
 	}
+	st.mu.Unlock()
 	return BlobRef{Page: first, Bytes: int32(len(buf))}
 }
 
-// ReadBlob fetches the blob at ref, charging the stats for pages that miss
-// the buffer pool. The returned slice must not be modified.
-func (st *Store) ReadBlob(ref BlobRef) ([]byte, error) {
+// ReadBlob fetches the blob at ref, charging acct (and the store's atomic
+// totals) for pages that miss the buffer pool. acct may be nil, in which
+// case sequential runs are still detected within this one blob but not
+// across calls. The returned slice must not be modified.
+func (st *Store) ReadBlob(ref BlobRef, acct *Stats) ([]byte, error) {
 	if ref.Bytes < blobHeaderSize {
 		return nil, fmt.Errorf("%w: header too short (%d bytes)", ErrCorruptBlob, ref.Bytes)
 	}
+	if acct == nil {
+		acct = &Stats{}
+	}
 	numPages := (int64(ref.Bytes) + PageSize - 1) / PageSize
-	if ref.Page < 0 || ref.Page+numPages > int64(len(st.pages)) {
+	st.mu.RLock()
+	total := int64(len(st.pages))
+	st.mu.RUnlock()
+	if ref.Page < 0 || ref.Page+numPages > total {
 		return nil, fmt.Errorf("pagefile: blob [%d, %d) outside store of %d pages",
-			ref.Page, ref.Page+numPages, len(st.pages))
+			ref.Page, ref.Page+numPages, total)
 	}
 	buf := make([]byte, 0, numPages*PageSize)
 	for p := ref.Page; p < ref.Page+numPages; p++ {
-		buf = append(buf, st.fetchPage(p)...)
+		buf = append(buf, st.fetchPage(p, acct)...)
 	}
 	buf = buf[:ref.Bytes]
 	n := binary.LittleEndian.Uint32(buf[0:4])
@@ -158,31 +267,43 @@ func (st *Store) ReadBlob(ref BlobRef) ([]byte, error) {
 	return payload, nil
 }
 
-// fetchPage returns page p's bytes, via the buffer pool when present.
-func (st *Store) fetchPage(p int64) []byte {
+// fetchPage returns page p's bytes, via the buffer pool when present,
+// charging acct and the store totals.
+func (st *Store) fetchPage(p int64, acct *Stats) []byte {
 	if st.pool != nil {
-		if data, ok := st.pool.Get(p); ok {
-			st.stats.BufferHits++
+		if data, ok := st.pool.Get(st.id, p); ok {
+			acct.BufferHits++
+			st.bufferHits.Add(1)
 			return data
 		}
 	}
-	st.stats.recordRead(p)
+	if acct.sequential(p) {
+		st.sequentialReads.Add(1)
+	} else {
+		st.randomReads.Add(1)
+	}
+	st.mu.RLock()
 	data := st.pages[p]
+	st.mu.RUnlock()
 	if st.pool != nil {
-		st.pool.Put(p, data)
+		st.pool.Put(st.id, p, data)
 	}
 	return data
 }
 
-// CorruptPage flips a byte of page p. It exists for failure-injection tests.
+// CorruptPage flips a byte of page p. It exists for failure-injection tests
+// and must not race with concurrent reads of the same page.
 func (st *Store) CorruptPage(p int64, offset int) error {
+	st.mu.Lock()
 	if p < 0 || p >= int64(len(st.pages)) {
+		st.mu.Unlock()
 		return fmt.Errorf("pagefile: no page %d", p)
 	}
 	st.pages[p][offset%PageSize] ^= 0xFF
+	st.mu.Unlock()
 	// Invalidate any cached copy so the corruption is observable.
 	if st.pool != nil {
-		st.pool.Evict(p)
+		st.pool.Evict(st.id, p)
 	}
 	return nil
 }
@@ -197,109 +318,248 @@ func checksum(data []byte) uint32 {
 	return h
 }
 
-// BufferPool is a fixed-capacity LRU page cache.
+// PoolStats is a snapshot of a buffer pool's global atomic counters.
+type PoolStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Evictions counts pages displaced by the capacity limit (explicit
+	// Evict/Clear/EvictStore calls are not counted).
+	Evictions int64
+	// Resident is the number of cached pages; Capacity the page budget.
+	Resident int
+	Capacity int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any access.
+func (p PoolStats) HitRate() float64 {
+	if p.Hits+p.Misses == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Hits+p.Misses)
+}
+
+// pageKey identifies a cached page: pools can be shared across stores, so
+// the owning store is part of the key.
+type pageKey struct {
+	store uint64
+	page  int64
+}
+
+// BufferPool is a fixed-capacity LRU page cache, safe for concurrent use.
+// Pages hash onto independently latched shards (segmented LRU: recency is
+// tracked per shard, the capacity bound is global) and the counters are
+// atomic, so concurrent readers never serialize behind a pool-wide lock.
 type BufferPool struct {
+	shards []poolShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	capacity  int
+}
+
+type poolShard struct {
+	mu       sync.Mutex
 	capacity int
-	entries  map[int64]*poolNode
+	entries  map[pageKey]*poolNode
 	head     *poolNode // most recently used
 	tail     *poolNode // least recently used
 }
 
 type poolNode struct {
-	page       int64
+	key        pageKey
 	data       []byte
 	prev, next *poolNode
 }
 
-// NewBufferPool returns a pool holding at most capacity pages.
+// maxPoolShards bounds the latch count; minShardPages keeps every shard a
+// meaningful LRU — small pools use fewer (down to one) shards rather than
+// degenerating into a direct-mapped cache, so the pool-size ablation still
+// measures LRU behavior. The global page budget is exact in all cases.
+const (
+	maxPoolShards = 16
+	minShardPages = 16
+)
+
+// NewBufferPool returns a pool holding at most capacity pages in total.
 func NewBufferPool(capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{capacity: capacity, entries: make(map[int64]*poolNode)}
+	numShards := capacity / minShardPages
+	if numShards > maxPoolShards {
+		numShards = maxPoolShards
+	}
+	if numShards < 1 {
+		numShards = 1
+	}
+	bp := &BufferPool{shards: make([]poolShard, numShards), capacity: capacity}
+	per := capacity / numShards // exact: numShards ≤ capacity
+	extra := capacity % numShards
+	for i := range bp.shards {
+		c := per
+		if i < extra {
+			c++
+		}
+		bp.shards[i] = poolShard{capacity: c, entries: make(map[pageKey]*poolNode)}
+	}
+	return bp
+}
+
+// Capacity returns the pool's total page budget.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// shardOf maps a page key onto its shard.
+func (bp *BufferPool) shardOf(k pageKey) *poolShard {
+	h := uint64(k.page)*0x9E3779B97F4A7C15 ^ k.store*0xBF58476D1CE4E5B9
+	return &bp.shards[h%uint64(len(bp.shards))]
 }
 
 // Len returns the number of cached pages.
-func (bp *BufferPool) Len() int { return len(bp.entries) }
+func (bp *BufferPool) Len() int {
+	n := 0
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
-// Get returns the cached bytes of page p and marks it most recently used.
-func (bp *BufferPool) Get(p int64) ([]byte, bool) {
-	n, ok := bp.entries[p]
+// Stats returns a snapshot of the pool's global counters.
+func (bp *BufferPool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+		Resident:  bp.Len(),
+		Capacity:  bp.capacity,
+	}
+}
+
+// Get returns the cached bytes of page (store, p) and marks it most
+// recently used within its shard.
+func (bp *BufferPool) Get(store uint64, p int64) ([]byte, bool) {
+	k := pageKey{store, p}
+	sh := bp.shardOf(k)
+	sh.mu.Lock()
+	n, ok := sh.entries[k]
 	if !ok {
+		sh.mu.Unlock()
+		bp.misses.Add(1)
 		return nil, false
 	}
-	bp.moveToFront(n)
-	return n.data, true
+	sh.moveToFront(n)
+	data := n.data
+	sh.mu.Unlock()
+	bp.hits.Add(1)
+	return data, true
 }
 
-// Put caches page p, evicting the least recently used page if full.
-func (bp *BufferPool) Put(p int64, data []byte) {
-	if n, ok := bp.entries[p]; ok {
+// Put caches page (store, p), evicting the least recently used page of its
+// shard if the shard is at capacity.
+func (bp *BufferPool) Put(store uint64, p int64, data []byte) {
+	k := pageKey{store, p}
+	sh := bp.shardOf(k)
+	sh.mu.Lock()
+	if n, ok := sh.entries[k]; ok {
 		n.data = data
-		bp.moveToFront(n)
+		sh.moveToFront(n)
+		sh.mu.Unlock()
 		return
 	}
-	n := &poolNode{page: p, data: data}
-	bp.entries[p] = n
-	bp.pushFront(n)
-	if len(bp.entries) > bp.capacity {
-		bp.evictTail()
+	n := &poolNode{key: k, data: data}
+	sh.entries[k] = n
+	sh.pushFront(n)
+	evicted := 0
+	for len(sh.entries) > sh.capacity {
+		sh.evictTail()
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		bp.evictions.Add(int64(evicted))
 	}
 }
 
-// Evict removes page p from the pool if present.
-func (bp *BufferPool) Evict(p int64) {
-	if n, ok := bp.entries[p]; ok {
-		bp.unlink(n)
-		delete(bp.entries, p)
+// Evict removes page (store, p) from the pool if present.
+func (bp *BufferPool) Evict(store uint64, p int64) {
+	k := pageKey{store, p}
+	sh := bp.shardOf(k)
+	sh.mu.Lock()
+	if n, ok := sh.entries[k]; ok {
+		sh.unlink(n)
+		delete(sh.entries, k)
+	}
+	sh.mu.Unlock()
+}
+
+// EvictStore removes every cached page belonging to store.
+func (bp *BufferPool) EvictStore(store uint64) {
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for k, n := range sh.entries {
+			if k.store == store {
+				sh.unlink(n)
+				delete(sh.entries, k)
+			}
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Clear empties the pool.
 func (bp *BufferPool) Clear() {
-	bp.entries = make(map[int64]*poolNode)
-	bp.head, bp.tail = nil, nil
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[pageKey]*poolNode)
+		sh.head, sh.tail = nil, nil
+		sh.mu.Unlock()
+	}
 }
 
-func (bp *BufferPool) pushFront(n *poolNode) {
+func (sh *poolShard) pushFront(n *poolNode) {
 	n.prev = nil
-	n.next = bp.head
-	if bp.head != nil {
-		bp.head.prev = n
+	n.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = n
 	}
-	bp.head = n
-	if bp.tail == nil {
-		bp.tail = n
+	sh.head = n
+	if sh.tail == nil {
+		sh.tail = n
 	}
 }
 
-func (bp *BufferPool) unlink(n *poolNode) {
+func (sh *poolShard) unlink(n *poolNode) {
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else {
-		bp.head = n.next
+		sh.head = n.next
 	}
 	if n.next != nil {
 		n.next.prev = n.prev
 	} else {
-		bp.tail = n.prev
+		sh.tail = n.prev
 	}
 	n.prev, n.next = nil, nil
 }
 
-func (bp *BufferPool) moveToFront(n *poolNode) {
-	if bp.head == n {
+func (sh *poolShard) moveToFront(n *poolNode) {
+	if sh.head == n {
 		return
 	}
-	bp.unlink(n)
-	bp.pushFront(n)
+	sh.unlink(n)
+	sh.pushFront(n)
 }
 
-func (bp *BufferPool) evictTail() {
-	if bp.tail == nil {
+func (sh *poolShard) evictTail() {
+	if sh.tail == nil {
 		return
 	}
-	t := bp.tail
-	bp.unlink(t)
-	delete(bp.entries, t.page)
+	t := sh.tail
+	sh.unlink(t)
+	delete(sh.entries, t.key)
 }

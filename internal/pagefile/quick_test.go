@@ -12,7 +12,7 @@ func TestQuickBlobRoundTrip(t *testing.T) {
 	st := NewStore(8)
 	f := func(payload []byte) bool {
 		ref := st.AppendBlob(payload)
-		got, err := st.ReadBlob(ref)
+		got, err := st.ReadBlob(ref, nil)
 		if err != nil {
 			return false
 		}
@@ -42,7 +42,7 @@ func TestQuickCorruptionDetected(t *testing.T) {
 		if err := st.CorruptPage(page, off); err != nil {
 			return false
 		}
-		_, err := st.ReadBlob(ref)
+		_, err := st.ReadBlob(ref, nil)
 		return errors.Is(err, ErrCorruptBlob)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -92,18 +92,18 @@ func TestQuickPoolNeverExceedsCapacity(t *testing.T) {
 		for i, p := range pages {
 			page := int64(p % 32)
 			data := []byte{byte(i)}
-			bp.Put(page, data)
+			bp.Put(1, page, data)
 			shadow[page] = data
 			if bp.Len() > capacity {
 				return false
 			}
-			if got, ok := bp.Get(page); !ok || got[0] != data[0] {
+			if got, ok := bp.Get(1, page); !ok || got[0] != data[0] {
 				return false // just-inserted page must be resident
 			}
 		}
 		// Every hit must return the latest value.
 		for page, want := range shadow {
-			if got, ok := bp.Get(page); ok && !bytes.Equal(got, want) {
+			if got, ok := bp.Get(1, page); ok && !bytes.Equal(got, want) {
 				return false
 			}
 		}

@@ -85,22 +85,16 @@ func RandomWorkload(cfg WorkloadConfig) []Query {
 // contact is instantaneous, and objects hold items forever). This is the
 // semantics of §3.2 executed literally, with no indexing — O(|Tp|·|O|) per
 // query — so every engine is validated against it.
+//
+// The oracle holds no mutable state: each propagation allocates its own
+// scratch, so one Oracle serves concurrent queries.
 type Oracle struct {
-	net      *contact.Network
-	parent   []int32
-	size     []int32
-	infected []bool
+	net *contact.Network
 }
 
 // NewOracle returns an oracle over net.
 func NewOracle(net *contact.Network) *Oracle {
-	n := net.NumObjects
-	return &Oracle{
-		net:      net,
-		parent:   make([]int32, n),
-		size:     make([]int32, n),
-		infected: make([]bool, n),
-	}
+	return &Oracle{net: net}
 }
 
 // Reachable answers the query against ground truth.
@@ -166,17 +160,17 @@ func (o *Oracle) propagate2(src trajectory.ObjectID, iv contact.Interval,
 	if int(src) < 0 || int(src) >= n || iv.Len() == 0 {
 		return
 	}
-	for i := range o.infected {
-		o.infected[i] = false
-	}
-	o.infected[src] = true
+	// Per-call scratch keeps the oracle safe under concurrent queries.
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	infected := make([]bool, n)
+	infected[src] = true
 	if onTick != nil {
 		onTick(iv.Lo)
 	}
 	if !onInfect(src) {
 		return
 	}
-	stopped := false
 	o.net.Snapshot(iv.Lo, iv.Hi, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
 		if len(pairs) == 0 {
 			return true
@@ -185,45 +179,43 @@ func (o *Oracle) propagate2(src trajectory.ObjectID, iv contact.Interval,
 			onTick(t)
 		}
 		for i := 0; i < n; i++ {
-			o.parent[i] = int32(i)
-			o.size[i] = 1
+			parent[i] = int32(i)
+			size[i] = 1
 		}
 		for _, pr := range pairs {
-			ra, rb := o.find(int32(pr.A)), o.find(int32(pr.B))
+			ra, rb := ufFind(parent, int32(pr.A)), ufFind(parent, int32(pr.B))
 			if ra == rb {
 				continue
 			}
-			if o.size[ra] < o.size[rb] {
+			if size[ra] < size[rb] {
 				ra, rb = rb, ra
 			}
-			o.parent[rb] = ra
-			o.size[ra] += o.size[rb]
+			parent[rb] = ra
+			size[ra] += size[rb]
 		}
 		// An infected member infects its whole component.
 		infectedRoot := make(map[int32]bool)
 		for i := 0; i < n; i++ {
-			if o.infected[i] {
-				infectedRoot[o.find(int32(i))] = true
+			if infected[i] {
+				infectedRoot[ufFind(parent, int32(i))] = true
 			}
 		}
 		for i := 0; i < n; i++ {
-			if !o.infected[i] && infectedRoot[o.find(int32(i))] {
-				o.infected[i] = true
+			if !infected[i] && infectedRoot[ufFind(parent, int32(i))] {
+				infected[i] = true
 				if !onInfect(trajectory.ObjectID(i)) {
-					stopped = true
 					return false
 				}
 			}
 		}
 		return true
 	})
-	_ = stopped
 }
 
-func (o *Oracle) find(x int32) int32 {
-	for o.parent[x] != x {
-		o.parent[x] = o.parent[o.parent[x]]
-		x = o.parent[x]
+func ufFind(parent []int32, x int32) int32 {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
 	}
 	return x
 }

@@ -51,7 +51,7 @@ func TestTruncatedDirectoryFails(t *testing.T) {
 	}
 	var sawErr bool
 	for o := 0; o < 20 && !sawErr; o++ {
-		if _, _, err := ix.findVertex(trajectory.ObjectID(o), 50); err != nil {
+		if _, _, err := ix.findVertex(trajectory.ObjectID(o), 50, nil); err != nil {
 			if !errors.Is(err, pagefile.ErrCorruptBlob) {
 				t.Fatalf("unexpected error type: %v", err)
 			}

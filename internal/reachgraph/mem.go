@@ -15,12 +15,13 @@ import (
 	"streach/internal/trajectory"
 )
 
-// Mem is a memory-resident ReachGraph over a reduced graph.
+// Mem is a memory-resident ReachGraph over a reduced graph. Record views
+// are materialized eagerly at construction, so queries never mutate shared
+// state and the engine is safe for fully parallel evaluation.
 type Mem struct {
 	g           *dn.Graph
 	resolutions []int
-	recs        []vertexRec // lazily materialized views, indexed by NodeID
-	ready       []bool
+	recs        []vertexRec // record views, indexed by NodeID
 }
 
 // NewMem wraps g for in-memory query evaluation. g must carry bidirectional
@@ -33,23 +34,19 @@ func NewMem(g *dn.Graph, resolutions []int) (*Mem, error) {
 			return nil, err
 		}
 	}
-	return &Mem{
+	m := &Mem{
 		g:           g,
 		resolutions: resolutions,
 		recs:        make([]vertexRec, len(g.Nodes)),
-		ready:       make([]bool, len(g.Nodes)),
-	}, nil
+	}
+	for id := range g.Nodes {
+		m.materialize(dn.NodeID(id))
+	}
+	return m, nil
 }
 
-// vertex materializes (once) a record view of node id. Partition hints are
-// meaningless in memory and ignored.
-func (m *Mem) vertex(id dn.NodeID, _ int32) (*vertexRec, error) {
-	if id < 0 || int(id) >= len(m.g.Nodes) {
-		return nil, fmt.Errorf("reachgraph: no vertex %d", id)
-	}
-	if m.ready[id] {
-		return &m.recs[id], nil
-	}
+// materialize builds the record view of node id at construction time.
+func (m *Mem) materialize(id dn.NodeID) {
 	nd := &m.g.Nodes[id]
 	rec := vertexRec{
 		id:      id,
@@ -74,7 +71,14 @@ func (m *Mem) vertex(id dn.NodeID, _ int32) (*vertexRec, error) {
 		}
 	}
 	m.recs[id] = rec
-	m.ready[id] = true
+}
+
+// vertex returns the record view of node id. Partition hints are
+// meaningless in memory and ignored.
+func (m *Mem) vertex(id dn.NodeID, _ int32) (*vertexRec, error) {
+	if id < 0 || int(id) >= len(m.recs) {
+		return nil, fmt.Errorf("reachgraph: no vertex %d", id)
+	}
 	return &m.recs[id], nil
 }
 

@@ -40,8 +40,12 @@ type Params struct {
 	// (HN = DN1 ∪ DN2 ∪ … ∪ DN32); an explicit empty slice builds a
 	// DN1-only index with no long edges.
 	Resolutions []int
-	// PoolPages sizes the store's LRU buffer pool. Defaults to 64.
+	// PoolPages sizes the store's private LRU buffer pool. Defaults to
+	// 64; negative disables caching. Ignored when Pool is set.
 	PoolPages int
+	// Pool, when non-nil, is a buffer pool shared with other indexes over
+	// the same dataset.
+	Pool *pagefile.BufferPool
 }
 
 func (p *Params) applyDefaults() {
@@ -83,7 +87,7 @@ func Build(g *dn.Graph, params Params) (*Index, error) {
 	}
 	ix := &Index{
 		params:     params,
-		store:      pagefile.NewStore(params.PoolPages),
+		store:      pagefile.NewStoreWith(params.Pool, params.PoolPages),
 		numObjects: g.NumObjects,
 		numTicks:   g.NumTicks,
 		numNodes:   len(g.Nodes),
@@ -291,8 +295,12 @@ func decodeVertex(dec *pagefile.Decoder) *vertexRec {
 // Store exposes the underlying simulated disk.
 func (ix *Index) Store() *pagefile.Store { return ix.store }
 
-// Stats exposes the I/O accountant charged by queries.
-func (ix *Index) Stats() *pagefile.Stats { return ix.store.Stats() }
+// Counters returns the store's cumulative I/O totals; per-query accountants
+// passed to the query methods sum to consecutive Counters differences.
+func (ix *Index) Counters() pagefile.Stats { return ix.store.Counters() }
+
+// ResetCounters zeroes the cumulative totals.
+func (ix *Index) ResetCounters() { ix.store.ResetCounters() }
 
 // NumPartitions returns the number of disk partitions.
 func (ix *Index) NumPartitions() int { return len(ix.partRefs) }
@@ -301,17 +309,21 @@ func (ix *Index) NumPartitions() int { return len(ix.partRefs) }
 func (ix *Index) NumTicks() int { return ix.numTicks }
 
 // cursor is the per-query working set: buffered partitions (the paper's
-// traversal buffer) with raw record slices, decoded lazily on first visit.
+// traversal buffer) with raw record slices, decoded lazily on first visit,
+// plus the query's I/O accountant. Nothing in a cursor is shared between
+// queries, so evaluation runs fully in parallel.
 type cursor struct {
 	ix    *Index
+	acct  *pagefile.Stats
 	verts map[dn.NodeID]*vertexRec // decoded records
 	raw   map[dn.NodeID][]byte     // undecoded record slices
 	parts map[int32]bool
 }
 
-func (ix *Index) newCursor() *cursor {
+func (ix *Index) newCursor(acct *pagefile.Stats) *cursor {
 	return &cursor{
 		ix:    ix,
+		acct:  acct,
 		verts: make(map[dn.NodeID]*vertexRec),
 		raw:   make(map[dn.NodeID][]byte),
 		parts: make(map[int32]bool),
@@ -328,7 +340,7 @@ func (c *cursor) loadPartition(pid int32) error {
 	if pid < 0 || int(pid) >= len(c.ix.partRefs) {
 		return fmt.Errorf("reachgraph: no partition %d", pid)
 	}
-	data, err := c.ix.store.ReadBlob(c.ix.partRefs[pid])
+	data, err := c.ix.store.ReadBlob(c.ix.partRefs[pid], c.acct)
 	if err != nil {
 		return fmt.Errorf("reachgraph: partition %d: %w", pid, err)
 	}
@@ -383,11 +395,11 @@ func (c *cursor) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
 
 // findVertex implements FindVertex(Ht(o), o, t): it reads o's run directory
 // and returns the (node, partition) of the run covering t.
-func (ix *Index) findVertex(o trajectory.ObjectID, t trajectory.Tick) (dn.NodeID, int32, error) {
+func (ix *Index) findVertex(o trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) (dn.NodeID, int32, error) {
 	if int(o) < 0 || int(o) >= ix.numObjects {
 		return dn.Invalid, -1, fmt.Errorf("reachgraph: object %d outside [0, %d)", o, ix.numObjects)
 	}
-	data, err := ix.store.ReadBlob(ix.dirRefs[o])
+	data, err := ix.store.ReadBlob(ix.dirRefs[o], acct)
 	if err != nil {
 		return dn.Invalid, -1, fmt.Errorf("reachgraph: directory of object %d: %w", o, err)
 	}
@@ -437,15 +449,19 @@ func (ix *Index) Reach(q queries.Query) (bool, error) {
 }
 
 // ReachStrategy answers q with the chosen traversal strategy, charging all
-// page reads to Stats().
+// page reads to the store's cumulative Counters through a query-scoped
+// accountant.
 func (ix *Index) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
-	ok, _, err := ix.ReachStrategyCounted(q, s)
+	var acct pagefile.Stats
+	ok, _, err := ix.ReachStrategyCounted(q, s, &acct)
 	return ok, err
 }
 
 // ReachStrategyCounted is ReachStrategy plus the number of vertex visits the
-// traversal performed.
-func (ix *Index) ReachStrategyCounted(q queries.Query, s Strategy) (bool, int, error) {
+// traversal performed. Page reads are charged to acct (which may be nil) in
+// addition to the cumulative counters; one accountant per query keeps
+// parallel evaluation exact.
+func (ix *Index) ReachStrategyCounted(q queries.Query, s Strategy, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
 	}
@@ -456,15 +472,15 @@ func (ix *Index) ReachStrategyCounted(q queries.Query, s Strategy) (bool, int, e
 	if q.Src == q.Dst {
 		return true, 0, nil
 	}
-	v1, p1, err := ix.findVertex(q.Src, iv.Lo)
+	v1, p1, err := ix.findVertex(q.Src, iv.Lo, acct)
 	if err != nil {
 		return false, 0, err
 	}
-	v2, p2, err := ix.findVertex(q.Dst, iv.Hi)
+	v2, p2, err := ix.findVertex(q.Dst, iv.Hi, acct)
 	if err != nil {
 		return false, 0, err
 	}
-	c := ix.newCursor()
+	c := ix.newCursor(acct)
 	var visits int
 	ok, err := traverse(countingAccess{diskAccess{c}, &visits}, s,
 		entry{v1, p1}, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)

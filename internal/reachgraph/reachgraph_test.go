@@ -132,14 +132,14 @@ func TestBMBFSReadsLessThanEDFS(t *testing.T) {
 	work := f.workload(50, 150, 350, 8)
 
 	measure := func(s Strategy) float64 {
-		ix.Stats().Reset()
+		ix.ResetCounters()
 		ix.Store().DropCache()
 		for _, q := range work {
 			if _, err := ix.ReachStrategy(q, s); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return ix.Stats().Normalized()
+		return ix.Counters().Normalized()
 	}
 	bm := measure(BMBFS)
 	b := measure(BBFS)

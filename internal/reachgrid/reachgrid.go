@@ -45,8 +45,12 @@ type Params struct {
 	// BucketTicks is the temporal resolution RT: the number of instants
 	// per time bucket. Defaults to 20, the paper's empirical optimum.
 	BucketTicks int
-	// PoolPages sizes the store's LRU buffer pool. Defaults to 64 pages.
+	// PoolPages sizes the store's private LRU buffer pool. Defaults to 64
+	// pages; negative disables caching. Ignored when Pool is set.
 	PoolPages int
+	// Pool, when non-nil, is a buffer pool shared with other indexes over
+	// the same dataset: all readers draw on one page budget.
+	Pool *pagefile.BufferPool
 }
 
 func (p *Params) applyDefaults(env geo.Rect) {
@@ -74,7 +78,9 @@ type bucketMeta struct {
 
 // Index is a disk-resident ReachGrid. The in-memory part is only the blob
 // catalogue (a few bytes per cell); all trajectory data lives on the
-// simulated store and is charged to the I/O stats when read.
+// simulated store and is charged to the per-query accountant when read.
+// The catalogue is immutable after Build, so queries are safe to evaluate
+// fully in parallel.
 type Index struct {
 	params     Params
 	store      *pagefile.Store
@@ -93,7 +99,7 @@ func Build(d *trajectory.Dataset, params Params) (*Index, error) {
 	}
 	ix := &Index{
 		params:     params,
-		store:      pagefile.NewStore(params.PoolPages),
+		store:      pagefile.NewStoreWith(params.Pool, params.PoolPages),
 		grid:       geo.NewGrid(d.Env, params.CellSize),
 		numObjects: d.NumObjects(),
 		numTicks:   d.NumTicks(),
@@ -174,8 +180,12 @@ func Build(d *trajectory.Dataset, params Params) (*Index, error) {
 // inspection).
 func (ix *Index) Store() *pagefile.Store { return ix.store }
 
-// Stats exposes the I/O accountant charged by queries.
-func (ix *Index) Stats() *pagefile.Stats { return ix.store.Stats() }
+// Counters returns the store's cumulative I/O totals; per-query accountants
+// passed to the query methods sum to consecutive Counters differences.
+func (ix *Index) Counters() pagefile.Stats { return ix.store.Counters() }
+
+// ResetCounters zeroes the cumulative totals.
+func (ix *Index) ResetCounters() { ix.store.ResetCounters() }
 
 // Grid returns the spatial grid geometry.
 func (ix *Index) Grid() geo.Grid { return ix.grid }
@@ -203,16 +213,21 @@ func (ix *Index) validateQuery(q queries.Query) error {
 }
 
 // Reach answers the reachability query q : Src ⤳ Dst over q.Interval using
-// the guided expansion of Algorithm 1. I/O is charged to Stats().
+// the guided expansion of Algorithm 1. I/O is charged to the store's
+// cumulative Counters through a query-scoped accountant (so sequential
+// runs spanning blob reads are classified as in the paper's cost model).
 func (ix *Index) Reach(q queries.Query) (bool, error) {
-	ok, _, err := ix.ReachCounted(q)
+	var acct pagefile.Stats
+	ok, _, err := ix.ReachCounted(q, &acct)
 	return ok, err
 }
 
 // ReachCounted is Reach plus the number of objects the guided expansion
 // infected (src included) before terminating — the frontier size the facade
-// surfaces per query.
-func (ix *Index) ReachCounted(q queries.Query) (bool, int, error) {
+// surfaces per query. Page reads are charged to acct (which may be nil) in
+// addition to the store's cumulative counters; passing one accountant per
+// query keeps evaluation safe to run fully in parallel.
+func (ix *Index) ReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
 	}
@@ -225,7 +240,7 @@ func (ix *Index) ReachCounted(q queries.Query) (bool, int, error) {
 	}
 	reached := false
 	expanded := 1 // src
-	err := ix.sweep(q.Src, iv, func(o trajectory.ObjectID) bool {
+	err := ix.sweep(q.Src, iv, acct, func(o trajectory.ObjectID) bool {
 		expanded++
 		if o == q.Dst {
 			reached = true
@@ -239,8 +254,8 @@ func (ix *Index) ReachCounted(q queries.Query) (bool, int, error) {
 // ReachableSet returns every object reachable from src during iv (including
 // src), the batch primitive behind the paper's epidemic and watch-list
 // scenarios. The expansion is still guided: only cells near the growing seed
-// set are read.
-func (ix *Index) ReachableSet(src trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, error) {
+// set are read. Page reads are charged to acct (which may be nil).
+func (ix *Index) ReachableSet(src trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, error) {
 	if int(src) < 0 || int(src) >= ix.numObjects {
 		return nil, fmt.Errorf("reachgrid: source %d outside [0, %d)", src, ix.numObjects)
 	}
@@ -249,7 +264,7 @@ func (ix *Index) ReachableSet(src trajectory.ObjectID, iv contact.Interval) ([]t
 		return nil, nil
 	}
 	out := []trajectory.ObjectID{src}
-	err := ix.sweep(src, iv, func(o trajectory.ObjectID) bool {
+	err := ix.sweep(src, iv, acct, func(o trajectory.ObjectID) bool {
 		out = append(out, o)
 		return true
 	})
@@ -266,8 +281,9 @@ type bucketState struct {
 
 // sweep runs Algorithm 1, invoking onInfect for every object that becomes
 // reachable from src (src excluded). onInfect returning false terminates the
-// sweep early (the paper's termination on discovering the destination).
-func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, onInfect func(trajectory.ObjectID) bool) error {
+// sweep early (the paper's termination on discovering the destination). All
+// state is per-query; page reads are charged to acct.
+func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats, onInfect func(trajectory.ObjectID) bool) error {
 	seeds := make([]bool, ix.numObjects)
 	seeds[src] = true
 	seedList := []trajectory.ObjectID{src}
@@ -287,7 +303,7 @@ func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, onInfect fu
 		}
 		// Locate and load the cells of the current seeds (C_{S_i}), then
 		// prefetch the potential-seed cells N_i around their MBRs.
-		if err := ix.admitSeeds(bi, st, seedList, w.Lo, w.Hi, cellsBuf); err != nil {
+		if err := ix.admitSeeds(bi, st, seedList, w.Lo, w.Hi, cellsBuf, acct); err != nil {
 			return err
 		}
 		for t := w.Lo; t <= w.Hi; t++ {
@@ -305,7 +321,7 @@ func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, onInfect fu
 						return nil
 					}
 				}
-				if err := ix.admitSeeds(bi, st, fresh, t, w.Hi, cellsBuf); err != nil {
+				if err := ix.admitSeeds(bi, st, fresh, t, w.Hi, cellsBuf, acct); err != nil {
 					return err
 				}
 			}
@@ -321,15 +337,15 @@ func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, onInfect fu
 // batch are loaded in ascending cell order: cells are placed in that order
 // on disk, so contiguous neighbourhoods cost sequential rather than random
 // reads.
-func (ix *Index) admitSeeds(bi int, st *bucketState, objs []trajectory.ObjectID, cur, hi trajectory.Tick, cellsBuf []int) error {
+func (ix *Index) admitSeeds(bi int, st *bucketState, objs []trajectory.ObjectID, cur, hi trajectory.Tick, cellsBuf []int, acct *pagefile.Stats) error {
 	pending := cellsBuf[:0]
 	for _, o := range objs {
 		if _, ok := st.segs[o]; !ok {
-			cell, err := ix.dirLookup(bi, o)
+			cell, err := ix.dirLookup(bi, o, acct)
 			if err != nil {
 				return err
 			}
-			if err := ix.loadCell(bi, cell, st); err != nil {
+			if err := ix.loadCell(bi, cell, st, acct); err != nil {
 				return err
 			}
 		}
@@ -344,7 +360,7 @@ func (ix *Index) admitSeeds(bi int, st *bucketState, objs []trajectory.ObjectID,
 	}
 	sortInts(pending)
 	for _, id := range pending {
-		if err := ix.loadCell(bi, id, st); err != nil {
+		if err := ix.loadCell(bi, id, st, acct); err != nil {
 			return err
 		}
 	}
@@ -389,7 +405,7 @@ func (ix *Index) infectAt(st *bucketState, seeds []bool, t trajectory.Tick, join
 
 // loadCell reads a cell blob (if present and not yet buffered) and registers
 // its segments.
-func (ix *Index) loadCell(bi, cell int, st *bucketState) error {
+func (ix *Index) loadCell(bi, cell int, st *bucketState, acct *pagefile.Stats) error {
 	if st.loaded[cell] {
 		return nil
 	}
@@ -398,7 +414,7 @@ func (ix *Index) loadCell(bi, cell int, st *bucketState) error {
 	if ref.Null() {
 		return nil
 	}
-	data, err := ix.store.ReadBlob(ref)
+	data, err := ix.store.ReadBlob(ref, acct)
 	if err != nil {
 		return fmt.Errorf("reachgrid: cell %d of bucket %d: %w", cell, bi, err)
 	}
@@ -435,9 +451,9 @@ func (ix *Index) loadCell(bi, cell int, st *bucketState) error {
 // dirLookup reads the object directory entry of o for bucket bi: the cell
 // containing o at the bucket start (one page read, typically a buffer hit
 // for subsequent seeds).
-func (ix *Index) dirLookup(bi int, o trajectory.ObjectID) (int, error) {
+func (ix *Index) dirLookup(bi int, o trajectory.ObjectID, acct *pagefile.Stats) (int, error) {
 	chunk := int(o) / dirEntriesPerBlob
-	data, err := ix.store.ReadBlob(ix.buckets[bi].dirRefs[chunk])
+	data, err := ix.store.ReadBlob(ix.buckets[bi].dirRefs[chunk], acct)
 	if err != nil {
 		return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d: %w", chunk, bi, err)
 	}

@@ -103,7 +103,7 @@ func TestReachableSetMatchesOracle(t *testing.T) {
 	for src := trajectory.ObjectID(0); src < 10; src++ {
 		iv := contact.Interval{Lo: trajectory.Tick(5 * src), Hi: trajectory.Tick(5*src) + 120}
 		want := oracle.ReachableSet(src, iv)
-		got, err := ix.ReachableSet(src, iv)
+		got, err := ix.ReachableSet(src, iv, nil)
 		if err != nil {
 			t.Fatalf("src %d: %v", src, err)
 		}
@@ -130,14 +130,15 @@ func TestGuidedExpansionReadsFewerPages(t *testing.T) {
 		Seed:       9,
 	})
 	pages := func(run func(queries.Query) (bool, error)) int64 {
-		ix.Stats().Reset()
+		ix.ResetCounters()
 		ix.Store().DropCache()
 		for _, q := range work {
 			if _, err := run(q); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return ix.Stats().RandomReads + ix.Stats().SequentialReads
+		c := ix.Counters()
+		return c.RandomReads + c.SequentialReads
 	}
 	guided := pages(ix.Reach)
 	naive := pages(ix.SPJReach)
@@ -167,14 +168,14 @@ func TestGuidedExpansionBeatsSPJ(t *testing.T) {
 		Seed:       9,
 	})
 	measure := func(run func(queries.Query) (bool, error)) float64 {
-		ix.Stats().Reset()
+		ix.ResetCounters()
 		ix.Store().DropCache()
 		for _, q := range work {
 			if _, err := run(q); err != nil {
 				t.Fatal(err)
 			}
 		}
-		return ix.Stats().Normalized()
+		return ix.Counters().Normalized()
 	}
 	guided := measure(ix.Reach)
 	naive := measure(ix.SPJReach)
@@ -200,7 +201,7 @@ func TestQueryValidation(t *testing.T) {
 			t.Errorf("%v: want SPJ validation error", q)
 		}
 	}
-	if _, err := ix.ReachableSet(-3, contact.Interval{Lo: 0, Hi: 5}); err == nil {
+	if _, err := ix.ReachableSet(-3, contact.Interval{Lo: 0, Hi: 5}, nil); err == nil {
 		t.Error("ReachableSet(-3): want validation error")
 	}
 }
@@ -268,19 +269,19 @@ func TestEarlyTerminationSavesIO(t *testing.T) {
 		shortQ := q
 		shortQ.Interval.Hi = when + 10
 
-		ix.Stats().Reset()
+		ix.ResetCounters()
 		ix.Store().DropCache()
 		if _, err := ix.Reach(longQ); err != nil {
 			t.Fatal(err)
 		}
-		long := ix.Stats().Normalized()
+		long := ix.Counters().Normalized()
 
-		ix.Stats().Reset()
+		ix.ResetCounters()
 		ix.Store().DropCache()
 		if _, err := ix.Reach(shortQ); err != nil {
 			t.Fatal(err)
 		}
-		short := ix.Stats().Normalized()
+		short := ix.Counters().Normalized()
 
 		// Early termination means the long query must not read much more
 		// than the short one (it stops at the same discovery instant; it

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"streach/internal/geo"
+	"streach/internal/pagefile"
 	"streach/internal/queries"
 	"streach/internal/stjoin"
 	"streach/internal/trajectory"
@@ -21,13 +22,15 @@ import (
 // the item is propagated until the destination is found or the interval is
 // exhausted.
 func (ix *Index) SPJReach(q queries.Query) (bool, error) {
-	ok, _, err := ix.SPJReachCounted(q)
+	var acct pagefile.Stats
+	ok, _, err := ix.SPJReachCounted(q, &acct)
 	return ok, err
 }
 
 // SPJReachCounted is SPJReach plus the number of objects infected during
-// propagation (src included).
-func (ix *Index) SPJReachCounted(q queries.Query) (bool, int, error) {
+// propagation (src included). Page reads are charged to acct (which may be
+// nil); all traversal state is per-query.
+func (ix *Index) SPJReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
 	}
@@ -57,7 +60,7 @@ func (ix *Index) SPJReachCounted(q queries.Query) (bool, int, error) {
 			segs:   make(map[trajectory.ObjectID]trajectory.Segment),
 		}
 		for cell := 0; cell < ix.grid.NumCells(); cell++ {
-			if err := ix.loadCell(bi, cell, st); err != nil {
+			if err := ix.loadCell(bi, cell, st, acct); err != nil {
 				return false, expanded, fmt.Errorf("spj: %w", err)
 			}
 		}

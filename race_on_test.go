@@ -1,0 +1,8 @@
+//go:build race
+
+package streach_test
+
+// raceEnabled reports that the race detector instruments this build; timing
+// assertions (batch speedup) are skipped because instrumentation distorts
+// relative throughput.
+const raceEnabled = true

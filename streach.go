@@ -234,7 +234,7 @@ type IOStats struct {
 	Normalized float64
 }
 
-func statsOf(s *pagefile.Stats) IOStats {
+func statsOf(s pagefile.Stats) IOStats {
 	return IOStats{
 		RandomReads:     s.RandomReads,
 		SequentialReads: s.SequentialReads,
@@ -282,16 +282,17 @@ func (g *ReachGrid) ReachableNaive(q Query) (bool, error) { return g.ix.SPJReach
 
 // ReachableSet returns every object reachable from src during iv.
 func (g *ReachGrid) ReachableSet(src ObjectID, iv Interval) ([]ObjectID, error) {
-	return g.ix.ReachableSet(src, iv)
+	var acct pagefile.Stats
+	return g.ix.ReachableSet(src, iv, &acct)
 }
 
 // IOStats returns the accumulated disk traffic.
-func (g *ReachGrid) IOStats() IOStats { return statsOf(g.ix.Stats()) }
+func (g *ReachGrid) IOStats() IOStats { return statsOf(g.ix.Counters()) }
 
 // ResetStats zeroes the I/O counters and drops the buffer pool, starting a
 // fresh measurement window.
 func (g *ReachGrid) ResetStats() {
-	g.ix.Stats().Reset()
+	g.ix.ResetCounters()
 	g.ix.Store().DropCache()
 }
 
@@ -365,11 +366,11 @@ func (g *ReachGraph) ReachableStrategy(q Query, s Strategy) (bool, error) {
 }
 
 // IOStats returns the accumulated disk traffic.
-func (g *ReachGraph) IOStats() IOStats { return statsOf(g.ix.Stats()) }
+func (g *ReachGraph) IOStats() IOStats { return statsOf(g.ix.Counters()) }
 
 // ResetStats zeroes the I/O counters and drops the buffer pool.
 func (g *ReachGraph) ResetStats() {
-	g.ix.Stats().Reset()
+	g.ix.ResetCounters()
 	g.ix.Store().DropCache()
 }
 
