@@ -36,6 +36,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		expAlias = flag.String("experiment", "", "alias for -exp")
 		list     = flag.Bool("list", false, "list available experiment ids and exit")
 		queries  = flag.Int("queries", 0, "random queries per measurement point (default 60)")
 		ticks    = flag.Int("ticks", 0, "time-domain length in ticks (default 2000)")
@@ -46,6 +47,9 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the concurrency sweep as a streach-bench/v1 JSON report to this path")
 	)
 	flag.Parse()
+	if *expAlias != "" {
+		*exp = *expAlias
+	}
 
 	if *list {
 		for _, id := range bench.IDs() {
@@ -132,12 +136,36 @@ func main() {
 		fmt.Printf("  [%s took %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
 	}
 	if *jsonOut != "" {
-		recs := lab.ConcurrencyRecords()
+		// Collect the machine-readable experiments among the ones that
+		// ran; with none selected the concurrency sweep is the default
+		// report (the historical BENCH_*.json contents).
+		var recs []bench.Record
+		ranConc, ranStream := false, false
+		for _, id := range ids {
+			switch strings.ToLower(strings.TrimSpace(id)) {
+			case "concurrency", "all":
+				ranConc = true
+				if strings.EqualFold(strings.TrimSpace(id), "all") {
+					ranStream = true
+				}
+			case "streaming":
+				ranStream = true
+			}
+		}
+		if !ranConc && !ranStream {
+			ranConc = true
+		}
+		if ranConc {
+			recs = append(recs, lab.ConcurrencyRecords()...)
+		}
+		if ranStream {
+			recs = append(recs, lab.StreamingRecords()...)
+		}
 		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d concurrency records to %s\n", len(recs), *jsonOut)
+		fmt.Printf("wrote %d records to %s\n", len(recs), *jsonOut)
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -21,6 +21,7 @@ import (
 	"streach/internal/queries"
 	"streach/internal/reachgraph"
 	"streach/internal/reachgrid"
+	"streach/internal/trajectory"
 )
 
 // Engine is the uniform query interface every registered backend satisfies.
@@ -35,13 +36,15 @@ type Engine interface {
 	// Name returns the registry name the engine was opened under.
 	Name() string
 	// Reachable answers the reachability query q. The context is checked
-	// before evaluation begins; a long-running evaluation is not
-	// interrupted mid-query.
+	// before evaluation begins and observed inside the expansion loops of
+	// the traversal backends, so cancelling it aborts a long-running
+	// evaluation promptly with ctx.Err().
 	Reachable(ctx context.Context, q Query) (Result, error)
 	// ReachableSet returns every object reachable from src during iv
-	// (including src when the interval overlaps the time domain). Backends
-	// without a native set primitive answer with one point query per
-	// candidate object, honouring ctx between candidates.
+	// (including src when the interval overlaps the time domain). The
+	// returned slice is sorted ascending and free of duplicates for every
+	// backend. Backends without a native set primitive answer with one
+	// point query per candidate object, honouring ctx between candidates.
 	ReachableSet(ctx context.Context, src ObjectID, iv Interval) (SetResult, error)
 	// IndexBytes returns the on-disk size of the engine's index; zero for
 	// memory-resident backends.
@@ -79,7 +82,7 @@ type SetResult struct {
 	Src      ObjectID
 	Interval Interval
 	// Objects is the reachable set, src included (empty when the interval
-	// misses the time domain).
+	// misses the time domain), sorted ascending and deduplicated.
 	Objects []ObjectID
 	// IO, Latency mirror Result.
 	IO      IOStats
@@ -155,6 +158,13 @@ type Options struct {
 	GrailPasses int
 	// Seed seeds GRAIL's randomized labelling.
 	Seed int64
+
+	// SegmentTicks is the time-slab width of the segmented backends
+	// ("segmented:<name>") and of LiveEngine: the time axis is split into
+	// slabs of this many instants, each carrying its own index segment.
+	// Zero selects segment.DefaultWidth (128). Ignored by unsegmented
+	// backends.
+	SegmentTicks int
 }
 
 // BackendInfo describes one registered backend.
@@ -361,12 +371,18 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 	core.resetIO()
 	core.dropCache()
 	numObjects, numTicks := sourceDims(src)
-	return &engine{
+	eng := engine{
 		name:       spec.info.Name,
 		core:       core,
 		numObjects: numObjects,
 		numTicks:   numTicks,
-	}, nil
+	}
+	if sc, ok := core.(*segmentedCore); ok {
+		// Segmented engines additionally expose per-segment statistics
+		// (the Segmented interface).
+		return &segmentedEngine{engine: eng, seg: sc}, nil
+	}
+	return &eng, nil
 }
 
 func sourceDims(src Source) (numObjects, numTicks int) {
@@ -382,11 +398,13 @@ func sourceDims(src Source) (numObjects, numTicks int) {
 // per-call and page reads are charged to the caller's accountant.
 type engineCore interface {
 	// reach answers q, returning the expansion counter alongside and
-	// charging page reads to acct.
-	reach(q Query, acct *pagefile.Stats) (ok bool, expanded int, err error)
-	// reachSet returns the native reachable set, or errNoNativeSet when
+	// charging page reads to acct. ctx is observed inside the expansion
+	// loops of the traversal backends.
+	reach(ctx context.Context, q Query, acct *pagefile.Stats) (ok bool, expanded int, err error)
+	// reachSet returns the native reachable set (any order, duplicates
+	// allowed — the engine wrapper normalizes), or errNoNativeSet when
 	// the backend has no set primitive.
-	reachSet(src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error)
+	reachSet(ctx context.Context, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error)
 	// ioTotals snapshots the cumulative I/O counters; zero for
 	// memory-resident backends.
 	ioTotals() pagefile.Stats
@@ -402,6 +420,12 @@ type engineCore interface {
 
 // errNoNativeSet makes the engine fall back to per-object point queries.
 var errNoNativeSet = errors.New("streach: backend has no native set primitive")
+
+// sortDedupObjects is the normalization every ReachableSet answer goes
+// through, making set results identical across backends.
+func sortDedupObjects(objs []ObjectID) []ObjectID {
+	return trajectory.SortDedupObjects(objs)
+}
 
 // engine adapts an engineCore to the Engine interface, measuring each query
 // through its own I/O accountant. There is no engine-level lock: cores are
@@ -430,7 +454,7 @@ func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
 	}
 	var acct pagefile.Stats
 	start := time.Now()
-	ok, expanded, err := e.core.reach(q, &acct)
+	ok, expanded, err := e.core.reach(ctx, q, &acct)
 	if err != nil {
 		return Result{}, err
 	}
@@ -450,13 +474,14 @@ func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (S
 	}
 	var acct pagefile.Stats
 	start := time.Now()
-	objs, err := e.core.reachSet(src, iv, &acct)
+	objs, err := e.core.reachSet(ctx, src, iv, &acct)
 	if errors.Is(err, errNoNativeSet) {
 		objs, err = e.setViaPointQueries(ctx, src, iv, &acct)
 	}
 	if err != nil {
 		return SetResult{}, err
 	}
+	objs = sortDedupObjects(objs)
 	return SetResult{
 		Src:      src,
 		Interval: iv,
@@ -486,7 +511,7 @@ func (e *engine) setViaPointQueries(ctx context.Context, src ObjectID, iv Interv
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ok, _, err := e.core.reach(Query{Src: src, Dst: ObjectID(o), Interval: iv}, acct)
+		ok, _, err := e.core.reach(ctx, Query{Src: src, Dst: ObjectID(o), Interval: iv}, acct)
 		if err != nil {
 			return nil, err
 		}
@@ -509,11 +534,11 @@ func (memCore) dropCache()               {}
 
 type gridCore struct{ ix *reachgrid.Index }
 
-func (c gridCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
-	return c.ix.ReachCounted(q, acct)
+func (c gridCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.ReachCounted(ctx, q, acct)
 }
-func (c gridCore) reachSet(src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
-	return c.ix.ReachableSet(src, iv, acct)
+func (c gridCore) reachSet(ctx context.Context, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
+	return c.ix.ReachableSet(ctx, src, iv, acct)
 }
 func (c gridCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
 func (c gridCore) resetIO()                 { c.ix.ResetCounters() }
@@ -522,10 +547,10 @@ func (c gridCore) dropCache()               { c.ix.Store().DropCache() }
 
 type spjCore struct{ ix *reachgrid.Index }
 
-func (c spjCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
-	return c.ix.SPJReachCounted(q, acct)
+func (c spjCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.SPJReachCounted(ctx, q, acct)
 }
-func (c spjCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
+func (c spjCore) reachSet(context.Context, ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
 func (c spjCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
@@ -538,10 +563,10 @@ type graphCore struct {
 	strategy Strategy
 }
 
-func (c graphCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
-	return c.ix.ReachStrategyCounted(q, c.strategy, acct)
+func (c graphCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.ReachStrategyCounted(ctx, q, c.strategy, acct)
 }
-func (c graphCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
+func (c graphCore) reachSet(context.Context, ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
 func (c graphCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
@@ -554,19 +579,19 @@ type graphMemCore struct {
 	m *reachgraph.Mem
 }
 
-func (c graphMemCore) reach(q Query, _ *pagefile.Stats) (bool, int, error) {
-	return c.m.ReachStrategyCounted(q, BMBFS)
+func (c graphMemCore) reach(ctx context.Context, q Query, _ *pagefile.Stats) (bool, int, error) {
+	return c.m.ReachStrategyCounted(ctx, q, BMBFS)
 }
-func (c graphMemCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
+func (c graphMemCore) reachSet(context.Context, ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
 
 type grailDiskCore struct{ dk *grail.Disk }
 
-func (c grailDiskCore) reach(q Query, acct *pagefile.Stats) (bool, int, error) {
-	return c.dk.ReachCounted(q, acct)
+func (c grailDiskCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.dk.ReachCounted(ctx, q, acct)
 }
-func (c grailDiskCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
+func (c grailDiskCore) reachSet(context.Context, ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
 func (c grailDiskCore) ioTotals() pagefile.Stats { return c.dk.Counters() }
@@ -579,10 +604,10 @@ type grailMemCore struct {
 	m *grail.Mem
 }
 
-func (c grailMemCore) reach(q Query, _ *pagefile.Stats) (bool, int, error) {
-	return c.m.ReachCounted(q)
+func (c grailMemCore) reach(ctx context.Context, q Query, _ *pagefile.Stats) (bool, int, error) {
+	return c.m.ReachCounted(ctx, q)
 }
-func (c grailMemCore) reachSet(ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
+func (c grailMemCore) reachSet(context.Context, ObjectID, Interval, *pagefile.Stats) ([]ObjectID, error) {
 	return nil, errNoNativeSet
 }
 
@@ -591,10 +616,10 @@ type oracleCore struct {
 	o *queries.Oracle
 }
 
-func (c oracleCore) reach(q Query, _ *pagefile.Stats) (bool, int, error) {
+func (c oracleCore) reach(_ context.Context, q Query, _ *pagefile.Stats) (bool, int, error) {
 	ok, expanded := c.o.ReachableCounted(q)
 	return ok, expanded, nil
 }
-func (c oracleCore) reachSet(src ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, error) {
+func (c oracleCore) reachSet(_ context.Context, src ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, error) {
 	return c.o.ReachableSet(src, iv), nil
 }

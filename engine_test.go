@@ -122,7 +122,9 @@ func TestCrossBackendConformance(t *testing.T) {
 		}
 
 		// Set queries: native primitives and point-query fallbacks must
-		// both match ground truth.
+		// both match ground truth, and every backend must return the set
+		// already sorted ascending with no duplicates (the Engine
+		// contract) — the comparison below is order-sensitive on purpose.
 		for src := streach.ObjectID(0); src < 4; src++ {
 			iv := streach.NewInterval(streach.Tick(20*src), streach.Tick(20*src)+120)
 			want := oracle.ReachableSet(src, iv)
@@ -130,11 +132,15 @@ func TestCrossBackendConformance(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%q set %d %v: %v", name, src, iv, err)
 			}
+			for i := 1; i < len(sr.Objects); i++ {
+				if sr.Objects[i] <= sr.Objects[i-1] {
+					t.Fatalf("%q set %d %v not strictly ascending at %d: %v",
+						name, src, iv, i, sr.Objects)
+				}
+			}
 			sortIDs(want)
-			got := append([]streach.ObjectID(nil), sr.Objects...)
-			sortIDs(got)
-			if !equalIDs(got, want) {
-				t.Fatalf("%q set %d %v: got %v, want %v", name, src, iv, got, want)
+			if !equalIDs(sr.Objects, want) {
+				t.Fatalf("%q set %d %v: got %v, want %v", name, src, iv, sr.Objects, want)
 			}
 			if sr.Expanded != len(sr.Objects) {
 				t.Errorf("%q set %d: Expanded=%d, |Objects|=%d", name, src, sr.Expanded, len(sr.Objects))

@@ -1,11 +1,17 @@
-// Livefeed: incremental contact-network maintenance (§6.2.1.2).
+// Livefeed: serving reachability queries over a live location feed.
 //
 // A location feed arrives one instant at a time — there is no complete
-// trajectory archive to batch-index. The stream ingests positions as they
-// come; every few minutes an analyst snapshots the network built so far,
-// opens a ReachGraph backend directly over the snapshot (a ContactNetwork
-// is a registry Source — no trajectory archive needed), and answers the
-// queries that have queued up, while the stream keeps running.
+// trajectory archive to batch-index. A LiveEngine ingests positions as
+// they come: appends land in a mutable in-memory tail segment, and every
+// time the current time slab closes it is sealed into an immutable
+// ReachGraph segment (LSM-style). Analysts query at any moment — while
+// ingestion continues — and the cross-segment planner answers over sealed
+// segments plus the tail, so no index is ever rebuilt over history.
+//
+// Contrast with the previous generation of this example, which had to
+// snapshot the stream and rebuild a full index at every checkpoint; the
+// snapshot path (ContactStream → Open) still works and is shown at the
+// end for validation against ground truth.
 package main
 
 import (
@@ -23,33 +29,30 @@ func main() {
 		NumTicks:   1200,
 		Seed:       41,
 	})
-	stream, err := streach.NewContactStream(ds.NumObjects(), ds.Env(), ds.ContactDist())
+	live, err := streach.NewLiveEngine("reachgraph", ds.NumObjects(), ds.Env(), ds.ContactDist(),
+		streach.Options{SegmentTicks: 200})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	positions := make([]streach.Point, ds.NumObjects())
 	feed := func(upto int) {
-		for tk := stream.NumTicks(); tk < upto; tk++ {
+		for tk := live.NumTicks(); tk < upto; tk++ {
 			for o := range positions {
 				positions[o] = ds.Position(streach.ObjectID(o), streach.Tick(tk))
 			}
-			if err := stream.AddInstant(positions); err != nil {
+			if err := live.AddInstant(positions); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 
-	// Analysts check in at three points of the day.
+	// Analysts check in at three points of the day; the engine answers
+	// immediately — no snapshot, no rebuild.
 	ctx := context.Background()
 	oracle := ds.Contacts().Oracle() // ground truth over the full archive
 	for _, checkpoint := range []int{400, 800, 1200} {
 		feed(checkpoint)
-		snap := stream.Snapshot()
-		graph, err := streach.Open("reachgraph", snap, streach.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
 		// Queries about the recent past — the last ~30 minutes of feed.
 		lo := streach.Tick(checkpoint - 300)
 		all := streach.RandomQueries(streach.WorkloadOptions{
@@ -66,20 +69,47 @@ func main() {
 				recent = append(recent, q)
 			}
 		}
-		results, err := streach.EvaluateBatch(ctx, graph, recent, streach.BatchOptions{})
+		results, err := streach.EvaluateBatch(ctx, live, recent, streach.BatchOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
 		var positive int
 		for _, r := range results {
 			if r.Reachable != oracle.Reachable(r.Query) {
-				log.Fatalf("snapshot graph disagrees with ground truth on %v", r.Query)
+				log.Fatalf("live engine disagrees with ground truth on %v", r.Query)
 			}
 			if r.Reachable {
 				positive++
 			}
 		}
-		fmt.Printf("tick %4d: snapshot has %6d contacts; answered %3d queries (%3d positive), all verified\n",
-			checkpoint, snap.NumContacts(), len(results), positive)
+		fmt.Printf("tick %4d: %d sealed segments + tail; answered %3d queries (%3d positive), all verified\n",
+			checkpoint, live.NumSealedSegments(), len(results), positive)
 	}
+
+	// The per-segment view: spans, accumulated I/O, on-disk size.
+	if seg, ok := streach.Engine(live).(streach.Segmented); ok {
+		for i, s := range seg.SegmentStats() {
+			fmt.Printf("  segment %d: span %v, %.1f IOs served, %d KiB\n",
+				i, s.Span, s.IO.Normalized, s.IndexBytes/1024)
+		}
+	}
+
+	// The snapshot path still exists for batch tooling: a ContactStream
+	// snapshot is a registry Source.
+	snap := live.Snapshot()
+	batch, err := streach.Open("reachgraph", snap, streach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := streach.Query{Src: 3, Dst: 11, Interval: streach.NewInterval(900, 1150)}
+	rLive, err := live.Reachable(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rBatch, err := batch.Reachable(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spot check %v: live=%v batch=%v oracle=%v\n",
+		q, rLive.Reachable, rBatch.Reachable, oracle.Reachable(q))
 }

@@ -157,11 +157,12 @@ func pad(s string, w int) string {
 type Lab struct {
 	opts Options
 
-	datasets map[string]*trajectory.Dataset
-	contacts map[string]*contact.Network
-	graphs   map[string]*dn.Graph
-	pub      map[string]*streach.Dataset
-	concRecs []Record // memoized concurrency sweep
+	datasets   map[string]*trajectory.Dataset
+	contacts   map[string]*contact.Network
+	graphs     map[string]*dn.Graph
+	pub        map[string]*streach.Dataset
+	concRecs   []Record // memoized concurrency sweep
+	streamRecs []Record // memoized streaming sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -418,6 +419,7 @@ func (l *Lab) All() []*Table {
 		l.Table5b(),
 		l.BackendSweep(),
 		l.Concurrency(),
+		l.Streaming(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
 	}
@@ -466,6 +468,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.BackendSweep
 	case "concurrency":
 		return l.Concurrency
+	case "streaming":
+		return l.Streaming
 	}
 	return nil
 }
@@ -475,7 +479,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
-		"table5a", "table5b", "backends", "concurrency",
+		"table5a", "table5b", "backends", "concurrency", "streaming",
 		"ablation-pool", "ablation-bidir",
 	}
 }

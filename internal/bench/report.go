@@ -43,6 +43,14 @@ type Record struct {
 	NormalizedIOPerQuery float64 `json:"normalized_io_per_query"`
 	// CacheHitRate is buffer-pool hits / (hits + pages read).
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// AppendsPerSec is the streaming experiment's ingest throughput:
+	// feed instants appended per second of append wall time (zero for
+	// batch experiments).
+	AppendsPerSec float64 `json:"appends_per_sec,omitempty"`
+	// SealedSegments is the number of immutable segments the streaming
+	// engine had sealed by the end of the run (zero for batch
+	// experiments).
+	SealedSegments int `json:"sealed_segments,omitempty"`
 	// SpeedupVs1Worker is this point's throughput over the same backend's
 	// throughput at the lowest worker count swept (the 1-worker run when
 	// the sweep includes one; that record reports 1.0).

@@ -32,6 +32,9 @@ func NewBuilder(numObjects int) *Builder {
 // NumTicks returns the number of instants ingested so far.
 func (b *Builder) NumTicks() int { return b.numTicks }
 
+// NumObjects returns the number of objects the builder was created for.
+func (b *Builder) NumObjects() int { return b.numObjects }
+
 // AddInstant ingests the contact pairs active at the next instant.
 // Contacts absent from pairs that were previously open are closed with the
 // previous instant as their validity end.

@@ -168,6 +168,43 @@ func FromContacts(numObjects, numTicks int, contacts []Contact) *Network {
 	return net
 }
 
+// Window returns the sub-network over the ticks [lo, hi], re-based so the
+// window starts at tick 0. Contacts overlapping the window are clipped to
+// it; a contact spanning a window boundary therefore appears (split) in
+// both adjacent windows, which preserves per-instant contact semantics —
+// propagation over the window equals propagation over the same instants of
+// the full network. This is the extraction primitive behind time-sliced
+// index segments: each slab indexes Window(slabLo, slabHi).
+func (n *Network) Window(lo, hi trajectory.Tick) *Network {
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) >= n.NumTicks {
+		hi = trajectory.Tick(n.NumTicks) - 1
+	}
+	if hi < lo {
+		return &Network{NumObjects: n.NumObjects}
+	}
+	w := &Network{
+		NumObjects:   n.NumObjects,
+		NumTicks:     int(hi-lo) + 1,
+		pairsPerTick: append([]int32(nil), n.pairsPerTick[lo:hi+1]...),
+	}
+	span := Interval{Lo: lo, Hi: hi}
+	for _, c := range n.Contacts {
+		v := c.Validity.Intersect(span)
+		if v.Len() == 0 {
+			continue
+		}
+		w.Contacts = append(w.Contacts, Contact{
+			A: c.A, B: c.B,
+			Validity: Interval{Lo: v.Lo - lo, Hi: v.Hi - lo},
+		})
+	}
+	w.sortContacts()
+	return w
+}
+
 // Snapshot visits every tick in [lo, hi] in increasing order with the set of
 // contact pairs active at that tick (the edge set of G_t). The pairs slice
 // is reused between calls; callers must not retain it. Returning false from

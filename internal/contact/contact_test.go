@@ -1,6 +1,7 @@
 package contact
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -267,4 +268,64 @@ func TestFromContactsNormalizes(t *testing.T) {
 	if n.Contacts[0].A != 0 || n.Contacts[0].B != 2 {
 		t.Fatalf("pair not normalized: %+v", n.Contacts[0])
 	}
+}
+
+// TestWindowPreservesInstantSemantics checks the windowed-extraction
+// primitive behind time-sliced segments: every instant of a window exposes
+// exactly the contact pairs the full network exposes at the corresponding
+// global instant, including contacts split at window boundaries.
+func TestWindowPreservesInstantSemantics(t *testing.T) {
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 25, NumTicks: 120, Seed: 7})
+	net := Extract(d)
+	for _, span := range []Interval{
+		{Lo: 0, Hi: 39},
+		{Lo: 40, Hi: 79},
+		{Lo: 35, Hi: 84}, // straddles contacts mid-validity
+		{Lo: 110, Hi: 119},
+		{Lo: 100, Hi: 500}, // clamped at the domain end
+	} {
+		win := net.Window(span.Lo, span.Hi)
+		lo := span.Lo
+		hi := span.Hi
+		if int(hi) >= net.NumTicks {
+			hi = trajectory.Tick(net.NumTicks) - 1
+		}
+		if win.NumTicks != int(hi-lo)+1 || win.NumObjects != net.NumObjects {
+			t.Fatalf("window %v dims: %d ticks, %d objects", span, win.NumTicks, win.NumObjects)
+		}
+		for tk := lo; tk <= hi; tk++ {
+			want := net.PairsAt(tk)
+			got := win.PairsAt(tk - lo)
+			if len(want) != len(got) {
+				t.Fatalf("window %v tick %d: %d pairs, want %d", span, tk, len(got), len(want))
+			}
+			seen := make(map[stjoin.Pair]bool, len(want))
+			for _, p := range want {
+				seen[p] = true
+			}
+			for _, p := range got {
+				if !seen[p] {
+					t.Fatalf("window %v tick %d: unexpected pair %v", span, tk, p)
+				}
+			}
+		}
+		if err := checkSorted(win); err != nil {
+			t.Fatalf("window %v: %v", span, err)
+		}
+	}
+	if empty := net.Window(30, 20); empty.NumTicks != 0 || len(empty.Contacts) != 0 {
+		t.Fatal("inverted window should be empty")
+	}
+}
+
+// checkSorted verifies the Contacts sort invariant (by Lo, then A, then B).
+func checkSorted(n *Network) error {
+	for i := 1; i < len(n.Contacts); i++ {
+		a, b := n.Contacts[i-1], n.Contacts[i]
+		if a.Validity.Lo > b.Validity.Lo ||
+			(a.Validity.Lo == b.Validity.Lo && (a.A > b.A || (a.A == b.A && a.B > b.B))) {
+			return fmt.Errorf("contacts %d and %d out of order", i-1, i)
+		}
+	}
+	return nil
 }

@@ -19,6 +19,7 @@
 package grail
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -50,12 +51,13 @@ func (m *Mem) Labels() *Labels { return m.labels }
 
 // Reach answers the reachability query by label-pruned DFS.
 func (m *Mem) Reach(q queries.Query) (bool, error) {
-	ok, _, err := m.ReachCounted(q)
+	ok, _, err := m.ReachCounted(context.Background(), q)
 	return ok, err
 }
 
 // ReachCounted is Reach plus the number of vertices the pruned DFS visited.
-func (m *Mem) ReachCounted(q queries.Query) (bool, int, error) {
+// The context is observed inside the DFS loop.
+func (m *Mem) ReachCounted(ctx context.Context, q queries.Query) (bool, int, error) {
 	u, v, done, ans, err := entryVertices(m.g, q)
 	if done || err != nil {
 		return ans, 0, err
@@ -67,6 +69,9 @@ func (m *Mem) ReachCounted(q queries.Query) (bool, int, error) {
 	stack := []dn.NodeID{u}
 	visited[u] = true
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, len(visited), err
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if cur == v {
@@ -286,14 +291,15 @@ func contains(u, v *diskVertex) bool {
 // accountant.
 func (dk *Disk) Reach(q queries.Query) (bool, error) {
 	var acct pagefile.Stats
-	ok, _, err := dk.ReachCounted(q, &acct)
+	ok, _, err := dk.ReachCounted(context.Background(), q, &acct)
 	return ok, err
 }
 
 // ReachCounted is Reach plus the number of vertices the pruned DFS visited.
 // Page reads are charged to acct (which may be nil) in addition to the
-// cumulative counters; all traversal state is per-query.
-func (dk *Disk) ReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, error) {
+// cumulative counters; all traversal state is per-query. The context is
+// observed inside the DFS loop.
+func (dk *Disk) ReachCounted(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, int, error) {
 	u, v, done, ans, err := dk.entry(q, acct)
 	if done || err != nil {
 		return ans, 0, err
@@ -313,6 +319,9 @@ func (dk *Disk) ReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, 
 	visited := map[dn.NodeID]bool{u: true}
 	stack := []dn.NodeID{u}
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, len(visited), err
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if cur == v {

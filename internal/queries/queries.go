@@ -6,6 +6,7 @@ package queries
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"streach/internal/contact"
 	"streach/internal/stjoin"
@@ -121,13 +122,40 @@ func (o *Oracle) ReachableCounted(q Query) (bool, int) {
 
 // ReachableSet returns all objects reachable from src during iv (including
 // src itself), the batch primitive behind the paper's epidemic and
-// watch-list scenarios (§1).
+// watch-list scenarios (§1). The set is sorted ascending.
 func (o *Oracle) ReachableSet(src trajectory.ObjectID, iv contact.Interval) []trajectory.ObjectID {
+	return o.ReachableSetFrom([]trajectory.ObjectID{src}, iv)
+}
+
+// ReachableFromCounted answers the multi-source query: can an item held by
+// any of the seeds at iv.Lo reach dst by iv.Hi? It returns the number of
+// objects infected (seeds included) before the simulation terminated. This
+// is the frontier primitive the cross-segment planner uses: the reachable
+// set at the end of one time slab seeds the propagation of the next.
+func (o *Oracle) ReachableFromCounted(seeds []trajectory.ObjectID, dst trajectory.ObjectID, iv contact.Interval) (bool, int) {
+	reached := false
+	expanded := 0
+	o.propagateFrom(seeds, iv, nil, func(obj trajectory.ObjectID) bool {
+		expanded++
+		if obj == dst {
+			reached = true
+			return false
+		}
+		return true
+	})
+	return reached, expanded
+}
+
+// ReachableSetFrom returns all objects reachable from any seed during iv
+// (seeds included when the interval overlaps the time domain), sorted
+// ascending.
+func (o *Oracle) ReachableSetFrom(seeds []trajectory.ObjectID, iv contact.Interval) []trajectory.ObjectID {
 	var out []trajectory.ObjectID
-	o.propagate(src, iv, func(obj trajectory.ObjectID) bool {
+	o.propagateFrom(seeds, iv, nil, func(obj trajectory.ObjectID) bool {
 		out = append(out, obj)
 		return true
 	})
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
 	return out
 }
 
@@ -155,21 +183,41 @@ func (o *Oracle) propagate(src trajectory.ObjectID, iv contact.Interval, onInfec
 
 func (o *Oracle) propagate2(src trajectory.ObjectID, iv contact.Interval,
 	onTick func(trajectory.Tick), onInfect func(trajectory.ObjectID) bool) {
+	o.propagateFrom([]trajectory.ObjectID{src}, iv, onTick, onInfect)
+}
+
+// propagateFrom is the multi-source propagation: every valid seed holds the
+// item at iv.Lo. onInfect is invoked for each seed first (ascending seed
+// order), then for every newly infected object. Out-of-range seeds are
+// ignored.
+func (o *Oracle) propagateFrom(seeds []trajectory.ObjectID, iv contact.Interval,
+	onTick func(trajectory.Tick), onInfect func(trajectory.ObjectID) bool) {
 
 	n := o.net.NumObjects
-	if int(src) < 0 || int(src) >= n || iv.Len() == 0 {
+	if iv.Len() == 0 {
 		return
 	}
 	// Per-call scratch keeps the oracle safe under concurrent queries.
 	parent := make([]int32, n)
 	size := make([]int32, n)
 	infected := make([]bool, n)
-	infected[src] = true
+	any := false
+	for _, s := range seeds {
+		if int(s) >= 0 && int(s) < n {
+			infected[s] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
 	if onTick != nil {
 		onTick(iv.Lo)
 	}
-	if !onInfect(src) {
-		return
+	for i := 0; i < n; i++ {
+		if infected[i] && !onInfect(trajectory.ObjectID(i)) {
+			return
+		}
 	}
 	o.net.Snapshot(iv.Lo, iv.Hi, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
 		if len(pairs) == 0 {

@@ -7,6 +7,7 @@
 package reachgraph
 
 import (
+	"context"
 	"fmt"
 
 	"streach/internal/contact"
@@ -98,30 +99,91 @@ func (m *Mem) Reach(q queries.Query) (bool, error) { return m.ReachStrategy(q, B
 
 // ReachStrategy answers q with the chosen strategy.
 func (m *Mem) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
-	ok, _, err := m.ReachStrategyCounted(q, s)
+	ok, _, err := m.ReachStrategyCounted(context.Background(), q, s)
 	return ok, err
 }
 
+// clampInterval intersects iv with the graph's time domain.
+func (m *Mem) clampInterval(iv contact.Interval) contact.Interval {
+	return iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(m.g.NumTicks - 1)})
+}
+
 // ReachStrategyCounted is ReachStrategy plus the number of vertex visits.
-func (m *Mem) ReachStrategyCounted(q queries.Query, s Strategy) (bool, int, error) {
+// The context is observed inside the expansion loops.
+func (m *Mem) ReachStrategyCounted(ctx context.Context, q queries.Query, s Strategy) (bool, int, error) {
 	if int(q.Src) < 0 || int(q.Src) >= m.g.NumObjects ||
 		int(q.Dst) < 0 || int(q.Dst) >= m.g.NumObjects {
 		return false, 0, fmt.Errorf("reachgraph: query objects outside [0, %d)", m.g.NumObjects)
 	}
-	iv := q.Interval.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(m.g.NumTicks - 1)})
+	if q.Src == q.Dst && m.clampInterval(q.Interval).Len() > 0 {
+		return true, 0, nil
+	}
+	return m.ReachFromCounted(ctx, []trajectory.ObjectID{q.Src}, q.Dst, q.Interval, s)
+}
+
+// ReachFromCounted is the multi-source point query over the in-memory
+// graph; see Index.ReachFromCounted.
+func (m *Mem) ReachFromCounted(ctx context.Context, seeds []trajectory.ObjectID, dst trajectory.ObjectID, iv contact.Interval, s Strategy) (bool, int, error) {
+	if int(dst) < 0 || int(dst) >= m.g.NumObjects {
+		return false, 0, fmt.Errorf("reachgraph: destination %d outside [0, %d)", dst, m.g.NumObjects)
+	}
+	iv = m.clampInterval(iv)
 	if iv.Len() == 0 {
 		return false, 0, nil
 	}
-	if q.Src == q.Dst {
-		return true, 0, nil
+	for _, o := range seeds {
+		if o == dst {
+			return true, 0, nil
+		}
 	}
-	v1 := m.g.NodeOf(q.Src, iv.Lo)
-	v2 := m.g.NodeOf(q.Dst, iv.Hi)
+	starts, err := m.seedEntries(seeds, iv.Lo)
+	if err != nil {
+		return false, 0, err
+	}
+	v2 := m.g.NodeOf(dst, iv.Hi)
 	res := m.resolutions
 	if s == BBFS || s == EBFS || s == EDFS {
 		res = nil
 	}
 	var visits int
-	ok, err := traverse(countingAccess{m, &visits}, s, entry{v1, -1}, entry{v2, -1}, iv, res, m.g.NumTicks)
+	ok, err := traverse(ctx, countingAccess{m, &visits}, s, starts, entry{v2, -1}, iv, res, m.g.NumTicks)
 	return ok, visits, err
+}
+
+// ReachableSetFromCounted is the native multi-source set primitive over the
+// in-memory graph; see Index.ReachableSetFromCounted.
+func (m *Mem) ReachableSetFromCounted(ctx context.Context, seeds []trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, int, error) {
+	iv = m.clampInterval(iv)
+	if iv.Len() == 0 {
+		return nil, 0, nil
+	}
+	starts, err := m.seedEntries(seeds, iv.Lo)
+	if err != nil {
+		return nil, 0, err
+	}
+	var visits int
+	own, err := collectForward(ctx, countingAccess{m, &visits}, starts, iv)
+	if err != nil {
+		return nil, visits, err
+	}
+	return sortedObjects(own), visits, nil
+}
+
+// seedEntries maps the seed objects to their (deduplicated) vertices at
+// tick t.
+func (m *Mem) seedEntries(seeds []trajectory.ObjectID, t trajectory.Tick) ([]entry, error) {
+	starts := make([]entry, 0, len(seeds))
+	seen := make(map[dn.NodeID]bool, len(seeds))
+	for _, o := range seeds {
+		if int(o) < 0 || int(o) >= m.g.NumObjects {
+			return nil, fmt.Errorf("reachgraph: seed %d outside [0, %d)", o, m.g.NumObjects)
+		}
+		v := m.g.NodeOf(o, t)
+		if v == dn.Invalid || seen[v] {
+			continue
+		}
+		seen[v] = true
+		starts = append(starts, entry{v, -1})
+	}
+	return starts, nil
 }

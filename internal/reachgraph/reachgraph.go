@@ -18,6 +18,7 @@
 package reachgraph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -453,38 +454,107 @@ func (ix *Index) Reach(q queries.Query) (bool, error) {
 // accountant.
 func (ix *Index) ReachStrategy(q queries.Query, s Strategy) (bool, error) {
 	var acct pagefile.Stats
-	ok, _, err := ix.ReachStrategyCounted(q, s, &acct)
+	ok, _, err := ix.ReachStrategyCounted(context.Background(), q, s, &acct)
 	return ok, err
 }
 
 // ReachStrategyCounted is ReachStrategy plus the number of vertex visits the
 // traversal performed. Page reads are charged to acct (which may be nil) in
 // addition to the cumulative counters; one accountant per query keeps
-// parallel evaluation exact.
-func (ix *Index) ReachStrategyCounted(q queries.Query, s Strategy, acct *pagefile.Stats) (bool, int, error) {
+// parallel evaluation exact. The context is observed inside the expansion
+// loops, so a cancelled query returns ctx.Err() promptly.
+func (ix *Index) ReachStrategyCounted(ctx context.Context, q queries.Query, s Strategy, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
 	}
-	iv := ix.clampInterval(q.Interval)
+	if q.Src == q.Dst && ix.clampInterval(q.Interval).Len() > 0 {
+		return true, 0, nil
+	}
+	return ix.ReachFromCounted(ctx, []trajectory.ObjectID{q.Src}, q.Dst, q.Interval, s, acct)
+}
+
+// ReachFromCounted is the multi-source point query: can an item held by any
+// of the seeds at the interval start reach dst by its end? It is the
+// frontier entry point of the cross-segment planner — the reachable set of
+// one time slab becomes the seed set of the next. The traversal is the
+// strategy's usual one with every seed vertex injected into the forward
+// frontier at iv.Lo.
+func (ix *Index) ReachFromCounted(ctx context.Context, seeds []trajectory.ObjectID, dst trajectory.ObjectID, iv contact.Interval, s Strategy, acct *pagefile.Stats) (bool, int, error) {
+	if int(dst) < 0 || int(dst) >= ix.numObjects {
+		return false, 0, fmt.Errorf("reachgraph: destination %d outside [0, %d)", dst, ix.numObjects)
+	}
+	iv = ix.clampInterval(iv)
 	if iv.Len() == 0 {
 		return false, 0, nil
 	}
-	if q.Src == q.Dst {
-		return true, 0, nil
+	for _, o := range seeds {
+		if o == dst {
+			return true, 0, nil
+		}
 	}
-	v1, p1, err := ix.findVertex(q.Src, iv.Lo, acct)
+	starts, err := ix.seedEntries(seeds, iv.Lo, acct)
 	if err != nil {
 		return false, 0, err
 	}
-	v2, p2, err := ix.findVertex(q.Dst, iv.Hi, acct)
+	v2, p2, err := ix.findVertex(dst, iv.Hi, acct)
 	if err != nil {
 		return false, 0, err
 	}
 	c := ix.newCursor(acct)
 	var visits int
-	ok, err := traverse(countingAccess{diskAccess{c}, &visits}, s,
-		entry{v1, p1}, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)
+	ok, err := traverse(ctx, countingAccess{diskAccess{c}, &visits}, s,
+		starts, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)
 	return ok, visits, err
+}
+
+// ReachableSetFromCounted returns every object reachable from any seed
+// during iv (seeds included when the interval overlaps the time domain),
+// sorted ascending, plus the number of vertex visits. It is the native set
+// primitive: a forward DN1 sweep that collects the members of every run the
+// item can enter.
+func (ix *Index) ReachableSetFromCounted(ctx context.Context, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return nil, 0, nil
+	}
+	starts, err := ix.seedEntries(seeds, iv.Lo, acct)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := ix.newCursor(acct)
+	var visits int
+	own, err := collectForward(ctx, countingAccess{diskAccess{c}, &visits}, starts, iv)
+	if err != nil {
+		return nil, visits, err
+	}
+	return sortedObjects(own), visits, nil
+}
+
+// seedEntries locates the (deduplicated) vertices of the seed objects at
+// tick t via the run directory.
+func (ix *Index) seedEntries(seeds []trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) ([]entry, error) {
+	starts := make([]entry, 0, len(seeds))
+	seen := make(map[dn.NodeID]bool, len(seeds))
+	for _, o := range seeds {
+		v, p, err := ix.findVertex(o, t, acct)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[v] {
+			seen[v] = true
+			starts = append(starts, entry{v, p})
+		}
+	}
+	return starts, nil
+}
+
+// sortedObjects flattens an object set into an ascending slice.
+func sortedObjects(s objSet) []trajectory.ObjectID {
+	out := make([]trajectory.ObjectID, 0, len(s))
+	for o := range s {
+		out = append(out, o)
+	}
+	return trajectory.SortDedupObjects(out)
 }
 
 // diskAccess adapts a cursor to the traversal's graph-access interface.

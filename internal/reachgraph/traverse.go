@@ -31,6 +31,8 @@
 package reachgraph
 
 import (
+	"context"
+
 	"streach/internal/contact"
 	"streach/internal/dn"
 	"streach/internal/trajectory"
@@ -91,27 +93,41 @@ func (c countingAccess) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
 	return c.g.vertex(id, part)
 }
 
-// traverse runs strategy s from v1 (source vertex at iv.Lo) toward v2
-// (destination vertex at iv.Hi). numTicks is the graph's time domain size,
-// needed to mirror reverse long-edge boundaries.
-func traverse(g graphAccess, s Strategy, v1, v2 entry,
+// traverse runs strategy s from the start vertices (source frontier at
+// iv.Lo) toward v2 (destination vertex at iv.Hi). A single-source query
+// passes one start; the cross-segment planner passes the whole frontier
+// carried over from the previous time slab. numTicks is the graph's time
+// domain size, needed to mirror reverse long-edge boundaries. The context
+// is observed inside every expansion loop, so a cancelled traversal returns
+// ctx.Err() promptly.
+func traverse(ctx context.Context, g graphAccess, s Strategy, starts []entry, v2 entry,
 	iv contact.Interval, resolutions []int, numTicks int) (bool, error) {
 
-	if v1.node == dn.Invalid || v2.node == dn.Invalid {
+	if v2.node == dn.Invalid {
 		return false, nil
 	}
-	if v1.node == v2.node {
-		return true, nil
+	live := starts[:0]
+	for _, e := range starts {
+		if e.node == dn.Invalid {
+			continue
+		}
+		if e.node == v2.node {
+			return true, nil
+		}
+		live = append(live, e)
+	}
+	if len(live) == 0 {
+		return false, nil
 	}
 	switch s {
 	case BMBFS:
-		return bidirectional(g, v1, v2, iv, resolutions, numTicks)
+		return bidirectional(ctx, g, live, v2, iv, resolutions, numTicks)
 	case BBFS:
-		return bidirectional(g, v1, v2, iv, nil, numTicks)
+		return bidirectional(ctx, g, live, v2, iv, nil, numTicks)
 	case EBFS:
-		return unidirectional(g, v1, v2, iv, false)
+		return unidirectional(ctx, g, live, v2, iv, false)
 	case EDFS:
-		return unidirectional(g, v1, v2, iv, true)
+		return unidirectional(ctx, g, live, v2, iv, true)
 	}
 	return false, errUnknownStrategy
 }
@@ -147,15 +163,20 @@ type tickItem struct {
 
 // bidirectional implements BM-BFS (resolutions non-nil) and B-BFS
 // (resolutions nil), alternating one dequeue per direction like the
-// parallel ProcessQueue calls of Algorithm 2.
-func bidirectional(g graphAccess, v1, v2 entry, iv contact.Interval,
-	resolutions []int, numTicks int) (bool, error) {
+// parallel ProcessQueue calls of Algorithm 2. All forward starts are
+// injected at iv.Lo: a multi-source frontier behaves exactly like a source
+// whose component already spans the seed set.
+func bidirectional(ctx context.Context, g graphAccess, starts []entry, v2 entry,
+	iv contact.Interval, resolutions []int, numTicks int) (bool, error) {
 
 	mid := iv.Lo + trajectory.Tick(iv.Len()/2)
 	fw := &frontier{
-		queue:   []tickItem{{v1, iv.Lo}},
+		queue:   make([]tickItem, 0, len(starts)),
 		visited: map[dn.NodeID]trajectory.Tick{},
 		own:     objSet{},
+	}
+	for _, e := range starts {
+		fw.queue = append(fw.queue, tickItem{e, iv.Lo})
 	}
 	bw := &frontier{
 		queue:   []tickItem{{v2, iv.Hi}},
@@ -163,6 +184,9 @@ func bidirectional(g graphAccess, v1, v2 entry, iv contact.Interval,
 		own:     objSet{},
 	}
 	for len(fw.queue) > 0 || len(bw.queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		meet, err := stepForward(g, fw, bw.own, mid, resolutions)
 		if err != nil || meet {
 			return meet, err
@@ -304,10 +328,19 @@ func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick
 // §6.2.2. Edge spans grow strictly along DN1 edges, so a vertex starting
 // after iv.Hi cannot lead to v2 and is not expanded; that is the only
 // pruning the naïve traversals get.
-func unidirectional(g graphAccess, v1, v2 entry, iv contact.Interval, depthFirst bool) (bool, error) {
-	visited := map[dn.NodeID]bool{v1.node: true}
-	stack := []entry{v1}
+func unidirectional(ctx context.Context, g graphAccess, starts []entry, v2 entry, iv contact.Interval, depthFirst bool) (bool, error) {
+	visited := make(map[dn.NodeID]bool, len(starts))
+	stack := make([]entry, 0, len(starts))
+	for _, e := range starts {
+		if !visited[e.node] {
+			visited[e.node] = true
+			stack = append(stack, e)
+		}
+	}
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		var cur entry
 		if depthFirst {
 			cur = stack[len(stack)-1]
@@ -335,6 +368,54 @@ func unidirectional(g graphAccess, v1, v2 entry, iv contact.Interval, depthFirst
 		}
 	}
 	return false, nil
+}
+
+// collectForward sweeps DN1 edges forward from the start vertices and
+// returns every object holding the item by iv.Hi — the native reachable-set
+// primitive behind ReachableSetFromCounted and the cross-segment frontier
+// planner. Long edges are not consulted: a set query must enumerate every
+// reachable run anyway, so the base resolution is already optimal. The
+// entry invariant is that every queued vertex is reached with an arrival
+// time inside its span and ≤ iv.Hi, so all of its members hold the item;
+// successors depart at span end and arrive one instant later, which keeps
+// the invariant because DN1 edges connect exactly adjacent runs.
+func collectForward(ctx context.Context, g graphAccess, starts []entry, iv contact.Interval) (objSet, error) {
+	visited := make(map[dn.NodeID]bool, len(starts))
+	queue := make([]entry, 0, len(starts))
+	for _, e := range starts {
+		if e.node == dn.Invalid || visited[e.node] {
+			continue
+		}
+		visited[e.node] = true
+		queue = append(queue, e)
+	}
+	own := objSet{}
+	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		v, err := g.vertex(cur.node, cur.part)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range v.members {
+			own[o] = struct{}{}
+		}
+		if v.end >= iv.Hi {
+			// The run outlives the interval: its successors start after
+			// iv.Hi and cannot be infected in time.
+			continue
+		}
+		for _, e := range v.out {
+			if !visited[e.node] {
+				visited[e.node] = true
+				queue = append(queue, entry{e.node, e.part})
+			}
+		}
+	}
+	return own, nil
 }
 
 func pop(q *[]tickItem) (tickItem, bool) {

@@ -25,6 +25,7 @@
 package reachgrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -218,7 +219,7 @@ func (ix *Index) validateQuery(q queries.Query) error {
 // runs spanning blob reads are classified as in the paper's cost model).
 func (ix *Index) Reach(q queries.Query) (bool, error) {
 	var acct pagefile.Stats
-	ok, _, err := ix.ReachCounted(q, &acct)
+	ok, _, err := ix.ReachCounted(context.Background(), q, &acct)
 	return ok, err
 }
 
@@ -226,23 +227,39 @@ func (ix *Index) Reach(q queries.Query) (bool, error) {
 // infected (src included) before terminating — the frontier size the facade
 // surfaces per query. Page reads are charged to acct (which may be nil) in
 // addition to the store's cumulative counters; passing one accountant per
-// query keeps evaluation safe to run fully in parallel.
-func (ix *Index) ReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, error) {
+// query keeps evaluation safe to run fully in parallel. The context is
+// observed inside the expansion loop (once per instant), so a cancelled
+// query returns ctx.Err() promptly instead of sweeping on.
+func (ix *Index) ReachCounted(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
 	}
-	iv := ix.clampInterval(q.Interval)
+	return ix.ReachFromCounted(ctx, []trajectory.ObjectID{q.Src}, q.Dst, q.Interval, acct)
+}
+
+// ReachFromCounted is the multi-source point query: can an item held by any
+// of the seeds at the interval start reach dst by its end? It is the
+// frontier entry point of the cross-segment planner — the reachable set of
+// one time slab seeds the sweep of the next. Seeds must be valid object
+// IDs; the expansion counter includes the seeds.
+func (ix *Index) ReachFromCounted(ctx context.Context, seeds []trajectory.ObjectID, dst trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) (bool, int, error) {
+	if int(dst) < 0 || int(dst) >= ix.numObjects {
+		return false, 0, fmt.Errorf("reachgrid: destination %d outside [0, %d)", dst, ix.numObjects)
+	}
+	iv = ix.clampInterval(iv)
 	if iv.Len() == 0 {
 		return false, 0, nil
 	}
-	if q.Src == q.Dst {
-		return true, 1, nil
+	for _, s := range seeds {
+		if s == dst {
+			return true, len(seeds), nil
+		}
 	}
 	reached := false
-	expanded := 1 // src
-	err := ix.sweep(q.Src, iv, acct, func(o trajectory.ObjectID) bool {
+	expanded := len(seeds)
+	err := ix.sweep(ctx, seeds, iv, acct, func(o trajectory.ObjectID) bool {
 		expanded++
-		if o == q.Dst {
+		if o == dst {
 			reached = true
 			return false
 		}
@@ -252,23 +269,33 @@ func (ix *Index) ReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int,
 }
 
 // ReachableSet returns every object reachable from src during iv (including
-// src), the batch primitive behind the paper's epidemic and watch-list
-// scenarios. The expansion is still guided: only cells near the growing seed
-// set are read. Page reads are charged to acct (which may be nil).
-func (ix *Index) ReachableSet(src trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, error) {
-	if int(src) < 0 || int(src) >= ix.numObjects {
-		return nil, fmt.Errorf("reachgrid: source %d outside [0, %d)", src, ix.numObjects)
-	}
+// src), sorted ascending — the batch primitive behind the paper's epidemic
+// and watch-list scenarios. The expansion is still guided: only cells near
+// the growing seed set are read. Page reads are charged to acct (which may
+// be nil).
+func (ix *Index) ReachableSet(ctx context.Context, src trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, error) {
+	out, _, err := ix.ReachableSetFrom(ctx, []trajectory.ObjectID{src}, iv, acct)
+	return out, err
+}
+
+// ReachableSetFrom returns every object reachable from any seed during iv
+// (seeds included when the interval overlaps the time domain), sorted
+// ascending, plus the expansion counter.
+func (ix *Index) ReachableSetFrom(ctx context.Context, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
 	iv = ix.clampInterval(iv)
 	if iv.Len() == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
-	out := []trajectory.ObjectID{src}
-	err := ix.sweep(src, iv, acct, func(o trajectory.ObjectID) bool {
+	out := append([]trajectory.ObjectID(nil), seeds...)
+	err := ix.sweep(ctx, seeds, iv, acct, func(o trajectory.ObjectID) bool {
 		out = append(out, o)
 		return true
 	})
-	return out, err
+	if err != nil {
+		return nil, len(out), err
+	}
+	out = trajectory.SortDedupObjects(out)
+	return out, len(out), nil
 }
 
 // bucketState is the per-bucket working set of the sweep: the decoded cells
@@ -279,14 +306,23 @@ type bucketState struct {
 	segs   map[trajectory.ObjectID]trajectory.Segment
 }
 
-// sweep runs Algorithm 1, invoking onInfect for every object that becomes
-// reachable from src (src excluded). onInfect returning false terminates the
-// sweep early (the paper's termination on discovering the destination). All
-// state is per-query; page reads are charged to acct.
-func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats, onInfect func(trajectory.ObjectID) bool) error {
+// sweep runs Algorithm 1 from the given seed set, invoking onInfect for
+// every object that becomes reachable from a seed (seeds excluded).
+// onInfect returning false terminates the sweep early (the paper's
+// termination on discovering the destination). All state is per-query; page
+// reads are charged to acct. The context is observed once per instant.
+func (ix *Index) sweep(ctx context.Context, initial []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats, onInfect func(trajectory.ObjectID) bool) error {
 	seeds := make([]bool, ix.numObjects)
-	seeds[src] = true
-	seedList := []trajectory.ObjectID{src}
+	seedList := make([]trajectory.ObjectID, 0, len(initial))
+	for _, s := range initial {
+		if int(s) < 0 || int(s) >= ix.numObjects {
+			return fmt.Errorf("reachgrid: seed %d outside [0, %d)", s, ix.numObjects)
+		}
+		if !seeds[s] {
+			seeds[s] = true
+			seedList = append(seedList, s)
+		}
+	}
 
 	joiner := stjoin.NewJoiner(ix.grid.Env(), ix.dT)
 	uf := newUnionFind(ix.numObjects)
@@ -307,6 +343,9 @@ func (ix *Index) sweep(src trajectory.ObjectID, iv contact.Interval, acct *pagef
 			return err
 		}
 		for t := w.Lo; t <= w.Hi; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			// Fixpoint per instant: a new seed at t can infect further
 			// objects at the same instant once its cells are loaded
 			// (the recursive restart at t′ in §4.2).

@@ -1,6 +1,7 @@
 package reachgrid
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -103,7 +104,7 @@ func TestReachableSetMatchesOracle(t *testing.T) {
 	for src := trajectory.ObjectID(0); src < 10; src++ {
 		iv := contact.Interval{Lo: trajectory.Tick(5 * src), Hi: trajectory.Tick(5*src) + 120}
 		want := oracle.ReachableSet(src, iv)
-		got, err := ix.ReachableSet(src, iv, nil)
+		got, err := ix.ReachableSet(context.Background(), src, iv, nil)
 		if err != nil {
 			t.Fatalf("src %d: %v", src, err)
 		}
@@ -201,7 +202,7 @@ func TestQueryValidation(t *testing.T) {
 			t.Errorf("%v: want SPJ validation error", q)
 		}
 	}
-	if _, err := ix.ReachableSet(-3, contact.Interval{Lo: 0, Hi: 5}, nil); err == nil {
+	if _, err := ix.ReachableSet(context.Background(), -3, contact.Interval{Lo: 0, Hi: 5}, nil); err == nil {
 		t.Error("ReachableSet(-3): want validation error")
 	}
 }

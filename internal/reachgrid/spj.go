@@ -7,6 +7,7 @@
 package reachgrid
 
 import (
+	"context"
 	"fmt"
 
 	"streach/internal/geo"
@@ -23,14 +24,15 @@ import (
 // exhausted.
 func (ix *Index) SPJReach(q queries.Query) (bool, error) {
 	var acct pagefile.Stats
-	ok, _, err := ix.SPJReachCounted(q, &acct)
+	ok, _, err := ix.SPJReachCounted(context.Background(), q, &acct)
 	return ok, err
 }
 
 // SPJReachCounted is SPJReach plus the number of objects infected during
 // propagation (src included). Page reads are charged to acct (which may be
-// nil); all traversal state is per-query.
-func (ix *Index) SPJReachCounted(q queries.Query, acct *pagefile.Stats) (bool, int, error) {
+// nil); all traversal state is per-query. The context is observed once per
+// instant of the join sweep.
+func (ix *Index) SPJReachCounted(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
 	}
@@ -67,6 +69,9 @@ func (ix *Index) SPJReachCounted(q queries.Query, acct *pagefile.Stats) (bool, i
 		pts := make([]geo.Point, 0, len(st.segs))
 		ids := make([]trajectory.ObjectID, 0, len(st.segs))
 		for t := w.Lo; t <= w.Hi; t++ {
+			if err := ctx.Err(); err != nil {
+				return false, expanded, err
+			}
 			pts, ids = pts[:0], ids[:0]
 			for o, seg := range st.segs {
 				if seg.Covers(t) {

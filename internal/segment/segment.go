@@ -1,0 +1,213 @@
+// Package segment partitions the time axis of a contact dataset into
+// fixed-width slabs, the substrate of the time-sliced index architecture:
+// every slab carries its own (immutable, independently built) index segment
+// and a query walks only the segments overlapping its interval, carrying
+// the reachable frontier from slab to slab.
+//
+// The package has two halves:
+//
+//   - Layout is pure slab arithmetic — which slab holds a tick, which slabs
+//     overlap an interval, what span a slab covers. Batch segmentation
+//     (splitting a frozen dataset) is Layout plus contact.Network.Window /
+//     trajectory.Dataset.Window.
+//   - Log is the streaming half, shaped like an LSM tree: appends go to one
+//     mutable in-memory tail segment (an incremental contact.Builder over
+//     the current slab only); when the tail's slab closes it is sealed —
+//     flushed through a build callback into an immutable per-slab value
+//     (typically a disk-resident index segment) — and a fresh tail opens.
+//     Appends therefore cost O(instant) and never rebuild history, and
+//     queries see sealed segments plus a snapshot of the small tail.
+//
+// Log is safe for one appender running concurrently with any number of
+// readers: sealed values are immutable once published and View hands out
+// consistent snapshots.
+package segment
+
+import (
+	"fmt"
+	"sync"
+
+	"streach/internal/contact"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// DefaultWidth is the slab width used when a caller passes no explicit
+// width: wide enough that typical query intervals (the paper's 150-350
+// instants) span only a few slabs, narrow enough that a tail rebuild or a
+// single slab index stays small.
+const DefaultWidth = 128
+
+// Width returns w defaulted.
+func Width(w int) int {
+	if w <= 0 {
+		return DefaultWidth
+	}
+	return w
+}
+
+// Layout describes the slab partitioning of a time domain: slab i covers
+// ticks [i*Width, (i+1)*Width) intersected with [0, NumTicks). The final
+// slab may be partial.
+type Layout struct {
+	Width    int
+	NumTicks int
+}
+
+// NewLayout returns the layout of numTicks instants in slabs of width
+// ticks (defaulted via Width).
+func NewLayout(width, numTicks int) Layout {
+	return Layout{Width: Width(width), NumTicks: numTicks}
+}
+
+// NumSlabs returns the number of slabs covering the time domain.
+func (l Layout) NumSlabs() int {
+	if l.NumTicks <= 0 {
+		return 0
+	}
+	return (l.NumTicks + l.Width - 1) / l.Width
+}
+
+// SlabOf returns the index of the slab containing tick t (which must be in
+// [0, NumTicks)).
+func (l Layout) SlabOf(t trajectory.Tick) int { return int(t) / l.Width }
+
+// Span returns the tick interval of slab i, clipped to the time domain.
+func (l Layout) Span(i int) contact.Interval {
+	lo := trajectory.Tick(i * l.Width)
+	hi := lo + trajectory.Tick(l.Width) - 1
+	if int(hi) >= l.NumTicks {
+		hi = trajectory.Tick(l.NumTicks - 1)
+	}
+	return contact.Interval{Lo: lo, Hi: hi}
+}
+
+// Overlapping returns the index range [first, last] of slabs overlapping
+// iv, or ok=false when the (clamped) interval is empty.
+func (l Layout) Overlapping(iv contact.Interval) (first, last int, ok bool) {
+	iv = iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(l.NumTicks - 1)})
+	if l.NumTicks <= 0 || iv.Len() == 0 {
+		return 0, 0, false
+	}
+	return l.SlabOf(iv.Lo), l.SlabOf(iv.Hi), true
+}
+
+// Sealed is one immutable sealed segment: the slab's global tick span plus
+// the value the build callback produced for it (an index, an engine core,
+// a plain network — whatever the caller segments into).
+type Sealed[S any] struct {
+	Span  contact.Interval
+	Value S
+}
+
+// BuildFunc flushes one closed slab into its sealed value. span is the
+// slab's global tick interval; net is the slab-local contact network (its
+// ticks re-based to [0, span.Len())). Builds run under the log's lock —
+// appends and seals are serialized with each other, never with readers.
+type BuildFunc[S any] func(span contact.Interval, net *contact.Network) (S, error)
+
+// Log is the streaming segment log: sealed (immutable) segments plus one
+// mutable tail absorbing appends, sealed LSM-style when its slab closes.
+type Log[S any] struct {
+	width int
+	build BuildFunc[S]
+
+	mu        sync.Mutex
+	sealed    []Sealed[S]
+	tail      *contact.Builder // slab-local: tick 0 of the builder is tailStart
+	tailStart trajectory.Tick
+	tailNet   *contact.Network // cached tail snapshot, nil when dirty
+	full      *contact.Builder // cumulative network, for Snapshot
+}
+
+// NewLog returns an empty log for numObjects objects with the given slab
+// width (defaulted via Width); build flushes each closed slab.
+func NewLog[S any](numObjects, width int, build BuildFunc[S]) *Log[S] {
+	return &Log[S]{
+		width: Width(width),
+		build: build,
+		tail:  contact.NewBuilder(numObjects),
+		full:  contact.NewBuilder(numObjects),
+	}
+}
+
+// Width returns the slab width.
+func (l *Log[S]) Width() int { return l.width }
+
+// NumTicks returns the number of instants appended so far.
+func (l *Log[S]) NumTicks() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.tailStart) + l.tail.NumTicks()
+}
+
+// NumSealed returns the number of sealed segments.
+func (l *Log[S]) NumSealed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sealed)
+}
+
+// AddInstant appends the contact pairs active at the next instant to the
+// tail. When the append closes the tail's slab, the slab is sealed: its
+// local network is flushed through the build callback and a fresh tail
+// opens. A build error leaves the tail un-sealed — the instant itself is
+// retained and the time axis stays intact — and is returned to the
+// appender; the next append retries the seal over the (now wider) tail, so
+// a transient build failure merely widens that one sealed slab.
+func (l *Log[S]) AddInstant(pairs []stjoin.Pair) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tail.AddInstant(pairs)
+	l.full.AddInstant(pairs)
+	l.tailNet = nil
+	if l.tail.NumTicks() < l.width {
+		return nil
+	}
+	// Seal the whole tail. Normally that is exactly one slab; after a
+	// failed build it can be wider — the span always matches the sealed
+	// network, so the planner's slab walk stays exact.
+	net := l.tail.Network()
+	span := contact.Interval{
+		Lo: l.tailStart,
+		Hi: l.tailStart + trajectory.Tick(net.NumTicks) - 1,
+	}
+	value, err := l.build(span, net)
+	if err != nil {
+		return fmt.Errorf("segment: seal slab %v: %w", span, err)
+	}
+	l.sealed = append(l.sealed, Sealed[S]{Span: span, Value: value})
+	l.tailStart += trajectory.Tick(net.NumTicks)
+	l.tail = contact.NewBuilder(l.full.NumObjects())
+	return nil
+}
+
+// View returns a consistent snapshot for one query: the sealed segments,
+// the tail's span and slab-local network (nil when the tail is empty), and
+// the total tick count. The sealed slice and tail network are immutable —
+// the reader may use them lock-free for the whole query.
+func (l *Log[S]) View() (sealed []Sealed[S], tailSpan contact.Interval, tailNet *contact.Network, numTicks int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	numTicks = int(l.tailStart) + l.tail.NumTicks()
+	if l.tail.NumTicks() > 0 {
+		if l.tailNet == nil {
+			l.tailNet = l.tail.Network()
+		}
+		tailNet = l.tailNet
+		tailSpan = contact.Interval{
+			Lo: l.tailStart,
+			Hi: l.tailStart + trajectory.Tick(l.tail.NumTicks()) - 1,
+		}
+	}
+	return l.sealed, tailSpan, tailNet, numTicks
+}
+
+// Snapshot returns the cumulative contact network over every instant
+// appended so far (the same network a ContactStream snapshot would give),
+// for validation against ground truth.
+func (l *Log[S]) Snapshot() *contact.Network {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.full.Network()
+}

@@ -1,0 +1,205 @@
+package segment
+
+import (
+	"errors"
+	"testing"
+
+	"streach/internal/contact"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+func TestLayoutArithmetic(t *testing.T) {
+	l := NewLayout(50, 230)
+	if got := l.NumSlabs(); got != 5 {
+		t.Fatalf("NumSlabs = %d, want 5", got)
+	}
+	// Spans must tile [0, NumTicks) exactly.
+	expect := trajectory.Tick(0)
+	for i := 0; i < l.NumSlabs(); i++ {
+		sp := l.Span(i)
+		if sp.Lo != expect {
+			t.Fatalf("slab %d starts at %d, want %d", i, sp.Lo, expect)
+		}
+		if sp.Len() == 0 {
+			t.Fatalf("slab %d empty", i)
+		}
+		for tk := sp.Lo; tk <= sp.Hi; tk++ {
+			if l.SlabOf(tk) != i {
+				t.Fatalf("SlabOf(%d) = %d, want %d", tk, l.SlabOf(tk), i)
+			}
+		}
+		expect = sp.Hi + 1
+	}
+	if int(expect) != l.NumTicks {
+		t.Fatalf("slabs end at %d, want %d", expect, l.NumTicks)
+	}
+	if sp := l.Span(4); sp.Hi != 229 {
+		t.Fatalf("final slab ends at %d, want 229 (partial slab)", sp.Hi)
+	}
+
+	first, last, ok := l.Overlapping(contact.Interval{Lo: 60, Hi: 149})
+	if !ok || first != 1 || last != 2 {
+		t.Fatalf("Overlapping([60,149]) = %d..%d ok=%v, want 1..2", first, last, ok)
+	}
+	if _, _, ok := l.Overlapping(contact.Interval{Lo: 400, Hi: 500}); ok {
+		t.Fatal("Overlapping past the domain should report none")
+	}
+	if _, _, ok := l.Overlapping(contact.Interval{Lo: 10, Hi: 5}); ok {
+		t.Fatal("empty interval should overlap nothing")
+	}
+
+	if w := NewLayout(0, 10).Width; w != DefaultWidth {
+		t.Fatalf("zero width defaulted to %d, want %d", w, DefaultWidth)
+	}
+}
+
+// pairsAt synthesizes a deterministic rolling contact pattern: object i
+// touches i+1 when (t+i) is even.
+func pairsAt(numObjects int, t trajectory.Tick) []stjoin.Pair {
+	var out []stjoin.Pair
+	for i := 0; i+1 < numObjects; i++ {
+		if (int(t)+i)%2 == 0 {
+			out = append(out, stjoin.MakePair(trajectory.ObjectID(i), trajectory.ObjectID(i+1)))
+		}
+	}
+	return out
+}
+
+// TestLogSealLifecycle drives the tail → sealed lifecycle and asserts the
+// sealed slab networks equal the corresponding windows of the cumulative
+// snapshot — the defining equivalence of the LSM-style log.
+func TestLogSealLifecycle(t *testing.T) {
+	const numObjects, width, total = 8, 16, 80
+	log := NewLog(numObjects, width, func(span contact.Interval, net *contact.Network) (*contact.Network, error) {
+		if net.NumTicks != span.Len() {
+			t.Fatalf("slab %v sealed with %d ticks", span, net.NumTicks)
+		}
+		return net, nil
+	})
+	for tk := trajectory.Tick(0); tk < total; tk++ {
+		wantSealed := int(tk) / width
+		if got := log.NumSealed(); got != wantSealed {
+			t.Fatalf("before tick %d: %d sealed, want %d", tk, got, wantSealed)
+		}
+		if err := log.AddInstant(pairsAt(numObjects, tk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := log.NumSealed(); got != total/width {
+		t.Fatalf("%d sealed after %d ticks, want %d", got, total, total/width)
+	}
+	if got := log.NumTicks(); got != total {
+		t.Fatalf("NumTicks = %d, want %d", got, total)
+	}
+
+	full := log.Snapshot()
+	sealed, tailSpan, tailNet, numTicks := log.View()
+	if numTicks != total {
+		t.Fatalf("View numTicks = %d, want %d", numTicks, total)
+	}
+	if tailNet != nil {
+		t.Fatalf("tail should be empty right after a seal, has span %v", tailSpan)
+	}
+	for i, s := range sealed {
+		wantSpan := contact.Interval{Lo: trajectory.Tick(i * width), Hi: trajectory.Tick((i+1)*width) - 1}
+		if s.Span != wantSpan {
+			t.Fatalf("sealed %d span %v, want %v", i, s.Span, wantSpan)
+		}
+		win := full.Window(s.Span.Lo, s.Span.Hi)
+		if !sameNetwork(s.Value, win) {
+			t.Fatalf("sealed slab %d disagrees with Window(%v) of the snapshot", i, s.Span)
+		}
+	}
+
+	// A partial tail: per-instant pairs of the tail view must match the
+	// cumulative network.
+	if err := log.AddInstant(pairsAt(numObjects, total)); err != nil {
+		t.Fatal(err)
+	}
+	_, tailSpan, tailNet, numTicks = log.View()
+	if numTicks != total+1 || tailNet == nil {
+		t.Fatalf("tail missing after partial append (numTicks %d)", numTicks)
+	}
+	if tailSpan.Lo != total || tailSpan.Hi != total {
+		t.Fatalf("tail span %v, want [%d, %d]", tailSpan, total, total)
+	}
+	win := log.Snapshot().Window(tailSpan.Lo, tailSpan.Hi)
+	if !sameNetwork(tailNet, win) {
+		t.Fatal("tail network disagrees with the snapshot window")
+	}
+}
+
+// TestLogBuildErrorSurfaces pins the failed-seal contract: the error is
+// surfaced, no instant is lost, the time axis never shifts, and a later
+// successful build seals one widened slab covering the backlog.
+func TestLogBuildErrorSurfaces(t *testing.T) {
+	boom := errors.New("boom")
+	failures := 3
+	log := NewLog(4, 4, func(span contact.Interval, net *contact.Network) (int, error) {
+		if span.Lo > 0 && failures > 0 { // the first slab seals cleanly
+			failures--
+			return 0, boom
+		}
+		if span.Len() != net.NumTicks {
+			t.Fatalf("sealed span %v over %d-tick network", span, net.NumTicks)
+		}
+		return net.NumTicks, nil
+	})
+	// Ticks 0..3 seal slab [0, 3]; ticks 4..6 fill the next tail.
+	for tk := trajectory.Tick(0); tk < 7; tk++ {
+		if err := log.AddInstant(nil); err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+	}
+	// Ticks 7..9 each trigger a seal attempt that fails; every instant
+	// must still be retained and the error surfaced, with no time shift.
+	for tk := trajectory.Tick(7); tk < 10; tk++ {
+		if err := log.AddInstant(nil); !errors.Is(err, boom) {
+			t.Fatalf("tick %d: got %v, want boom", tk, err)
+		}
+		if got := log.NumTicks(); got != int(tk)+1 {
+			t.Fatalf("tick %d retained %d instants, want %d", tk, got, tk+1)
+		}
+	}
+	// The next append succeeds and seals one widened slab [4, 10].
+	if err := log.AddInstant(nil); err != nil {
+		t.Fatal(err)
+	}
+	sealed, _, _, numTicks := log.View()
+	if numTicks != 11 {
+		t.Fatalf("NumTicks = %d, want 11", numTicks)
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("%d sealed slabs, want 2", len(sealed))
+	}
+	if want := (contact.Interval{Lo: 4, Hi: 10}); sealed[1].Span != want {
+		t.Fatalf("widened slab span %v, want %v", sealed[1].Span, want)
+	}
+	if sealed[1].Value != 7 {
+		t.Fatalf("widened slab sealed %d ticks, want 7", sealed[1].Value)
+	}
+}
+
+// sameNetwork compares two networks by their per-instant contact pairs.
+func sameNetwork(a, b *contact.Network) bool {
+	if a.NumObjects != b.NumObjects || a.NumTicks != b.NumTicks {
+		return false
+	}
+	for tk := trajectory.Tick(0); int(tk) < a.NumTicks; tk++ {
+		pa, pb := a.PairsAt(tk), b.PairsAt(tk)
+		if len(pa) != len(pb) {
+			return false
+		}
+		seen := make(map[stjoin.Pair]bool, len(pa))
+		for _, p := range pa {
+			seen[p] = true
+		}
+		for _, p := range pb {
+			if !seen[p] {
+				return false
+			}
+		}
+	}
+	return true
+}

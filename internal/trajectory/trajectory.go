@@ -170,6 +170,52 @@ func (d *Dataset) NumTicks() int {
 // Traj returns the trajectory of object id.
 func (d *Dataset) Traj(id ObjectID) *Trajectory { return &d.Trajs[id] }
 
+// Window returns a view of the dataset restricted to the ticks [lo, hi],
+// re-based so the window starts at tick 0. Trajectory positions share the
+// parent's backing arrays (windows are read-only views); objects whose
+// samples do not fully cover the window keep their clamped sub-range, with
+// the stationary-before/after convention of AtClamped applying as usual.
+// This is the trajectory-side extraction primitive behind time-sliced index
+// segments.
+func (d *Dataset) Window(lo, hi Tick) *Dataset {
+	if lo < 0 {
+		lo = 0
+	}
+	if last := Tick(d.NumTicks()) - 1; hi > last {
+		hi = last
+	}
+	w := &Dataset{
+		Name:        fmt.Sprintf("%s[%d,%d]", d.Name, lo, hi),
+		Env:         d.Env,
+		TickSeconds: d.TickSeconds,
+		ContactDist: d.ContactDist,
+		Trajs:       make([]Trajectory, len(d.Trajs)),
+	}
+	for i := range d.Trajs {
+		seg := d.Trajs[i].Slice(lo, hi)
+		if len(seg.Pos) == 0 {
+			// The trajectory misses the window entirely. It must not
+			// Cover any window instant — a covered sample would fabricate
+			// contacts the full dataset never had — so its span is placed
+			// before tick 0 (Start -1, End -1). AtClamped still answers
+			// with the nearest archived position, matching the
+			// stationary-outside-coverage convention.
+			w.Trajs[i] = Trajectory{
+				Object: d.Trajs[i].Object,
+				Start:  -1,
+				Pos:    []geo.Point{d.Trajs[i].AtClamped(lo)},
+			}
+			continue
+		}
+		w.Trajs[i] = Trajectory{
+			Object: d.Trajs[i].Object,
+			Start:  seg.Start - lo,
+			Pos:    seg.Pos,
+		}
+	}
+	return w
+}
+
 // SizeBytes estimates the raw size of the dataset as stored on disk: one
 // 16-byte (x, y) pair per object per tick, the figure reported in Table 2.
 func (d *Dataset) SizeBytes() int64 {
@@ -234,6 +280,21 @@ func Interpolate(tr *Trajectory, factor int) Trajectory {
 	}
 	pos = append(pos, tr.Pos[len(tr.Pos)-1])
 	return Trajectory{Object: tr.Object, Start: tr.Start * Tick(factor), Pos: pos}
+}
+
+// SortDedupObjects sorts ids ascending and removes duplicates in place —
+// the one normalization every reachable-set answer in the module goes
+// through, keeping set results identical across backends.
+func SortDedupObjects(ids []ObjectID) []ObjectID {
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	w := 0
+	for i, o := range ids {
+		if i == 0 || o != ids[w-1] {
+			ids[w] = o
+			w++
+		}
+	}
+	return ids[:w]
 }
 
 // SortSamplesByTime sorts a slice of samples by timestamp; the ReachGrid

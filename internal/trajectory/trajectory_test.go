@@ -235,3 +235,37 @@ func TestSortSamplesByTime(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowMissedTrajectoryCoversNothing guards the windowed-extraction
+// contract for partial trajectories: an object whose samples all precede
+// (or follow) the window must not Cover any window instant — a covered
+// pinned sample would fabricate contacts the full dataset never had — while
+// AtClamped still answers with its nearest archived position.
+func TestWindowMissedTrajectoryCoversNothing(t *testing.T) {
+	d := &Dataset{
+		Name:        "partial",
+		Env:         geo.NewRect(geo.Point{}, geo.Point{X: 100, Y: 100}),
+		TickSeconds: 1,
+		ContactDist: 10,
+		Trajs: []Trajectory{
+			{Object: 0, Start: 0, Pos: make([]geo.Point, 100)}, // covers [0, 99]
+			{Object: 1, Start: 0, Pos: make([]geo.Point, 40)},  // covers [0, 39]
+		},
+	}
+	w := d.Window(60, 99)
+	if w.NumTicks() != 40 {
+		t.Fatalf("window NumTicks = %d, want 40", w.NumTicks())
+	}
+	for tk := Tick(0); tk < 40; tk++ {
+		if w.Trajs[1].Covers(tk) {
+			t.Fatalf("missed trajectory covers window tick %d", tk)
+		}
+		if !w.Trajs[0].Covers(tk) {
+			t.Fatalf("full trajectory misses window tick %d", tk)
+		}
+	}
+	// AtClamped still pins the absent object at its last archived position.
+	if got, want := w.Trajs[1].AtClamped(0), d.Trajs[1].Pos[39]; got != want {
+		t.Fatalf("AtClamped = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,233 @@
+// LiveEngine: a query engine over a live position feed, queryable while
+// ingesting. This is the streaming completion of the segmented
+// architecture — where "segmented:<name>" slices a frozen dataset,
+// LiveEngine grows the slices as the feed arrives:
+//
+//	tail    — appends land in one mutable in-memory segment (an
+//	          incremental contact builder over the current time slab only);
+//	sealed  — when the tail's slab closes it is flushed through the base
+//	          backend's builder into an immutable index segment;
+//	query   — the cross-segment planner walks sealed segments plus a
+//	          snapshot of the tail, so answers always cover every ingested
+//	          instant with no rebuild of historical slabs, ever.
+//
+// Appends cost O(one instant) amortized (plus one slab-sized index build
+// each SegmentTicks instants); queries are lock-free after taking a
+// consistent view. One goroutine may append while any number query.
+
+package streach
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"streach/internal/contact"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/segment"
+	"streach/internal/stjoin"
+)
+
+// LiveEngine is an Engine over a live position feed. It satisfies Engine
+// (and Segmented) like every registry backend, but its time domain grows
+// with each AddInstant; queries are evaluated against every instant
+// ingested before the query took its view.
+type LiveEngine struct {
+	name       string
+	base       string
+	numObjects int
+	joiner     *stjoin.Joiner
+	log        *segment.Log[frontierCore]
+}
+
+// ErrNotLiveCapable reports a backend that cannot seal live segments: only
+// contact-sourced backends with frontier entry points (reachgraph,
+// reachgraph-mem, oracle) can.
+var ErrNotLiveCapable = errors.New("streach: backend cannot serve a live feed")
+
+// NewLiveEngine returns a live engine for numObjects objects moving in env
+// with contact threshold contactDist. Sealed slabs are indexed with the
+// named base backend, which must open from a contact network and support
+// the segmented planner ("reachgraph", "reachgraph-mem" or "oracle");
+// Options.SegmentTicks sets the slab width and disk-resident segments
+// share one buffer pool (Options.Pool or a private one).
+func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64, opts Options) (*LiveEngine, error) {
+	spec, ok := lookupSpec(backend)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (available: %s)",
+			ErrUnknownBackend, backend, joinLiveCapable())
+	}
+	if spec.info.NeedsTrajectories {
+		return nil, fmt.Errorf("live %q: %w (indexes trajectories)", spec.info.Name, ErrNotLiveCapable)
+	}
+	if numObjects <= 0 {
+		return nil, errors.New("streach: live engine needs at least one object")
+	}
+	if contactDist <= 0 {
+		return nil, errors.New("streach: contact threshold must be positive")
+	}
+	slabOpts := withSharedSlabPool(opts, spec.info.DiskResident)
+	build := func(span Interval, net *contact.Network) (frontierCore, error) {
+		core, err := spec.open(&ContactNetwork{net: net}, slabOpts)
+		if err != nil {
+			return nil, err
+		}
+		fc, ok := core.(frontierCore)
+		if !ok {
+			return nil, fmt.Errorf("live %q: %w (no frontier entry points)", spec.info.Name, ErrNotLiveCapable)
+		}
+		return fc, nil
+	}
+	// Probe seal-ability now, not at the first slab boundary: a one-tick
+	// empty network must build.
+	if _, err := build(NewInterval(0, 0), contact.FromContacts(numObjects, 1, nil)); err != nil {
+		return nil, err
+	}
+	return &LiveEngine{
+		name:       "live:" + spec.info.Name,
+		base:       spec.info.Name,
+		numObjects: numObjects,
+		joiner:     stjoin.NewJoiner(env, contactDist),
+		log:        segment.NewLog[frontierCore](numObjects, opts.SegmentTicks, build),
+	}, nil
+}
+
+func joinLiveCapable() string {
+	return "oracle, reachgraph, reachgraph-mem"
+}
+
+// AddInstant ingests the next instant of the feed; positions[i] is object
+// i's position. Appends must come from a single goroutine; queries may run
+// concurrently. When the append closes the current slab, the slab is
+// sealed into an immutable index segment before AddInstant returns.
+func (le *LiveEngine) AddInstant(positions []Point) error {
+	if len(positions) != le.numObjects {
+		return fmt.Errorf("streach: got %d positions, want %d", len(positions), le.numObjects)
+	}
+	var pairs []stjoin.Pair
+	le.joiner.Join(positions, func(a, b int) bool {
+		pairs = append(pairs, stjoin.MakePair(ObjectID(a), ObjectID(b)))
+		return true
+	})
+	return le.log.AddInstant(pairs)
+}
+
+// NumTicks returns the number of instants ingested so far.
+func (le *LiveEngine) NumTicks() int { return le.log.NumTicks() }
+
+// NumSealedSegments returns the number of sealed (immutable) segments.
+func (le *LiveEngine) NumSealedSegments() int { return le.log.NumSealed() }
+
+// Snapshot returns the contact network over every instant ingested so far
+// — the same network a ContactStream would snapshot — for validation
+// against ground truth. The engine remains usable.
+func (le *LiveEngine) Snapshot() *ContactNetwork {
+	return &ContactNetwork{net: le.log.Snapshot()}
+}
+
+// view assembles the planner's slab list: sealed segments plus, when the
+// tail holds instants, an oracle core over the tail's slab-local network.
+// Everything returned is immutable, so the query proceeds lock-free.
+func (le *LiveEngine) view() ([]segSlab, int) {
+	sealed, tailSpan, tailNet, numTicks := le.log.View()
+	slabs := make([]segSlab, 0, len(sealed)+1)
+	for _, s := range sealed {
+		slabs = append(slabs, segSlab{span: s.Span, core: s.Value})
+	}
+	if tailNet != nil {
+		slabs = append(slabs, segSlab{span: tailSpan, core: oracleCore{o: queries.NewOracle(tailNet)}})
+	}
+	return slabs, numTicks
+}
+
+// Name returns "live:<base>".
+func (le *LiveEngine) Name() string { return le.name }
+
+// Reachable answers q over every instant ingested before the call took its
+// view of the log.
+func (le *LiveEngine) Reachable(ctx context.Context, q Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	slabs, numTicks := le.view()
+	var acct pagefile.Stats
+	start := time.Now()
+	ok, expanded, err := planReach(ctx, slabs, le.numObjects, numTicks, q, &acct)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Query:     q,
+		Reachable: ok,
+		IO:        statsOf(acct),
+		Latency:   time.Since(start),
+		Expanded:  expanded,
+		Evaluated: true,
+	}, nil
+}
+
+// ReachableSet returns every object reachable from src during iv, sorted
+// ascending and deduplicated.
+func (le *LiveEngine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (SetResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SetResult{}, err
+	}
+	slabs, numTicks := le.view()
+	var acct pagefile.Stats
+	start := time.Now()
+	objs, _, err := planSet(ctx, slabs, le.numObjects, numTicks, src, iv, &acct)
+	if err != nil {
+		return SetResult{}, err
+	}
+	objs = sortDedupObjects(objs)
+	return SetResult{
+		Src:      src,
+		Interval: iv,
+		Objects:  objs,
+		IO:       statsOf(acct),
+		Latency:  time.Since(start),
+		Expanded: len(objs),
+	}, nil
+}
+
+// IndexBytes returns the total on-disk size of the sealed segments (zero
+// for memory-resident bases and before the first seal).
+func (le *LiveEngine) IndexBytes() int64 {
+	slabs, _ := le.view()
+	var sum int64
+	for _, s := range slabs {
+		sum += s.core.indexBytes()
+	}
+	return sum
+}
+
+// IOTotals returns the cumulative simulated disk traffic of the sealed
+// segments.
+func (le *LiveEngine) IOTotals() IOStats {
+	slabs, _ := le.view()
+	var sum pagefile.Stats
+	for _, s := range slabs {
+		sum.Add(s.core.ioTotals())
+	}
+	return statsOf(sum)
+}
+
+// SegmentStats returns one entry per segment — sealed segments first, then
+// the mutable tail (which never charges I/O) when it holds instants.
+func (le *LiveEngine) SegmentStats() []SegmentStats {
+	slabs, _ := le.view()
+	out := make([]SegmentStats, len(slabs))
+	for i, s := range slabs {
+		out[i] = SegmentStats{
+			Span:       s.span,
+			IO:         statsOf(s.core.ioTotals()),
+			IndexBytes: s.core.indexBytes(),
+		}
+	}
+	return out
+}
+
+var _ Engine = (*LiveEngine)(nil)
+var _ Segmented = (*LiveEngine)(nil)

@@ -1,0 +1,370 @@
+// Time-sliced index segments and the cross-segment query planner.
+//
+// A segmented backend ("segmented:<name>") splits the dataset's time axis
+// into fixed-width slabs (Options.SegmentTicks) and builds one immutable
+// index segment of the base backend per slab, all disk-resident segments
+// drawing on one shared BufferPool. Queries are planned across segments:
+// the planner walks only the slabs overlapping the query interval in time
+// order, carrying the reachable frontier from slab to slab — the reachable
+// set at the end of slab k becomes the multi-source seed set of slab k+1 —
+// and short-circuits as soon as the destination is infected (or the
+// context is cancelled). Correctness rests on the same per-instant
+// propagation semantics the oracle executes: infection is monotone and
+// memoryless across instants, so propagation over [t1, t2] factors exactly
+// into propagation over consecutive sub-intervals with the frontier as the
+// only carried state.
+//
+// The architecture exists for incremental ingestion (see LiveEngine): a
+// new stretch of feed only ever adds segments, so historical slabs are
+// never rebuilt.
+
+package streach
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"streach/internal/pagefile"
+	"streach/internal/segment"
+)
+
+// frontierCore is the multi-source surface of a segmentable backend: the
+// usual point query generalized to a seed frontier, plus the native
+// reachable-set primitive the planner uses to carry the frontier across
+// slab boundaries. Implementations return sorted, deduplicated sets.
+type frontierCore interface {
+	engineCore
+	// reachFrom answers "can an item held by any seed at iv.Lo reach dst
+	// by iv.Hi?".
+	reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error)
+	// frontierSet returns every object reachable from the seeds during iv
+	// (seeds included when the interval overlaps the time domain).
+	frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error)
+}
+
+func (c gridCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.ReachFromCounted(ctx, seeds, dst, iv, acct)
+}
+
+func (c gridCore) frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.ix.ReachableSetFrom(ctx, seeds, iv, acct)
+}
+
+func (c graphCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error) {
+	return c.ix.ReachFromCounted(ctx, seeds, dst, iv, c.strategy, acct)
+}
+
+func (c graphCore) frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.ix.ReachableSetFromCounted(ctx, seeds, iv, acct)
+}
+
+func (c graphMemCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, _ *pagefile.Stats) (bool, int, error) {
+	return c.m.ReachFromCounted(ctx, seeds, dst, iv, BMBFS)
+}
+
+func (c graphMemCore) frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.m.ReachableSetFromCounted(ctx, seeds, iv)
+}
+
+func (c oracleCore) reachFrom(_ context.Context, seeds []ObjectID, dst ObjectID, iv Interval, _ *pagefile.Stats) (bool, int, error) {
+	ok, expanded := c.o.ReachableFromCounted(seeds, dst, iv)
+	return ok, expanded, nil
+}
+
+func (c oracleCore) frontierSet(_ context.Context, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
+	set := c.o.ReachableSetFrom(seeds, iv)
+	return set, len(set), nil
+}
+
+// segSlab is one sealed segment as the planner sees it: its global tick
+// span plus the per-slab core evaluating slab-local queries.
+type segSlab struct {
+	span Interval
+	core frontierCore
+}
+
+// planReach is the cross-segment point-query planner. slabs must be in
+// ascending span order and tile the time domain prefix they cover; the
+// planner touches only the slabs overlapping the query interval. It
+// validates ids against numObjects and clamps the interval to
+// [0, numTicks).
+func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q Query, acct *pagefile.Stats) (bool, int, error) {
+	if err := validatePlanIDs(numObjects, q.Src, q.Dst); err != nil {
+		return false, 0, err
+	}
+	iv := q.Interval.Intersect(Interval{Lo: 0, Hi: Tick(numTicks - 1)})
+	if numTicks == 0 || iv.Len() == 0 {
+		return false, 0, nil
+	}
+	if q.Src == q.Dst {
+		return true, 0, nil
+	}
+	first, last := overlappingSlabs(slabs, iv)
+	frontier := []ObjectID{q.Src}
+	expanded := 0
+	for i := first; i <= last; i++ {
+		if err := ctx.Err(); err != nil {
+			return false, expanded, err
+		}
+		w, local := localInterval(slabs[i].span, iv)
+		if w.Len() == 0 {
+			continue
+		}
+		if i == last {
+			ok, n, err := slabs[i].core.reachFrom(ctx, frontier, q.Dst, local, acct)
+			return ok, expanded + n, err
+		}
+		fr, n, err := slabs[i].core.frontierSet(ctx, frontier, local, acct)
+		expanded += n
+		if err != nil {
+			return false, expanded, err
+		}
+		if containsObject(fr, q.Dst) {
+			// The destination is already infected mid-interval; infection
+			// is monotone, so later slabs cannot change the answer.
+			return true, expanded, nil
+		}
+		frontier = fr
+	}
+	return false, expanded, nil
+}
+
+// planSet is the cross-segment reachable-set planner: the frontier is
+// carried through every overlapping slab and the final frontier is the
+// answer (sorted, deduplicated).
+func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	if err := validatePlanIDs(numObjects, src, src); err != nil {
+		return nil, 0, err
+	}
+	iv = iv.Intersect(Interval{Lo: 0, Hi: Tick(numTicks - 1)})
+	if numTicks == 0 || iv.Len() == 0 {
+		return nil, 0, nil
+	}
+	first, last := overlappingSlabs(slabs, iv)
+	frontier := []ObjectID{src}
+	expanded := 0
+	for i := first; i <= last; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, expanded, err
+		}
+		w, local := localInterval(slabs[i].span, iv)
+		if w.Len() == 0 {
+			continue
+		}
+		fr, n, err := slabs[i].core.frontierSet(ctx, frontier, local, acct)
+		expanded += n
+		if err != nil {
+			return nil, expanded, err
+		}
+		frontier = fr
+	}
+	return frontier, expanded, nil
+}
+
+// overlappingSlabs returns the index range of slabs whose spans overlap iv
+// (spans are ascending and disjoint). last < first when none overlap.
+func overlappingSlabs(slabs []segSlab, iv Interval) (first, last int) {
+	first = sort.Search(len(slabs), func(i int) bool { return slabs[i].span.Hi >= iv.Lo })
+	last = sort.Search(len(slabs), func(i int) bool { return slabs[i].span.Lo > iv.Hi }) - 1
+	return first, last
+}
+
+// localInterval clips iv to the slab and re-bases it to slab-local ticks.
+func localInterval(span, iv Interval) (global, local Interval) {
+	w := span.Intersect(iv)
+	if w.Len() == 0 {
+		return w, w
+	}
+	return w, Interval{Lo: w.Lo - span.Lo, Hi: w.Hi - span.Lo}
+}
+
+// containsObject reports whether sorted contains o (binary search).
+func containsObject(sorted []ObjectID, o ObjectID) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= o })
+	return i < len(sorted) && sorted[i] == o
+}
+
+func validatePlanIDs(numObjects int, src, dst ObjectID) error {
+	if int(src) < 0 || int(src) >= numObjects {
+		return fmt.Errorf("streach: source %d outside [0, %d)", src, numObjects)
+	}
+	if int(dst) < 0 || int(dst) >= numObjects {
+		return fmt.Errorf("streach: destination %d outside [0, %d)", dst, numObjects)
+	}
+	return nil
+}
+
+// segmentedCore is the engineCore of a segmented backend: one sealed
+// per-slab core per time slab plus the planner. Slab cores are immutable
+// after construction, so queries run fully in parallel like every other
+// registry engine.
+type segmentedCore struct {
+	base       string
+	slabs      []segSlab
+	numObjects int
+	numTicks   int
+}
+
+func (c *segmentedCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
+	return planReach(ctx, c.slabs, c.numObjects, c.numTicks, q, acct)
+}
+
+func (c *segmentedCore) reachSet(ctx context.Context, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
+	objs, _, err := planSet(ctx, c.slabs, c.numObjects, c.numTicks, src, iv, acct)
+	return objs, err
+}
+
+func (c *segmentedCore) ioTotals() pagefile.Stats {
+	var sum pagefile.Stats
+	for _, s := range c.slabs {
+		sum.Add(s.core.ioTotals())
+	}
+	return sum
+}
+
+func (c *segmentedCore) resetIO() {
+	for _, s := range c.slabs {
+		s.core.resetIO()
+	}
+}
+
+func (c *segmentedCore) indexBytes() int64 {
+	var sum int64
+	for _, s := range c.slabs {
+		sum += s.core.indexBytes()
+	}
+	return sum
+}
+
+func (c *segmentedCore) dropCache() {
+	for _, s := range c.slabs {
+		s.core.dropCache()
+	}
+}
+
+func (c *segmentedCore) segmentStats() []SegmentStats {
+	out := make([]SegmentStats, len(c.slabs))
+	for i, s := range c.slabs {
+		out[i] = SegmentStats{
+			Span:       s.span,
+			IO:         statsOf(s.core.ioTotals()),
+			IndexBytes: s.core.indexBytes(),
+		}
+	}
+	return out
+}
+
+// SegmentStats describes one time-slab segment of a segmented engine: its
+// global tick span, the cumulative simulated I/O its segment has served,
+// and its on-disk size. The per-segment counters make planner locality
+// observable — a query must only ever charge the segments overlapping its
+// interval.
+type SegmentStats struct {
+	Span       Interval
+	IO         IOStats
+	IndexBytes int64
+}
+
+// Segmented is implemented by engines built from time-sliced segments
+// (the "segmented:*" backends and LiveEngine). Callers obtain it by type
+// assertion from an Engine.
+type Segmented interface {
+	// SegmentStats returns one entry per segment in ascending time order.
+	SegmentStats() []SegmentStats
+}
+
+// segmentedEngine wraps the uniform engine with the Segmented surface.
+type segmentedEngine struct {
+	engine
+	seg *segmentedCore
+}
+
+func (e *segmentedEngine) SegmentStats() []SegmentStats { return e.seg.segmentStats() }
+
+// segmentedBases lists the backends that support segmentation — the ones
+// with multi-source frontier entry points. Each is registered a second
+// time under "segmented:<name>".
+var segmentedBases = []struct {
+	name              string
+	diskResident      bool
+	needsTrajectories bool
+}{
+	{"reachgrid", true, true},
+	{"reachgraph", true, false},
+	{"reachgraph-mem", false, false},
+	{"oracle", false, false},
+}
+
+func init() {
+	for _, b := range segmentedBases {
+		base := b.name
+		register(BackendInfo{
+			Name: "segmented:" + base,
+			Description: fmt.Sprintf(
+				"time-sliced %s segments with a frontier-carrying cross-segment planner", base),
+			DiskResident:      b.diskResident,
+			NeedsTrajectories: b.needsTrajectories,
+		}, func(src Source, opts Options) (engineCore, error) {
+			return buildSegmentedCore(base, src, opts)
+		})
+	}
+}
+
+// withSharedSlabPool returns opts with a buffer pool that every
+// disk-resident slab of one segmented (or live) engine shares: the
+// caller's Options.Pool when set, otherwise a pool private to the engine —
+// either way all slabs draw on a single page budget, exactly like the
+// serving configuration of unsegmented engines. The 64-page fallback
+// mirrors the backends' own Params default.
+func withSharedSlabPool(opts Options, diskResident bool) Options {
+	if !diskResident || opts.Pool != nil {
+		return opts
+	}
+	pages := opts.PoolPages
+	if pages == 0 {
+		pages = 64
+	}
+	if pages > 0 {
+		opts.Pool = NewBufferPool(pages)
+	}
+	return opts
+}
+
+// buildSegmentedCore splits src into time slabs and builds one base-backend
+// segment per slab. Disk-resident segments share one buffer pool: the
+// caller's Options.Pool when set, otherwise a pool private to this engine —
+// either way all slabs draw on a single page budget, exactly like the
+// serving configuration of unsegmented engines.
+func buildSegmentedCore(base string, src Source, opts Options) (*segmentedCore, error) {
+	spec, ok := lookupSpec(base)
+	if !ok {
+		return nil, fmt.Errorf("%w %q (segmented base)", ErrUnknownBackend, base)
+	}
+	numObjects, numTicks := sourceDims(src)
+	if numTicks == 0 {
+		return nil, fmt.Errorf("streach: segmented %q: empty time domain", base)
+	}
+	layout := segment.NewLayout(opts.SegmentTicks, numTicks)
+	slabOpts := withSharedSlabPool(opts, spec.info.DiskResident)
+	core := &segmentedCore{base: base, numObjects: numObjects, numTicks: numTicks}
+	for i := 0; i < layout.NumSlabs(); i++ {
+		span := layout.Span(i)
+		var slabSrc Source
+		if spec.info.NeedsTrajectories {
+			slabSrc = &Dataset{d: src.sourceDataset().d.Window(span.Lo, span.Hi)}
+		} else {
+			slabSrc = &ContactNetwork{net: src.sourceContacts().net.Window(span.Lo, span.Hi)}
+		}
+		sc, err := spec.open(slabSrc, slabOpts)
+		if err != nil {
+			return nil, fmt.Errorf("segment %v: %w", span, err)
+		}
+		fc, ok := sc.(frontierCore)
+		if !ok {
+			return nil, fmt.Errorf("streach: backend %q has no frontier entry points", base)
+		}
+		core.slabs = append(core.slabs, segSlab{span: span, core: fc})
+	}
+	return core, nil
+}

@@ -57,6 +57,7 @@
 package streach
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -280,10 +281,11 @@ func (g *ReachGrid) Reachable(q Query) (bool, error) { return g.ix.Reach(q) }
 // trajectory segment overlapping the interval, then propagate.
 func (g *ReachGrid) ReachableNaive(q Query) (bool, error) { return g.ix.SPJReach(q) }
 
-// ReachableSet returns every object reachable from src during iv.
+// ReachableSet returns every object reachable from src during iv, sorted
+// ascending.
 func (g *ReachGrid) ReachableSet(src ObjectID, iv Interval) ([]ObjectID, error) {
 	var acct pagefile.Stats
-	return g.ix.ReachableSet(src, iv, &acct)
+	return g.ix.ReachableSet(context.Background(), src, iv, &acct)
 }
 
 // IOStats returns the accumulated disk traffic.
@@ -429,7 +431,9 @@ func (un *UncertainNetwork) BestProbAll(src ObjectID, iv Interval) ([]float64, e
 // to batch-extracting contacts from a complete trajectory archive.
 // Snapshots can be taken at any point and used as an Open source (any
 // graph-based backend) or fed to BuildReachGraphFromContacts while the
-// stream keeps running.
+// stream keeps running. For serving queries continuously over the feed
+// without per-snapshot rebuilds, use LiveEngine, which seals the stream
+// into time-sliced index segments as it ingests.
 type ContactStream struct {
 	b          *contact.Builder
 	j          *stjoin.Joiner
