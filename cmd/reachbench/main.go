@@ -140,19 +140,20 @@ func main() {
 		// ran; with none selected the concurrency sweep is the default
 		// report (the historical BENCH_*.json contents).
 		var recs []bench.Record
-		ranConc, ranStream := false, false
+		ranConc, ranStream, ranCodec := false, false, false
 		for _, id := range ids {
 			switch strings.ToLower(strings.TrimSpace(id)) {
-			case "concurrency", "all":
+			case "concurrency":
 				ranConc = true
-				if strings.EqualFold(strings.TrimSpace(id), "all") {
-					ranStream = true
-				}
+			case "all":
+				ranConc, ranStream, ranCodec = true, true, true
 			case "streaming":
 				ranStream = true
+			case "ablation-codec":
+				ranCodec = true
 			}
 		}
-		if !ranConc && !ranStream {
+		if !ranConc && !ranStream && !ranCodec {
 			ranConc = true
 		}
 		if ranConc {
@@ -160,6 +161,9 @@ func main() {
 		}
 		if ranStream {
 			recs = append(recs, lab.StreamingRecords()...)
+		}
+		if ranCodec {
+			recs = append(recs, lab.CodecRecords()...)
 		}
 		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"streach/internal/dn"
@@ -165,7 +166,26 @@ type Options struct {
 	// Zero selects segment.DefaultWidth (128). Ignored by unsegmented
 	// backends.
 	SegmentTicks int
+
+	// PageFormat selects the on-page record layout of the disk-resident
+	// indexes (reachgrid, spj, reachgraph and their segmented variants).
+	// Zero selects the default PageFormatVarint; PageFormatFixed rebuilds
+	// the v1 fixed-width layout. Both formats answer queries identically —
+	// the varint-delta layout just occupies fewer pages.
+	PageFormat PageFormat
 }
+
+// PageFormat identifies an on-page record layout; see Options.PageFormat.
+type PageFormat = pagefile.Format
+
+// The available page formats.
+const (
+	// PageFormatFixed is the v1 layout: fixed-width 32/64-bit fields.
+	PageFormatFixed = pagefile.FormatFixed
+	// PageFormatVarint is the v2 layout (the default): varint counts and
+	// ticks, delta-compressed ID postings, prediction-XOR'd positions.
+	PageFormatVarint = pagefile.FormatVarint
+)
 
 // BackendInfo describes one registered backend.
 type BackendInfo struct {
@@ -255,6 +275,7 @@ func init() {
 				Resolutions:    opts.Resolutions,
 				PoolPages:      opts.PoolPages,
 				Pool:           opts.Pool,
+				Format:         opts.PageFormat,
 			})
 			if err != nil {
 				return nil, err
@@ -307,6 +328,7 @@ func buildGridIndex(src Source, opts Options) (*reachgrid.Index, error) {
 		BucketTicks: opts.BucketTicks,
 		PoolPages:   opts.PoolPages,
 		Pool:        opts.Pool,
+		Format:      opts.PageFormat,
 	})
 }
 
@@ -446,22 +468,30 @@ func (e *engine) IOTotals() IOStats {
 	return statsOf(e.core.ioTotals())
 }
 
+// acctPool recycles per-query I/O accountants: the accountant's address
+// escapes into the engineCore interface call, so a stack local would cost
+// one heap allocation per query — the only one left on the memory
+// backends' hot path.
+var acctPool = sync.Pool{New: func() any { return new(pagefile.Stats) }}
+
 func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
 	// A query that queued behind slow ones must not start evaluating after
 	// its context was cancelled.
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	var acct pagefile.Stats
+	acct := acctPool.Get().(*pagefile.Stats)
+	defer acctPool.Put(acct)
+	acct.Reset()
 	start := time.Now()
-	ok, expanded, err := e.core.reach(ctx, q, &acct)
+	ok, expanded, err := e.core.reach(ctx, q, acct)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
 		Query:     q,
 		Reachable: ok,
-		IO:        statsOf(acct),
+		IO:        statsOf(*acct),
 		Latency:   time.Since(start),
 		Expanded:  expanded,
 		Evaluated: true,
@@ -472,11 +502,13 @@ func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (S
 	if err := ctx.Err(); err != nil {
 		return SetResult{}, err
 	}
-	var acct pagefile.Stats
+	acct := acctPool.Get().(*pagefile.Stats)
+	defer acctPool.Put(acct)
+	acct.Reset()
 	start := time.Now()
-	objs, err := e.core.reachSet(ctx, src, iv, &acct)
+	objs, err := e.core.reachSet(ctx, src, iv, acct)
 	if errors.Is(err, errNoNativeSet) {
-		objs, err = e.setViaPointQueries(ctx, src, iv, &acct)
+		objs, err = e.setViaPointQueries(ctx, src, iv, acct)
 	}
 	if err != nil {
 		return SetResult{}, err
@@ -486,7 +518,7 @@ func (e *engine) ReachableSet(ctx context.Context, src ObjectID, iv Interval) (S
 		Src:      src,
 		Interval: iv,
 		Objects:  objs,
-		IO:       statsOf(acct),
+		IO:       statsOf(*acct),
 		Latency:  time.Since(start),
 		Expanded: len(objs),
 	}, nil

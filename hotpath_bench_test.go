@@ -1,0 +1,109 @@
+package streach_test
+
+import (
+	"context"
+	"testing"
+
+	"streach"
+)
+
+// The hot-path microbenchmarks run the standard workload through the
+// rewritten traversal cores on the RWP48 dataset (the bench-smoke tiny
+// preset: 48 objects, 240 ticks). They report allocations: the memory
+// backends must sit at 0 allocs/op in steady state (pinned by
+// TestHotpathSteadyStateAllocs below), the disk backends allocate only
+// for record decoding.
+
+func hotpathDataset() *streach.Dataset {
+	return streach.GenerateRandomWaypoint(streach.RWPOptions{
+		NumObjects: 48, NumTicks: 240, Seed: 48,
+	})
+}
+
+func hotpathWorkload(ds *streach.Dataset) []streach.Query {
+	return streach.RandomQueries(streach.WorkloadOptions{
+		NumObjects: ds.NumObjects(),
+		NumTicks:   ds.NumTicks(),
+		Count:      32,
+		MinLen:     20,
+		MaxLen:     ds.NumTicks() / 2,
+		Seed:       7,
+	})
+}
+
+func benchmarkHotpath(b *testing.B, backend string, opts streach.Options) {
+	ds := hotpathDataset()
+	e, err := streach.Open(backend, ds, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := hotpathWorkload(ds)
+	ctx := context.Background()
+	for _, q := range work { // warm: pool pages, scratch high-water marks
+		if _, err := e.Reachable(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Reachable(ctx, work[i%len(work)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotpathReachGraphBMBFS(b *testing.B) {
+	benchmarkHotpath(b, "reachgraph", streach.Options{})
+}
+
+func BenchmarkHotpathReachGraphMemBMBFS(b *testing.B) {
+	benchmarkHotpath(b, "reachgraph-mem", streach.Options{})
+}
+
+func BenchmarkHotpathReachGridSweep(b *testing.B) {
+	benchmarkHotpath(b, "reachgrid", streach.Options{})
+}
+
+func BenchmarkHotpathGrailMem(b *testing.B) {
+	benchmarkHotpath(b, "grail-mem", streach.Options{})
+}
+
+func BenchmarkHotpathSegmentedPlanner(b *testing.B) {
+	benchmarkHotpath(b, "segmented:reachgraph", streach.Options{SegmentTicks: 60})
+}
+
+func BenchmarkHotpathSegmentedPlannerMem(b *testing.B) {
+	benchmarkHotpath(b, "segmented:reachgraph-mem", streach.Options{SegmentTicks: 60})
+}
+
+// TestHotpathSteadyStateAllocs asserts the tentpole claim directly: once
+// the pooled scratch is warm, point queries on the memory backends perform
+// zero heap allocations per evaluation — visited sets, frontier queues and
+// object sets all come from the per-engine pools.
+func TestHotpathSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts only hold un-instrumented")
+	}
+	ds := hotpathDataset()
+	work := hotpathWorkload(ds)
+	ctx := context.Background()
+	for _, backend := range []string{"reachgraph-mem", "grail-mem"} {
+		e, err := streach.Open(backend, ds, streach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() {
+			for _, q := range work {
+				if _, err := e.Reachable(ctx, q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		run() // warm the scratch pools to their high-water marks
+		if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+			t.Errorf("%s: %.1f allocs per %d-query batch in steady state, want 0",
+				backend, allocs, len(work))
+		}
+	}
+}

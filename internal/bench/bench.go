@@ -163,6 +163,7 @@ type Lab struct {
 	pub        map[string]*streach.Dataset
 	concRecs   []Record // memoized concurrency sweep
 	streamRecs []Record // memoized streaming sweep
+	codecRecs  []Record // memoized codec ablation
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -422,6 +423,7 @@ func (l *Lab) All() []*Table {
 		l.Streaming(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
+		l.AblationCodec(),
 	}
 }
 
@@ -456,6 +458,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.AblationPool
 	case "ablation-bidir":
 		return l.AblationBidirectional
+	case "ablation-codec":
+		return l.AblationCodec
 	case "fig13":
 		return l.Fig13
 	case "fig14":
@@ -480,6 +484,6 @@ func IDs() []string {
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
 		"table5a", "table5b", "backends", "concurrency", "streaming",
-		"ablation-pool", "ablation-bidir",
+		"ablation-pool", "ablation-bidir", "ablation-codec",
 	}
 }

@@ -177,3 +177,50 @@ func TestPrefixDataset(t *testing.T) {
 		t.Error("prefix beyond domain should return the original dataset")
 	}
 }
+
+// TestCodecRecordsPagesReadDrop pins the codec ablation's headline (and
+// the hot-path acceptance gate): the varint-delta format must read at
+// least 25% fewer pages per workload than the fixed-width baseline on
+// both disk indexes, and the records must round-trip the JSON schema.
+func TestCodecRecordsPagesReadDrop(t *testing.T) {
+	l := tinyLab()
+	recs := l.CodecRecords()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4 (2 backends × 2 formats)", len(recs))
+	}
+	pages := map[string]map[string]int64{}
+	for _, rec := range recs {
+		if rec.Experiment != "ablation-codec" || rec.PageFormat == "" {
+			t.Fatalf("bad record: %+v", rec)
+		}
+		if rec.BytesPerPage <= 0 || rec.IndexPages <= 0 {
+			t.Fatalf("record missing page metrics: %+v", rec)
+		}
+		if pages[rec.Backend] == nil {
+			pages[rec.Backend] = map[string]int64{}
+		}
+		pages[rec.Backend][rec.PageFormat] = rec.PagesRead
+	}
+	for backend, byFormat := range pages {
+		fixed, varint := byFormat["fixed"], byFormat["varint-delta"]
+		if fixed <= 0 || varint <= 0 {
+			t.Fatalf("%s: missing a format point: %v", backend, byFormat)
+		}
+		if varint*4 > fixed*3 {
+			t.Errorf("%s: varint-delta reads %d pages vs %d fixed — less than the 25%% drop gate",
+				backend, varint, fixed)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteJSON(&sb, recs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadReport(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadReport rejected codec records: %v", err)
+	}
+	if rep.Records[0] != recs[0] {
+		t.Fatalf("record round trip mismatch: %+v vs %+v", rep.Records[0], recs[0])
+	}
+}

@@ -1,0 +1,149 @@
+// The codec ablation: fixed-width vs varint-delta page formats on the two
+// disk-resident paper indexes. It quantifies the hot-path claim of the
+// compressed-codec work — delta postings and prediction-XOR positions cut
+// the pages a query reads, not just the bytes an index stores — and its
+// records (page_format, bytes_per_page, pages_read) feed the
+// machine-readable perf trajectory (BENCH_hotpath.json) validated by CI.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streach/internal/dn"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/reachgraph"
+	"streach/internal/reachgrid"
+	"streach/internal/trajectory"
+)
+
+// codecFormats are the ablation's page-format dimension.
+var codecFormats = []pagefile.Format{pagefile.FormatFixed, pagefile.FormatVarint}
+
+// codecRunner abstracts the two indexes behind one counted point query.
+type codecRunner struct {
+	name  string
+	store *pagefile.Store
+	reach func(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, error)
+}
+
+func (l *Lab) codecRunners(d *trajectory.Dataset, format pagefile.Format) []codecRunner {
+	grid, err := reachgrid.Build(d, reachgrid.Params{Format: format})
+	if err != nil {
+		panic(fmt.Sprintf("bench: codec grid build %s: %v", d.Name, err))
+	}
+	graph, err := reachgraph.Build(dn.Build(l.Contacts(d)), reachgraph.Params{Format: format})
+	if err != nil {
+		panic(fmt.Sprintf("bench: codec graph build %s: %v", d.Name, err))
+	}
+	return []codecRunner{
+		{name: "reachgrid", store: grid.Store(), reach: func(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, error) {
+			ok, _, err := grid.ReachCounted(ctx, q, acct)
+			return ok, err
+		}},
+		{name: "reachgraph", store: graph.Store(), reach: func(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, error) {
+			ok, _, err := graph.ReachStrategyCounted(ctx, q, reachgraph.BMBFS, acct)
+			return ok, err
+		}},
+	}
+}
+
+// CodecRecords runs the standard workload through reachgrid and reachgraph
+// built in each page format and returns one Record per (backend, format)
+// point: total pages read, normalized I/O per query, latency percentiles
+// and the index's page utilization. A fresh index per point keeps the
+// comparison cold-for-cold; the sweep runs once per Lab.
+func (l *Lab) CodecRecords() []Record {
+	if l.codecRecs != nil {
+		return l.codecRecs
+	}
+	d := l.RWP(l.opts.RWPSizes[len(l.opts.RWPSizes)/2])
+	work := l.Workload(d, 0)
+	ctx := context.Background()
+
+	var recs []Record
+	for _, format := range codecFormats {
+		for _, r := range l.codecRunners(d, format) {
+			var pages, hits int64
+			var normalized float64
+			var lats []time.Duration
+			start := time.Now()
+			for _, q := range work {
+				var acct pagefile.Stats
+				t0 := time.Now()
+				if _, err := r.reach(ctx, q, &acct); err != nil {
+					panic(fmt.Sprintf("bench: codec %s (%s) %v: %v", r.name, format, q, err))
+				}
+				lats = append(lats, time.Since(t0))
+				pages += acct.RandomReads + acct.SequentialReads
+				hits += acct.BufferHits
+				normalized += acct.Normalized()
+			}
+			elapsed := time.Since(start)
+			p50, p95 := latencyPercentiles(lats)
+			hitRate := 0.0
+			if hits+pages > 0 {
+				hitRate = float64(hits) / float64(hits+pages)
+			}
+			numPages := r.store.NumPages()
+			recs = append(recs, Record{
+				Experiment:           "ablation-codec",
+				Backend:              r.name,
+				Dataset:              d.Name,
+				Workers:              1,
+				Queries:              len(work),
+				QueriesPerSec:        float64(len(work)) / elapsed.Seconds(),
+				P50LatencyUS:         p50,
+				P95LatencyUS:         p95,
+				PagesRead:            pages,
+				NormalizedIOPerQuery: normalized / float64(len(work)),
+				CacheHitRate:         hitRate,
+				PageFormat:           format.String(),
+				BytesPerPage:         float64(r.store.PayloadBytes()) / float64(numPages),
+				IndexPages:           numPages,
+			})
+		}
+	}
+	l.codecRecs = recs
+	return recs
+}
+
+// AblationCodec renders the codec ablation as a table (the human-readable
+// view of CodecRecords).
+func (l *Lab) AblationCodec() *Table {
+	t := &Table{
+		ID:      "ablation-codec",
+		Title:   "Page-format ablation: fixed-width vs varint-delta codec",
+		Columns: []string{"Backend", "Dataset", "Format", "Index pages", "B/page", "Pages read", "IO/q", "p50"},
+	}
+	recs := l.CodecRecords()
+	baseline := map[string]Record{} // backend → fixed-format record
+	for _, rec := range recs {
+		if rec.PageFormat == pagefile.FormatFixed.String() {
+			baseline[rec.Backend] = rec
+		}
+	}
+	for _, rec := range recs {
+		t.AddRow(
+			rec.Backend, rec.Dataset, rec.PageFormat,
+			fmt.Sprint(rec.IndexPages),
+			fmt.Sprintf("%.0f", rec.BytesPerPage),
+			fmt.Sprint(rec.PagesRead),
+			fmt.Sprintf("%.1f", rec.NormalizedIOPerQuery),
+			fmt.Sprintf("%.0fµs", rec.P50LatencyUS),
+		)
+	}
+	for backend, base := range baseline {
+		for _, rec := range recs {
+			if rec.Backend == backend && rec.PageFormat != base.PageFormat {
+				t.AddNote("%s: varint-delta reads %.0f%% fewer pages per workload than fixed (%d vs %d)",
+					backend, 100*(1-float64(rec.PagesRead)/float64(base.PagesRead)), rec.PagesRead, base.PagesRead)
+			}
+		}
+	}
+	t.AddNote("same workload, fresh cold index per point; postings are delta varints and grid")
+	t.AddNote("positions prediction-XOR'd; blobs pack sub-page, so byte savings become page savings")
+	return t
+}

@@ -55,6 +55,16 @@ type Record struct {
 	// throughput at the lowest worker count swept (the 1-worker run when
 	// the sweep includes one; that record reports 1.0).
 	SpeedupVs1Worker float64 `json:"speedup_vs_1_worker"`
+	// PageFormat is the on-page record layout of this point ("fixed" or
+	// "varint-delta"); set by the codec ablation, empty elsewhere.
+	PageFormat string `json:"page_format,omitempty"`
+	// BytesPerPage is the mean payload bytes stored per 4 KiB page of the
+	// index (page utilization under sub-page blob packing); set by the
+	// codec ablation, zero elsewhere.
+	BytesPerPage float64 `json:"bytes_per_page,omitempty"`
+	// IndexPages is the index's on-disk footprint in pages; set by the
+	// codec ablation, zero elsewhere.
+	IndexPages int64 `json:"index_pages,omitempty"`
 }
 
 // Report is the JSON document wrapping an experiment's records.

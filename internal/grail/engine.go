@@ -29,12 +29,33 @@ import (
 	"streach/internal/pagefile"
 	"streach/internal/queries"
 	"streach/internal/trajectory"
+	"streach/internal/visit"
 )
+
+// dfsScratch is the pooled working state of the label-pruned DFS: an
+// epoch-stamped visited set over the DAG's dense vertex IDs plus a
+// reusable stack. Steady-state memory-engine queries allocate nothing.
+type dfsScratch struct {
+	visited visit.Set
+	stack   visit.Deque[dn.NodeID]
+	visits  int
+}
+
+func newDFSPool() *visit.Pool[dfsScratch] {
+	return visit.NewPool(func() *dfsScratch { return new(dfsScratch) })
+}
+
+func (sc *dfsScratch) reset(numNodes int) {
+	sc.visited.Reset(numNodes)
+	sc.stack.Reset()
+	sc.visits = 0
+}
 
 // Mem is the memory-resident GRAIL engine.
 type Mem struct {
 	g      *dn.Graph
 	labels *Labels
+	pool   *visit.Pool[dfsScratch]
 }
 
 // NewMem labels g with d passes and returns a memory engine.
@@ -43,7 +64,7 @@ func NewMem(g *dn.Graph, d int, seed int64) (*Mem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Mem{g: g, labels: labels}, nil
+	return &Mem{g: g, labels: labels, pool: newDFSPool()}, nil
 }
 
 // Labels exposes the labelling (for tests).
@@ -65,26 +86,29 @@ func (m *Mem) ReachCounted(ctx context.Context, q queries.Query) (bool, int, err
 	if !m.labels.MayReach(u, v) {
 		return false, 0, nil
 	}
-	visited := make(map[dn.NodeID]bool, 64)
-	stack := []dn.NodeID{u}
-	visited[u] = true
-	for len(stack) > 0 {
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes))
+	sc.visited.Visit(int(u))
+	sc.visits = 1
+	sc.stack.PushBack(u)
+	for sc.stack.Len() > 0 {
 		if err := ctx.Err(); err != nil {
-			return false, len(visited), err
+			return false, sc.visits, err
 		}
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+		cur, _ := sc.stack.PopBack()
 		if cur == v {
-			return true, len(visited), nil
+			return true, sc.visits, nil
 		}
 		for _, c := range m.g.Nodes[cur].Out {
-			if !visited[c] && m.labels.MayReach(c, v) {
-				visited[c] = true
-				stack = append(stack, c)
+			if !sc.visited.Has(int(c)) && m.labels.MayReach(c, v) {
+				sc.visited.Visit(int(c))
+				sc.visits++
+				sc.stack.PushBack(c)
 			}
 		}
 	}
-	return false, len(visited), nil
+	return false, sc.visits, nil
 }
 
 // entryVertices maps a query to its DN entry vertices and handles the
@@ -122,6 +146,8 @@ type Disk struct {
 	blobOf   []int32            // vertex → blob index
 	blobRefs []pagefile.BlobRef // blob catalogue
 	dirRefs  []pagefile.BlobRef // per-object run directory
+
+	pool *visit.Pool[dfsScratch]
 }
 
 // diskVertex is a decoded disk record.
@@ -151,6 +177,7 @@ func NewDisk(g *dn.Graph, d int, seed int64, poolPages int, pool *pagefile.Buffe
 		numObjects: g.NumObjects,
 		numTicks:   g.NumTicks,
 		blobOf:     make([]int32, len(g.Nodes)),
+		pool:       newDFSPool(),
 	}
 	enc := pagefile.NewEncoder(pagefile.PageSize)
 	var pending []dn.NodeID
@@ -241,10 +268,15 @@ func (dk *Disk) findVertex(o trajectory.ObjectID, t trajectory.Tick, acct *pagef
 }
 
 // fetch decodes the record of vertex id, reading its blob if the per-query
-// cache misses.
+// cache misses. Every decoded vertex ID is validated against the DAG's ID
+// space: IDs index the blob catalogue and the epoch-stamped visited set,
+// so corrupt pages must surface as errors, never as panics.
 func (dk *Disk) fetch(id dn.NodeID, cache map[dn.NodeID]*diskVertex, acct *pagefile.Stats) (*diskVertex, error) {
 	if v, ok := cache[id]; ok {
 		return v, nil
+	}
+	if id < 0 || int(id) >= len(dk.blobOf) {
+		return nil, fmt.Errorf("grail: vertex %d outside [0, %d)", id, len(dk.blobOf))
 	}
 	data, err := dk.store.ReadBlob(dk.blobRefs[dk.blobOf[id]], acct)
 	if err != nil {
@@ -254,15 +286,28 @@ func (dk *Disk) fetch(id dn.NodeID, cache map[dn.NodeID]*diskVertex, acct *pagef
 	n := dec.Uint32()
 	for i := uint32(0); i < n && dec.Err() == nil; i++ {
 		vid := dn.NodeID(dec.Int32())
+		if vid < 0 || int(vid) >= len(dk.blobOf) {
+			return nil, fmt.Errorf("grail: blob names vertex %d outside [0, %d)", vid, len(dk.blobOf))
+		}
 		v := &diskVertex{lo: make([]int32, dk.d), hi: make([]int32, dk.d)}
 		for pass := 0; pass < dk.d; pass++ {
 			v.lo[pass] = dec.Int32()
 			v.hi[pass] = dec.Int32()
 		}
 		ne := dec.Uint32()
+		if dec.Err() == nil && uint64(ne) > uint64(dec.Remaining()/4) {
+			dec.Failf("grail: implausible edge count %d with %d bytes left", ne, dec.Remaining())
+		}
+		if dec.Err() != nil {
+			break
+		}
 		v.out = make([]dn.NodeID, ne)
 		for k := range v.out {
-			v.out[k] = dn.NodeID(dec.Int32())
+			c := dn.NodeID(dec.Int32())
+			if c < 0 || int(c) >= len(dk.blobOf) {
+				return nil, fmt.Errorf("grail: blob names vertex %d outside [0, %d)", c, len(dk.blobOf))
+			}
+			v.out[k] = c
 		}
 		cache[vid] = v
 	}
@@ -316,38 +361,42 @@ func (dk *Disk) ReachCounted(ctx context.Context, q queries.Query, acct *pagefil
 	if !contains(uRec, vRec) {
 		return false, 0, nil
 	}
-	visited := map[dn.NodeID]bool{u: true}
-	stack := []dn.NodeID{u}
-	for len(stack) > 0 {
+	sc := dk.pool.Get()
+	defer dk.pool.Put(sc)
+	sc.reset(len(dk.blobOf))
+	sc.visited.Visit(int(u))
+	sc.visits = 1
+	sc.stack.PushBack(u)
+	for sc.stack.Len() > 0 {
 		if err := ctx.Err(); err != nil {
-			return false, len(visited), err
+			return false, sc.visits, err
 		}
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+		cur, _ := sc.stack.PopBack()
 		if cur == v {
-			return true, len(visited), nil
+			return true, sc.visits, nil
 		}
 		rec, err := dk.fetch(cur, cache, acct)
 		if err != nil {
-			return false, len(visited), err
+			return false, sc.visits, err
 		}
 		for _, c := range rec.out {
-			if visited[c] {
+			if sc.visited.Has(int(c)) {
 				continue
 			}
-			visited[c] = true
+			sc.visited.Visit(int(c))
+			sc.visits++
 			// Pruning requires the child's labels — a disk read; the
 			// saving is in never descending below a pruned child.
 			cRec, err := dk.fetch(c, cache, acct)
 			if err != nil {
-				return false, len(visited), err
+				return false, sc.visits, err
 			}
 			if contains(cRec, vRec) {
-				stack = append(stack, c)
+				sc.stack.PushBack(c)
 			}
 		}
 	}
-	return false, len(visited), nil
+	return false, sc.visits, nil
 }
 
 // entry mirrors entryVertices using the on-disk directory.

@@ -73,6 +73,12 @@ func (s Stats) Normalized() float64 {
 // Reset zeroes all counters, starting a new measurement window.
 func (s *Stats) Reset() { *s = Stats{} }
 
+// Position returns the physical page just past the last page this stream
+// fetched from disk; ok is false before the first fetch. Pool hits do not
+// move the position — readers use it to decide whether scanning through a
+// small gap beats seeking (sequential read-through).
+func (s *Stats) Position() (page int64, ok bool) { return s.lastPage + 1, s.valid }
+
 // Add accumulates d into s, ignoring d's stream position.
 func (s *Stats) Add(d Stats) {
 	s.RandomReads += d.RandomReads
@@ -82,9 +88,11 @@ func (s *Stats) Add(d Stats) {
 }
 
 // sequential reports whether fetching page would continue this stream's
-// sequential run, and records the fetch.
+// sequential run, and records the fetch. Re-fetching the page under the
+// head counts as sequential too: blobs can share a page (sub-page
+// packing), and reading the neighbour of the blob just read costs no seek.
 func (s *Stats) sequential(page int64) bool {
-	seq := s.valid && page == s.lastPage+1
+	seq := s.valid && (page == s.lastPage+1 || page == s.lastPage)
 	if seq {
 		s.SequentialReads++
 	} else {
@@ -108,13 +116,15 @@ type Store struct {
 	pool   *BufferPool
 	shared bool // pool is shared with other stores; DropCache evicts only our pages
 
-	mu    sync.RWMutex
-	pages [][]byte
+	mu       sync.RWMutex
+	pages    [][]byte
+	tailUsed int // bytes used in the final page (blob packing)
 
 	randomReads     atomic.Int64
 	sequentialReads atomic.Int64
 	bufferHits      atomic.Int64
 	pagesWritten    atomic.Int64
+	payloadBytes    atomic.Int64
 }
 
 // NewStore returns an empty store whose reads go through a private buffer
@@ -178,6 +188,11 @@ func (st *Store) NumPages() int64 {
 // SizeBytes returns the total on-disk size.
 func (st *Store) SizeBytes() int64 { return st.NumPages() * PageSize }
 
+// PayloadBytes returns the bytes actually occupied by blobs (headers
+// included) — SizeBytes minus page-packing slack. PayloadBytes/NumPages
+// is the page utilization the codec ablation reports as bytes_per_page.
+func (st *Store) PayloadBytes() int64 { return st.payloadBytes.Load() }
+
 // DropCache evicts this store's pages from the buffer pool (e.g. between
 // measured queries) without touching the I/O counters. Pages of other
 // stores sharing the pool are left resident.
@@ -195,7 +210,8 @@ func (st *Store) DropCache() {
 // BlobRef locates a blob on the store.
 type BlobRef struct {
 	Page  int64 // first page
-	Bytes int32 // payload length in bytes
+	Off   int32 // byte offset of the blob within its first page
+	Bytes int32 // blob length in bytes (header included)
 }
 
 // Null reports whether the reference does not point at any blob.
@@ -205,15 +221,29 @@ func (r BlobRef) Null() bool { return r.Bytes == 0 && r.Page == 0 }
 // additive checksum, letting ReadBlob detect truncated or corrupted pages.
 const blobHeaderSize = 8
 
-// AppendBlob writes data onto fresh consecutive pages and returns its
-// reference. An empty blob is legal and occupies one page.
+// AppendBlob writes data onto the store and returns its reference. Blobs
+// are packed: one that fits the free tail of the last page is placed
+// there (page-granular footprints would otherwise swallow the codec's
+// byte savings — a 200-byte posting must not cost 4 KiB); larger blobs
+// start on a fresh page and run over consecutive pages. An empty blob is
+// legal.
 func (st *Store) AppendBlob(data []byte) BlobRef {
 	buf := make([]byte, blobHeaderSize+len(data))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(data)))
 	binary.LittleEndian.PutUint32(buf[4:8], checksum(data))
 	copy(buf[blobHeaderSize:], data)
 
+	st.payloadBytes.Add(int64(len(buf)))
 	st.mu.Lock()
+	if len(st.pages) > 0 && len(buf) <= PageSize-st.tailUsed {
+		// Pack into the current page's free tail.
+		p := int64(len(st.pages) - 1)
+		off := st.tailUsed
+		copy(st.pages[p][off:], buf)
+		st.tailUsed += len(buf)
+		st.mu.Unlock()
+		return BlobRef{Page: p, Off: int32(off), Bytes: int32(len(buf))}
+	}
 	first := int64(len(st.pages))
 	for off := 0; off < len(buf) || off == 0; off += PageSize {
 		end := off + PageSize
@@ -224,6 +254,7 @@ func (st *Store) AppendBlob(data []byte) BlobRef {
 		copy(page, buf[off:end])
 		st.pages = append(st.pages, page)
 		st.pagesWritten.Add(1)
+		st.tailUsed = end - off
 		if end == len(buf) {
 			break
 		}
@@ -240,10 +271,13 @@ func (st *Store) ReadBlob(ref BlobRef, acct *Stats) ([]byte, error) {
 	if ref.Bytes < blobHeaderSize {
 		return nil, fmt.Errorf("%w: header too short (%d bytes)", ErrCorruptBlob, ref.Bytes)
 	}
+	if ref.Off < 0 || ref.Off >= PageSize {
+		return nil, fmt.Errorf("pagefile: blob offset %d outside page", ref.Off)
+	}
 	if acct == nil {
 		acct = &Stats{}
 	}
-	numPages := (int64(ref.Bytes) + PageSize - 1) / PageSize
+	numPages := (int64(ref.Off) + int64(ref.Bytes) + PageSize - 1) / PageSize
 	st.mu.RLock()
 	total := int64(len(st.pages))
 	st.mu.RUnlock()
@@ -255,7 +289,7 @@ func (st *Store) ReadBlob(ref BlobRef, acct *Stats) ([]byte, error) {
 	for p := ref.Page; p < ref.Page+numPages; p++ {
 		buf = append(buf, st.fetchPage(p, acct)...)
 	}
-	buf = buf[:ref.Bytes]
+	buf = buf[ref.Off : int64(ref.Off)+int64(ref.Bytes)]
 	n := binary.LittleEndian.Uint32(buf[0:4])
 	if int64(n) != int64(ref.Bytes)-blobHeaderSize {
 		return nil, fmt.Errorf("%w: length mismatch (header %d, ref %d)", ErrCorruptBlob, n, ref.Bytes-blobHeaderSize)

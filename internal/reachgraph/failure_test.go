@@ -45,8 +45,11 @@ func TestTruncatedDirectoryFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Directories are the last blobs written; damage the final page.
-	if err := ix.Store().CorruptPage(ix.Store().NumPages()-1, 3); err != nil {
+	// Damage a byte inside object 0's directory blob (blobs are packed
+	// sub-page, so the byte offset must come from the ref, not from page
+	// arithmetic).
+	ref := ix.dirRefs[0]
+	if err := ix.Store().CorruptPage(ref.Page, int(ref.Off)+3); err != nil {
 		t.Fatal(err)
 	}
 	var sawErr bool

@@ -4,6 +4,11 @@
 // with no page store and no I/O accounting. This is the configuration the
 // paper uses to compare ReachGraph against GRAIL on memory-resident contact
 // datasets, and it also provides the CPU-time measurements of Figure 15.
+//
+// Record views are materialized eagerly and every piece of traversal state
+// comes from the pooled scratch, so steady-state point queries perform
+// zero heap allocations (asserted by TestHotpathSteadyStateAllocs at the
+// module root).
 package reachgraph
 
 import (
@@ -14,6 +19,7 @@ import (
 	"streach/internal/dn"
 	"streach/internal/queries"
 	"streach/internal/trajectory"
+	"streach/internal/visit"
 )
 
 // Mem is a memory-resident ReachGraph over a reduced graph. Record views
@@ -23,6 +29,8 @@ type Mem struct {
 	g           *dn.Graph
 	resolutions []int
 	recs        []vertexRec // record views, indexed by NodeID
+
+	pool *visit.Pool[scratch]
 }
 
 // NewMem wraps g for in-memory query evaluation. g must carry bidirectional
@@ -39,6 +47,7 @@ func NewMem(g *dn.Graph, resolutions []int) (*Mem, error) {
 		g:           g,
 		resolutions: resolutions,
 		recs:        make([]vertexRec, len(g.Nodes)),
+		pool:        newScratchPool(),
 	}
 	for id := range g.Nodes {
 		m.materialize(dn.NodeID(id))
@@ -59,16 +68,10 @@ func (m *Mem) materialize(id dn.NodeID) {
 	}
 	for _, L := range m.resolutions {
 		if ts := m.g.LongOut(id, L); len(ts) > 0 {
-			if rec.longOut == nil {
-				rec.longOut = make(map[int][]edge, 2)
-			}
-			rec.longOut[L] = plainEdges(ts)
+			rec.longOut = append(rec.longOut, levelEdges{level: L, edges: plainEdges(ts)})
 		}
 		if ss := m.g.LongIn(id, L); len(ss) > 0 {
-			if rec.longIn == nil {
-				rec.longIn = make(map[int][]edge, 2)
-			}
-			rec.longIn[L] = plainEdges(ss)
+			rec.longIn = append(rec.longIn, levelEdges{level: L, edges: plainEdges(ss)})
 		}
 	}
 	m.recs[id] = rec
@@ -136,7 +139,10 @@ func (m *Mem) ReachFromCounted(ctx context.Context, seeds []trajectory.ObjectID,
 			return true, 0, nil
 		}
 	}
-	starts, err := m.seedEntries(seeds, iv.Lo)
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes), m.g.NumObjects)
+	starts, err := m.seedEntries(sc, seeds, iv.Lo)
 	if err != nil {
 		return false, 0, err
 	}
@@ -145,45 +151,48 @@ func (m *Mem) ReachFromCounted(ctx context.Context, seeds []trajectory.ObjectID,
 	if s == BBFS || s == EBFS || s == EDFS {
 		res = nil
 	}
-	var visits int
-	ok, err := traverse(ctx, countingAccess{m, &visits}, s, starts, entry{v2, -1}, iv, res, m.g.NumTicks)
-	return ok, visits, err
+	ok, err := traverse(ctx, m, sc, s, starts, entry{v2, -1}, iv, res, m.g.NumTicks)
+	return ok, sc.visits, err
 }
 
 // ReachableSetFromCounted is the native multi-source set primitive over the
 // in-memory graph; see Index.ReachableSetFromCounted.
 func (m *Mem) ReachableSetFromCounted(ctx context.Context, seeds []trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, int, error) {
+	return m.AppendReachableSetFromCounted(ctx, nil, seeds, iv)
+}
+
+// AppendReachableSetFromCounted is ReachableSetFromCounted appending onto
+// dst; see Index.AppendReachableSetFromCounted.
+func (m *Mem) AppendReachableSetFromCounted(ctx context.Context, dst, seeds []trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, int, error) {
 	iv = m.clampInterval(iv)
 	if iv.Len() == 0 {
-		return nil, 0, nil
+		return dst, 0, nil
 	}
-	starts, err := m.seedEntries(seeds, iv.Lo)
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes), m.g.NumObjects)
+	starts, err := m.seedEntries(sc, seeds, iv.Lo)
 	if err != nil {
-		return nil, 0, err
+		return dst, 0, err
 	}
-	var visits int
-	own, err := collectForward(ctx, countingAccess{m, &visits}, starts, iv)
-	if err != nil {
-		return nil, visits, err
+	if err := collectForward(ctx, m, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
 	}
-	return sortedObjects(own), visits, nil
+	return append(dst, trajectory.SortDedupObjects(sc.objList)...), sc.visits, nil
 }
 
 // seedEntries maps the seed objects to their (deduplicated) vertices at
-// tick t.
-func (m *Mem) seedEntries(seeds []trajectory.ObjectID, t trajectory.Tick) ([]entry, error) {
-	starts := make([]entry, 0, len(seeds))
-	seen := make(map[dn.NodeID]bool, len(seeds))
+// tick t, appending them to the scratch start buffer.
+func (m *Mem) seedEntries(sc *scratch, seeds []trajectory.ObjectID, t trajectory.Tick) ([]entry, error) {
 	for _, o := range seeds {
 		if int(o) < 0 || int(o) >= m.g.NumObjects {
 			return nil, fmt.Errorf("reachgraph: seed %d outside [0, %d)", o, m.g.NumObjects)
 		}
 		v := m.g.NodeOf(o, t)
-		if v == dn.Invalid || seen[v] {
+		if v == dn.Invalid || !sc.seedNodes.Visit(int(v)) {
 			continue
 		}
-		seen[v] = true
-		starts = append(starts, entry{v, -1})
+		sc.starts = append(sc.starts, entry{v, -1})
 	}
-	return starts, nil
+	return sc.starts, nil
 }

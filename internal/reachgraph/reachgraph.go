@@ -15,19 +15,24 @@
 // the paper's in-memory hash table of Ht locations. A per-object run
 // directory on disk implements FindVertex — locating the vertex of object o
 // at instant t — in one blob read.
+//
+// Every blob begins with a pagefile.Format byte. The default varint-delta
+// format stores ticks and counts as varints and ID postings as zig-zag
+// deltas, shrinking partitions 2-4x against the fixed-width v1 layout —
+// and with them the pages a traversal reads; v1 pages remain decodable.
 package reachgraph
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 
 	"streach/internal/contact"
 	"streach/internal/dn"
 	"streach/internal/pagefile"
 	"streach/internal/queries"
 	"streach/internal/trajectory"
+	"streach/internal/visit"
 )
 
 // Params configures index construction.
@@ -47,6 +52,9 @@ type Params struct {
 	// Pool, when non-nil, is a buffer pool shared with other indexes over
 	// the same dataset.
 	Pool *pagefile.BufferPool
+	// Format selects the on-page record layout; zero means the default
+	// (pagefile.FormatVarint). Both formats answer queries identically.
+	Format pagefile.Format
 }
 
 func (p *Params) applyDefaults() {
@@ -59,6 +67,7 @@ func (p *Params) applyDefaults() {
 	if p.PoolPages == 0 {
 		p.PoolPages = 64
 	}
+	p.Format = pagefile.NormalizeFormat(p.Format)
 }
 
 // Index is a disk-resident ReachGraph.
@@ -71,6 +80,8 @@ type Index struct {
 
 	partRefs []pagefile.BlobRef // partition catalogue (in memory, as in §5.1.3)
 	dirRefs  []pagefile.BlobRef // per-object run directory blobs
+
+	pool *visit.Pool[scratch] // per-query traversal scratch
 }
 
 // Build constructs the ReachGraph of the reduced graph g. Long edges at
@@ -92,39 +103,71 @@ func Build(g *dn.Graph, params Params) (*Index, error) {
 		numObjects: g.NumObjects,
 		numTicks:   g.NumTicks,
 		numNodes:   len(g.Nodes),
+		pool:       newScratchPool(),
 	}
 
 	partOf, parts := partition(g, params.PartitionDepth)
 
 	// Serialize partitions in generation order. A partition blob starts
-	// with a record directory — (vertex id, record length) pairs — so a
-	// traversal can decode only the vertices it actually visits.
+	// with its format byte and a record directory — (vertex id, record
+	// length) pairs — so a traversal can decode only the vertices it
+	// actually visits.
 	enc := pagefile.NewEncoder(1 << 14)
 	rec := pagefile.NewEncoder(1 << 12)
 	for _, members := range parts {
 		enc.Reset()
 		rec.Reset()
-		enc.Uint32(uint32(len(members)))
-		for _, id := range members {
-			before := rec.Len()
-			encodeVertex(rec, g, id, partOf)
-			enc.Int32(int32(id))
-			enc.Uint32(uint32(rec.Len() - before))
+		enc.Format(params.Format)
+		prevID := int32(0)
+		switch params.Format {
+		case pagefile.FormatFixed:
+			enc.Uint32(uint32(len(members)))
+			for _, id := range members {
+				before := rec.Len()
+				encodeVertex(rec, g, id, partOf, params.Format)
+				enc.Int32(int32(id))
+				enc.Uint32(uint32(rec.Len() - before))
+			}
+		default:
+			enc.Uvarint(uint64(len(members)))
+			for _, id := range members {
+				before := rec.Len()
+				encodeVertex(rec, g, id, partOf, params.Format)
+				enc.Varint(int64(id) - int64(prevID))
+				prevID = int32(id)
+				enc.Uvarint(uint64(rec.Len() - before))
+			}
 		}
 		enc.Raw(rec.Bytes())
 		ix.partRefs = append(ix.partRefs, ix.store.AppendBlob(enc.Bytes()))
 	}
 
-	// Per-object run directory: triples (end, node, partition), run order.
+	// Per-object run directory: triples (end, node, partition) in run
+	// order — ends ascending, so the varint format stores end gaps and
+	// node/partition deltas.
 	ix.dirRefs = make([]pagefile.BlobRef, g.NumObjects)
 	for o := 0; o < g.NumObjects; o++ {
 		runs := g.RunsOf(trajectory.ObjectID(o))
 		enc.Reset()
-		enc.Uint32(uint32(len(runs)))
-		for _, id := range runs {
-			enc.Int32(int32(g.Nodes[id].End))
-			enc.Int32(int32(id))
-			enc.Int32(partOf[id])
+		enc.Format(params.Format)
+		switch params.Format {
+		case pagefile.FormatFixed:
+			enc.Uint32(uint32(len(runs)))
+			for _, id := range runs {
+				enc.Int32(int32(g.Nodes[id].End))
+				enc.Int32(int32(id))
+				enc.Int32(partOf[id])
+			}
+		default:
+			enc.Uvarint(uint64(len(runs)))
+			prevEnd, prevNode, prevPart := int64(0), int64(0), int64(0)
+			for _, id := range runs {
+				end := int64(g.Nodes[id].End)
+				enc.Uvarint(uint64(end - prevEnd)) // ends strictly ascend
+				enc.Varint(int64(id) - prevNode)
+				enc.Varint(int64(partOf[id]) - prevPart)
+				prevEnd, prevNode, prevPart = end, int64(id), int64(partOf[id])
+			}
 		}
 		ix.dirRefs[o] = ix.store.AppendBlob(enc.Bytes())
 	}
@@ -186,47 +229,81 @@ func partition(g *dn.Graph, depth int) (partOf []int32, parts [][]dn.NodeID) {
 
 // encodeVertex appends one vertex record. Every referenced neighbour is
 // stored as a (node, partition) pair so traversal is self-routing.
-func encodeVertex(enc *pagefile.Encoder, g *dn.Graph, id dn.NodeID, partOf []int32) {
+func encodeVertex(enc *pagefile.Encoder, g *dn.Graph, id dn.NodeID, partOf []int32, format pagefile.Format) {
 	nd := &g.Nodes[id]
-	enc.Int32(int32(id))
-	enc.Int32(int32(nd.Start))
-	enc.Int32(int32(nd.End))
-	enc.Uint32(uint32(len(nd.Members)))
-	for _, m := range nd.Members {
-		enc.Int32(int32(m))
+	fixed := format == pagefile.FormatFixed
+	if fixed {
+		enc.Int32(int32(id))
+		enc.Int32(int32(nd.Start))
+		enc.Int32(int32(nd.End))
+		enc.Uint32(uint32(len(nd.Members)))
+		for _, m := range nd.Members {
+			enc.Int32(int32(m))
+		}
+	} else {
+		enc.Varint(int64(id))
+		enc.Uvarint(uint64(nd.Start))
+		enc.Uvarint(uint64(nd.End - nd.Start)) // End ≥ Start
+		encodeMembersDelta(enc, nd.Members)
 	}
-	encodeEdges(enc, nd.Out, partOf)
-	encodeEdges(enc, nd.In, partOf)
+	encodeEdges(enc, nd.Out, partOf, format)
+	encodeEdges(enc, nd.In, partOf, format)
 	// Forward long edges, ascending resolution; only levels with targets.
-	fwdLevels := make([]int, 0, len(g.Resolutions))
-	for _, L := range g.Resolutions {
-		if len(g.LongOut(id, L)) > 0 {
-			fwdLevels = append(fwdLevels, L)
-		}
-	}
-	enc.Uint32(uint32(len(fwdLevels)))
-	for _, L := range fwdLevels {
-		enc.Uint32(uint32(L))
-		encodeEdges(enc, g.LongOut(id, L), partOf)
-	}
-	revLevels := make([]int, 0, len(g.Resolutions))
-	for _, L := range g.Resolutions {
-		if len(g.LongIn(id, L)) > 0 {
-			revLevels = append(revLevels, L)
-		}
-	}
-	enc.Uint32(uint32(len(revLevels)))
-	for _, L := range revLevels {
-		enc.Uint32(uint32(L))
-		encodeEdges(enc, g.LongIn(id, L), partOf)
+	encodeLongs(enc, g, partOf, format, g.Resolutions, func(L int) []dn.NodeID { return g.LongOut(id, L) })
+	encodeLongs(enc, g, partOf, format, g.Resolutions, func(L int) []dn.NodeID { return g.LongIn(id, L) })
+}
+
+// encodeMembersDelta writes a sorted member posting as zig-zag deltas.
+func encodeMembersDelta(enc *pagefile.Encoder, members []trajectory.ObjectID) {
+	enc.Uvarint(uint64(len(members)))
+	prev := int64(0)
+	for _, m := range members {
+		enc.Varint(int64(m) - prev) // members sorted ascending: small gaps
+		prev = int64(m)
 	}
 }
 
-func encodeEdges(enc *pagefile.Encoder, edges []dn.NodeID, partOf []int32) {
-	enc.Uint32(uint32(len(edges)))
+func encodeLongs(enc *pagefile.Encoder, g *dn.Graph, partOf []int32, format pagefile.Format, resolutions []int, edgesOf func(int) []dn.NodeID) {
+	levels := 0
+	for _, L := range resolutions {
+		if len(edgesOf(L)) > 0 {
+			levels++
+		}
+	}
+	if format == pagefile.FormatFixed {
+		enc.Uint32(uint32(levels))
+	} else {
+		enc.Uvarint(uint64(levels))
+	}
+	for _, L := range resolutions {
+		es := edgesOf(L)
+		if len(es) == 0 {
+			continue
+		}
+		if format == pagefile.FormatFixed {
+			enc.Uint32(uint32(L))
+		} else {
+			enc.Uvarint(uint64(L))
+		}
+		encodeEdges(enc, es, partOf, format)
+	}
+}
+
+func encodeEdges(enc *pagefile.Encoder, edges []dn.NodeID, partOf []int32, format pagefile.Format) {
+	if format == pagefile.FormatFixed {
+		enc.Uint32(uint32(len(edges)))
+		for _, v := range edges {
+			enc.Int32(int32(v))
+			enc.Int32(partOf[v])
+		}
+		return
+	}
+	enc.Uvarint(uint64(len(edges)))
+	prevNode, prevPart := int64(0), int64(0)
 	for _, v := range edges {
-		enc.Int32(int32(v))
-		enc.Int32(partOf[v])
+		enc.Varint(int64(v) - prevNode) // neighbours cluster: small deltas
+		enc.Varint(int64(partOf[v]) - prevPart)
+		prevNode, prevPart = int64(v), int64(partOf[v])
 	}
 }
 
@@ -236,65 +313,166 @@ type edge struct {
 	part int32
 }
 
+// levelEdges is one long-edge resolution's target list. Records carry at
+// most a handful of levels, so a sorted slice beats a map on both decode
+// allocations and lookup time.
+type levelEdges struct {
+	level int
+	edges []edge
+}
+
+// levelEdgesAt returns the edges at resolution L, or nil.
+func levelEdgesAt(ls []levelEdges, L int) []edge {
+	for i := range ls {
+		if ls[i].level == L {
+			return ls[i].edges
+		}
+	}
+	return nil
+}
+
 // vertexRec is a decoded vertex record.
 type vertexRec struct {
 	id         dn.NodeID
 	start, end trajectory.Tick
 	members    []trajectory.ObjectID
 	out, in    []edge
-	longOut    map[int][]edge // by resolution
-	longIn     map[int][]edge
+	longOut    []levelEdges // ascending resolution
+	longIn     []levelEdges
 }
 
-func decodeEdges(dec *pagefile.Decoder) []edge {
-	n := dec.Uint32()
+// decodeEdges reads one edge list, validating every target against the
+// graph's node-ID space: decoded IDs index the epoch-stamped visited
+// arrays directly, so an out-of-range value must surface as a decode
+// error (the documented corruption behavior), never as a panic.
+func decodeEdges(dec *pagefile.Decoder, format pagefile.Format, numNodes int) []edge {
+	if format == pagefile.FormatFixed {
+		n := dec.Uint32()
+		if dec.Err() != nil || n == 0 {
+			return nil
+		}
+		if uint64(n) > uint64(dec.Remaining()/8) {
+			dec.Failf("reachgraph: implausible edge count %d with %d bytes left", n, dec.Remaining())
+			return nil
+		}
+		out := make([]edge, 0, n)
+		for i := uint32(0); i < n && dec.Err() == nil; i++ {
+			e := edge{node: dn.NodeID(dec.Int32()), part: dec.Int32()}
+			if e.node < 0 || int(e.node) >= numNodes {
+				dec.Failf("reachgraph: edge target %d outside [0, %d)", e.node, numNodes)
+				return nil
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	n := int(dec.Uvarint())
 	if dec.Err() != nil || n == 0 {
 		return nil
 	}
-	out := make([]edge, n)
-	for i := range out {
-		out[i] = edge{node: dn.NodeID(dec.Int32()), part: dec.Int32()}
+	if n < 0 || n > dec.Remaining() {
+		dec.Failf("reachgraph: implausible edge count %d with %d bytes left", n, dec.Remaining())
+		return nil
+	}
+	out := make([]edge, 0, n)
+	prevNode, prevPart := int64(0), int64(0)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		prevNode += dec.Varint()
+		prevPart += dec.Varint()
+		if prevNode < 0 || prevNode >= int64(numNodes) {
+			dec.Failf("reachgraph: edge target %d outside [0, %d)", prevNode, numNodes)
+			return nil
+		}
+		out = append(out, edge{node: dn.NodeID(prevNode), part: int32(prevPart)})
 	}
 	return out
 }
 
-func decodeVertex(dec *pagefile.Decoder) *vertexRec {
-	v := &vertexRec{
-		id:    dn.NodeID(dec.Int32()),
-		start: trajectory.Tick(dec.Int32()),
-		end:   trajectory.Tick(dec.Int32()),
+func decodeLongs(dec *pagefile.Decoder, format pagefile.Format, numNodes int) []levelEdges {
+	var n uint64
+	if format == pagefile.FormatFixed {
+		n = uint64(dec.Uint32())
+	} else {
+		n = dec.Uvarint()
 	}
-	nm := dec.Uint32()
-	if dec.Err() != nil {
-		return v
+	if n == 0 || dec.Err() != nil {
+		return nil
 	}
-	v.members = make([]trajectory.ObjectID, nm)
-	for i := range v.members {
-		v.members[i] = trajectory.ObjectID(dec.Int32())
+	if n > uint64(dec.Remaining()) {
+		dec.Failf("reachgraph: implausible level count %d with %d bytes left", n, dec.Remaining())
+		return nil
 	}
-	v.out = decodeEdges(dec)
-	v.in = decodeEdges(dec)
-	nf := dec.Uint32()
-	if nf > 0 {
-		v.longOut = make(map[int][]edge, nf)
-		for i := uint32(0); i < nf && dec.Err() == nil; i++ {
-			L := int(dec.Uint32())
-			v.longOut[L] = decodeEdges(dec)
+	ls := make([]levelEdges, 0, n)
+	for i := uint64(0); i < n && dec.Err() == nil; i++ {
+		var L int
+		if format == pagefile.FormatFixed {
+			L = int(dec.Uint32())
+		} else {
+			L = int(dec.Uvarint())
+		}
+		ls = append(ls, levelEdges{level: L, edges: decodeEdges(dec, format, numNodes)})
+	}
+	return ls
+}
+
+func decodeVertex(dec *pagefile.Decoder, format pagefile.Format, numNodes, numObjects int) *vertexRec {
+	v := &vertexRec{}
+	if format == pagefile.FormatFixed {
+		v.id = dn.NodeID(dec.Int32())
+		v.start = trajectory.Tick(dec.Int32())
+		v.end = trajectory.Tick(dec.Int32())
+		nm := dec.Uint32()
+		if dec.Err() != nil {
+			return v
+		}
+		if uint64(nm) > uint64(dec.Remaining()/4) {
+			dec.Failf("reachgraph: implausible member count %d with %d bytes left", nm, dec.Remaining())
+			return v
+		}
+		v.members = make([]trajectory.ObjectID, 0, nm)
+		for i := uint32(0); i < nm && dec.Err() == nil; i++ {
+			m := trajectory.ObjectID(dec.Int32())
+			if m < 0 || int(m) >= numObjects {
+				dec.Failf("reachgraph: member %d outside [0, %d)", m, numObjects)
+				return v
+			}
+			v.members = append(v.members, m)
+		}
+	} else {
+		v.id = dn.NodeID(dec.Varint())
+		v.start = trajectory.Tick(dec.Uvarint())
+		v.end = v.start + trajectory.Tick(dec.Uvarint())
+		nm := int(dec.Uvarint())
+		if dec.Err() != nil {
+			return v
+		}
+		if nm < 0 || nm > dec.Remaining() {
+			dec.Failf("reachgraph: implausible member count %d with %d bytes left", nm, dec.Remaining())
+			return v
+		}
+		v.members = make([]trajectory.ObjectID, 0, nm)
+		prev := int64(0)
+		for i := 0; i < nm && dec.Err() == nil; i++ {
+			prev += dec.Varint()
+			if prev < 0 || prev >= int64(numObjects) {
+				dec.Failf("reachgraph: member %d outside [0, %d)", prev, numObjects)
+				return v
+			}
+			v.members = append(v.members, trajectory.ObjectID(prev))
 		}
 	}
-	nr := dec.Uint32()
-	if nr > 0 {
-		v.longIn = make(map[int][]edge, nr)
-		for i := uint32(0); i < nr && dec.Err() == nil; i++ {
-			L := int(dec.Uint32())
-			v.longIn[L] = decodeEdges(dec)
-		}
-	}
+	v.out = decodeEdges(dec, format, numNodes)
+	v.in = decodeEdges(dec, format, numNodes)
+	v.longOut = decodeLongs(dec, format, numNodes)
+	v.longIn = decodeLongs(dec, format, numNodes)
 	return v
 }
 
 // Store exposes the underlying simulated disk.
 func (ix *Index) Store() *pagefile.Store { return ix.store }
+
+// Format returns the on-page record layout the index was built with.
+func (ix *Index) Format() pagefile.Format { return ix.params.Format }
 
 // Counters returns the store's cumulative I/O totals; per-query accountants
 // passed to the query methods sum to consecutive Counters differences.
@@ -311,48 +489,71 @@ func (ix *Index) NumTicks() int { return ix.numTicks }
 
 // cursor is the per-query working set: buffered partitions (the paper's
 // traversal buffer) with raw record slices, decoded lazily on first visit,
-// plus the query's I/O accountant. Nothing in a cursor is shared between
-// queries, so evaluation runs fully in parallel.
+// plus the query's I/O accountant. The tables are epoch-stamped scratch
+// recycled with the rest of the traversal state, so a steady-state query
+// re-uses the previous query's arrays. Nothing in a cursor is shared
+// between in-flight queries, so evaluation runs fully in parallel.
 type cursor struct {
-	ix    *Index
-	acct  *pagefile.Stats
-	verts map[dn.NodeID]*vertexRec // decoded records
-	raw   map[dn.NodeID][]byte     // undecoded record slices
-	parts map[int32]bool
+	ix   *Index
+	acct *pagefile.Stats
+
+	verts   visit.Table[*vertexRec] // decoded records, by node
+	raw     visit.Table[[]byte]     // undecoded record slices, by node
+	parts   visit.Set               // partitions already buffered
+	dirLens []uint32                // partition directory scratch
+	dirIDs  []dn.NodeID
 }
 
-func (ix *Index) newCursor(acct *pagefile.Stats) *cursor {
-	return &cursor{
-		ix:    ix,
-		acct:  acct,
-		verts: make(map[dn.NodeID]*vertexRec),
-		raw:   make(map[dn.NodeID][]byte),
-		parts: make(map[int32]bool),
-	}
+func (c *cursor) reset(numNodes, numParts int) {
+	c.ix, c.acct = nil, nil
+	c.verts.Reset(numNodes)
+	c.raw.Reset(numNodes)
+	c.parts.Reset(numParts)
 }
 
 // loadPartition reads partition pid and registers its record slices; no
 // vertex is decoded until visited.
 func (c *cursor) loadPartition(pid int32) error {
-	if c.parts[pid] {
-		return nil
-	}
-	c.parts[pid] = true
 	if pid < 0 || int(pid) >= len(c.ix.partRefs) {
 		return fmt.Errorf("reachgraph: no partition %d", pid)
+	}
+	if !c.parts.Visit(int(pid)) {
+		return nil
 	}
 	data, err := c.ix.store.ReadBlob(c.ix.partRefs[pid], c.acct)
 	if err != nil {
 		return fmt.Errorf("reachgraph: partition %d: %w", pid, err)
 	}
 	dec := pagefile.NewDecoder(data)
-	n := int(dec.Uint32())
-	ids := make([]dn.NodeID, n)
-	lens := make([]uint32, n)
+	format := dec.Format()
+	var n int
+	if format == pagefile.FormatFixed {
+		n = int(dec.Uint32())
+	} else {
+		n = int(dec.Uvarint())
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("reachgraph: partition %d: %w", pid, err)
+	}
+	if n < 0 || n > dec.Remaining() {
+		return fmt.Errorf("reachgraph: partition %d: implausible record count %d", pid, n)
+	}
+	if cap(c.dirIDs) < n {
+		c.dirIDs = make([]dn.NodeID, n)
+		c.dirLens = make([]uint32, n)
+	}
+	ids, lens := c.dirIDs[:n], c.dirLens[:n]
 	total := 0
+	prevID := int64(0)
 	for i := 0; i < n; i++ {
-		ids[i] = dn.NodeID(dec.Int32())
-		lens[i] = dec.Uint32()
+		if format == pagefile.FormatFixed {
+			ids[i] = dn.NodeID(dec.Int32())
+			lens[i] = dec.Uint32()
+		} else {
+			prevID += dec.Varint()
+			ids[i] = dn.NodeID(prevID)
+			lens[i] = uint32(dec.Uvarint())
+		}
 		total += int(lens[i])
 	}
 	if err := dec.Err(); err != nil {
@@ -364,7 +565,10 @@ func (c *cursor) loadPartition(pid int32) error {
 	}
 	off := 0
 	for i := 0; i < n; i++ {
-		c.raw[ids[i]] = body[off : off+int(lens[i])]
+		if ids[i] < 0 || int(ids[i]) >= c.ix.numNodes {
+			return fmt.Errorf("reachgraph: partition %d names vertex %d outside [0, %d)", pid, ids[i], c.ix.numNodes)
+		}
+		c.raw.Set(int(ids[i]), body[off:off+int(lens[i])])
 		off += int(lens[i])
 	}
 	return nil
@@ -373,29 +577,34 @@ func (c *cursor) loadPartition(pid int32) error {
 // vertex returns the record of node id, loading its partition and decoding
 // the record on first use.
 func (c *cursor) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
-	if v, ok := c.verts[id]; ok {
+	if id < 0 || int(id) >= c.ix.numNodes {
+		return nil, fmt.Errorf("reachgraph: no vertex %d", id)
+	}
+	if v, ok := c.verts.Get(int(id)); ok {
 		return v, nil
 	}
-	if _, ok := c.raw[id]; !ok {
+	if _, ok := c.raw.Get(int(id)); !ok {
 		if err := c.loadPartition(part); err != nil {
 			return nil, err
 		}
 	}
-	buf, ok := c.raw[id]
+	buf, ok := c.raw.Get(int(id))
 	if !ok {
 		return nil, fmt.Errorf("reachgraph: vertex %d missing from partition %d", id, part)
 	}
 	dec := pagefile.NewDecoder(buf)
-	v := decodeVertex(dec)
+	v := decodeVertex(dec, c.ix.params.Format, c.ix.numNodes, c.ix.numObjects)
 	if err := dec.Err(); err != nil {
 		return nil, fmt.Errorf("reachgraph: vertex %d: %w", id, err)
 	}
-	c.verts[id] = v
+	c.verts.Set(int(id), v)
 	return v, nil
 }
 
 // findVertex implements FindVertex(Ht(o), o, t): it reads o's run directory
-// and returns the (node, partition) of the run covering t.
+// and scans for the (node, partition) of the run covering t. Runs are
+// stored in ascending end order; the scan decodes at most the prefix up to
+// the hit and allocates nothing.
 func (ix *Index) findVertex(o trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) (dn.NodeID, int32, error) {
 	if int(o) < 0 || int(o) >= ix.numObjects {
 		return dn.Invalid, -1, fmt.Errorf("reachgraph: object %d outside [0, %d)", o, ix.numObjects)
@@ -405,28 +614,38 @@ func (ix *Index) findVertex(o trajectory.ObjectID, t trajectory.Tick, acct *page
 		return dn.Invalid, -1, fmt.Errorf("reachgraph: directory of object %d: %w", o, err)
 	}
 	dec := pagefile.NewDecoder(data)
-	n := int(dec.Uint32())
-	type runEntry struct {
-		end  trajectory.Tick
-		node dn.NodeID
-		part int32
+	format := dec.Format()
+	var n int
+	if format == pagefile.FormatFixed {
+		n = int(dec.Uint32())
+	} else {
+		n = int(dec.Uvarint())
 	}
-	runs := make([]runEntry, n)
-	for i := range runs {
-		runs[i] = runEntry{
-			end:  trajectory.Tick(dec.Int32()),
-			node: dn.NodeID(dec.Int32()),
-			part: dec.Int32(),
+	end, node, part := int64(0), int64(0), int64(0)
+	for i := 0; i < n; i++ {
+		if format == pagefile.FormatFixed {
+			end = int64(dec.Int32())
+			node = int64(dec.Int32())
+			part = int64(dec.Int32())
+		} else {
+			end += int64(dec.Uvarint())
+			node += dec.Varint()
+			part += dec.Varint()
+		}
+		if dec.Err() != nil {
+			break
+		}
+		if trajectory.Tick(end) >= t {
+			if node < 0 || node >= int64(ix.numNodes) {
+				return dn.Invalid, -1, fmt.Errorf("reachgraph: directory of object %d names vertex %d outside [0, %d)", o, node, ix.numNodes)
+			}
+			return dn.NodeID(node), int32(part), nil
 		}
 	}
 	if err := dec.Err(); err != nil {
 		return dn.Invalid, -1, fmt.Errorf("reachgraph: directory of object %d: %w", o, err)
 	}
-	i := sort.Search(n, func(i int) bool { return runs[i].end >= t })
-	if i == n {
-		return dn.Invalid, -1, fmt.Errorf("reachgraph: object %d has no run at tick %d", o, t)
-	}
-	return runs[i].node, runs[i].part, nil
+	return dn.Invalid, -1, fmt.Errorf("reachgraph: object %d has no run at tick %d", o, t)
 }
 
 // clampInterval intersects iv with the index's time domain.
@@ -492,19 +711,22 @@ func (ix *Index) ReachFromCounted(ctx context.Context, seeds []trajectory.Object
 			return true, 0, nil
 		}
 	}
-	starts, err := ix.seedEntries(seeds, iv.Lo, acct)
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix.numNodes, ix.numObjects)
+	sc.cur.reset(ix.numNodes, len(ix.partRefs))
+	sc.cur.ix, sc.cur.acct = ix, acct
+	starts, err := ix.seedEntries(sc, seeds, iv.Lo, acct)
 	if err != nil {
-		return false, 0, err
+		return false, sc.visits, err
 	}
 	v2, p2, err := ix.findVertex(dst, iv.Hi, acct)
 	if err != nil {
-		return false, 0, err
+		return false, sc.visits, err
 	}
-	c := ix.newCursor(acct)
-	var visits int
-	ok, err := traverse(ctx, countingAccess{diskAccess{c}, &visits}, s,
+	ok, err := traverse(ctx, &sc.cur, sc, s,
 		starts, entry{v2, p2}, iv, ix.params.Resolutions, ix.numTicks)
-	return ok, visits, err
+	return ok, sc.visits, err
 }
 
 // ReachableSetFromCounted returns every object reachable from any seed
@@ -513,53 +735,44 @@ func (ix *Index) ReachFromCounted(ctx context.Context, seeds []trajectory.Object
 // primitive: a forward DN1 sweep that collects the members of every run the
 // item can enter.
 func (ix *Index) ReachableSetFromCounted(ctx context.Context, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
+	out, visits, err := ix.AppendReachableSetFromCounted(ctx, nil, seeds, iv, acct)
+	return out, visits, err
+}
+
+// AppendReachableSetFromCounted is ReachableSetFromCounted appending onto
+// dst (whose backing array is reused) — the allocation-free variant the
+// cross-segment planner carries its frontier with.
+func (ix *Index) AppendReachableSetFromCounted(ctx context.Context, dst, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
 	iv = ix.clampInterval(iv)
 	if iv.Len() == 0 {
-		return nil, 0, nil
+		return dst, 0, nil
 	}
-	starts, err := ix.seedEntries(seeds, iv.Lo, acct)
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix.numNodes, ix.numObjects)
+	sc.cur.reset(ix.numNodes, len(ix.partRefs))
+	sc.cur.ix, sc.cur.acct = ix, acct
+	starts, err := ix.seedEntries(sc, seeds, iv.Lo, acct)
 	if err != nil {
-		return nil, 0, err
+		return dst, sc.visits, err
 	}
-	c := ix.newCursor(acct)
-	var visits int
-	own, err := collectForward(ctx, countingAccess{diskAccess{c}, &visits}, starts, iv)
-	if err != nil {
-		return nil, visits, err
+	if err := collectForward(ctx, &sc.cur, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
 	}
-	return sortedObjects(own), visits, nil
+	return append(dst, trajectory.SortDedupObjects(sc.objList)...), sc.visits, nil
 }
 
 // seedEntries locates the (deduplicated) vertices of the seed objects at
-// tick t via the run directory.
-func (ix *Index) seedEntries(seeds []trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) ([]entry, error) {
-	starts := make([]entry, 0, len(seeds))
-	seen := make(map[dn.NodeID]bool, len(seeds))
+// tick t via the run directory, appending them to the scratch start buffer.
+func (ix *Index) seedEntries(sc *scratch, seeds []trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) ([]entry, error) {
 	for _, o := range seeds {
 		v, p, err := ix.findVertex(o, t, acct)
 		if err != nil {
 			return nil, err
 		}
-		if !seen[v] {
-			seen[v] = true
-			starts = append(starts, entry{v, p})
+		if sc.seedNodes.Visit(int(v)) {
+			sc.starts = append(sc.starts, entry{v, p})
 		}
 	}
-	return starts, nil
-}
-
-// sortedObjects flattens an object set into an ascending slice.
-func sortedObjects(s objSet) []trajectory.ObjectID {
-	out := make([]trajectory.ObjectID, 0, len(s))
-	for o := range s {
-		out = append(out, o)
-	}
-	return trajectory.SortDedupObjects(out)
-}
-
-// diskAccess adapts a cursor to the traversal's graph-access interface.
-type diskAccess struct{ c *cursor }
-
-func (d diskAccess) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
-	return d.c.vertex(id, part)
+	return sc.starts, nil
 }

@@ -28,6 +28,12 @@
 // unidirectional traversals that ignore vertex members and long edges and
 // terminate only on reaching the destination vertex itself (the naïve
 // baselines of Figure 13).
+//
+// All traversal state — visited tables, object sets, frontier queues — is
+// a pooled scratch of epoch-stamped arrays over the graph's dense node and
+// object ID spaces (internal/visit), so steady-state queries allocate
+// nothing: a query checks out one scratch, Reset bumps its epochs in O(1),
+// and the backing arrays are recycled through the engine's sync.Pool.
 package reachgraph
 
 import (
@@ -36,6 +42,7 @@ import (
 	"streach/internal/contact"
 	"streach/internal/dn"
 	"streach/internal/trajectory"
+	"streach/internal/visit"
 )
 
 // Strategy selects a traversal algorithm.
@@ -69,7 +76,8 @@ func (s Strategy) String() string {
 
 // graphAccess abstracts vertex retrieval so the same traversal code runs
 // against the disk-resident index (charging I/O) and the memory-resident
-// graph (Table 5a).
+// graph (Table 5a). Implementations are passed by pointer, so boxing them
+// into the interface costs nothing on the hot path.
 type graphAccess interface {
 	vertex(id dn.NodeID, part int32) (*vertexRec, error)
 }
@@ -81,16 +89,48 @@ type entry struct {
 	part int32
 }
 
-// countingAccess wraps a graphAccess and counts vertex visits, the
-// expansion metric the facade surfaces per query.
-type countingAccess struct {
-	g graphAccess
-	n *int
+// scratch is the pooled per-query working state of every traversal: the
+// visited/arrival tables and frontier queues over node IDs, the per
+// direction object sets, and the seed/start buffers. Engines hold one
+// visit.Pool of these; a query checks one out, resets it (O(1) epoch
+// bumps) and returns it, so steady-state evaluation does not allocate.
+type scratch struct {
+	visits int // vertex fetches, the expansion counter
+
+	fwTicks, bwTicks visit.Ticks // node → best arrival / injection bound
+	fwObjs, bwObjs   visit.Set   // objects collected per direction
+	objList          []trajectory.ObjectID
+	nodes            visit.Set // visited nodes (unidirectional sweeps)
+	seedNodes        visit.Set // seed-vertex dedup
+	fwQueue, bwQueue visit.Deque[tickItem]
+	queue            visit.Deque[entry] // unidirectional frontier / stack
+	starts           []entry
+
+	cur cursor // disk-side record cache; unused by Mem
 }
 
-func (c countingAccess) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
-	*c.n++
-	return c.g.vertex(id, part)
+// newScratchPool returns the per-engine pool of traversal scratch.
+func newScratchPool() *visit.Pool[scratch] {
+	return visit.NewPool(func() *scratch { return new(scratch) })
+}
+
+// reset prepares the scratch for one query over a graph of numNodes
+// vertices and numObjects objects. The disk cursor is not touched: only
+// the disk index resets (and pays for) it, so the memory engine's pools
+// never materialize the per-node record tables.
+func (sc *scratch) reset(numNodes, numObjects int) {
+	sc.visits = 0
+	sc.fwTicks.Reset(numNodes)
+	sc.bwTicks.Reset(numNodes)
+	sc.fwObjs.Reset(numObjects)
+	sc.bwObjs.Reset(numObjects)
+	sc.objList = sc.objList[:0]
+	sc.nodes.Reset(numNodes)
+	sc.seedNodes.Reset(numNodes)
+	sc.fwQueue.Reset()
+	sc.bwQueue.Reset()
+	sc.queue.Reset()
+	sc.starts = sc.starts[:0]
 }
 
 // traverse runs strategy s from the start vertices (source frontier at
@@ -100,7 +140,7 @@ func (c countingAccess) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
 // domain size, needed to mirror reverse long-edge boundaries. The context
 // is observed inside every expansion loop, so a cancelled traversal returns
 // ctx.Err() promptly.
-func traverse(ctx context.Context, g graphAccess, s Strategy, starts []entry, v2 entry,
+func traverse(ctx context.Context, g graphAccess, sc *scratch, s Strategy, starts []entry, v2 entry,
 	iv contact.Interval, resolutions []int, numTicks int) (bool, error) {
 
 	if v2.node == dn.Invalid {
@@ -121,13 +161,13 @@ func traverse(ctx context.Context, g graphAccess, s Strategy, starts []entry, v2
 	}
 	switch s {
 	case BMBFS:
-		return bidirectional(ctx, g, live, v2, iv, resolutions, numTicks)
+		return bidirectional(ctx, g, sc, live, v2, iv, resolutions, numTicks)
 	case BBFS:
-		return bidirectional(ctx, g, live, v2, iv, nil, numTicks)
+		return bidirectional(ctx, g, sc, live, v2, iv, nil, numTicks)
 	case EBFS:
-		return unidirectional(ctx, g, live, v2, iv, false)
+		return unidirectional(ctx, g, sc, live, v2, iv, false)
 	case EDFS:
-		return unidirectional(ctx, g, live, v2, iv, true)
+		return unidirectional(ctx, g, sc, live, v2, iv, true)
 	}
 	return false, errUnknownStrategy
 }
@@ -138,16 +178,13 @@ func (e strategyError) Error() string { return string(e) }
 
 const errUnknownStrategy = strategyError("reachgraph: unknown traversal strategy")
 
-// objSet tracks the objects collected by one traversal direction.
-type objSet map[trajectory.ObjectID]struct{}
-
-// addAndMeet inserts the members of v into own and reports whether any of
-// them is already in other (the OF ∩ OB test of Algorithm 2).
-func addAndMeet(own, other objSet, members []trajectory.ObjectID) bool {
+// addAndMeet inserts the members of a visited vertex into own and reports
+// whether any of them is already in other (the OF ∩ OB test of Algorithm 2).
+func addAndMeet(own, other *visit.Set, members []trajectory.ObjectID) bool {
 	meet := false
 	for _, o := range members {
-		own[o] = struct{}{}
-		if _, ok := other[o]; ok {
+		own.Visit(int(o))
+		if other.Has(int(o)) {
 			meet = true
 		}
 	}
@@ -166,32 +203,25 @@ type tickItem struct {
 // parallel ProcessQueue calls of Algorithm 2. All forward starts are
 // injected at iv.Lo: a multi-source frontier behaves exactly like a source
 // whose component already spans the seed set.
-func bidirectional(ctx context.Context, g graphAccess, starts []entry, v2 entry,
+func bidirectional(ctx context.Context, g graphAccess, sc *scratch, starts []entry, v2 entry,
 	iv contact.Interval, resolutions []int, numTicks int) (bool, error) {
 
 	mid := iv.Lo + trajectory.Tick(iv.Len()/2)
-	fw := &frontier{
-		queue:   make([]tickItem, 0, len(starts)),
-		visited: map[dn.NodeID]trajectory.Tick{},
-		own:     objSet{},
-	}
+	fw := frontier{queue: &sc.fwQueue, visited: &sc.fwTicks, own: &sc.fwObjs}
 	for _, e := range starts {
-		fw.queue = append(fw.queue, tickItem{e, iv.Lo})
+		fw.queue.PushBack(tickItem{e, iv.Lo})
 	}
-	bw := &frontier{
-		queue:   []tickItem{{v2, iv.Hi}},
-		visited: map[dn.NodeID]trajectory.Tick{},
-		own:     objSet{},
-	}
-	for len(fw.queue) > 0 || len(bw.queue) > 0 {
+	bw := frontier{queue: &sc.bwQueue, visited: &sc.bwTicks, own: &sc.bwObjs}
+	bw.queue.PushBack(tickItem{v2, iv.Hi})
+	for fw.queue.Len() > 0 || bw.queue.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
-		meet, err := stepForward(g, fw, bw.own, mid, resolutions)
+		meet, err := stepForward(g, sc, fw, bw.own, mid, resolutions)
 		if err != nil || meet {
 			return meet, err
 		}
-		meet, err = stepBackward(g, bw, fw.own, mid, resolutions, numTicks)
+		meet, err = stepBackward(g, sc, bw, fw.own, mid, resolutions, numTicks)
 		if err != nil || meet {
 			return meet, err
 		}
@@ -199,37 +229,38 @@ func bidirectional(ctx context.Context, g graphAccess, starts []entry, v2 entry,
 	return false, nil
 }
 
-// frontier is one direction's BFS state.
+// frontier is one direction's BFS state, views into the query's scratch.
 type frontier struct {
-	queue   []tickItem
-	visited map[dn.NodeID]trajectory.Tick
-	own     objSet
+	queue   *visit.Deque[tickItem]
+	visited *visit.Ticks
+	own     *visit.Set
 }
 
 // betterForward reports whether arrival a improves on the recorded visit
 // (forward wants the earliest arrival).
-func (f *frontier) betterForward(id dn.NodeID, a trajectory.Tick) bool {
-	prev, ok := f.visited[id]
-	return !ok || a < prev
+func (f frontier) betterForward(id dn.NodeID, a trajectory.Tick) bool {
+	prev, ok := f.visited.Get(int(id))
+	return !ok || int32(a) < prev
 }
 
 // betterBackward reports whether bound b improves on the recorded visit
 // (backward wants the latest injection bound).
-func (f *frontier) betterBackward(id dn.NodeID, b trajectory.Tick) bool {
-	prev, ok := f.visited[id]
-	return !ok || b > prev
+func (f frontier) betterBackward(id dn.NodeID, b trajectory.Tick) bool {
+	prev, ok := f.visited.Get(int(id))
+	return !ok || int32(b) > prev
 }
 
 // stepForward processes one forward queue entry.
-func stepForward(g graphAccess, fw *frontier, other objSet, mid trajectory.Tick, resolutions []int) (bool, error) {
-	it, ok := pop(&fw.queue)
+func stepForward(g graphAccess, sc *scratch, fw frontier, other *visit.Set, mid trajectory.Tick, resolutions []int) (bool, error) {
+	it, ok := fw.queue.PopFront()
 	if !ok {
 		return false, nil
 	}
 	if !fw.betterForward(it.e.node, it.t) {
 		return false, nil
 	}
-	fw.visited[it.e.node] = it.t
+	fw.visited.Set(int(it.e.node), int32(it.t))
+	sc.visits++
 	v, err := g.vertex(it.e.node, it.e.part)
 	if err != nil {
 		return false, err
@@ -246,8 +277,8 @@ func stepForward(g graphAccess, fw *frontier, other objSet, mid trajectory.Tick,
 	// precede the arrival time and the hop must not overshoot mid.
 	for li := len(resolutions) - 1; li >= 0; li-- {
 		L := resolutions[li]
-		targets, okL := v.longOut[L]
-		if !okL || len(targets) == 0 {
+		targets := levelEdgesAt(v.longOut, L)
+		if len(targets) == 0 {
 			continue
 		}
 		dep, okB := boundary(v, L)
@@ -257,7 +288,7 @@ func stepForward(g graphAccess, fw *frontier, other objSet, mid trajectory.Tick,
 		arr := dep + trajectory.Tick(L)
 		for _, e := range targets {
 			if fw.betterForward(e.node, arr) {
-				fw.queue = append(fw.queue, tickItem{entry{e.node, e.part}, arr})
+				fw.queue.PushBack(tickItem{entry{e.node, e.part}, arr})
 			}
 		}
 		return false, nil
@@ -267,7 +298,7 @@ func stepForward(g graphAccess, fw *frontier, other objSet, mid trajectory.Tick,
 	arr := v.end + 1
 	for _, e := range v.out {
 		if fw.betterForward(e.node, arr) {
-			fw.queue = append(fw.queue, tickItem{entry{e.node, e.part}, arr})
+			fw.queue.PushBack(tickItem{entry{e.node, e.part}, arr})
 		}
 	}
 	return false, nil
@@ -275,16 +306,17 @@ func stepForward(g graphAccess, fw *frontier, other objSet, mid trajectory.Tick,
 
 // stepBackward processes one backward queue entry; the time-mirror of
 // stepForward.
-func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick,
+func stepBackward(g graphAccess, sc *scratch, bw frontier, other *visit.Set, mid trajectory.Tick,
 	resolutions []int, numTicks int) (bool, error) {
-	it, ok := pop(&bw.queue)
+	it, ok := bw.queue.PopFront()
 	if !ok {
 		return false, nil
 	}
 	if !bw.betterBackward(it.e.node, it.t) {
 		return false, nil
 	}
-	bw.visited[it.e.node] = it.t
+	bw.visited.Set(int(it.e.node), int32(it.t))
+	sc.visits++
 	v, err := g.vertex(it.e.node, it.e.part)
 	if err != nil {
 		return false, err
@@ -297,8 +329,8 @@ func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick
 	}
 	for li := len(resolutions) - 1; li >= 0; li-- {
 		L := resolutions[li]
-		sources, okL := v.longIn[L]
-		if !okL || len(sources) == 0 {
+		sources := levelEdgesAt(v.longIn, L)
+		if len(sources) == 0 {
 			continue
 		}
 		arr, okB := revBoundaryOf(v, L, numTicks)
@@ -308,7 +340,7 @@ func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick
 		dep := arr - trajectory.Tick(L)
 		for _, e := range sources {
 			if bw.betterBackward(e.node, dep) {
-				bw.queue = append(bw.queue, tickItem{entry{e.node, e.part}, dep})
+				bw.queue.PushBack(tickItem{entry{e.node, e.part}, dep})
 			}
 		}
 		return false, nil
@@ -316,7 +348,7 @@ func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick
 	bound := v.start - 1
 	for _, e := range v.in {
 		if bw.betterBackward(e.node, bound) {
-			bw.queue = append(bw.queue, tickItem{entry{e.node, e.part}, bound})
+			bw.queue.PushBack(tickItem{entry{e.node, e.part}, bound})
 		}
 	}
 	return false, nil
@@ -327,31 +359,28 @@ func stepBackward(g graphAccess, bw *frontier, other objSet, mid trajectory.Tick
 // members and long edges are never consulted, matching the baselines of
 // §6.2.2. Edge spans grow strictly along DN1 edges, so a vertex starting
 // after iv.Hi cannot lead to v2 and is not expanded; that is the only
-// pruning the naïve traversals get.
-func unidirectional(ctx context.Context, g graphAccess, starts []entry, v2 entry, iv contact.Interval, depthFirst bool) (bool, error) {
-	visited := make(map[dn.NodeID]bool, len(starts))
-	stack := make([]entry, 0, len(starts))
+// pruning the naïve traversals get. The frontier deque doubles as queue
+// (E-BFS) and stack (E-DFS).
+func unidirectional(ctx context.Context, g graphAccess, sc *scratch, starts []entry, v2 entry, iv contact.Interval, depthFirst bool) (bool, error) {
 	for _, e := range starts {
-		if !visited[e.node] {
-			visited[e.node] = true
-			stack = append(stack, e)
+		if sc.nodes.Visit(int(e.node)) {
+			sc.queue.PushBack(e)
 		}
 	}
-	for len(stack) > 0 {
+	for sc.queue.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
 		var cur entry
 		if depthFirst {
-			cur = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
+			cur, _ = sc.queue.PopBack()
 		} else {
-			cur = stack[0]
-			stack = stack[1:]
+			cur, _ = sc.queue.PopFront()
 		}
 		if cur.node == v2.node {
 			return true, nil
 		}
+		sc.visits++
 		v, err := g.vertex(cur.node, cur.part)
 		if err != nil {
 			return false, err
@@ -360,48 +389,47 @@ func unidirectional(ctx context.Context, g graphAccess, starts []entry, v2 entry
 			continue
 		}
 		for _, e := range v.out {
-			if visited[e.node] {
-				continue
+			if sc.nodes.Visit(int(e.node)) {
+				sc.queue.PushBack(entry{e.node, e.part})
 			}
-			visited[e.node] = true
-			stack = append(stack, entry{e.node, e.part})
 		}
 	}
 	return false, nil
 }
 
 // collectForward sweeps DN1 edges forward from the start vertices and
-// returns every object holding the item by iv.Hi — the native reachable-set
-// primitive behind ReachableSetFromCounted and the cross-segment frontier
-// planner. Long edges are not consulted: a set query must enumerate every
-// reachable run anyway, so the base resolution is already optimal. The
-// entry invariant is that every queued vertex is reached with an arrival
-// time inside its span and ≤ iv.Hi, so all of its members hold the item;
-// successors depart at span end and arrive one instant later, which keeps
-// the invariant because DN1 edges connect exactly adjacent runs.
-func collectForward(ctx context.Context, g graphAccess, starts []entry, iv contact.Interval) (objSet, error) {
-	visited := make(map[dn.NodeID]bool, len(starts))
-	queue := make([]entry, 0, len(starts))
+// records every object holding the item by iv.Hi in sc.fwObjs/sc.objList —
+// the native reachable-set primitive behind ReachableSetFromCounted and the
+// cross-segment frontier planner. Long edges are not consulted: a set query
+// must enumerate every reachable run anyway, so the base resolution is
+// already optimal. The entry invariant is that every queued vertex is
+// reached with an arrival time inside its span and ≤ iv.Hi, so all of its
+// members hold the item; successors depart at span end and arrive one
+// instant later, which keeps the invariant because DN1 edges connect
+// exactly adjacent runs.
+func collectForward(ctx context.Context, g graphAccess, sc *scratch, starts []entry, iv contact.Interval) error {
 	for _, e := range starts {
-		if e.node == dn.Invalid || visited[e.node] {
+		if e.node == dn.Invalid {
 			continue
 		}
-		visited[e.node] = true
-		queue = append(queue, e)
-	}
-	own := objSet{}
-	for len(queue) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		if sc.nodes.Visit(int(e.node)) {
+			sc.queue.PushBack(e)
 		}
-		cur := queue[0]
-		queue = queue[1:]
+	}
+	for sc.queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cur, _ := sc.queue.PopFront()
+		sc.visits++
 		v, err := g.vertex(cur.node, cur.part)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, o := range v.members {
-			own[o] = struct{}{}
+			if sc.fwObjs.Visit(int(o)) {
+				sc.objList = append(sc.objList, o)
+			}
 		}
 		if v.end >= iv.Hi {
 			// The run outlives the interval: its successors start after
@@ -409,22 +437,12 @@ func collectForward(ctx context.Context, g graphAccess, starts []entry, iv conta
 			continue
 		}
 		for _, e := range v.out {
-			if !visited[e.node] {
-				visited[e.node] = true
-				queue = append(queue, entry{e.node, e.part})
+			if sc.nodes.Visit(int(e.node)) {
+				sc.queue.PushBack(entry{e.node, e.part})
 			}
 		}
 	}
-	return own, nil
-}
-
-func pop(q *[]tickItem) (tickItem, bool) {
-	if len(*q) == 0 {
-		return tickItem{}, false
-	}
-	it := (*q)[0]
-	*q = (*q)[1:]
-	return it, true
+	return nil
 }
 
 // boundary mirrors dn.Graph.Boundary on a decoded record: the departure

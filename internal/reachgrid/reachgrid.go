@@ -13,6 +13,13 @@
 // (the paper's external hash table) maps each object to its cell at the
 // bucket start so the query source can be located in O(1) page reads.
 //
+// Every blob begins with a pagefile.Format byte. The default varint-delta
+// format stores object postings as deltas and positions under a linear
+// extrapolation predictor (bits XOR prediction, uvarint): trajectory
+// samples between waypoints are near-linear, so most samples collapse to a
+// few bytes while reconstruction stays bit-exact. Fixed-width v1 pages
+// remain decodable.
+//
 // Query processing (§4.2, Algorithm 1). The seed set starts as {source}.
 // Sweeping the query interval bucket by bucket, the processor loads the
 // cells containing the seeds, prefetches the "potential seed cells" — cells
@@ -21,7 +28,10 @@
 // joining a seed's connected component become seeds immediately (the
 // recursive restart at t′ of §4.2); the sweep stops as soon as the
 // destination is infected. Cells are buffered for the duration of a bucket
-// and discarded at its end.
+// and discarded at its end. All sweep state — seed sets, buffered
+// segments, join buffers, the union-find — is pooled per-query scratch of
+// epoch-stamped arrays (internal/visit), so steady-state queries reuse it
+// wholesale.
 package reachgrid
 
 import (
@@ -35,6 +45,7 @@ import (
 	"streach/internal/queries"
 	"streach/internal/stjoin"
 	"streach/internal/trajectory"
+	"streach/internal/visit"
 )
 
 // Params configures index construction.
@@ -52,6 +63,9 @@ type Params struct {
 	// Pool, when non-nil, is a buffer pool shared with other indexes over
 	// the same dataset: all readers draw on one page budget.
 	Pool *pagefile.BufferPool
+	// Format selects the on-page record layout; zero means the default
+	// (pagefile.FormatVarint). Both formats answer queries identically.
+	Format pagefile.Format
 }
 
 func (p *Params) applyDefaults(env geo.Rect) {
@@ -64,6 +78,7 @@ func (p *Params) applyDefaults(env geo.Rect) {
 	if p.PoolPages == 0 {
 		p.PoolPages = 64
 	}
+	p.Format = pagefile.NormalizeFormat(p.Format)
 }
 
 // dirEntriesPerBlob is the number of object→cell entries per directory
@@ -90,6 +105,8 @@ type Index struct {
 	numTicks   int
 	dT         float64
 	buckets    []bucketMeta
+
+	pool *visit.Pool[gridScratch] // per-query sweep scratch
 }
 
 // Build constructs the ReachGrid of dataset d.
@@ -105,6 +122,7 @@ func Build(d *trajectory.Dataset, params Params) (*Index, error) {
 		numObjects: d.NumObjects(),
 		numTicks:   d.NumTicks(),
 		dT:         d.ContactDist,
+		pool:       visit.NewPool(func() *gridScratch { return new(gridScratch) }),
 	}
 	numCells := ix.grid.NumCells()
 	enc := pagefile.NewEncoder(4096)
@@ -142,44 +160,121 @@ func Build(d *trajectory.Dataset, params Params) (*Index, error) {
 				}
 			}
 		}
-		// Write cells in ascending cell-ID order for a deterministic,
-		// locality-friendly layout.
-		sortInts(touched)
-		for _, id := range touched {
-			enc.Reset()
-			enc.Uint32(uint32(len(cellObjs[id])))
-			for _, o := range cellObjs[id] {
-				seg := d.Trajs[o].Slice(lo, hi)
-				enc.Int32(int32(o))
-				enc.Int32(int32(seg.Start))
-				enc.Uint32(uint32(len(seg.Pos)))
-				for _, p := range seg.Pos {
-					enc.Float64(p.X)
-					enc.Float64(p.Y)
-				}
-			}
-			meta.cellRefs[id] = ix.store.AppendBlob(enc.Bytes())
-			cellObjs[id] = cellObjs[id][:0]
-		}
-		touched = touched[:0]
-		// Directory chunks follow the bucket's cells.
+		// Directory chunks precede the bucket's cells: the guided sweep
+		// always resolves directory entries first, so placing them at the
+		// head of the bucket region lets a query flow from the lookup into
+		// the ascending cell reads as one sequential run.
 		for off := 0; off < len(dir); off += dirEntriesPerBlob {
 			end := off + dirEntriesPerBlob
 			if end > len(dir) {
 				end = len(dir)
 			}
 			enc.Reset()
-			enc.Int32Slice(dir[off:end])
+			enc.Format(params.Format)
+			if params.Format == pagefile.FormatFixed {
+				enc.Int32Slice(dir[off:end])
+			} else {
+				enc.Int32SliceDelta(dir[off:end])
+			}
 			meta.dirRefs = append(meta.dirRefs, ix.store.AppendBlob(enc.Bytes()))
 		}
+		// Write cells in ascending cell-ID order for a deterministic,
+		// locality-friendly layout.
+		sortInts(touched)
+		for _, id := range touched {
+			enc.Reset()
+			enc.Format(params.Format)
+			switch params.Format {
+			case pagefile.FormatFixed:
+				enc.Uint32(uint32(len(cellObjs[id])))
+				for _, o := range cellObjs[id] {
+					seg := d.Trajs[o].Slice(lo, hi)
+					enc.Int32(int32(o))
+					enc.Int32(int32(seg.Start))
+					enc.Uint32(uint32(len(seg.Pos)))
+					for _, p := range seg.Pos {
+						enc.Float64(p.X)
+						enc.Float64(p.Y)
+					}
+				}
+			default:
+				enc.Uvarint(uint64(len(cellObjs[id])))
+				prevObj := int64(0)
+				for _, o := range cellObjs[id] { // object IDs ascend: small deltas
+					seg := d.Trajs[o].Slice(lo, hi)
+					enc.Varint(int64(o) - prevObj)
+					prevObj = int64(o)
+					enc.Uvarint(uint64(seg.Start))
+					enc.Uvarint(uint64(len(seg.Pos)))
+					encodePositions(enc, seg.Pos)
+				}
+			}
+			meta.cellRefs[id] = ix.store.AppendBlob(enc.Bytes())
+			cellObjs[id] = cellObjs[id][:0]
+		}
+		touched = touched[:0]
 		ix.buckets = append(ix.buckets, meta)
 	}
 	return ix, nil
 }
 
+// encodePositions writes a timestamp-ordered sample run under the linear
+// extrapolation predictor: the first point is stored verbatim, the second
+// against the first, and every later point against 2*prev - prev2 per
+// coordinate. Between waypoints trajectories are linear, so the XOR
+// residual is a few noise bits and the uvarint stays short; the decoder
+// runs the same predictor over already-decoded values, making the round
+// trip bit-exact for arbitrary inputs.
+func encodePositions(enc *pagefile.Encoder, pos []geo.Point) {
+	var px1, py1, px2, py2 float64
+	for k, p := range pos {
+		switch k {
+		case 0:
+			enc.Float64(p.X)
+			enc.Float64(p.Y)
+		case 1:
+			enc.Float64Xor(px1, p.X)
+			enc.Float64Xor(py1, p.Y)
+		default:
+			enc.Float64Xor(2*px1-px2, p.X)
+			enc.Float64Xor(2*py1-py2, p.Y)
+		}
+		px2, py2 = px1, py1
+		px1, py1 = p.X, p.Y
+	}
+}
+
+// decodePositions reads cnt predictor-encoded samples; when keep is nil the
+// run is decoded and dropped (duplicate objects spanning several cells).
+func decodePositions(dec *pagefile.Decoder, cnt int, keep []geo.Point) {
+	var px1, py1, px2, py2 float64
+	for k := 0; k < cnt; k++ {
+		var x, y float64
+		switch k {
+		case 0:
+			x = dec.Float64()
+			y = dec.Float64()
+		case 1:
+			x = dec.Float64Xor(px1)
+			y = dec.Float64Xor(py1)
+		default:
+			x = dec.Float64Xor(2*px1 - px2)
+			y = dec.Float64Xor(2*py1 - py2)
+		}
+		if keep != nil {
+			keep[k] = geo.Point{X: x, Y: y}
+		}
+		px2, py2 = px1, py1
+		px1, py1 = x, y
+	}
+}
+
 // Store exposes the underlying simulated disk (for size and placement
 // inspection).
 func (ix *Index) Store() *pagefile.Store { return ix.store }
+
+// Format returns the on-page record layout the index was built with.
+func (ix *Index) Format() pagefile.Format { return ix.params.Format }
 
 // Counters returns the store's cumulative I/O totals; per-query accountants
 // passed to the query methods sum to consecutive Counters differences.
@@ -282,64 +377,119 @@ func (ix *Index) ReachableSet(ctx context.Context, src trajectory.ObjectID, iv c
 // (seeds included when the interval overlaps the time domain), sorted
 // ascending, plus the expansion counter.
 func (ix *Index) ReachableSetFrom(ctx context.Context, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
+	out, n, err := ix.AppendReachableSetFrom(ctx, nil, seeds, iv, acct)
+	if err != nil {
+		return nil, n, err
+	}
+	return out, n, nil
+}
+
+// AppendReachableSetFrom is ReachableSetFrom appending onto dst (whose
+// backing array is reused) — the allocation-free variant the cross-segment
+// planner carries its frontier with. Only the appended tail is sorted and
+// deduplicated.
+func (ix *Index) AppendReachableSetFrom(ctx context.Context, dst, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
 	iv = ix.clampInterval(iv)
 	if iv.Len() == 0 {
-		return nil, 0, nil
+		return dst, 0, nil
 	}
-	out := append([]trajectory.ObjectID(nil), seeds...)
+	base := len(dst)
+	dst = append(dst, seeds...)
 	err := ix.sweep(ctx, seeds, iv, acct, func(o trajectory.ObjectID) bool {
-		out = append(out, o)
+		dst = append(dst, o)
 		return true
 	})
 	if err != nil {
-		return nil, len(out), err
+		return dst[:base], len(dst) - base, err
 	}
-	out = trajectory.SortDedupObjects(out)
-	return out, len(out), nil
+	tail := trajectory.SortDedupObjects(dst[base:])
+	dst = dst[:base+len(tail)]
+	return dst, len(tail), nil
 }
 
-// bucketState is the per-bucket working set of the sweep: the decoded cells
-// (the paper's buffered cells, discarded at bucket end) and the segments of
-// the objects they contain.
-type bucketState struct {
-	loaded map[int]bool
-	segs   map[trajectory.ObjectID]trajectory.Segment
+// gridScratch is the pooled per-query working state of the sweep: the
+// seed set, the per-bucket buffered cells and segments, the join and
+// union-find buffers. Epoch-stamped arrays make per-bucket resets O(1);
+// the joiner's hash buckets persist across queries.
+type gridScratch struct {
+	seeds     visit.Set // infected objects
+	seedList  []trajectory.ObjectID
+	loaded    visit.Set                       // cells buffered this bucket
+	segs      visit.Table[trajectory.Segment] // object → buffered segment
+	segObjs   []trajectory.ObjectID           // objects buffered this bucket
+	pts       []geo.Point
+	ids       []trajectory.ObjectID
+	pending   []int
+	fresh     []trajectory.ObjectID
+	uf        unionFind
+	seedRoots visit.Set
+	joiner    *stjoin.Joiner
+
+	posPage int64 // disk page just past the last blob read; -1 unknown
+	posCell int   // first cell of the current bucket at or past posPage
+}
+
+// reset prepares the scratch for one query; the joiner is built lazily the
+// first time a scratch serves this index (env and dT are per-index
+// constants, and pools are per-index, so a pooled joiner always matches).
+func (sc *gridScratch) reset(ix *Index) {
+	sc.seeds.Reset(ix.numObjects)
+	sc.seedList = sc.seedList[:0]
+	sc.uf.ensure(ix.numObjects)
+	sc.posPage, sc.posCell = -1, 0
+	if sc.joiner == nil {
+		sc.joiner = stjoin.NewJoiner(ix.grid.Env(), ix.dT)
+	}
+}
+
+// resetBucket discards the previous bucket's buffered cells and segments.
+// The disk position survives — it is physical, and the next bucket's blobs
+// follow the current one's on disk.
+func (sc *gridScratch) resetBucket(numObjects, numCells int) {
+	sc.loaded.Reset(numCells)
+	sc.segs.Reset(numObjects)
+	sc.segObjs = sc.segObjs[:0]
+	sc.posCell = 0
 }
 
 // sweep runs Algorithm 1 from the given seed set, invoking onInfect for
 // every object that becomes reachable from a seed (seeds excluded).
 // onInfect returning false terminates the sweep early (the paper's
-// termination on discovering the destination). All state is per-query; page
-// reads are charged to acct. The context is observed once per instant.
+// termination on discovering the destination). All state lives in one
+// pooled scratch; page reads are charged to acct. The context is observed
+// once per instant.
 func (ix *Index) sweep(ctx context.Context, initial []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats, onInfect func(trajectory.ObjectID) bool) error {
-	seeds := make([]bool, ix.numObjects)
-	seedList := make([]trajectory.ObjectID, 0, len(initial))
+	if acct == nil {
+		// Position tracking (read-through) needs a stream accountant even
+		// when the caller does not care about the counts.
+		acct = &pagefile.Stats{}
+	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix)
 	for _, s := range initial {
 		if int(s) < 0 || int(s) >= ix.numObjects {
 			return fmt.Errorf("reachgrid: seed %d outside [0, %d)", s, ix.numObjects)
 		}
-		if !seeds[s] {
-			seeds[s] = true
-			seedList = append(seedList, s)
+		if sc.seeds.Visit(int(s)) {
+			sc.seedList = append(sc.seedList, s)
 		}
 	}
 
-	joiner := stjoin.NewJoiner(ix.grid.Env(), ix.dT)
-	uf := newUnionFind(ix.numObjects)
-	cellsBuf := make([]int, 0, 16)
-
+	prevBi := -1
 	for bi := ix.bucketOf(iv.Lo); bi <= ix.bucketOf(iv.Hi) && bi < len(ix.buckets); bi++ {
 		w := ix.buckets[bi].span.Intersect(iv)
 		if w.Len() == 0 {
 			continue
 		}
-		st := &bucketState{
-			loaded: make(map[int]bool),
-			segs:   make(map[trajectory.ObjectID]trajectory.Segment),
+		if prevBi >= 0 {
+			ix.bridgeBuckets(prevBi, bi, sc, acct)
 		}
+		prevBi = bi
+		sc.resetBucket(ix.numObjects, ix.grid.NumCells())
 		// Locate and load the cells of the current seeds (C_{S_i}), then
 		// prefetch the potential-seed cells N_i around their MBRs.
-		if err := ix.admitSeeds(bi, st, seedList, w.Lo, w.Hi, cellsBuf, acct); err != nil {
+		if err := ix.admitSeeds(bi, sc, sc.seedList, w.Lo, w.Hi, acct); err != nil {
 			return err
 		}
 		for t := w.Lo; t <= w.Hi; t++ {
@@ -350,17 +500,17 @@ func (ix *Index) sweep(ctx context.Context, initial []trajectory.ObjectID, iv co
 			// objects at the same instant once its cells are loaded
 			// (the recursive restart at t′ in §4.2).
 			for {
-				fresh := ix.infectAt(st, seeds, t, joiner, uf)
+				fresh := ix.infectAt(sc, t)
 				if len(fresh) == 0 {
 					break
 				}
 				for _, o := range fresh {
-					seedList = append(seedList, o)
+					sc.seedList = append(sc.seedList, o)
 					if !onInfect(o) {
 						return nil
 					}
 				}
-				if err := ix.admitSeeds(bi, st, fresh, t, w.Hi, cellsBuf, acct); err != nil {
+				if err := ix.admitSeeds(bi, sc, fresh, t, w.Hi, acct); err != nil {
 					return err
 				}
 			}
@@ -372,114 +522,232 @@ func (ix *Index) sweep(ctx context.Context, initial []trajectory.ObjectID, iv co
 
 // admitSeeds loads, for every object in objs, the cell containing it at the
 // bucket start (via the object directory) and all cells within dT of the
-// MBR of its segment over [cur, hi]. The neighbourhood cells of the whole
-// batch are loaded in ascending cell order: cells are placed in that order
-// on disk, so contiguous neighbourhoods cost sequential rather than random
-// reads.
-func (ix *Index) admitSeeds(bi int, st *bucketState, objs []trajectory.ObjectID, cur, hi trajectory.Tick, cellsBuf []int, acct *pagefile.Stats) error {
-	pending := cellsBuf[:0]
+// MBR of its segment over [cur, hi]. Loads happen in two sorted batches —
+// first the directory cells of the whole batch, then the neighbourhood
+// cells around their MBRs — so directory lookups never interleave with
+// cell reads and contiguous cell runs stay sequential on disk.
+func (ix *Index) admitSeeds(bi int, sc *gridScratch, objs []trajectory.ObjectID, cur, hi trajectory.Tick, acct *pagefile.Stats) error {
+	sc.pending = sc.pending[:0]
 	for _, o := range objs {
-		if _, ok := st.segs[o]; !ok {
-			cell, err := ix.dirLookup(bi, o, acct)
+		if _, ok := sc.segs.Get(int(o)); !ok {
+			cell, err := ix.dirLookup(bi, o, sc, acct)
 			if err != nil {
 				return err
 			}
-			if err := ix.loadCell(bi, cell, st, acct); err != nil {
-				return err
+			if cell < 0 || cell >= len(ix.buckets[bi].cellRefs) {
+				return fmt.Errorf("reachgrid: directory of bucket %d names cell %d outside [0, %d)", bi, cell, len(ix.buckets[bi].cellRefs))
 			}
+			sc.pending = append(sc.pending, cell)
 		}
-		seg, ok := st.segs[o]
+	}
+	if err := ix.loadCells(bi, sc, acct); err != nil {
+		return err
+	}
+	sc.pending = sc.pending[:0]
+	for _, o := range objs {
+		seg, ok := sc.segs.Get(int(o))
 		if !ok {
 			// The directory pointed at a cell that does not contain the
 			// object's segment; the layout guarantees this cannot happen.
 			return fmt.Errorf("reachgrid: object %d missing from its directory cell in bucket %d", o, bi)
 		}
 		mbr := segMBR(seg, cur, hi).Expand(ix.dT)
-		pending = ix.grid.CellsIntersecting(mbr, pending)
+		sc.pending = ix.grid.CellsIntersecting(mbr, sc.pending)
 	}
-	sortInts(pending)
-	for _, id := range pending {
-		if err := ix.loadCell(bi, id, st, acct); err != nil {
+	return ix.loadCells(bi, sc, acct)
+}
+
+// readThroughPages is the break-even seek distance: scanning a gap of up
+// to SeqCostRatio pages sequentially costs as much as the one random
+// access a seek past it would (§6's 1:20 sequential:random cost model),
+// and keeping the arm in its run lets the following reads stay sequential
+// too — so gaps up to twice the break-even are still worth scanning.
+const readThroughPages = 2 * pagefile.SeqCostRatio
+
+// loadCells loads sc.pending in ascending cell order, reading *through*
+// small on-disk gaps: when the next wanted blob starts fewer than
+// readThroughPages past the sweep's current disk position, the unread
+// cells in between (placed in cell order within the bucket) are loaded
+// too, turning a seek into a cheaper sequential scan. Extra buffered cells
+// never change the sweep's answer — the per-instant fixpoint makes the
+// infection set independent of which additional cells are resident — they
+// only trade random for sequential I/O.
+func (ix *Index) loadCells(bi int, sc *gridScratch, acct *pagefile.Stats) error {
+	sortInts(sc.pending)
+	refs := ix.buckets[bi].cellRefs
+	for _, id := range sc.pending {
+		if id >= sc.posCell && !refs[id].Null() && sc.posPage >= 0 &&
+			refs[id].Page >= sc.posPage && refs[id].Page-sc.posPage <= readThroughPages {
+			for g := sc.posCell; g < id; g++ {
+				if err := ix.loadCell(bi, g, sc, acct); err != nil {
+					return err
+				}
+			}
+		}
+		if err := ix.loadCell(bi, id, sc, acct); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// bridgeBuckets scans the disk arm across the trailing, unread cells of
+// bucket prev when the next bucket's directory is close enough that the
+// sequential scan beats the seek. The bytes are discarded — only the arm
+// position matters — so read errors in the bridged region are ignored: a
+// query must not fail on pages it does not need.
+func (ix *Index) bridgeBuckets(prev, next int, sc *gridScratch, acct *pagefile.Stats) {
+	if sc.posPage < 0 || len(ix.buckets[next].dirRefs) == 0 {
+		return
+	}
+	target := ix.buckets[next].dirRefs[0].Page
+	if target < sc.posPage || target-sc.posPage > readThroughPages {
+		return
+	}
+	refs := ix.buckets[prev].cellRefs
+	for g := sc.posCell; g < len(refs); g++ {
+		if refs[g].Null() || refs[g].Page < sc.posPage {
+			continue
+		}
+		before, beforeOK := acct.Position()
+		if _, err := ix.store.ReadBlob(refs[g], acct); err != nil {
+			sc.posPage = -1 // arm position unknown after a failed read
+			return
+		}
+		sc.advancePos(acct, before, beforeOK, g+1)
+	}
+}
+
+// advancePos syncs the sweep's view of the disk arm with the accountant
+// after a blob read, with (before, beforeOK) the accountant position
+// snapshotted just before the read and nextCell the first cell of the
+// current bucket at or beyond the blob. Only a read that actually moved
+// the arm is adopted: a read served entirely by the buffer pool leaves
+// the position where it was — crucially, an accountant threaded across
+// the per-slab stores of a segmented engine may still carry another
+// store's page position, which must not leak into this store's
+// read-through decisions.
+func (sc *gridScratch) advancePos(acct *pagefile.Stats, before int64, beforeOK bool, nextCell int) {
+	after, ok := acct.Position()
+	if !ok || (beforeOK && after == before) {
+		return
+	}
+	sc.posPage = after
+	sc.posCell = nextCell
+}
+
 // infectAt joins the buffered segments at instant t and merges connected
 // components; every object in a component that contains a seed becomes a
-// seed. It returns the newly infected objects.
-func (ix *Index) infectAt(st *bucketState, seeds []bool, t trajectory.Tick, joiner *stjoin.Joiner, uf *unionFind) []trajectory.ObjectID {
-	pts := make([]geo.Point, 0, len(st.segs))
-	ids := make([]trajectory.ObjectID, 0, len(st.segs))
-	for o, seg := range st.segs {
+// seed. It returns the newly infected objects (valid until the next call).
+func (ix *Index) infectAt(sc *gridScratch, t trajectory.Tick) []trajectory.ObjectID {
+	sc.pts, sc.ids, sc.fresh = sc.pts[:0], sc.ids[:0], sc.fresh[:0]
+	for _, o := range sc.segObjs {
+		seg, _ := sc.segs.Get(int(o))
 		if seg.Covers(t) {
-			pts = append(pts, seg.At(t))
-			ids = append(ids, o)
+			sc.pts = append(sc.pts, seg.At(t))
+			sc.ids = append(sc.ids, o)
 		}
 	}
-	if len(pts) < 2 {
+	if len(sc.pts) < 2 {
 		return nil
 	}
-	uf.reset(ids)
-	joiner.Join(pts, func(a, b int) bool {
-		uf.union(int32(ids[a]), int32(ids[b]))
+	sc.uf.reset(sc.ids)
+	sc.joiner.Join(sc.pts, func(a, b int) bool {
+		sc.uf.union(int32(sc.ids[a]), int32(sc.ids[b]))
 		return true
 	})
-	seedRoots := make(map[int32]bool, 4)
-	for _, o := range ids {
-		if seeds[o] {
-			seedRoots[uf.find(int32(o))] = true
+	sc.seedRoots.Reset(ix.numObjects)
+	for _, o := range sc.ids {
+		if sc.seeds.Has(int(o)) {
+			sc.seedRoots.Visit(int(sc.uf.find(int32(o))))
 		}
 	}
-	var fresh []trajectory.ObjectID
-	for _, o := range ids {
-		if !seeds[o] && seedRoots[uf.find(int32(o))] {
-			seeds[o] = true
-			fresh = append(fresh, o)
+	for _, o := range sc.ids {
+		if !sc.seeds.Has(int(o)) && sc.seedRoots.Has(int(sc.uf.find(int32(o)))) {
+			sc.seeds.Visit(int(o))
+			sc.fresh = append(sc.fresh, o)
 		}
 	}
-	return fresh
+	return sc.fresh
 }
 
 // loadCell reads a cell blob (if present and not yet buffered) and registers
 // its segments.
-func (ix *Index) loadCell(bi, cell int, st *bucketState, acct *pagefile.Stats) error {
-	if st.loaded[cell] {
+func (ix *Index) loadCell(bi, cell int, sc *gridScratch, acct *pagefile.Stats) error {
+	if cell < 0 || cell >= len(ix.buckets[bi].cellRefs) {
+		return fmt.Errorf("reachgrid: no cell %d in bucket %d", cell, bi)
+	}
+	if !sc.loaded.Visit(cell) {
 		return nil
 	}
-	st.loaded[cell] = true
 	ref := ix.buckets[bi].cellRefs[cell]
 	if ref.Null() {
 		return nil
 	}
+	before, beforeOK := acct.Position()
 	data, err := ix.store.ReadBlob(ref, acct)
 	if err != nil {
 		return fmt.Errorf("reachgrid: cell %d of bucket %d: %w", cell, bi, err)
 	}
+	sc.advancePos(acct, before, beforeOK, cell+1)
 	dec := pagefile.NewDecoder(data)
-	n := dec.Uint32()
-	for i := uint32(0); i < n; i++ {
-		o := trajectory.ObjectID(dec.Int32())
-		start := trajectory.Tick(dec.Int32())
-		cnt := dec.Uint32()
+	format := dec.Format()
+	var n int
+	if format == pagefile.FormatFixed {
+		n = int(dec.Uint32())
+	} else {
+		n = int(dec.Uvarint())
+	}
+	if dec.Err() == nil && (n < 0 || n > dec.Remaining()+1) {
+		dec.Failf("reachgrid: implausible object count %d with %d bytes left", n, dec.Remaining())
+	}
+	prevObj := int64(0)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		var o trajectory.ObjectID
+		var start trajectory.Tick
+		var cnt int
+		if format == pagefile.FormatFixed {
+			o = trajectory.ObjectID(dec.Int32())
+			start = trajectory.Tick(dec.Int32())
+			cnt = int(dec.Uint32())
+		} else {
+			prevObj += dec.Varint()
+			o = trajectory.ObjectID(prevObj)
+			start = trajectory.Tick(dec.Uvarint())
+			cnt = int(dec.Uvarint())
+		}
 		if dec.Err() != nil {
 			break
 		}
-		if _, dup := st.segs[o]; dup {
+		if int(o) < 0 || int(o) >= ix.numObjects {
+			dec.Failf("reachgrid: cell names object %d outside [0, %d)", o, ix.numObjects)
+			break
+		}
+		if cnt < 0 || cnt > ix.numTicks {
+			dec.Failf("reachgrid: implausible sample count %d", cnt)
+			break
+		}
+		if _, dup := sc.segs.Get(int(o)); dup {
 			// The object was already decoded from another cell it spans;
-			// skip its positions.
-			for k := uint32(0); k < cnt; k++ {
-				dec.Float64()
-				dec.Float64()
+			// skip its positions (the predictor stream must still be
+			// consumed in the varint format).
+			if format == pagefile.FormatFixed {
+				dec.Skip(16 * cnt)
+			} else {
+				decodePositions(dec, cnt, nil)
 			}
 			continue
 		}
 		pos := make([]geo.Point, cnt)
-		for k := range pos {
-			pos[k] = geo.Point{X: dec.Float64(), Y: dec.Float64()}
+		if format == pagefile.FormatFixed {
+			for k := range pos {
+				pos[k] = geo.Point{X: dec.Float64(), Y: dec.Float64()}
+			}
+		} else {
+			decodePositions(dec, cnt, pos)
 		}
-		st.segs[o] = trajectory.Segment{Object: o, Start: start, Pos: pos}
+		sc.segs.Set(int(o), trajectory.Segment{Object: o, Start: start, Pos: pos})
+		sc.segObjs = append(sc.segObjs, o)
 	}
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("reachgrid: cell %d of bucket %d: %w", cell, bi, err)
@@ -489,23 +757,42 @@ func (ix *Index) loadCell(bi, cell int, st *bucketState, acct *pagefile.Stats) e
 
 // dirLookup reads the object directory entry of o for bucket bi: the cell
 // containing o at the bucket start (one page read, typically a buffer hit
-// for subsequent seeds).
-func (ix *Index) dirLookup(bi int, o trajectory.ObjectID, acct *pagefile.Stats) (int, error) {
+// for subsequent seeds). The entry is extracted from the chunk without
+// materializing it: direct offset arithmetic in the fixed format, a delta
+// scan in the varint format.
+func (ix *Index) dirLookup(bi int, o trajectory.ObjectID, sc *gridScratch, acct *pagefile.Stats) (int, error) {
 	chunk := int(o) / dirEntriesPerBlob
-	data, err := ix.store.ReadBlob(ix.buckets[bi].dirRefs[chunk], acct)
+	ref := ix.buckets[bi].dirRefs[chunk]
+	before, beforeOK := acct.Position()
+	data, err := ix.store.ReadBlob(ref, acct)
 	if err != nil {
 		return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d: %w", chunk, bi, err)
 	}
+	sc.advancePos(acct, before, beforeOK, 0) // chunks precede the cells: the run starts here
+	idx := int(o) % dirEntriesPerBlob
 	dec := pagefile.NewDecoder(data)
-	cells := dec.Int32Slice()
+	format := dec.Format()
+	var cell int64
+	if format == pagefile.FormatFixed {
+		n := int(dec.Uint32())
+		if dec.Err() == nil && idx >= n {
+			return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d truncated", chunk, bi)
+		}
+		dec.Skip(4 * idx)
+		cell = int64(dec.Int32())
+	} else {
+		n := int(dec.Uvarint())
+		if dec.Err() == nil && idx >= n {
+			return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d truncated", chunk, bi)
+		}
+		for i := 0; i <= idx && dec.Err() == nil; i++ {
+			cell += dec.Varint()
+		}
+	}
 	if err := dec.Err(); err != nil {
 		return 0, err
 	}
-	idx := int(o) % dirEntriesPerBlob
-	if idx >= len(cells) {
-		return 0, fmt.Errorf("reachgrid: directory chunk %d of bucket %d truncated", chunk, bi)
-	}
-	return int(cells[idx]), nil
+	return int(cell), nil
 }
 
 // segMBR returns the bounding rectangle of seg's samples within [lo, hi].
@@ -529,8 +816,12 @@ type unionFind struct {
 	size   []int32
 }
 
-func newUnionFind(n int) *unionFind {
-	return &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+// ensure sizes the structure for n objects, keeping existing capacity.
+func (u *unionFind) ensure(n int) {
+	if len(u.parent) < n {
+		u.parent = make([]int32, n)
+		u.size = make([]int32, n)
+	}
 }
 
 // reset prepares the structure for the given participants.

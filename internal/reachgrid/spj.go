@@ -3,18 +3,16 @@
 // that overlap it, then traverse C′ to verify reachability. It shares the
 // ReachGrid store and layout, so the two approaches are compared on
 // identical data placement — the difference measured is purely the guided
-// expansion.
+// expansion. It also shares the pooled sweep scratch, so the comparison
+// holds on CPU cost as well.
 package reachgrid
 
 import (
 	"context"
 	"fmt"
 
-	"streach/internal/geo"
 	"streach/internal/pagefile"
 	"streach/internal/queries"
-	"streach/internal/stjoin"
-	"streach/internal/trajectory"
 )
 
 // SPJReach answers q by the full spatiotemporal-join pipeline: every cell of
@@ -30,8 +28,8 @@ func (ix *Index) SPJReach(q queries.Query) (bool, error) {
 
 // SPJReachCounted is SPJReach plus the number of objects infected during
 // propagation (src included). Page reads are charged to acct (which may be
-// nil); all traversal state is per-query. The context is observed once per
-// instant of the join sweep.
+// nil); all traversal state is pooled per-query scratch. The context is
+// observed once per instant of the join sweep.
 func (ix *Index) SPJReachCounted(ctx context.Context, q queries.Query, acct *pagefile.Stats) (bool, int, error) {
 	if err := ix.validateQuery(q); err != nil {
 		return false, 0, err
@@ -44,11 +42,14 @@ func (ix *Index) SPJReachCounted(ctx context.Context, q queries.Query, acct *pag
 		return true, 1, nil
 	}
 	expanded := 1 // src
+	if acct == nil {
+		acct = &pagefile.Stats{}
+	}
 
-	joiner := stjoin.NewJoiner(ix.grid.Env(), ix.dT)
-	uf := newUnionFind(ix.numObjects)
-	seeds := make([]bool, ix.numObjects)
-	seeds[q.Src] = true
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix)
+	sc.seeds.Visit(int(q.Src))
 
 	for bi := ix.bucketOf(iv.Lo); bi <= ix.bucketOf(iv.Hi) && bi < len(ix.buckets); bi++ {
 		w := ix.buckets[bi].span.Intersect(iv)
@@ -57,45 +58,41 @@ func (ix *Index) SPJReachCounted(ctx context.Context, q queries.Query, acct *pag
 		}
 		// Retrieve the entire bucket: every cell, in placement order
 		// (mostly sequential reads — SPJ's one redeeming quality).
-		st := &bucketState{
-			loaded: make(map[int]bool),
-			segs:   make(map[trajectory.ObjectID]trajectory.Segment),
-		}
+		sc.resetBucket(ix.numObjects, ix.grid.NumCells())
 		for cell := 0; cell < ix.grid.NumCells(); cell++ {
-			if err := ix.loadCell(bi, cell, st, acct); err != nil {
+			if err := ix.loadCell(bi, cell, sc, acct); err != nil {
 				return false, expanded, fmt.Errorf("spj: %w", err)
 			}
 		}
-		pts := make([]geo.Point, 0, len(st.segs))
-		ids := make([]trajectory.ObjectID, 0, len(st.segs))
 		for t := w.Lo; t <= w.Hi; t++ {
 			if err := ctx.Err(); err != nil {
 				return false, expanded, err
 			}
-			pts, ids = pts[:0], ids[:0]
-			for o, seg := range st.segs {
+			sc.pts, sc.ids = sc.pts[:0], sc.ids[:0]
+			for _, o := range sc.segObjs {
+				seg, _ := sc.segs.Get(int(o))
 				if seg.Covers(t) {
-					pts = append(pts, seg.At(t))
-					ids = append(ids, o)
+					sc.pts = append(sc.pts, seg.At(t))
+					sc.ids = append(sc.ids, o)
 				}
 			}
-			if len(pts) < 2 {
+			if len(sc.pts) < 2 {
 				continue
 			}
-			uf.reset(ids)
-			joiner.Join(pts, func(a, b int) bool {
-				uf.union(int32(ids[a]), int32(ids[b]))
+			sc.uf.reset(sc.ids)
+			sc.joiner.Join(sc.pts, func(a, b int) bool {
+				sc.uf.union(int32(sc.ids[a]), int32(sc.ids[b]))
 				return true
 			})
-			seedRoots := make(map[int32]bool, 8)
-			for _, o := range ids {
-				if seeds[o] {
-					seedRoots[uf.find(int32(o))] = true
+			sc.seedRoots.Reset(ix.numObjects)
+			for _, o := range sc.ids {
+				if sc.seeds.Has(int(o)) {
+					sc.seedRoots.Visit(int(sc.uf.find(int32(o))))
 				}
 			}
-			for _, o := range ids {
-				if !seeds[o] && seedRoots[uf.find(int32(o))] {
-					seeds[o] = true
+			for _, o := range sc.ids {
+				if !sc.seeds.Has(int(o)) && sc.seedRoots.Has(int(sc.uf.find(int32(o)))) {
+					sc.seeds.Visit(int(o))
 					expanded++
 					if o == q.Dst {
 						return true, expanded, nil

@@ -1,0 +1,8 @@
+//go:build race
+
+package visit
+
+// raceEnabled reports that the race detector instruments this build;
+// allocation-count assertions are skipped because instrumentation
+// allocates.
+const raceEnabled = true

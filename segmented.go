@@ -27,6 +27,7 @@ import (
 
 	"streach/internal/pagefile"
 	"streach/internal/segment"
+	"streach/internal/visit"
 )
 
 // frontierCore is the multi-source surface of a segmentable backend: the
@@ -38,33 +39,36 @@ type frontierCore interface {
 	// reachFrom answers "can an item held by any seed at iv.Lo reach dst
 	// by iv.Hi?".
 	reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error)
-	// frontierSet returns every object reachable from the seeds during iv
-	// (seeds included when the interval overlaps the time domain).
-	frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error)
+	// appendFrontier appends every object reachable from the seeds during
+	// iv (seeds included when the interval overlaps the time domain) onto
+	// dst and returns it. dst's backing array is reused — the planner
+	// ping-pongs two pooled buffers across the slab walk instead of
+	// materializing a fresh frontier slice per slab.
+	appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error)
 }
 
 func (c gridCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error) {
 	return c.ix.ReachFromCounted(ctx, seeds, dst, iv, acct)
 }
 
-func (c gridCore) frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
-	return c.ix.ReachableSetFrom(ctx, seeds, iv, acct)
+func (c gridCore) appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.ix.AppendReachableSetFrom(ctx, dst, seeds, iv, acct)
 }
 
 func (c graphCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error) {
 	return c.ix.ReachFromCounted(ctx, seeds, dst, iv, c.strategy, acct)
 }
 
-func (c graphCore) frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
-	return c.ix.ReachableSetFromCounted(ctx, seeds, iv, acct)
+func (c graphCore) appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.ix.AppendReachableSetFromCounted(ctx, dst, seeds, iv, acct)
 }
 
 func (c graphMemCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, _ *pagefile.Stats) (bool, int, error) {
 	return c.m.ReachFromCounted(ctx, seeds, dst, iv, BMBFS)
 }
 
-func (c graphMemCore) frontierSet(ctx context.Context, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
-	return c.m.ReachableSetFromCounted(ctx, seeds, iv)
+func (c graphMemCore) appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.m.AppendReachableSetFromCounted(ctx, dst, seeds, iv)
 }
 
 func (c oracleCore) reachFrom(_ context.Context, seeds []ObjectID, dst ObjectID, iv Interval, _ *pagefile.Stats) (bool, int, error) {
@@ -72,9 +76,9 @@ func (c oracleCore) reachFrom(_ context.Context, seeds []ObjectID, dst ObjectID,
 	return ok, expanded, nil
 }
 
-func (c oracleCore) frontierSet(_ context.Context, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
+func (c oracleCore) appendFrontier(_ context.Context, dst, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
 	set := c.o.ReachableSetFrom(seeds, iv)
-	return set, len(set), nil
+	return append(dst, set...), len(set), nil
 }
 
 // segSlab is one sealed segment as the planner sees it: its global tick
@@ -83,6 +87,17 @@ type segSlab struct {
 	span Interval
 	core frontierCore
 }
+
+// planScratch holds the two frontier buffers a cross-segment walk
+// ping-pongs between: the frontier of slab k is consumed from one buffer
+// while slab k+1's is appended into the other, so a steady-state planner
+// query re-materializes no frontier slices at all. Pooled package-wide —
+// every segmented engine and LiveEngine query draws on the same pool.
+type planScratch struct {
+	a, b []ObjectID
+}
+
+var planPool = visit.NewPool(func() *planScratch { return new(planScratch) })
 
 // planReach is the cross-segment point-query planner. slabs must be in
 // ascending span order and tile the time domain prefix they cover; the
@@ -100,8 +115,11 @@ func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q
 	if q.Src == q.Dst {
 		return true, 0, nil
 	}
+	sc := planPool.Get()
+	defer planPool.Put(sc)
 	first, last := overlappingSlabs(slabs, iv)
-	frontier := []ObjectID{q.Src}
+	sc.a = append(sc.a[:0], q.Src)
+	frontier := sc.a
 	expanded := 0
 	for i := first; i <= last; i++ {
 		if err := ctx.Err(); err != nil {
@@ -115,7 +133,8 @@ func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q
 			ok, n, err := slabs[i].core.reachFrom(ctx, frontier, q.Dst, local, acct)
 			return ok, expanded + n, err
 		}
-		fr, n, err := slabs[i].core.frontierSet(ctx, frontier, local, acct)
+		fr, n, err := slabs[i].core.appendFrontier(ctx, sc.b[:0], frontier, local, acct)
+		sc.b = fr
 		expanded += n
 		if err != nil {
 			return false, expanded, err
@@ -125,14 +144,15 @@ func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q
 			// is monotone, so later slabs cannot change the answer.
 			return true, expanded, nil
 		}
-		frontier = fr
+		sc.a, sc.b = sc.b, sc.a
+		frontier = sc.a
 	}
 	return false, expanded, nil
 }
 
 // planSet is the cross-segment reachable-set planner: the frontier is
 // carried through every overlapping slab and the final frontier is the
-// answer (sorted, deduplicated).
+// answer (sorted, deduplicated; copied out of the pooled buffers).
 func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
 	if err := validatePlanIDs(numObjects, src, src); err != nil {
 		return nil, 0, err
@@ -141,8 +161,11 @@ func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src
 	if numTicks == 0 || iv.Len() == 0 {
 		return nil, 0, nil
 	}
+	sc := planPool.Get()
+	defer planPool.Put(sc)
 	first, last := overlappingSlabs(slabs, iv)
-	frontier := []ObjectID{src}
+	sc.a = append(sc.a[:0], src)
+	frontier := sc.a
 	expanded := 0
 	for i := first; i <= last; i++ {
 		if err := ctx.Err(); err != nil {
@@ -152,14 +175,16 @@ func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src
 		if w.Len() == 0 {
 			continue
 		}
-		fr, n, err := slabs[i].core.frontierSet(ctx, frontier, local, acct)
+		fr, n, err := slabs[i].core.appendFrontier(ctx, sc.b[:0], frontier, local, acct)
+		sc.b = fr
 		expanded += n
 		if err != nil {
 			return nil, expanded, err
 		}
-		frontier = fr
+		sc.a, sc.b = sc.b, sc.a
+		frontier = sc.a
 	}
-	return frontier, expanded, nil
+	return append([]ObjectID(nil), frontier...), expanded, nil
 }
 
 // overlappingSlabs returns the index range of slabs whose spans overlap iv

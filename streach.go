@@ -254,6 +254,8 @@ type ReachGridOptions struct {
 	BucketTicks int
 	// PoolPages sizes the buffer pool of the simulated disk.
 	PoolPages int
+	// PageFormat selects the on-page record layout (zero: varint-delta).
+	PageFormat PageFormat
 }
 
 // ReachGrid is a disk-resident ReachGrid index over one dataset.
@@ -267,6 +269,7 @@ func BuildReachGrid(ds *Dataset, opts ReachGridOptions) (*ReachGrid, error) {
 		CellSize:    opts.CellSize,
 		BucketTicks: opts.BucketTicks,
 		PoolPages:   opts.PoolPages,
+		Format:      opts.PageFormat,
 	})
 	if err != nil {
 		return nil, err
@@ -326,6 +329,8 @@ type ReachGraphOptions struct {
 	Resolutions []int
 	// PoolPages sizes the buffer pool of the simulated disk.
 	PoolPages int
+	// PageFormat selects the on-page record layout (zero: varint-delta).
+	PageFormat PageFormat
 }
 
 // ReachGraph is a disk-resident ReachGraph index.
@@ -352,6 +357,7 @@ func buildReachGraph(cn *ContactNetwork, opts ReachGraphOptions) (*ReachGraph, e
 		PartitionDepth: opts.PartitionDepth,
 		Resolutions:    opts.Resolutions,
 		PoolPages:      opts.PoolPages,
+		Format:         opts.PageFormat,
 	})
 	if err != nil {
 		return nil, err
