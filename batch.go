@@ -38,6 +38,11 @@ type BatchOptions struct {
 // mid-evaluation charges the totals but returns no delta).
 func EvaluateBatch(ctx context.Context, e Engine, qs []Query, opts BatchOptions) ([]Result, error) {
 	results := make([]Result, len(qs))
+	for i := range results {
+		// Unevaluated slots must not read as "arrived at tick 0": the
+		// sentinel matches what evaluated negative queries report.
+		results[i].Arrival, results[i].Hops = -1, -1
+	}
 	if len(qs) == 0 {
 		return results, ctx.Err()
 	}

@@ -44,7 +44,9 @@ func main() {
 		scale    = flag.String("scale", "small", "dataset scale: tiny | small | medium | large")
 		backends = flag.String("backends", "", "comma-separated registry backends for the 'backends'/'concurrency' experiments (default: all)")
 		workers  = flag.String("workers", "", "comma-separated worker counts for the 'concurrency' experiment (default 1,2,4,8)")
-		jsonOut  = flag.String("json", "", "write the concurrency sweep as a streach-bench/v1 JSON report to this path")
+		topk     = flag.Int("topk", 0, "k of the 'semantics' experiment's top-k decay queries (default 10)")
+		decay    = flag.Float64("decay", 0, "per-transfer decay weight of the 'semantics' experiment, in (0, 1] (default 0.85)")
+		jsonOut  = flag.String("json", "", "write the machine-readable sweeps as a streach-bench/v1 JSON report to this path")
 	)
 	flag.Parse()
 	if *expAlias != "" {
@@ -62,7 +64,15 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Queries: *queries, Ticks: *ticks, Seed: *seed}
+	if *decay != 0 && !(*decay > 0 && *decay <= 1) {
+		fmt.Fprintf(os.Stderr, "reachbench: -decay %v outside (0, 1]\n", *decay)
+		os.Exit(2)
+	}
+	if *topk < 0 {
+		fmt.Fprintf(os.Stderr, "reachbench: -topk %d must be positive\n", *topk)
+		os.Exit(2)
+	}
+	opts := bench.Options{Queries: *queries, Ticks: *ticks, Seed: *seed, TopK: *topk, Decay: *decay}
 	if *backends != "" {
 		opts.Backends = strings.Split(*backends, ",")
 		for i := range opts.Backends {
@@ -140,20 +150,22 @@ func main() {
 		// ran; with none selected the concurrency sweep is the default
 		// report (the historical BENCH_*.json contents).
 		var recs []bench.Record
-		ranConc, ranStream, ranCodec := false, false, false
+		ranConc, ranStream, ranCodec, ranSem := false, false, false, false
 		for _, id := range ids {
 			switch strings.ToLower(strings.TrimSpace(id)) {
 			case "concurrency":
 				ranConc = true
 			case "all":
-				ranConc, ranStream, ranCodec = true, true, true
+				ranConc, ranStream, ranCodec, ranSem = true, true, true, true
 			case "streaming":
 				ranStream = true
 			case "ablation-codec":
 				ranCodec = true
+			case "semantics":
+				ranSem = true
 			}
 		}
-		if !ranConc && !ranStream && !ranCodec {
+		if !ranConc && !ranStream && !ranCodec && !ranSem {
 			ranConc = true
 		}
 		if ranConc {
@@ -164,6 +176,9 @@ func main() {
 		}
 		if ranCodec {
 			recs = append(recs, lab.CodecRecords()...)
+		}
+		if ranSem {
+			recs = append(recs, lab.SemanticsRecords()...)
 		}
 		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)

@@ -47,6 +47,18 @@ type Engine interface {
 	// backend. Backends without a native set primitive answer with one
 	// point query per candidate object, honouring ctx between candidates.
 	ReachableSet(ctx context.Context, src ObjectID, iv Interval) (SetResult, error)
+	// EarliestArrival returns the first tick in iv at which dst holds an
+	// item initiated by src at the interval start — the |T'p| of Theorems
+	// 4.1/5.4 surfaced as a query. Backends without a native arrival
+	// evaluation fall back to the brute-force oracle over the engine's
+	// source contacts (ArrivalResult.Native reports which path answered).
+	EarliestArrival(ctx context.Context, src, dst ObjectID, iv Interval) (ArrivalResult, error)
+	// TopKReachable returns the k objects (src excluded) reachable from
+	// src during iv that receive the item with the highest decayed weight
+	// decay^transfers, ranked by weight, then arrival tick, then ID.
+	// Backends that cannot track transfer counts natively fall back to the
+	// oracle (TopKResult.Native).
+	TopKReachable(ctx context.Context, src ObjectID, iv Interval, k int, decay float64) (TopKResult, error)
 	// IndexBytes returns the on-disk size of the engine's index; zero for
 	// memory-resident backends.
 	IndexBytes() int64
@@ -75,6 +87,19 @@ type Result struct {
 	// Evaluated reports whether the query ran; EvaluateBatch leaves it
 	// false for queries skipped after cancellation or a failure.
 	Evaluated bool
+	// Arrival is the earliest tick at which Dst holds the item. It is
+	// computed only when Query.Semantics routes the query through the
+	// semantics layer; -1 otherwise, and for negative queries.
+	Arrival Tick
+	// Hops is the minimal number of inter-object transfers among delivery
+	// chains arriving by the Arrival tick, when the evaluator tracks
+	// transfer counts (hop-bounded queries on hop-counting backends); -1
+	// otherwise.
+	Hops int
+	// Native reports whether the semantics layer answered natively in the
+	// backend's traversal core; false means the oracle fallback evaluated
+	// the query. Plain boolean queries are always native.
+	Native bool
 }
 
 // SetResult is the typed answer to one reachable-set query.
@@ -393,18 +418,19 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 	core.resetIO()
 	core.dropCache()
 	numObjects, numTicks := sourceDims(src)
-	eng := engine{
+	eng := &engine{
 		name:       spec.info.Name,
 		core:       core,
 		numObjects: numObjects,
 		numTicks:   numTicks,
+		src:        src,
 	}
 	if sc, ok := core.(*segmentedCore); ok {
 		// Segmented engines additionally expose per-segment statistics
 		// (the Segmented interface).
 		return &segmentedEngine{engine: eng, seg: sc}, nil
 	}
-	return &eng, nil
+	return eng, nil
 }
 
 func sourceDims(src Source) (numObjects, numTicks int) {
@@ -458,6 +484,15 @@ type engine struct {
 
 	numObjects int
 	numTicks   int
+
+	// src is retained for the semantics oracle fallback: backends without
+	// a native implementation of a requested query semantics answer
+	// through a brute-force oracle over the source contacts, built lazily
+	// on first use (fb is never built for backends that evaluate every
+	// semantics natively).
+	src    Source
+	fbOnce sync.Once
+	fb     *queries.Oracle
 }
 
 func (e *engine) Name() string { return e.name }
@@ -480,6 +515,9 @@ func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	if q.Semantics.Active() {
+		return evalReachableSem(ctx, e, q)
+	}
 	acct := acctPool.Get().(*pagefile.Stats)
 	defer acctPool.Put(acct)
 	acct.Reset()
@@ -495,6 +533,9 @@ func (e *engine) Reachable(ctx context.Context, q Query) (Result, error) {
 		Latency:   time.Since(start),
 		Expanded:  expanded,
 		Evaluated: true,
+		Arrival:   -1,
+		Hops:      -1,
+		Native:    true,
 	}, nil
 }
 

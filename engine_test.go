@@ -255,6 +255,12 @@ func (b *blockingEngine) Reachable(ctx context.Context, q streach.Query) (streac
 func (b *blockingEngine) ReachableSet(ctx context.Context, src streach.ObjectID, iv streach.Interval) (streach.SetResult, error) {
 	return streach.SetResult{}, ctx.Err()
 }
+func (b *blockingEngine) EarliestArrival(ctx context.Context, src, dst streach.ObjectID, iv streach.Interval) (streach.ArrivalResult, error) {
+	return streach.ArrivalResult{}, ctx.Err()
+}
+func (b *blockingEngine) TopKReachable(ctx context.Context, src streach.ObjectID, iv streach.Interval, k int, decay float64) (streach.TopKResult, error) {
+	return streach.TopKResult{}, ctx.Err()
+}
 
 // TestEvaluateBatchCancellation cancels a batch mid-flight and expects a
 // prompt return with the context error and unevaluated remainders.
@@ -322,6 +328,12 @@ func (f *failingEngine) Reachable(ctx context.Context, q streach.Query) (streach
 }
 func (f *failingEngine) ReachableSet(ctx context.Context, src streach.ObjectID, iv streach.Interval) (streach.SetResult, error) {
 	return streach.SetResult{}, errors.New("boom")
+}
+func (f *failingEngine) EarliestArrival(ctx context.Context, src, dst streach.ObjectID, iv streach.Interval) (streach.ArrivalResult, error) {
+	return streach.ArrivalResult{}, errors.New("boom")
+}
+func (f *failingEngine) TopKReachable(ctx context.Context, src streach.ObjectID, iv streach.Interval, k int, decay float64) (streach.TopKResult, error) {
+	return streach.TopKResult{}, errors.New("boom")
 }
 
 // TestEvaluateBatchContinueOnError keeps going past failures and still

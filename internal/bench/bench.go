@@ -60,6 +60,10 @@ type Options struct {
 	// Workers lists the EvaluateBatch pool sizes the "concurrency"
 	// experiment sweeps. Default {1, 2, 4, 8}.
 	Workers []int
+	// TopK and Decay parametrize the "semantics" experiment's top-k
+	// transfer-decay queries. Defaults 10 and 0.85.
+	TopK  int
+	Decay float64
 }
 
 func (o *Options) applyDefaults() {
@@ -86,6 +90,12 @@ func (o *Options) applyDefaults() {
 	}
 	if len(o.Workers) == 0 {
 		o.Workers = []int{1, 2, 4, 8}
+	}
+	if o.TopK <= 0 {
+		o.TopK = 10
+	}
+	if !(o.Decay > 0 && o.Decay <= 1) {
+		o.Decay = 0.85
 	}
 }
 
@@ -164,6 +174,7 @@ type Lab struct {
 	concRecs   []Record // memoized concurrency sweep
 	streamRecs []Record // memoized streaming sweep
 	codecRecs  []Record // memoized codec ablation
+	semRecs    []Record // memoized semantics sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -421,6 +432,7 @@ func (l *Lab) All() []*Table {
 		l.BackendSweep(),
 		l.Concurrency(),
 		l.Streaming(),
+		l.Semantics(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
 		l.AblationCodec(),
@@ -474,6 +486,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.Concurrency
 	case "streaming":
 		return l.Streaming
+	case "semantics":
+		return l.Semantics
 	}
 	return nil
 }
@@ -483,7 +497,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
-		"table5a", "table5b", "backends", "concurrency", "streaming",
+		"table5a", "table5b", "backends", "concurrency", "streaming", "semantics",
 		"ablation-pool", "ablation-bidir", "ablation-codec",
 	}
 }

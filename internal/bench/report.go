@@ -65,6 +65,13 @@ type Record struct {
 	// IndexPages is the index's on-disk footprint in pages; set by the
 	// codec ablation, zero elsewhere.
 	IndexPages int64 `json:"index_pages,omitempty"`
+	// Semantics is the query class of a semantics-experiment point
+	// ("earliest-arrival" or "top-k"); empty elsewhere.
+	Semantics string `json:"semantics,omitempty"`
+	// NativeSemantics reports whether every query of a semantics point was
+	// answered in the backend's own traversal core (false: the explicit
+	// oracle fallback); meaningful only when Semantics is set.
+	NativeSemantics bool `json:"native_semantics,omitempty"`
 }
 
 // Report is the JSON document wrapping an experiment's records.

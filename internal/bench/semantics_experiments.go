@@ -1,0 +1,165 @@
+// The semantics experiment: earliest-arrival and top-k transfer-decay
+// queries across the registry backends, with cross-backend conformance
+// against the oracle baked in — every answer a backend produces is checked
+// against the ground-truth engine before it is counted, so the records
+// double as a conformance certificate. Records carry the semantics kind
+// and whether the backend evaluated natively or through the oracle
+// fallback, feeding the machine-readable perf trajectory (BENCH_*.json).
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streach"
+)
+
+// semanticsKinds are the query classes the experiment sweeps.
+const (
+	semKindArrival = "earliest-arrival"
+	semKindTopK    = "top-k"
+)
+
+// SemanticsRecords measures earliest-arrival and top-k decay queries per
+// selected backend on the middle RWP dataset, validating every answer
+// against the oracle engine. The sweep runs once per Lab.
+func (l *Lab) SemanticsRecords() []Record {
+	if l.semRecs != nil {
+		return l.semRecs
+	}
+	d := l.RWP(l.opts.RWPSizes[len(l.opts.RWPSizes)/2])
+	work := l.Workload(d, 0)
+	ctx := context.Background()
+	oracle := l.OpenBackend("oracle", d, streach.Options{})
+
+	// Top-k sources: the first few workload sources over a fixed interval.
+	topkIv := streach.NewInterval(0, streach.Tick(d.NumTicks()-1))
+	if n := WavefrontTicks(d); n < d.NumTicks() {
+		topkIv = streach.NewInterval(0, streach.Tick(n-1))
+	}
+
+	var recs []Record
+	for _, name := range l.opts.Backends {
+		e := l.OpenBackend(name, d, streach.Options{})
+
+		// Earliest arrival over the standard workload.
+		var lats []time.Duration
+		var pages, hits int64
+		var normalized float64
+		native := true
+		for _, q := range work {
+			r, err := e.EarliestArrival(ctx, q.Src, q.Dst, q.Interval)
+			if err != nil {
+				panic(fmt.Sprintf("bench: semantics %s on %v: %v", name, q, err))
+			}
+			ref, err := oracle.EarliestArrival(ctx, q.Src, q.Dst, q.Interval)
+			if err != nil {
+				panic(fmt.Sprintf("bench: semantics oracle on %v: %v", q, err))
+			}
+			if r.Reachable != ref.Reachable || (r.Reachable && r.Arrival != ref.Arrival) {
+				panic(fmt.Sprintf("bench: semantics conformance: %s on %v: (reachable=%v, arrival=%d) vs oracle (%v, %d)",
+					name, q, r.Reachable, r.Arrival, ref.Reachable, ref.Arrival))
+			}
+			lats = append(lats, r.Latency)
+			pages += r.IO.RandomReads + r.IO.SequentialReads
+			hits += r.IO.BufferHits
+			normalized += r.IO.Normalized
+			native = native && r.Native
+		}
+		recs = append(recs, semRecord(name, d.Name, semKindArrival, native, lats, pages, hits, normalized))
+
+		// Top-k decay from a handful of sources.
+		lats, pages, hits, normalized = nil, 0, 0, 0
+		native = true
+		srcs := len(work)
+		if srcs > 8 {
+			srcs = 8
+		}
+		for i := 0; i < srcs; i++ {
+			src := work[i].Src
+			r, err := e.TopKReachable(ctx, src, topkIv, l.opts.TopK, l.opts.Decay)
+			if err != nil {
+				panic(fmt.Sprintf("bench: top-k %s src=%d: %v", name, src, err))
+			}
+			ref, err := oracle.TopKReachable(ctx, src, topkIv, l.opts.TopK, l.opts.Decay)
+			if err != nil {
+				panic(fmt.Sprintf("bench: top-k oracle src=%d: %v", src, err))
+			}
+			if len(r.Items) != len(ref.Items) {
+				panic(fmt.Sprintf("bench: top-k conformance: %s src=%d: %d items vs oracle %d",
+					name, src, len(r.Items), len(ref.Items)))
+			}
+			for k := range ref.Items {
+				if r.Items[k] != ref.Items[k] {
+					panic(fmt.Sprintf("bench: top-k conformance: %s src=%d item %d: %+v vs oracle %+v",
+						name, src, k, r.Items[k], ref.Items[k]))
+				}
+			}
+			lats = append(lats, r.Latency)
+			pages += r.IO.RandomReads + r.IO.SequentialReads
+			hits += r.IO.BufferHits
+			normalized += r.IO.Normalized
+			native = native && r.Native
+		}
+		recs = append(recs, semRecord(name, d.Name, semKindTopK, native, lats, pages, hits, normalized))
+	}
+	l.semRecs = recs
+	return recs
+}
+
+// semRecord assembles one semantics measurement point.
+func semRecord(backend, dataset, kind string, native bool, lats []time.Duration, pages, hits int64, normalized float64) Record {
+	var total time.Duration
+	for _, d := range lats {
+		total += d
+	}
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	p50, p95 := latencyPercentiles(lats)
+	hitRate := 0.0
+	if hits+pages > 0 {
+		hitRate = float64(hits) / float64(hits+pages)
+	}
+	return Record{
+		Experiment:           "semantics",
+		Backend:              backend,
+		Dataset:              dataset,
+		Workers:              1,
+		Queries:              len(lats),
+		QueriesPerSec:        float64(len(lats)) / total.Seconds(),
+		P50LatencyUS:         p50,
+		P95LatencyUS:         p95,
+		PagesRead:            pages,
+		NormalizedIOPerQuery: normalized / float64(len(lats)),
+		CacheHitRate:         hitRate,
+		Semantics:            kind,
+		NativeSemantics:      native,
+	}
+}
+
+// Semantics renders the semantics sweep as a table (the human-readable
+// view of SemanticsRecords).
+func (l *Lab) Semantics() *Table {
+	t := &Table{
+		ID:      "semantics",
+		Title:   "Temporal semantics: earliest-arrival and top-k decay across backends",
+		Columns: []string{"Backend", "Dataset", "Kind", "Native", "Queries", "q/s", "p50", "p95", "IO/q"},
+	}
+	for _, rec := range l.SemanticsRecords() {
+		t.AddRow(
+			rec.Backend, rec.Dataset, rec.Semantics,
+			fmt.Sprint(rec.NativeSemantics),
+			fmt.Sprint(rec.Queries),
+			fmt.Sprintf("%.0f", rec.QueriesPerSec),
+			fmt.Sprintf("%.0fµs", rec.P50LatencyUS),
+			fmt.Sprintf("%.0fµs", rec.P95LatencyUS),
+			fmt.Sprintf("%.1f", rec.NormalizedIOPerQuery),
+		)
+	}
+	t.AddNote("every answer was validated against the oracle engine before being counted;")
+	t.AddNote("native=false rows answered through the explicit oracle fallback (see README:")
+	t.AddNote("ReachGraph is arrival-native but hop-agnostic; GRAIL and SPJ always fall back)")
+	return t
+}

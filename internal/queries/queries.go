@@ -14,9 +14,12 @@ import (
 )
 
 // Query is a reachability query q : Src ⤳ Dst over Interval (§3.2).
+// Semantics optionally refines the propagation model (hop bounds,
+// earliest-arrival tracking); its zero value is plain boolean reachability.
 type Query struct {
-	Src, Dst trajectory.ObjectID
-	Interval contact.Interval
+	Src, Dst  trajectory.ObjectID
+	Interval  contact.Interval
+	Semantics Semantics
 }
 
 func (q Query) String() string {

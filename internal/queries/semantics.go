@@ -1,0 +1,175 @@
+// Temporal query semantics beyond boolean reachability: earliest-arrival
+// ticks, hop (transfer) bounds, and per-transfer decay weights, after the
+// query families of Strzheletska & Tsotras ("Reachability and Top-k
+// Reachability Queries with Transfer Decay") and Ali et al. ("An Efficient
+// Index for Contact Tracing Query").
+//
+// The common primitive is the propagation profile: for every object
+// reachable from a seed frontier during an interval — under an optional
+// transfer budget — the minimal number of inter-object transfers and the
+// earliest tick the object holds the item. Within one instant the item
+// still crosses a whole contact chain (transfer inside a contact is
+// instantaneous, §3.2), but every contact edge on the chain costs one
+// transfer, so hop counts inside an instant's contact graph are BFS
+// distances from the carriers. The oracle evaluates this literally with a
+// per-instant relaxation to fixpoint, serving as ground truth for the
+// indexes' native implementations.
+package queries
+
+import (
+	"math"
+
+	"streach/internal/contact"
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Semantics refines the propagation model of a reachability query. The
+// zero value selects plain boolean semantics, keeping the query on the
+// engines' allocation-free boolean path.
+type Semantics struct {
+	// MaxHops bounds the number of inter-object transfers the item may
+	// take; 0 means unbounded. A chain a→b→c within one instant costs two
+	// transfers.
+	MaxHops int
+	// TrackArrival requests the earliest-arrival tick (and, where the
+	// evaluator tracks them, the minimal transfer count) in the Result.
+	TrackArrival bool
+	// Decay is the per-transfer weight d ∈ (0, 1] of top-k ranking: an
+	// item forwarded over h transfers arrives with weight d^h. Point
+	// queries ignore it; TopKReachable sets it from its argument.
+	Decay float64
+}
+
+// Active reports whether the query needs the semantics evaluation path.
+func (s Semantics) Active() bool {
+	return s.MaxHops > 0 || s.TrackArrival || s.Decay != 0
+}
+
+// HopBudget returns the transfer budget as the evaluators consume it:
+// MaxHops when bounded, UnboundedHops otherwise.
+func (s Semantics) HopBudget() int32 {
+	if s.MaxHops > 0 && int64(s.MaxHops) < int64(UnboundedHops) {
+		return int32(s.MaxHops)
+	}
+	return UnboundedHops
+}
+
+// UnboundedHops is the transfer budget meaning "no bound". It is one below
+// MaxInt32 so budget+1 arithmetic cannot overflow.
+const UnboundedHops = int32(math.MaxInt32 - 1)
+
+// NoObject is the earlyDst value disabling early termination.
+const NoObject = trajectory.ObjectID(-1)
+
+// SeedState is one object of a propagation frontier together with the
+// transfers already spent reaching it — the state the cross-segment
+// planner carries over slab boundaries (a seed entering the next slab with
+// hops h has budget-h residual transfers left).
+type SeedState struct {
+	Obj  trajectory.ObjectID
+	Hops int32
+}
+
+// ProfileEntry is one reachable object's propagation profile.
+type ProfileEntry struct {
+	Obj trajectory.ObjectID
+	// Hops is the minimal number of transfers over all valid paths within
+	// the interval; -1 when the evaluator does not track transfer counts
+	// (hop-unbounded arrival sweeps).
+	Hops int32
+	// Arrival is the earliest tick at which the object holds the item
+	// (seeds report the interval start).
+	Arrival trajectory.Tick
+}
+
+// ProfileFrom computes the propagation profile of the seed frontier over
+// iv: for every object reachable under the transfer budget (budget < 0
+// means unbounded), its minimal transfer count and earliest arrival tick.
+// Seeds enter holding the item at iv.Lo with their recorded hop counts
+// (seeds beyond the budget or outside the ID space are ignored). When
+// earlyDst is a valid object, the simulation stops as soon as earlyDst is
+// reachable — the returned profile is then partial but earlyDst's entry is
+// exact. Entries are sorted by object ID; the int result is the number of
+// objects reached (the expansion counter).
+func (o *Oracle) ProfileFrom(seeds []SeedState, iv contact.Interval, budget int32, earlyDst trajectory.ObjectID) ([]ProfileEntry, int) {
+	n := o.net.NumObjects
+	iv = iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(o.net.NumTicks - 1)})
+	if o.net.NumTicks == 0 || iv.Len() == 0 {
+		return nil, 0
+	}
+	if budget < 0 || budget > UnboundedHops {
+		budget = UnboundedHops
+	}
+	// Per-call scratch keeps the oracle safe under concurrent queries.
+	hops := make([]int32, n)
+	arrival := make([]trajectory.Tick, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	var reached []trajectory.ObjectID
+	for _, s := range seeds {
+		if int(s.Obj) < 0 || int(s.Obj) >= n || s.Hops < 0 || s.Hops > budget {
+			continue
+		}
+		if hops[s.Obj] < 0 {
+			arrival[s.Obj] = iv.Lo
+			reached = append(reached, s.Obj)
+			hops[s.Obj] = s.Hops
+		} else if s.Hops < hops[s.Obj] {
+			hops[s.Obj] = s.Hops
+		}
+	}
+	if len(reached) == 0 {
+		return nil, 0
+	}
+	dstReached := func() bool {
+		return int(earlyDst) >= 0 && int(earlyDst) < n && hops[earlyDst] >= 0
+	}
+	if !dstReached() {
+		o.net.Snapshot(iv.Lo, iv.Hi, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
+			// Relax the instant's contact graph to fixpoint: hop counts
+			// inside one instant are multi-source BFS distances, and
+			// repeated sweeps over the (small) pair list converge to them
+			// even though carriers start at different depths.
+			for changed := true; changed; {
+				changed = false
+				for _, pr := range pairs {
+					if relaxPair(hops, arrival, &reached, budget, t, pr.A, pr.B) {
+						changed = true
+					}
+					if relaxPair(hops, arrival, &reached, budget, t, pr.B, pr.A) {
+						changed = true
+					}
+				}
+			}
+			return !dstReached()
+		})
+	}
+	reached = trajectory.SortDedupObjects(reached)
+	entries := make([]ProfileEntry, len(reached))
+	for i, obj := range reached {
+		entries[i] = ProfileEntry{Obj: obj, Hops: hops[obj], Arrival: arrival[obj]}
+	}
+	return entries, len(reached)
+}
+
+// relaxPair propagates one directed transfer from carrier to other,
+// reporting whether it improved other's hop count.
+func relaxPair(hops []int32, arrival []trajectory.Tick, reached *[]trajectory.ObjectID,
+	budget int32, t trajectory.Tick, from, to trajectory.ObjectID) bool {
+
+	hf := hops[from]
+	if hf < 0 || hf >= budget {
+		return false
+	}
+	if ht := hops[to]; ht >= 0 && ht <= hf+1 {
+		return false
+	}
+	if hops[to] < 0 {
+		arrival[to] = t
+		*reached = append(*reached, to)
+	}
+	hops[to] = hf + 1
+	return true
+}

@@ -181,6 +181,26 @@ func (m *Mem) AppendReachableSetFromCounted(ctx context.Context, dst, seeds []tr
 	return append(dst, trajectory.SortDedupObjects(sc.objList)...), sc.visits, nil
 }
 
+// AppendArrivalProfileFrom appends to dst the earliest-arrival profile of
+// the seed frontier over iv; see Index.AppendArrivalProfileFrom.
+func (m *Mem) AppendArrivalProfileFrom(ctx context.Context, dst []queries.ProfileEntry, seeds []trajectory.ObjectID, iv contact.Interval) ([]queries.ProfileEntry, int, error) {
+	iv = m.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes), m.g.NumObjects)
+	starts, err := m.seedEntries(sc, seeds, iv.Lo)
+	if err != nil {
+		return dst, 0, err
+	}
+	if err := arrivalCollect(ctx, m, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return appendArrivalEntries(dst, sc), sc.visits, nil
+}
+
 // seedEntries maps the seed objects to their (deduplicated) vertices at
 // tick t, appending them to the scratch start buffer.
 func (m *Mem) seedEntries(sc *scratch, seeds []trajectory.ObjectID, t trajectory.Tick) ([]entry, error) {

@@ -762,6 +762,43 @@ func (ix *Index) AppendReachableSetFromCounted(ctx context.Context, dst, seeds [
 	return append(dst, trajectory.SortDedupObjects(sc.objList)...), sc.visits, nil
 }
 
+// AppendArrivalProfileFrom appends to dst the earliest-arrival profile of
+// the seed frontier over iv: one entry per reachable object (seeds
+// included), sorted by object ID, with Arrival the earliest tick the
+// object holds the item and Hops always -1 (the run DAG collapses contact
+// components, so transfer counts are not derivable — ReachGraph advertises
+// arrival-only semantics). The int result is the vertex-visit counter.
+func (ix *Index) AppendArrivalProfileFrom(ctx context.Context, dst []queries.ProfileEntry, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix.numNodes, ix.numObjects)
+	sc.cur.reset(ix.numNodes, len(ix.partRefs))
+	sc.cur.ix, sc.cur.acct = ix, acct
+	starts, err := ix.seedEntries(sc, seeds, iv.Lo, acct)
+	if err != nil {
+		return dst, sc.visits, err
+	}
+	if err := arrivalCollect(ctx, &sc.cur, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return appendArrivalEntries(dst, sc), sc.visits, nil
+}
+
+// appendArrivalEntries drains an arrival sweep's per-object results into
+// sorted profile entries.
+func appendArrivalEntries(dst []queries.ProfileEntry, sc *scratch) []queries.ProfileEntry {
+	list := trajectory.SortDedupObjects(sc.objList)
+	for _, o := range list {
+		arr, _ := sc.objTicks.Get(int(o))
+		dst = append(dst, queries.ProfileEntry{Obj: o, Hops: -1, Arrival: trajectory.Tick(arr)})
+	}
+	return dst
+}
+
 // seedEntries locates the (deduplicated) vertices of the seed objects at
 // tick t via the run directory, appending them to the scratch start buffer.
 func (ix *Index) seedEntries(sc *scratch, seeds []trajectory.ObjectID, t trajectory.Tick, acct *pagefile.Stats) ([]entry, error) {

@@ -100,8 +100,9 @@ type scratch struct {
 	fwTicks, bwTicks visit.Ticks // node → best arrival / injection bound
 	fwObjs, bwObjs   visit.Set   // objects collected per direction
 	objList          []trajectory.ObjectID
-	nodes            visit.Set // visited nodes (unidirectional sweeps)
-	seedNodes        visit.Set // seed-vertex dedup
+	objTicks         visit.Ticks // object → earliest arrival (arrival sweeps)
+	nodes            visit.Set   // visited nodes (unidirectional sweeps)
+	seedNodes        visit.Set   // seed-vertex dedup
 	fwQueue, bwQueue visit.Deque[tickItem]
 	queue            visit.Deque[entry] // unidirectional frontier / stack
 	starts           []entry
@@ -125,6 +126,7 @@ func (sc *scratch) reset(numNodes, numObjects int) {
 	sc.fwObjs.Reset(numObjects)
 	sc.bwObjs.Reset(numObjects)
 	sc.objList = sc.objList[:0]
+	sc.objTicks.Reset(numObjects)
 	sc.nodes.Reset(numNodes)
 	sc.seedNodes.Reset(numNodes)
 	sc.fwQueue.Reset()
@@ -439,6 +441,60 @@ func collectForward(ctx context.Context, g graphAccess, sc *scratch, starts []en
 		for _, e := range v.out {
 			if sc.nodes.Visit(int(e.node)) {
 				sc.queue.PushBack(entry{e.node, e.part})
+			}
+		}
+	}
+	return nil
+}
+
+// arrivalCollect is collectForward tracking earliest arrivals: it sweeps
+// DN1 edges forward from the start vertices and records, for every object
+// reachable by iv.Hi, the earliest tick it holds the item, in
+// sc.objTicks/sc.objList. DN1 edges connect exactly adjacent runs, so a
+// run reached over *any* path is entered at its span start (the one tick
+// its component inherits carriers from the previous instant); only seed
+// runs are entered later, at iv.Lo. Every visited run therefore has a
+// single fixed arrival tick — a plain visited set suffices, no
+// re-queueing on improvement — and an object's earliest arrival is the
+// minimum arrival over the visited runs that contain it. Hop counts are
+// not derivable from the run DAG (a run collapses a whole contact
+// component), which is why ReachGraph advertises arrival-only semantics.
+func arrivalCollect(ctx context.Context, g graphAccess, sc *scratch, starts []entry, iv contact.Interval) error {
+	for _, e := range starts {
+		if e.node == dn.Invalid {
+			continue
+		}
+		if sc.nodes.Visit(int(e.node)) {
+			sc.fwQueue.PushBack(tickItem{e, iv.Lo})
+		}
+	}
+	for sc.fwQueue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it, _ := sc.fwQueue.PopFront()
+		sc.visits++
+		v, err := g.vertex(it.e.node, it.e.part)
+		if err != nil {
+			return err
+		}
+		for _, o := range v.members {
+			if prev, ok := sc.objTicks.Get(int(o)); !ok || int32(it.t) < prev {
+				sc.objTicks.Set(int(o), int32(it.t))
+				if !ok {
+					sc.objList = append(sc.objList, o)
+				}
+			}
+		}
+		if v.end >= iv.Hi {
+			// The run outlives the interval: its successors start after
+			// iv.Hi and cannot be infected in time.
+			continue
+		}
+		arr := v.end + 1 // successors are adjacent runs covering this tick
+		for _, e := range v.out {
+			if sc.nodes.Visit(int(e.node)) {
+				sc.fwQueue.PushBack(tickItem{entry{e.node, e.part}, arr})
 			}
 		}
 	}

@@ -425,6 +425,14 @@ type gridScratch struct {
 	seedRoots visit.Set
 	joiner    *stjoin.Joiner
 
+	// Semantic-sweep state (AppendSemProfileFrom): hop counts, arrivals,
+	// the reached-object list and the per-instant pair buffers of the
+	// relaxation. Untouched by the boolean sweep.
+	hops         visit.Ticks
+	arrTicks     visit.Ticks
+	reached      []trajectory.ObjectID
+	pairA, pairB []trajectory.ObjectID
+
 	posPage int64 // disk page just past the last blob read; -1 unknown
 	posCell int   // first cell of the current bucket at or past posPage
 }

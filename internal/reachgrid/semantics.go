@@ -1,0 +1,199 @@
+// Temporal-semantics evaluation over the ReachGrid layout: the guided
+// sweep of Algorithm 1 with the per-instant union-find replaced by a hop
+// relaxation. The grid sees the actual contact pairs of every instant (it
+// joins the buffered segments directly), so unlike the run-DAG backends it
+// can natively count inter-object transfers: at each instant the pair list
+// is relaxed to fixpoint, giving every object its multi-source BFS
+// distance from the current carriers — exactly the oracle's transfer
+// semantics. Cell loading stays guided: only the cells around already
+// reached objects are admitted, and newly reached objects admit theirs
+// within the same instant's fixpoint loop.
+package reachgrid
+
+import (
+	"context"
+	"fmt"
+
+	"streach/internal/contact"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/trajectory"
+)
+
+// SemProfileFrom returns the propagation profile of the seed frontier over
+// iv; see AppendSemProfileFrom.
+func (ix *Index) SemProfileFrom(ctx context.Context, seeds []queries.SeedState, iv contact.Interval, budget int32, earlyDst trajectory.ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	return ix.AppendSemProfileFrom(ctx, nil, seeds, iv, budget, earlyDst, acct)
+}
+
+// AppendSemProfileFrom appends to dst the propagation profile of the seed
+// frontier over iv: for every object reachable under the transfer budget
+// (budget < 0 means unbounded), its minimal transfer count and earliest
+// arrival tick, sorted by object ID. Seeds enter at iv.Lo with their
+// recorded hop counts (seeds beyond the budget are ignored; out-of-range
+// seed IDs are an error). When earlyDst is a valid object the sweep stops
+// as soon as earlyDst becomes reachable — the profile is then partial but
+// earlyDst's entry is exact. The int result is the number of objects
+// reached. Page reads are charged to acct (which may be nil).
+func (ix *Index) AppendSemProfileFrom(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv contact.Interval, budget int32, earlyDst trajectory.ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	if acct == nil {
+		acct = &pagefile.Stats{}
+	}
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	if budget < 0 || budget > queries.UnboundedHops {
+		budget = queries.UnboundedHops
+	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix)
+	sc.hops.Reset(ix.numObjects)
+	sc.arrTicks.Reset(ix.numObjects)
+	sc.reached = sc.reached[:0]
+	for _, s := range seeds {
+		if int(s.Obj) < 0 || int(s.Obj) >= ix.numObjects {
+			return dst, 0, fmt.Errorf("reachgrid: seed %d outside [0, %d)", s.Obj, ix.numObjects)
+		}
+		if s.Hops < 0 || s.Hops > budget {
+			continue
+		}
+		if prev, ok := sc.hops.Get(int(s.Obj)); !ok {
+			sc.hops.Set(int(s.Obj), s.Hops)
+			sc.arrTicks.Set(int(s.Obj), int32(iv.Lo))
+			sc.reached = append(sc.reached, s.Obj)
+		} else if s.Hops < prev {
+			sc.hops.Set(int(s.Obj), s.Hops)
+		}
+	}
+	if len(sc.reached) == 0 {
+		return dst, 0, nil
+	}
+	dstReached := func() bool {
+		if int(earlyDst) < 0 || int(earlyDst) >= ix.numObjects {
+			return false
+		}
+		_, ok := sc.hops.Get(int(earlyDst))
+		return ok
+	}
+	if !dstReached() {
+		if err := ix.semSweep(ctx, sc, iv, budget, dstReached, acct); err != nil {
+			return dst, len(sc.reached), err
+		}
+	}
+	return appendSemEntries(dst, sc), len(sc.reached), nil
+}
+
+// semSweep is the guided bucket walk of Algorithm 1 driving relaxAt
+// instead of infectAt. stop is polled after every relaxation fixpoint.
+func (ix *Index) semSweep(ctx context.Context, sc *gridScratch, iv contact.Interval, budget int32, stop func() bool, acct *pagefile.Stats) error {
+	prevBi := -1
+	for bi := ix.bucketOf(iv.Lo); bi <= ix.bucketOf(iv.Hi) && bi < len(ix.buckets); bi++ {
+		w := ix.buckets[bi].span.Intersect(iv)
+		if w.Len() == 0 {
+			continue
+		}
+		if prevBi >= 0 {
+			ix.bridgeBuckets(prevBi, bi, sc, acct)
+		}
+		prevBi = bi
+		sc.resetBucket(ix.numObjects, ix.grid.NumCells())
+		if err := ix.admitSeeds(bi, sc, sc.reached, w.Lo, w.Hi, acct); err != nil {
+			return err
+		}
+		for t := w.Lo; t <= w.Hi; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Fixpoint per instant, exactly like the boolean sweep: a
+			// newly reached object's cells are admitted and the instant is
+			// relaxed again, so chains through just-loaded cells resolve
+			// within their own tick. stop is polled only once the instant
+			// is fully relaxed, keeping early-terminated hop counts exact
+			// at the termination tick.
+			for {
+				fresh := ix.relaxAt(sc, t, budget)
+				if len(fresh) == 0 {
+					break
+				}
+				sc.reached = append(sc.reached, fresh...)
+				if err := ix.admitSeeds(bi, sc, fresh, t, w.Hi, acct); err != nil {
+					return err
+				}
+			}
+			if stop() {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// relaxAt joins the buffered segments at instant t and relaxes the contact
+// pairs to fixpoint: every object's hop count becomes the minimal number
+// of transfers from the current carriers, capped by the budget. It returns
+// the objects newly reached at t (valid until the next call); hop
+// improvements to already reached objects propagate within the same
+// fixpoint but are not reported.
+func (ix *Index) relaxAt(sc *gridScratch, t trajectory.Tick, budget int32) []trajectory.ObjectID {
+	sc.pts, sc.ids, sc.fresh = sc.pts[:0], sc.ids[:0], sc.fresh[:0]
+	for _, o := range sc.segObjs {
+		seg, _ := sc.segs.Get(int(o))
+		if seg.Covers(t) {
+			sc.pts = append(sc.pts, seg.At(t))
+			sc.ids = append(sc.ids, o)
+		}
+	}
+	if len(sc.pts) < 2 {
+		return nil
+	}
+	sc.pairA, sc.pairB = sc.pairA[:0], sc.pairB[:0]
+	sc.joiner.Join(sc.pts, func(a, b int) bool {
+		sc.pairA = append(sc.pairA, sc.ids[a])
+		sc.pairB = append(sc.pairB, sc.ids[b])
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for i := range sc.pairA {
+			if sc.relaxEdge(sc.pairA[i], sc.pairB[i], t, budget) {
+				changed = true
+			}
+			if sc.relaxEdge(sc.pairB[i], sc.pairA[i], t, budget) {
+				changed = true
+			}
+		}
+	}
+	return sc.fresh
+}
+
+// relaxEdge propagates one directed transfer from → to, reporting whether
+// it improved to's hop count. Newly reached objects are collected in
+// sc.fresh with their arrival stamped at t.
+func (sc *gridScratch) relaxEdge(from, to trajectory.ObjectID, t trajectory.Tick, budget int32) bool {
+	hf, ok := sc.hops.Get(int(from))
+	if !ok || hf >= budget {
+		return false
+	}
+	if ht, ok := sc.hops.Get(int(to)); ok && ht <= hf+1 {
+		return false
+	} else if !ok {
+		sc.arrTicks.Set(int(to), int32(t))
+		sc.fresh = append(sc.fresh, to)
+	}
+	sc.hops.Set(int(to), hf+1)
+	return true
+}
+
+// appendSemEntries drains a semantic sweep's tables into sorted profile
+// entries.
+func appendSemEntries(dst []queries.ProfileEntry, sc *gridScratch) []queries.ProfileEntry {
+	list := trajectory.SortDedupObjects(sc.reached)
+	for _, o := range list {
+		h, _ := sc.hops.Get(int(o))
+		arr, _ := sc.arrTicks.Get(int(o))
+		dst = append(dst, queries.ProfileEntry{Obj: o, Hops: h, Arrival: trajectory.Tick(arr)})
+	}
+	return dst
+}

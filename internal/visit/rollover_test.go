@@ -1,0 +1,101 @@
+package visit
+
+import "testing"
+
+// rollover_test.go forces epoch-counter rollover on every epoch-stamped
+// structure — the "many pool cycles" regression: after 2^32 Resets the
+// uint32 generation counter wraps, and a stale stamp equal to the new
+// epoch value would report phantom membership unless the wrap clears the
+// backing array. The tests pin the epoch just below the boundary and step
+// across it several times.
+
+// epochs drives s through Resets from just below the wrap to just past
+// it, verifying emptiness after every Reset via check and re-populating
+// via fill.
+func crossWrap(t *testing.T, reset func(), setEpoch func(uint32), fill func(i int), check func(i int) bool) {
+	t.Helper()
+	reset()
+	setEpoch(^uint32(0) - 2)
+	for step := 0; step < 6; step++ {
+		reset() // the third Reset wraps the counter
+		for i := 0; i < 8; i++ {
+			if check(i) {
+				t.Fatalf("step %d: stale membership for id %d across epoch rollover", step, i)
+			}
+		}
+		fill(step % 8)
+		if !check(step % 8) {
+			t.Fatalf("step %d: fresh entry lost after rollover", step)
+		}
+	}
+}
+
+func TestSetRollover(t *testing.T) {
+	var s Set
+	crossWrap(t,
+		func() { s.Reset(8) },
+		func(e uint32) { s.epoch = e },
+		func(i int) { s.Visit(i) },
+		func(i int) bool { return s.Has(i) },
+	)
+}
+
+func TestTicksRollover(t *testing.T) {
+	var tk Ticks
+	crossWrap(t,
+		func() { tk.Reset(8) },
+		func(e uint32) { tk.epoch = e },
+		func(i int) { tk.Set(i, int32(i)) },
+		func(i int) bool { _, ok := tk.Get(i); return ok },
+	)
+}
+
+func TestTableRollover(t *testing.T) {
+	var tb Table[string]
+	crossWrap(t,
+		func() { tb.Reset(8) },
+		func(e uint32) { tb.epoch = e },
+		func(i int) { tb.Set(i, "x") },
+		func(i int) bool { _, ok := tb.Get(i); return ok },
+	)
+}
+
+// TestTicksRolloverValueIntegrity pins the subtler hazard: after a wrap,
+// values of dead epochs are still physically present in the vals array;
+// Get must hide them, and a post-wrap Set must win over them.
+func TestTicksRolloverValueIntegrity(t *testing.T) {
+	var tk Ticks
+	tk.Reset(4)
+	tk.Set(1, 777)
+	tk.epoch = ^uint32(0)
+	tk.stamps[2] = ^uint32(0) // legitimately stamped at the last pre-wrap epoch
+	tk.vals[2] = 888
+	tk.Reset(4) // wraps: clears stamps, epoch restarts at 1
+	for i := 0; i < 4; i++ {
+		if v, ok := tk.Get(i); ok {
+			t.Fatalf("post-wrap Get(%d) resurrected stale value %d", i, v)
+		}
+	}
+	tk.Set(2, 5)
+	if v, ok := tk.Get(2); !ok || v != 5 {
+		t.Fatalf("post-wrap Set lost: got (%d, %v)", v, ok)
+	}
+}
+
+// TestRolloverAfterGrowth checks the grow path resets the epoch cycle:
+// growing the backing array discards all stamps, so the restarted epoch
+// cannot alias entries from the smaller array's lifetime.
+func TestRolloverAfterGrowth(t *testing.T) {
+	var s Set
+	s.Reset(4)
+	s.epoch = ^uint32(0) - 1
+	s.Reset(4)
+	s.Visit(3) // stamped at MaxUint32
+	s.Reset(16)
+	if s.Has(3) {
+		t.Fatal("growth carried a stale visit into the new array")
+	}
+	if s.epoch != 1 {
+		t.Fatalf("growth restarted epoch at %d, want 1", s.epoch)
+	}
+}

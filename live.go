@@ -146,10 +146,14 @@ func (le *LiveEngine) view() ([]segSlab, int) {
 func (le *LiveEngine) Name() string { return le.name }
 
 // Reachable answers q over every instant ingested before the call took its
-// view of the log.
+// view of the log. Queries with an active Semantics spec route through the
+// semantics layer like every registry engine.
 func (le *LiveEngine) Reachable(ctx context.Context, q Query) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
+	}
+	if q.Semantics.Active() {
+		return evalReachableSem(ctx, le.semView(), q)
 	}
 	slabs, numTicks := le.view()
 	var acct pagefile.Stats
@@ -165,6 +169,9 @@ func (le *LiveEngine) Reachable(ctx context.Context, q Query) (Result, error) {
 		Latency:   time.Since(start),
 		Expanded:  expanded,
 		Evaluated: true,
+		Arrival:   -1,
+		Hops:      -1,
+		Native:    true,
 	}, nil
 }
 
@@ -190,6 +197,66 @@ func (le *LiveEngine) ReachableSet(ctx context.Context, src ObjectID, iv Interva
 		Latency:  time.Since(start),
 		Expanded: len(objs),
 	}, nil
+}
+
+// liveSemView is the per-query semEvaluator of a LiveEngine: it pins one
+// consistent view of the log so a semantic query evaluates against a
+// fixed set of ingested instants. Evaluation goes through the
+// cross-segment planner when every slab of the view supports the spec
+// (the tail's oracle core always does), and through a brute-force oracle
+// over a fresh feed snapshot otherwise — the snapshot may include
+// instants ingested after the view was taken; answers remain exact for
+// every instant of the view.
+type liveSemView struct {
+	le       *LiveEngine
+	slabs    []segSlab
+	numTicks int
+}
+
+func (le *LiveEngine) semView() *liveSemView {
+	slabs, numTicks := le.view()
+	return &liveSemView{le: le, slabs: slabs, numTicks: numTicks}
+}
+
+func (v *liveSemView) semDims() (int, int) { return v.le.numObjects, v.numTicks }
+
+func (v *liveSemView) semNativeFor(spec semSpec) bool {
+	for _, s := range v.slabs {
+		sc, ok := s.core.(semCore)
+		if !ok || !sc.semSupports(spec) {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *liveSemView) semEvaluate(ctx context.Context, sc *semScratch, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, bool, error) {
+	if v.semNativeFor(spec) {
+		entries, n, err := planSemProfile(ctx, v.slabs, v.le.numObjects, v.numTicks, sc.entries[:0], seeds, iv, spec, earlyDst, acct)
+		sc.entries = entries
+		return entries, n, true, err
+	}
+	entries, n := queries.NewOracle(v.le.log.Snapshot()).ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	return entries, n, false, nil
+}
+
+// EarliestArrival returns the first ingested tick in iv at which dst
+// holds an item initiated by src, over every instant ingested before the
+// call took its view of the log. Arrival ticks carry across sealed-slab
+// frontiers through the cross-segment planner; bases without a native
+// arrival sweep fall back to an oracle over a fresh snapshot (all current
+// live-capable bases are arrival-native).
+func (le *LiveEngine) EarliestArrival(ctx context.Context, src, dst ObjectID, iv Interval) (ArrivalResult, error) {
+	return evalEarliestArrival(ctx, le.semView(), src, dst, iv)
+}
+
+// TopKReachable ranks the objects reachable from src during iv under
+// per-transfer decay; see Engine.TopKReachable. Transfer counting needs
+// per-instant relaxation, so bases whose sealed segments cannot count
+// hops (reachgraph, reachgraph-mem) answer through an oracle over a
+// fresh snapshot of the ingested feed.
+func (le *LiveEngine) TopKReachable(ctx context.Context, src ObjectID, iv Interval, k int, decay float64) (TopKResult, error) {
+	return evalTopKReachable(ctx, le.semView(), src, iv, k, decay)
 }
 
 // IndexBytes returns the total on-disk size of the sealed segments (zero

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"streach/internal/pagefile"
+	"streach/internal/queries"
 	"streach/internal/segment"
 	"streach/internal/visit"
 )
@@ -187,6 +188,135 @@ func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src
 	return append([]ObjectID(nil), frontier...), expanded, nil
 }
 
+// semPlanScratch is the pooled working state of one cross-segment
+// semantic query: the global hop/arrival tables, the reached-object list,
+// and the per-slab seed and entry buffers.
+type semPlanScratch struct {
+	hops    visit.Ticks // object → minimal transfers so far (tracked mode)
+	arrival visit.Ticks // object → global earliest arrival
+	reached []ObjectID
+	seeds   []queries.SeedState
+	buf     []queries.ProfileEntry
+}
+
+var semPlanPool = visit.NewPool(func() *semPlanScratch { return new(semPlanScratch) })
+
+// planSemProfile is the cross-segment semantics planner: it walks the
+// slabs overlapping iv in time order, seeding each slab with every object
+// reached so far — carrying its residual hop budget (budget minus the
+// transfers already spent) in hop-tracking mode — and merges the slab's
+// slab-local profile back into the global tables: arrivals re-based to
+// global ticks keep their first (earliest) value, hop counts keep their
+// minimum. Correctness rests on the propagation state being Markovian in
+// the per-object minimal hop counts: what an interval suffix can infect
+// depends only on who currently holds the item and how many transfers
+// each holder has spent. Every slab core must implement semCore and
+// support spec (callers gate on this). A valid earlyDst short-circuits
+// the walk as soon as it is reached.
+func planSemProfile(ctx context.Context, slabs []segSlab, numObjects, numTicks int, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	iv = iv.Intersect(Interval{Lo: 0, Hi: Tick(numTicks - 1)})
+	if numTicks == 0 || iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	trackHops := spec.tracksHops()
+	ps := semPlanPool.Get()
+	defer semPlanPool.Put(ps)
+	ps.hops.Reset(numObjects)
+	ps.arrival.Reset(numObjects)
+	ps.reached = ps.reached[:0]
+	for _, s := range seeds {
+		if int(s.Obj) < 0 || int(s.Obj) >= numObjects || s.Hops < 0 || s.Hops > spec.budget {
+			continue
+		}
+		if prev, ok := ps.hops.Get(int(s.Obj)); !ok {
+			ps.hops.Set(int(s.Obj), s.Hops)
+			ps.arrival.Set(int(s.Obj), int32(iv.Lo))
+			ps.reached = append(ps.reached, s.Obj)
+		} else if s.Hops < prev {
+			ps.hops.Set(int(s.Obj), s.Hops)
+		}
+	}
+	if len(ps.reached) == 0 {
+		return dst, 0, nil
+	}
+	dstReached := func() bool {
+		if int(earlyDst) < 0 || int(earlyDst) >= numObjects {
+			return false
+		}
+		_, ok := ps.hops.Get(int(earlyDst))
+		return ok
+	}
+	expanded := 0
+	first, last := overlappingSlabs(slabs, iv)
+	for i := first; i <= last && !dstReached(); i++ {
+		if err := ctx.Err(); err != nil {
+			return dst, expanded, err
+		}
+		w, local := localInterval(slabs[i].span, iv)
+		if w.Len() == 0 {
+			continue
+		}
+		ps.seeds = ps.seeds[:0]
+		for _, o := range ps.reached {
+			h := int32(0)
+			if trackHops {
+				h, _ = ps.hops.Get(int(o))
+			}
+			ps.seeds = append(ps.seeds, queries.SeedState{Obj: o, Hops: h})
+		}
+		sc, ok := slabs[i].core.(semCore)
+		if !ok {
+			return dst, expanded, fmt.Errorf("streach: segment %v has no semantics entry points", slabs[i].span)
+		}
+		entries, n, err := sc.semProfile(ctx, ps.buf[:0], ps.seeds, local, spec, earlyDst, acct)
+		ps.buf = entries
+		expanded += n
+		if err != nil {
+			return dst, expanded, err
+		}
+		base := slabs[i].span.Lo
+		for _, en := range entries {
+			if prev, ok := ps.hops.Get(int(en.Obj)); !ok {
+				h := en.Hops
+				if !trackHops {
+					// Hop-agnostic mode: cores may or may not count
+					// transfers; normalize to "untracked" so mixed slab
+					// answers stay consistent.
+					h = -1
+				}
+				ps.hops.Set(int(en.Obj), h)
+				ps.arrival.Set(int(en.Obj), int32(base+en.Arrival))
+				ps.reached = append(ps.reached, en.Obj)
+			} else if trackHops && en.Hops >= 0 && en.Hops < prev {
+				// Already reached: the arrival keeps its earlier tick, but
+				// a later slab may deliver the item over fewer transfers.
+				ps.hops.Set(int(en.Obj), en.Hops)
+			}
+		}
+	}
+	list := sortDedupObjects(ps.reached)
+	for _, o := range list {
+		h, _ := ps.hops.Get(int(o))
+		arr, _ := ps.arrival.Get(int(o))
+		dst = append(dst, queries.ProfileEntry{Obj: o, Hops: h, Arrival: Tick(arr)})
+	}
+	return dst, expanded, nil
+}
+
+func (c *segmentedCore) semSupports(spec semSpec) bool {
+	for _, s := range c.slabs {
+		sc, ok := s.core.(semCore)
+		if !ok || !sc.semSupports(spec) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *segmentedCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	return planSemProfile(ctx, c.slabs, c.numObjects, c.numTicks, dst, seeds, iv, spec, earlyDst, acct)
+}
+
 // overlappingSlabs returns the index range of slabs whose spans overlap iv
 // (spans are ascending and disjoint). last < first when none overlap.
 func overlappingSlabs(slabs []segSlab, iv Interval) (first, last int) {
@@ -301,7 +431,7 @@ type Segmented interface {
 
 // segmentedEngine wraps the uniform engine with the Segmented surface.
 type segmentedEngine struct {
-	engine
+	*engine
 	seg *segmentedCore
 }
 

@@ -1,0 +1,410 @@
+// The temporal-semantics query layer: earliest-arrival, hop-bounded and
+// top-k transfer-decay queries over every registry backend.
+//
+// Plain reachability answers *whether* an item spreads; contact-tracing
+// and dissemination workloads also ask *when* it arrives, *through how
+// many transfers*, and *which K contacts matter most* (the query families
+// of Strzheletska & Tsotras and Ali et al.). The layer reduces all three
+// to one primitive — the propagation profile: per reachable object, the
+// minimal transfer count and the earliest arrival tick — and evaluates it
+// natively inside the traversal cores wherever the backend's structure
+// allows:
+//
+//   - oracle: per-instant hop relaxation, the ground truth (all semantics)
+//   - reachgrid: the guided sweep with relaxation instead of union-find
+//     (all semantics — the grid joins real contact pairs per instant)
+//   - reachgraph, reachgraph-mem (all strategies): a forward arrival sweep
+//     over the run DAG (earliest-arrival only; runs collapse contact
+//     components, so transfer counts are not derivable)
+//   - segmented:* and LiveEngine: the cross-segment planner carries
+//     arrival ticks and residual hop budgets across slab frontiers, native
+//     whenever every slab core is
+//
+// Everything else (spj, grail, grail-mem; hop queries on reachgraph) falls
+// back to a brute-force oracle over the engine's source contacts; results
+// carry a Native flag so the fallback is always explicit. The evaluators
+// reuse the pooled epoch-stamped visit machinery (tick tables instead of
+// boolean sets); plain boolean queries never touch this layer and keep
+// their zero-allocation steady state.
+
+package streach
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/visit"
+)
+
+// Semantics optionally refines a Query's propagation model: a transfer
+// (hop) bound, earliest-arrival tracking, a per-transfer decay weight. The
+// zero value is plain boolean reachability and stays on the engines'
+// allocation-free boolean path.
+type Semantics = queries.Semantics
+
+// ArrivalResult is the typed answer to an EarliestArrival query.
+type ArrivalResult struct {
+	// Src, Dst and Interval echo the evaluated query.
+	Src, Dst ObjectID
+	Interval Interval
+	// Reachable is the boolean answer; Arrival is the earliest tick at
+	// which Dst holds the item (-1 when unreachable).
+	Reachable bool
+	Arrival   Tick
+	// Hops is the minimal number of transfers among delivery chains
+	// arriving by the Arrival tick, when the evaluating core tracks
+	// transfer counts; -1 otherwise (ReachGraph's arrival sweep is
+	// hop-agnostic). Contacts after the arrival may deliver the item over
+	// fewer transfers — TopKReachable ranks by that full-interval minimum.
+	Hops int
+	// Native reports whether the backend evaluated the query in its own
+	// traversal core; false means the oracle fallback answered.
+	Native bool
+	// IO, Latency, Expanded mirror Result.
+	IO       IOStats
+	Latency  time.Duration
+	Expanded int
+}
+
+// Ranked is one entry of a top-k reachability answer.
+type Ranked struct {
+	// Object is the reached object.
+	Object ObjectID
+	// Hops is its minimal transfer count; Arrival its earliest receipt
+	// tick.
+	Hops    int
+	Arrival Tick
+	// Weight is decay^Hops, the received item weight under transfer decay.
+	Weight float64
+}
+
+// TopKResult is the typed answer to a TopKReachable query.
+type TopKResult struct {
+	// Src, Interval, K and Decay echo the evaluated query.
+	Src      ObjectID
+	Interval Interval
+	K        int
+	Decay    float64
+	// Items holds at most K entries, ranked by Weight descending, then
+	// Arrival ascending, then Object ascending. Src itself is excluded.
+	Items []Ranked
+	// Native, IO, Latency, Expanded mirror ArrivalResult.
+	Native   bool
+	IO       IOStats
+	Latency  time.Duration
+	Expanded int
+}
+
+// semSpec classifies one semantic evaluation: the transfer budget
+// (queries.UnboundedHops for none) and whether per-object transfer counts
+// must be reported (top-k decay ranking needs them even when unbounded).
+type semSpec struct {
+	budget   int32
+	needHops bool
+}
+
+// tracksHops reports whether the evaluation must count transfers.
+func (s semSpec) tracksHops() bool {
+	return s.budget != queries.UnboundedHops || s.needHops
+}
+
+// semCore is the optional native temporal-semantics surface of an
+// engineCore. Cores advertise which evaluation classes they implement;
+// the engine falls back to the oracle for the rest.
+type semCore interface {
+	// semSupports reports whether semProfile evaluates spec natively.
+	semSupports(spec semSpec) bool
+	// semProfile appends to dst the propagation profile of the seed
+	// frontier over iv (sorted by object ID): minimal transfer counts
+	// under spec.budget — or -1 when the core does not track hops — and
+	// earliest arrival ticks. A valid earlyDst stops the evaluation as
+	// soon as earlyDst is reachable (the profile is then partial but
+	// earlyDst's entry exact). The int result is the expansion counter.
+	semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error)
+}
+
+// --- native core implementations ---
+
+func (c oracleCore) semSupports(semSpec) bool { return true }
+
+func (c oracleCore) semProfile(_ context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, _ *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	entries, n := c.o.ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	return append(dst, entries...), n, nil
+}
+
+func (c gridCore) semSupports(semSpec) bool { return true }
+
+func (c gridCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	return c.ix.AppendSemProfileFrom(ctx, dst, seeds, iv, spec.budget, earlyDst, acct)
+}
+
+func (c graphCore) semSupports(spec semSpec) bool { return !spec.tracksHops() }
+
+func (c graphCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, _ semSpec, _ ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	return c.ix.AppendArrivalProfileFrom(ctx, dst, seedObjects(seeds), iv, acct)
+}
+
+func (c graphMemCore) semSupports(spec semSpec) bool { return !spec.tracksHops() }
+
+func (c graphMemCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, _ semSpec, _ ObjectID, _ *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	return c.m.AppendArrivalProfileFrom(ctx, dst, seedObjects(seeds), iv)
+}
+
+// seedObjects projects a frontier onto bare object IDs for the
+// hop-agnostic arrival sweeps.
+func seedObjects(seeds []queries.SeedState) []ObjectID {
+	objs := make([]ObjectID, len(seeds))
+	for i, s := range seeds {
+		objs[i] = s.Obj
+	}
+	return objs
+}
+
+// semScratch is the pooled working state of one facade-level semantic
+// query: the seed buffer and the profile entry buffer.
+type semScratch struct {
+	seeds   []queries.SeedState
+	entries []queries.ProfileEntry
+}
+
+var semPool = visit.NewPool(func() *semScratch { return new(semScratch) })
+
+// --- shared entry-point protocol ---
+
+// semEvaluator is the evaluation surface behind the public semantic entry
+// points, implemented by the uniform engine (native core or oracle
+// fallback) and by LiveEngine's per-query log views (cross-segment
+// planner or snapshot oracle). The shared eval* functions below own the
+// whole query protocol — validation, clamping, the src==dst shortcut,
+// seeding, result bookkeeping — so the two engine flavors cannot drift.
+type semEvaluator interface {
+	// semDims returns the object and tick domain sizes.
+	semDims() (numObjects, numTicks int)
+	// semNativeFor reports whether spec evaluates natively.
+	semNativeFor(spec semSpec) bool
+	// semEvaluate runs one profile evaluation; the returned entries may
+	// alias sc.entries and must be consumed before sc is released.
+	semEvaluate(ctx context.Context, sc *semScratch, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, bool, error)
+}
+
+func (e *engine) semDims() (int, int) { return e.numObjects, e.numTicks }
+
+// semNativeFor reports whether the engine's core evaluates spec natively.
+func (e *engine) semNativeFor(spec semSpec) bool {
+	sc, ok := e.core.(semCore)
+	return ok && sc.semSupports(spec)
+}
+
+// semEvaluate runs one semantic evaluation: natively when the core
+// supports the spec, through the lazily-built oracle fallback otherwise.
+func (e *engine) semEvaluate(ctx context.Context, sc *semScratch, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, bool, error) {
+	if c, ok := e.core.(semCore); ok && c.semSupports(spec) {
+		entries, n, err := c.semProfile(ctx, sc.entries[:0], seeds, iv, spec, earlyDst, acct)
+		sc.entries = entries
+		return entries, n, true, err
+	}
+	entries, n := e.fallbackOracle().ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	return entries, n, false, nil
+}
+
+// fallbackOracle lazily builds the brute-force oracle over the engine's
+// source contacts. For trajectory sources this triggers (or reuses) the
+// dataset's one cached contact extraction.
+func (e *engine) fallbackOracle() *queries.Oracle {
+	e.fbOnce.Do(func() {
+		e.fb = queries.NewOracle(e.src.sourceContacts().net)
+	})
+	return e.fb
+}
+
+// findEntry locates obj in a profile (entries are sorted by object).
+func findEntry(entries []queries.ProfileEntry, obj ObjectID) (queries.ProfileEntry, bool) {
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].Obj >= obj })
+	if i < len(entries) && entries[i].Obj == obj {
+		return entries[i], true
+	}
+	return queries.ProfileEntry{}, false
+}
+
+// clampDomain intersects iv with a numTicks-sized time domain.
+func clampDomain(iv Interval, numTicks int) Interval {
+	return iv.Intersect(Interval{Lo: 0, Hi: Tick(numTicks - 1)})
+}
+
+// evalReachableSem answers a point query whose Semantics field is active:
+// hop-bounded reachability and/or earliest-arrival tracking.
+func evalReachableSem(ctx context.Context, ev semEvaluator, q Query) (Result, error) {
+	numObjects, numTicks := ev.semDims()
+	if err := validatePlanIDs(numObjects, q.Src, q.Dst); err != nil {
+		return Result{}, err
+	}
+	spec := semSpec{budget: q.Semantics.HopBudget()}
+	res := Result{Query: q, Evaluated: true, Arrival: -1, Hops: -1, Native: ev.semNativeFor(spec)}
+	iv := clampDomain(q.Interval, numTicks)
+	if numTicks == 0 || iv.Len() == 0 {
+		return res, nil
+	}
+	if q.Src == q.Dst {
+		res.Reachable, res.Arrival, res.Hops = true, iv.Lo, 0
+		return res, nil
+	}
+	acct := acctPool.Get().(*pagefile.Stats)
+	defer acctPool.Put(acct)
+	acct.Reset()
+	sc := semPool.Get()
+	defer semPool.Put(sc)
+	start := time.Now()
+	seeds := append(sc.seeds[:0], queries.SeedState{Obj: q.Src, Hops: 0})
+	sc.seeds = seeds
+	entries, expanded, native, err := ev.semEvaluate(ctx, sc, seeds, iv, spec, q.Dst, acct)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Native = native
+	if en, ok := findEntry(entries, q.Dst); ok {
+		res.Reachable = true
+		res.Arrival = en.Arrival
+		res.Hops = int(en.Hops)
+	}
+	res.IO = statsOf(*acct)
+	res.Latency = time.Since(start)
+	res.Expanded = expanded
+	return res, nil
+}
+
+// evalEarliestArrival is the shared EarliestArrival protocol.
+func evalEarliestArrival(ctx context.Context, ev semEvaluator, src, dst ObjectID, iv Interval) (ArrivalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ArrivalResult{}, err
+	}
+	numObjects, numTicks := ev.semDims()
+	if err := validatePlanIDs(numObjects, src, dst); err != nil {
+		return ArrivalResult{}, err
+	}
+	spec := semSpec{budget: queries.UnboundedHops}
+	res := ArrivalResult{Src: src, Dst: dst, Interval: iv, Arrival: -1, Hops: -1, Native: ev.semNativeFor(spec)}
+	clamped := clampDomain(iv, numTicks)
+	if numTicks == 0 || clamped.Len() == 0 {
+		return res, nil
+	}
+	if src == dst {
+		res.Reachable, res.Arrival, res.Hops = true, clamped.Lo, 0
+		return res, nil
+	}
+	acct := acctPool.Get().(*pagefile.Stats)
+	defer acctPool.Put(acct)
+	acct.Reset()
+	sc := semPool.Get()
+	defer semPool.Put(sc)
+	start := time.Now()
+	seeds := append(sc.seeds[:0], queries.SeedState{Obj: src, Hops: 0})
+	sc.seeds = seeds
+	entries, expanded, native, err := ev.semEvaluate(ctx, sc, seeds, clamped, spec, dst, acct)
+	if err != nil {
+		return ArrivalResult{}, err
+	}
+	res.Native = native
+	if en, ok := findEntry(entries, dst); ok {
+		res.Reachable = true
+		res.Arrival = en.Arrival
+		res.Hops = int(en.Hops)
+	}
+	res.IO = statsOf(*acct)
+	res.Latency = time.Since(start)
+	res.Expanded = expanded
+	return res, nil
+}
+
+// evalTopKReachable is the shared TopKReachable protocol.
+func evalTopKReachable(ctx context.Context, ev semEvaluator, src ObjectID, iv Interval, k int, decay float64) (TopKResult, error) {
+	if err := ctx.Err(); err != nil {
+		return TopKResult{}, err
+	}
+	numObjects, numTicks := ev.semDims()
+	if err := validatePlanIDs(numObjects, src, src); err != nil {
+		return TopKResult{}, err
+	}
+	if err := validateTopK(k, decay); err != nil {
+		return TopKResult{}, err
+	}
+	spec := semSpec{budget: queries.UnboundedHops, needHops: true}
+	res := TopKResult{Src: src, Interval: iv, K: k, Decay: decay, Native: ev.semNativeFor(spec)}
+	clamped := clampDomain(iv, numTicks)
+	if numTicks == 0 || clamped.Len() == 0 || k == 0 {
+		return res, nil
+	}
+	acct := acctPool.Get().(*pagefile.Stats)
+	defer acctPool.Put(acct)
+	acct.Reset()
+	sc := semPool.Get()
+	defer semPool.Put(sc)
+	start := time.Now()
+	seeds := append(sc.seeds[:0], queries.SeedState{Obj: src, Hops: 0})
+	sc.seeds = seeds
+	entries, expanded, native, err := ev.semEvaluate(ctx, sc, seeds, clamped, spec, queries.NoObject, acct)
+	if err != nil {
+		return TopKResult{}, err
+	}
+	res.Native = native
+	res.Items = rankTopK(entries, src, k, decay)
+	res.IO = statsOf(*acct)
+	res.Latency = time.Since(start)
+	res.Expanded = expanded
+	return res, nil
+}
+
+func (e *engine) EarliestArrival(ctx context.Context, src, dst ObjectID, iv Interval) (ArrivalResult, error) {
+	return evalEarliestArrival(ctx, e, src, dst, iv)
+}
+
+func (e *engine) TopKReachable(ctx context.Context, src ObjectID, iv Interval, k int, decay float64) (TopKResult, error) {
+	return evalTopKReachable(ctx, e, src, iv, k, decay)
+}
+
+// validateTopK rejects nonsensical top-k parameters.
+func validateTopK(k int, decay float64) error {
+	if k < 0 {
+		return fmt.Errorf("streach: negative k %d", k)
+	}
+	if !(decay > 0 && decay <= 1) {
+		return fmt.Errorf("streach: decay %v outside (0, 1]", decay)
+	}
+	return nil
+}
+
+// rankTopK ranks a full propagation profile under transfer decay and
+// returns the top k entries, src excluded. Ordering is weight descending,
+// then arrival ascending, then object ascending — fully deterministic.
+func rankTopK(entries []queries.ProfileEntry, src ObjectID, k int, decay float64) []Ranked {
+	items := make([]Ranked, 0, len(entries))
+	for _, en := range entries {
+		if en.Obj == src {
+			continue
+		}
+		items = append(items, Ranked{
+			Object:  en.Obj,
+			Hops:    int(en.Hops),
+			Arrival: en.Arrival,
+			Weight:  math.Pow(decay, float64(en.Hops)),
+		})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.Object < b.Object
+	})
+	if len(items) > k {
+		items = items[:k]
+	}
+	return items
+}

@@ -1,0 +1,135 @@
+package streach_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"streach"
+)
+
+// set_fallback_test.go is the regression suite for the engine's
+// set-via-point-queries fallback (backends without a native reachable-set
+// primitive): cancelling the context between per-destination point queries
+// must abort promptly, and the I/O accounting must stay balanced — the
+// cancelled set query charges the cumulative totals for the pages it
+// actually read (and returns no delta), while later successful queries'
+// deltas sum exactly on top. Nothing may be double-counted.
+
+// cancelAfterCtx reports Canceled from its Nth Err() call on, making
+// mid-set cancellation deterministic (the fallback loop polls Err between
+// destinations).
+type cancelAfterCtx struct {
+	context.Context
+	remaining atomic.Int32
+}
+
+func cancelAfter(n int32) *cancelAfterCtx {
+	c := &cancelAfterCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *cancelAfterCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestSetFallbackCancelAccounting(t *testing.T) {
+	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{
+		NumObjects: 32, NumTicks: 120, Seed: 9,
+	})
+	iv := streach.NewInterval(0, 100)
+	// Disk-resident backends that answer sets through the point-query
+	// fallback.
+	for _, name := range []string{"grail", "reachgraph"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pool := streach.NewBufferPool(64)
+			e, err := streach.Open(name, ds, streach.Options{Pool: pool})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := pool.Stats()
+
+			// Cancel deep inside the destination loop: the entry check and
+			// a handful of point queries run, then Err flips.
+			_, err = e.ReachableSet(cancelAfter(8), 0, iv)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("mid-set cancel: got %v, want context.Canceled", err)
+			}
+			afterCancel := e.IOTotals()
+			if afterCancel.RandomReads+afterCancel.SequentialReads == 0 {
+				t.Fatal("cancelled set charged no I/O at all; cancellation fired before any query ran")
+			}
+			// The cancelled query's partial charges must already be
+			// consistent with the pool: totals count exactly the pool
+			// misses, hits exactly the pool hits.
+			ps := pool.Stats()
+			if got, want := afterCancel.RandomReads+afterCancel.SequentialReads, ps.Misses-base.Misses; got != want {
+				t.Fatalf("after cancel: totals count %d page fetches, pool saw %d misses", got, want)
+			}
+			if got, want := afterCancel.BufferHits, ps.Hits-base.Hits; got != want {
+				t.Fatalf("after cancel: totals count %d hits, pool saw %d", got, want)
+			}
+
+			// A successful set query after the cancellation: its delta must
+			// sum exactly onto the totals (no double count of the per-point
+			// charges into the one set-query accountant).
+			r, err := e.ReachableSet(context.Background(), 0, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := e.IOTotals()
+			if got, want := after.RandomReads-afterCancel.RandomReads, r.IO.RandomReads; got != want {
+				t.Fatalf("set delta random=%d but totals moved by %d", want, got)
+			}
+			if got, want := after.SequentialReads-afterCancel.SequentialReads, r.IO.SequentialReads; got != want {
+				t.Fatalf("set delta sequential=%d but totals moved by %d", want, got)
+			}
+			if got, want := after.BufferHits-afterCancel.BufferHits, r.IO.BufferHits; got != want {
+				t.Fatalf("set delta hits=%d but totals moved by %d", want, got)
+			}
+			ps = pool.Stats()
+			if got, want := after.RandomReads+after.SequentialReads, ps.Misses-base.Misses; got != want {
+				t.Fatalf("after success: totals count %d page fetches, pool saw %d misses", got, want)
+			}
+
+			// The fallback answer itself must match the oracle.
+			oracle, err := streach.Open("oracle", ds, streach.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.ReachableSet(context.Background(), 0, iv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Objects) != len(want.Objects) {
+				t.Fatalf("fallback set %v, oracle %v", r.Objects, want.Objects)
+			}
+		})
+	}
+}
+
+// TestSetFallbackPreCancelled asserts the entry check: a context cancelled
+// before the call evaluates nothing and charges nothing.
+func TestSetFallbackPreCancelled(t *testing.T) {
+	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{
+		NumObjects: 16, NumTicks: 60, Seed: 10,
+	})
+	e, err := streach.Open("grail", ds, streach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ReachableSet(ctx, 0, streach.NewInterval(0, 50)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if tot := e.IOTotals(); tot.RandomReads+tot.SequentialReads+tot.BufferHits != 0 {
+		t.Fatalf("pre-cancelled set still charged I/O: %+v", tot)
+	}
+}
