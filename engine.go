@@ -62,6 +62,12 @@ type Engine interface {
 	// IndexBytes returns the on-disk size of the engine's index; zero for
 	// memory-resident backends.
 	IndexBytes() int64
+	// Stats returns a consistent point-in-time snapshot of the engine's
+	// observable state — cumulative I/O, buffer-pool counters, index
+	// footprint, time-domain dimensions and segment counts — the one struct
+	// a serving layer reads instead of poking individual accessors. The
+	// snapshot is safe to take while queries run; all counters are atomic.
+	Stats() EngineStats
 	// IOTotals returns the engine's cumulative simulated disk traffic
 	// (zero for memory-resident backends). Totals are concurrency-safe;
 	// the IO deltas of successfully evaluated queries sum to them exactly
@@ -408,6 +414,11 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 	if spec.info.NeedsTrajectories && src.sourceDataset() == nil {
 		return nil, fmt.Errorf("open %q: %w", spec.info.Name, ErrNeedsTrajectories)
 	}
+	// Materialize the buffer pool at the Open level so the engine can
+	// snapshot its counters (Engine.Stats): disk-resident backends that
+	// would otherwise build a private pool get the same 64-page default,
+	// now visible to the engine wrapper.
+	opts = withSharedSlabPool(opts, spec.info.DiskResident)
 	core, err := spec.open(src, opts)
 	if err != nil {
 		return nil, fmt.Errorf("streach: open %q: %w", spec.info.Name, err)
@@ -424,6 +435,7 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 		numObjects: numObjects,
 		numTicks:   numTicks,
 		src:        src,
+		pool:       opts.Pool,
 	}
 	if sc, ok := core.(*segmentedCore); ok {
 		// Segmented engines additionally expose per-segment statistics
@@ -493,6 +505,11 @@ type engine struct {
 	src    Source
 	fbOnce sync.Once
 	fb     *queries.Oracle
+
+	// pool is the buffer pool the engine's disk-resident index draws on
+	// (the caller's shared Options.Pool or the private pool Open
+	// materialized); nil for memory-resident backends.
+	pool *BufferPool
 }
 
 func (e *engine) Name() string { return e.name }

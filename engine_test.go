@@ -241,9 +241,10 @@ type blockingEngine struct {
 	started chan struct{}
 }
 
-func (b *blockingEngine) Name() string              { return "blocking" }
-func (b *blockingEngine) IndexBytes() int64         { return 0 }
-func (b *blockingEngine) IOTotals() streach.IOStats { return streach.IOStats{} }
+func (b *blockingEngine) Name() string               { return "blocking" }
+func (b *blockingEngine) IndexBytes() int64          { return 0 }
+func (b *blockingEngine) IOTotals() streach.IOStats  { return streach.IOStats{} }
+func (b *blockingEngine) Stats() streach.EngineStats { return streach.EngineStats{Backend: "blocking"} }
 func (b *blockingEngine) Reachable(ctx context.Context, q streach.Query) (streach.Result, error) {
 	select {
 	case b.started <- struct{}{}:
@@ -316,9 +317,10 @@ func TestEvaluateBatchCancellation(t *testing.T) {
 // failingEngine fails every query, for the ContinueOnError path.
 type failingEngine struct{ calls int }
 
-func (f *failingEngine) Name() string              { return "failing" }
-func (f *failingEngine) IndexBytes() int64         { return 0 }
-func (f *failingEngine) IOTotals() streach.IOStats { return streach.IOStats{} }
+func (f *failingEngine) Name() string               { return "failing" }
+func (f *failingEngine) IndexBytes() int64          { return 0 }
+func (f *failingEngine) IOTotals() streach.IOStats  { return streach.IOStats{} }
+func (f *failingEngine) Stats() streach.EngineStats { return streach.EngineStats{Backend: "failing"} }
 func (f *failingEngine) Reachable(ctx context.Context, q streach.Query) (streach.Result, error) {
 	f.calls++
 	if q.Src == 2 {

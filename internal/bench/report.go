@@ -36,6 +36,9 @@ type Record struct {
 	// microseconds.
 	P50LatencyUS float64 `json:"p50_latency_us"`
 	P95LatencyUS float64 `json:"p95_latency_us"`
+	// P99LatencyUS is the tail percentile of serving experiments, where
+	// queueing makes the tail the story; zero for batch experiments.
+	P99LatencyUS float64 `json:"p99_latency_us,omitempty"`
 	// PagesRead is the number of pages fetched from the simulated disk
 	// (pool misses); zero for memory-resident backends.
 	PagesRead int64 `json:"pages_read"`

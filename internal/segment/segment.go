@@ -151,35 +151,38 @@ func (l *Log[S]) NumSealed() int {
 // AddInstant appends the contact pairs active at the next instant to the
 // tail. When the append closes the tail's slab, the slab is sealed: its
 // local network is flushed through the build callback and a fresh tail
-// opens. A build error leaves the tail un-sealed — the instant itself is
-// retained and the time axis stays intact — and is returned to the
-// appender; the next append retries the seal over the (now wider) tail, so
-// a transient build failure merely widens that one sealed slab.
-func (l *Log[S]) AddInstant(pairs []stjoin.Pair) error {
+// opens; sealed reports that a seal happened and span is the sealed
+// slab's global tick interval (callers invalidating derived state — query
+// caches, watchers — key off it). A build error leaves the tail un-sealed
+// — the instant itself is retained and the time axis stays intact — and
+// is returned to the appender; the next append retries the seal over the
+// (now wider) tail, so a transient build failure merely widens that one
+// sealed slab.
+func (l *Log[S]) AddInstant(pairs []stjoin.Pair) (sealed bool, span contact.Interval, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.tail.AddInstant(pairs)
 	l.full.AddInstant(pairs)
 	l.tailNet = nil
 	if l.tail.NumTicks() < l.width {
-		return nil
+		return false, contact.Interval{}, nil
 	}
 	// Seal the whole tail. Normally that is exactly one slab; after a
 	// failed build it can be wider — the span always matches the sealed
 	// network, so the planner's slab walk stays exact.
 	net := l.tail.Network()
-	span := contact.Interval{
+	span = contact.Interval{
 		Lo: l.tailStart,
 		Hi: l.tailStart + trajectory.Tick(net.NumTicks) - 1,
 	}
 	value, err := l.build(span, net)
 	if err != nil {
-		return fmt.Errorf("segment: seal slab %v: %w", span, err)
+		return false, contact.Interval{}, fmt.Errorf("segment: seal slab %v: %w", span, err)
 	}
 	l.sealed = append(l.sealed, Sealed[S]{Span: span, Value: value})
 	l.tailStart += trajectory.Tick(net.NumTicks)
 	l.tail = contact.NewBuilder(l.full.NumObjects())
-	return nil
+	return true, span, nil
 }
 
 // View returns a consistent snapshot for one query: the sealed segments,

@@ -82,8 +82,18 @@ func TestLogSealLifecycle(t *testing.T) {
 		if got := log.NumSealed(); got != wantSealed {
 			t.Fatalf("before tick %d: %d sealed, want %d", tk, got, wantSealed)
 		}
-		if err := log.AddInstant(pairsAt(numObjects, tk)); err != nil {
+		sealed, span, err := log.AddInstant(pairsAt(numObjects, tk))
+		if err != nil {
 			t.Fatal(err)
+		}
+		if wantSeal := int(tk)%width == width-1; sealed != wantSeal {
+			t.Fatalf("tick %d: sealed = %v, want %v", tk, sealed, wantSeal)
+		}
+		if sealed {
+			want := contact.Interval{Lo: tk - trajectory.Tick(width) + 1, Hi: tk}
+			if span != want {
+				t.Fatalf("tick %d: sealed span %v, want %v", tk, span, want)
+			}
 		}
 	}
 	if got := log.NumSealed(); got != total/width {
@@ -114,8 +124,8 @@ func TestLogSealLifecycle(t *testing.T) {
 
 	// A partial tail: per-instant pairs of the tail view must match the
 	// cumulative network.
-	if err := log.AddInstant(pairsAt(numObjects, total)); err != nil {
-		t.Fatal(err)
+	if sealed, _, err := log.AddInstant(pairsAt(numObjects, total)); err != nil || sealed {
+		t.Fatalf("partial append sealed=%v err=%v", sealed, err)
 	}
 	_, tailSpan, tailNet, numTicks = log.View()
 	if numTicks != total+1 || tailNet == nil {
@@ -148,23 +158,27 @@ func TestLogBuildErrorSurfaces(t *testing.T) {
 	})
 	// Ticks 0..3 seal slab [0, 3]; ticks 4..6 fill the next tail.
 	for tk := trajectory.Tick(0); tk < 7; tk++ {
-		if err := log.AddInstant(nil); err != nil {
+		if _, _, err := log.AddInstant(nil); err != nil {
 			t.Fatalf("tick %d: %v", tk, err)
 		}
 	}
 	// Ticks 7..9 each trigger a seal attempt that fails; every instant
 	// must still be retained and the error surfaced, with no time shift.
 	for tk := trajectory.Tick(7); tk < 10; tk++ {
-		if err := log.AddInstant(nil); !errors.Is(err, boom) {
-			t.Fatalf("tick %d: got %v, want boom", tk, err)
+		if sealed, _, err := log.AddInstant(nil); !errors.Is(err, boom) || sealed {
+			t.Fatalf("tick %d: got sealed=%v err=%v, want boom", tk, sealed, err)
 		}
 		if got := log.NumTicks(); got != int(tk)+1 {
 			t.Fatalf("tick %d retained %d instants, want %d", tk, got, tk+1)
 		}
 	}
 	// The next append succeeds and seals one widened slab [4, 10].
-	if err := log.AddInstant(nil); err != nil {
+	sealedNow, span, err := log.AddInstant(nil)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if !sealedNow || span != (contact.Interval{Lo: 4, Hi: 10}) {
+		t.Fatalf("recovery append sealed=%v span %v, want sealed [4, 10]", sealedNow, span)
 	}
 	sealed, _, _, numTicks := log.View()
 	if numTicks != 11 {

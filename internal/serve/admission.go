@@ -1,0 +1,147 @@
+// Admission control: a concurrency limiter with a bounded wait queue plus
+// per-client token-bucket quotas. The limiter keeps the engine's working
+// set at a fixed number of in-flight evaluations — queries beyond it wait
+// in a bounded queue, and when the queue is full the request is rejected
+// immediately with 503 + Retry-After instead of piling latency onto every
+// other client (load shedding). Quotas bound each client's sustained query
+// rate independently of global capacity, so one hot client cannot starve
+// the rest; violations answer 429 + Retry-After.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admissionError is a typed rejection carrying the HTTP mapping.
+type admissionError struct {
+	code       string
+	status     int
+	message    string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.message) }
+
+// tokenBucket is one client's quota state; refill is lazy on take.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission combines the global concurrency limiter with per-client
+// quotas.
+type admission struct {
+	// sem has maxInFlight slots; holding one admits an evaluation.
+	sem         chan struct{}
+	maxInFlight int
+	// maxQueue bounds how many acquisitions may block waiting for a slot.
+	maxQueue int
+	waiting  atomic.Int64
+	inFlight atomic.Int64
+
+	rejectedQueue atomic.Int64
+	rejectedQuota atomic.Int64
+
+	// rate/burst configure the per-client buckets; rate <= 0 disables
+	// quotas. now is replaceable for tests.
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*tokenBucket
+}
+
+func newAdmission(maxInFlight, maxQueue int, clientQPS float64, clientBurst int) *admission {
+	burst := float64(clientBurst)
+	if burst <= 0 {
+		burst = clientQPS * 2
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &admission{
+		sem:         make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+		rate:        clientQPS,
+		burst:       burst,
+		now:         time.Now,
+		clients:     make(map[string]*tokenBucket),
+	}
+}
+
+// acquire admits one evaluation for client, blocking in the bounded queue
+// when all slots are busy. It returns a release func on success and an
+// *admissionError (quota, queue-full) or ctx.Err() on rejection.
+func (a *admission) acquire(ctx context.Context, client string) (release func(), err error) {
+	if retryAfter, ok := a.takeToken(client); !ok {
+		a.rejectedQuota.Add(1)
+		return nil, &admissionError{
+			code:       CodeQuota,
+			status:     429,
+			message:    fmt.Sprintf("client %q exceeded its query rate (%g/s)", client, a.rate),
+			retryAfter: retryAfter,
+		}
+	}
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		// All slots busy: join the bounded wait queue or shed.
+		if int(a.waiting.Load()) >= a.maxQueue {
+			a.rejectedQueue.Add(1)
+			return nil, &admissionError{
+				code:   CodeOverloaded,
+				status: 503,
+				message: fmt.Sprintf("%d queries in flight and %d queued; try again shortly",
+					a.maxInFlight, a.maxQueue),
+				retryAfter: time.Second,
+			}
+		}
+		a.waiting.Add(1)
+		select {
+		case a.sem <- struct{}{}:
+			a.waiting.Add(-1)
+		case <-ctx.Done():
+			a.waiting.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	a.inFlight.Add(1)
+	return func() {
+		a.inFlight.Add(-1)
+		<-a.sem
+	}, nil
+}
+
+// takeToken debits one token from client's bucket, reporting the wait
+// until the next token when the bucket is empty.
+func (a *admission) takeToken(client string) (retryAfter time.Duration, ok bool) {
+	if a.rate <= 0 {
+		return 0, true
+	}
+	now := a.now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, found := a.clients[client]
+	if !found {
+		b = &tokenBucket{tokens: a.burst, last: now}
+		a.clients[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.rate
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		deficit := 1 - b.tokens
+		return time.Duration(deficit / a.rate * float64(time.Second)), false
+	}
+	b.tokens--
+	return 0, true
+}

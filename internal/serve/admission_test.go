@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmissionQueueShed fills every slot and the whole wait queue, then
+// checks the next request is shed immediately with the overload rejection
+// rather than queued.
+func TestAdmissionQueueShed(t *testing.T) {
+	a := newAdmission(1, 1, 0, 0)
+	release, err := a.acquire(context.Background(), "c")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Occupy the single queue slot with a blocked acquisition.
+	queued := make(chan struct{})
+	go func() {
+		rel, err := a.acquire(context.Background(), "c")
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+		} else {
+			rel()
+		}
+		close(queued)
+	}()
+	waitFor(t, func() bool { return a.waiting.Load() == 1 })
+
+	_, err = a.acquire(context.Background(), "c")
+	var adErr *admissionError
+	if !errors.As(err, &adErr) || adErr.code != CodeOverloaded {
+		t.Fatalf("over-queue acquire returned %v, want overloaded rejection", err)
+	}
+	if adErr.status != 503 || adErr.retryAfter <= 0 {
+		t.Errorf("overload rejection carries status=%d retryAfter=%v", adErr.status, adErr.retryAfter)
+	}
+	if a.rejectedQueue.Load() != 1 {
+		t.Errorf("rejectedQueue = %d, want 1", a.rejectedQueue.Load())
+	}
+
+	release() // lets the queued acquisition through
+	<-queued
+	if got := a.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight = %d after all releases, want 0", got)
+	}
+}
+
+// TestAdmissionQueueCancel checks a queued request honours its context.
+func TestAdmissionQueueCancel(t *testing.T) {
+	a := newAdmission(1, 4, 0, 0)
+	release, err := a.acquire(context.Background(), "c")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, "c")
+		done <- err
+	}()
+	waitFor(t, func() bool { return a.waiting.Load() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued acquire returned %v, want context.Canceled", err)
+	}
+	if a.waiting.Load() != 0 {
+		t.Errorf("waiting = %d after cancellation, want 0", a.waiting.Load())
+	}
+}
+
+// TestAdmissionQuota drains one client's token bucket with a frozen clock
+// and checks the 429 rejection and its retry hint, then that time refills
+// the bucket and that other clients are unaffected.
+func TestAdmissionQuota(t *testing.T) {
+	a := newAdmission(8, 8, 2, 1) // 2 qps, burst 1
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	release, err := a.acquire(context.Background(), "hot")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	release()
+
+	_, err = a.acquire(context.Background(), "hot")
+	var adErr *admissionError
+	if !errors.As(err, &adErr) || adErr.code != CodeQuota {
+		t.Fatalf("second immediate acquire returned %v, want quota rejection", err)
+	}
+	if adErr.status != 429 {
+		t.Errorf("quota rejection status = %d, want 429", adErr.status)
+	}
+	// Bucket empty, refill 2/s: the next token is 500ms away.
+	if adErr.retryAfter <= 0 || adErr.retryAfter > 500*time.Millisecond {
+		t.Errorf("quota retryAfter = %v, want in (0, 500ms]", adErr.retryAfter)
+	}
+	if a.rejectedQuota.Load() != 1 {
+		t.Errorf("rejectedQuota = %d, want 1", a.rejectedQuota.Load())
+	}
+
+	// Another client has its own bucket.
+	if rel, err := a.acquire(context.Background(), "cold"); err != nil {
+		t.Fatalf("distinct client throttled by the hot client's bucket: %v", err)
+	} else {
+		rel()
+	}
+
+	// Half a second later the hot client has a token again.
+	now = now.Add(500 * time.Millisecond)
+	if rel, err := a.acquire(context.Background(), "hot"); err != nil {
+		t.Fatalf("acquire after refill window: %v", err)
+	} else {
+		rel()
+	}
+}
+
+// waitFor polls cond until it holds or the test times out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,155 @@
+// The query-result cache. Results are keyed on (backend, query kind, src,
+// dst, interval, semantics parameters) and tagged with the query's tick
+// interval; invalidation is interval-overlap driven — when new data lands
+// at tick t (a LiveEngine ingest) or a slab [lo, hi] seals, exactly the
+// entries whose interval overlaps the changed ticks are dropped. Because a
+// reachability answer over [lo, hi] depends only on contacts within
+// [lo, hi], entries outside the changed range remain provably fresh; over
+// a frozen dataset no invalidation ever happens and the cache is always
+// valid.
+
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"streach"
+)
+
+// queryKind discriminates the cacheable query classes within one key space.
+type queryKind uint8
+
+const (
+	kindReachable queryKind = iota + 1
+	kindSet
+	kindArrival
+	kindTopK
+)
+
+// cacheKey identifies one cacheable query exactly. All fields participate
+// in equality; fields irrelevant to a kind stay zero.
+type cacheKey struct {
+	backend      string
+	kind         queryKind
+	src, dst     streach.ObjectID
+	lo, hi       streach.Tick
+	maxHops      int
+	trackArrival bool
+	k            int
+	decay        float64
+}
+
+// interval returns the tick range the cached answer depends on.
+func (k cacheKey) interval() streach.Interval {
+	return streach.Interval{Lo: k.lo, Hi: k.hi}
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	value any
+}
+
+// resultCache is a mutex-guarded LRU over cacheKey with interval-overlap
+// invalidation. The value is the fully rendered response payload; hits
+// serve it without touching the engine.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front: most recently used; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+
+	hits, misses, invalidated, evicted atomic.Int64
+}
+
+// newResultCache returns a cache holding at most capacity entries; a
+// non-positive capacity disables caching (every get misses, puts drop).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+func (c *resultCache) enabled() bool { return c.cap > 0 }
+
+// get returns the cached value for k, marking it most recently used.
+func (c *resultCache) get(k cacheKey) (any, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// put stores v under k, evicting the least recently used entry when full.
+func (c *resultCache) put(k cacheKey, v any) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).value = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, value: v})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evicted.Add(1)
+	}
+}
+
+// invalidateOverlapping drops exactly the entries whose interval overlaps
+// iv — the set of cached answers the changed ticks can affect — and
+// returns how many were dropped. The scan is O(entries); at serving-cache
+// sizes (thousands of entries) that is microseconds per ingested instant.
+func (c *resultCache) invalidateOverlapping(iv streach.Interval) int {
+	if !c.enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.interval().Overlaps(iv) {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			dropped++
+		}
+		el = next
+	}
+	c.invalidated.Add(int64(dropped))
+	return dropped
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// hitRate returns hits / (hits + misses), 0 before any lookup.
+func (c *resultCache) hitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

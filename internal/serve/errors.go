@@ -1,0 +1,82 @@
+// Structured JSON errors. Every failure path of the HTTP surface — bad
+// input, overload, quota, shutdown, cancellation, engine errors — answers
+// with one envelope shape so clients never have to parse empty bodies or
+// free-text: {"error": {"code": ..., "message": ..., "retry_after_ms": …}}.
+// Retryable conditions additionally carry a Retry-After header.
+
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Error codes of the serving API.
+const (
+	// CodeBadRequest: malformed JSON, unknown fields, or invalid query
+	// parameters (status 400).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound: unknown route (status 404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: wrong HTTP method for the route (status 405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeQuota: the per-client token bucket is empty (status 429,
+	// Retry-After set).
+	CodeQuota = "quota_exceeded"
+	// CodeOverloaded: the admission queue is full (status 503, Retry-After
+	// set).
+	CodeOverloaded = "overloaded"
+	// CodeShuttingDown: the server is draining and rejects new work
+	// (status 503).
+	CodeShuttingDown = "shutting_down"
+	// CodeCanceled: the client went away mid-evaluation; the traversal was
+	// cancelled through its context (status 499, the de-facto
+	// client-closed-request code).
+	CodeCanceled = "canceled"
+	// CodeNotLive: a live-only endpoint (/v1/ingest) on a frozen dataset
+	// (status 501).
+	CodeNotLive = "not_live"
+	// CodeInternal: the engine failed (status 500).
+	CodeInternal = "internal"
+)
+
+// StatusClientClosedRequest is nginx's 499: the client closed the
+// connection before the response was written. The status is best-effort —
+// the client is gone — but it keeps access logs and metrics honest.
+const StatusClientClosedRequest = 499
+
+// APIError is the wire form of one serving-layer failure.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS suggests when to retry, for quota and overload
+	// rejections; absent otherwise.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorEnvelope wraps an APIError the way every error response carries it.
+type ErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// writeError emits the envelope with the given status; a positive
+// retryAfter additionally sets the Retry-After header (whole seconds,
+// rounded up, minimum 1).
+func writeError(w http.ResponseWriter, status int, code, message string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	w.WriteHeader(status)
+	env := ErrorEnvelope{Error: APIError{Code: code, Message: message}}
+	if retryAfter > 0 {
+		env.Error.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	json.NewEncoder(w).Encode(env)
+}

@@ -1,0 +1,211 @@
+// Prometheus-style metrics over stdlib only: atomic counters and fixed-
+// bucket latency histograms rendered in the text exposition format at
+// /metrics. The endpoint consolidates three layers — per-endpoint HTTP
+// counters/histograms maintained here, the serve-layer cache and admission
+// counters, and the engine's own accountants surfaced through
+// Engine.Stats() (IO totals, buffer-pool hit/miss/evict, segment counts) —
+// so one scrape observes the whole serving stack.
+
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// log-spaced from 50µs to 10s — point queries land in the low buckets,
+// set/top-k sweeps and overload queueing in the high ones.
+var latencyBounds = []float64{
+	.00005, .0001, .00025, .0005, .001, .0025, .005, .01,
+	.025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic cells.
+type histogram struct {
+	buckets  []atomic.Int64 // len(latencyBounds)+1; last is +Inf
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBounds, secs)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// endpointMetrics is one endpoint's request counters by status code plus
+// its latency histogram.
+type endpointMetrics struct {
+	mu      sync.Mutex
+	byCode  map[int]*atomic.Int64
+	latency *histogram
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{byCode: make(map[int]*atomic.Int64), latency: newHistogram()}
+}
+
+func (m *endpointMetrics) record(code int, d time.Duration) {
+	m.mu.Lock()
+	c, ok := m.byCode[code]
+	if !ok {
+		c = new(atomic.Int64)
+		m.byCode[code] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+	m.latency.observe(d)
+}
+
+// codes snapshots the per-status counters in sorted order.
+func (m *endpointMetrics) codes() (codes []int, counts []int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for code := range m.byCode {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		counts = append(counts, m.byCode[code].Load())
+	}
+	return codes, counts
+}
+
+// metricsSet is the server's metric registry, keyed by endpoint label.
+type metricsSet struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+
+	ingestedTicks atomic.Int64
+	sealedEvents  atomic.Int64
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (s *metricsSet) endpoint(name string) *endpointMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.endpoints[name]
+	if !ok {
+		m = newEndpointMetrics()
+		s.endpoints[name] = m
+	}
+	return m
+}
+
+func (s *metricsSet) endpointNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.endpoints))
+	for name := range s.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeMetrics renders the whole serving stack in the Prometheus text
+// exposition format.
+func (srv *Server) writeMetrics(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP streachd_requests_total Requests served, by endpoint and status code.\n")
+	p("# TYPE streachd_requests_total counter\n")
+	for _, name := range srv.met.endpointNames() {
+		codes, counts := srv.met.endpoint(name).codes()
+		for i, code := range codes {
+			p("streachd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, code, counts[i])
+		}
+	}
+
+	p("# HELP streachd_request_duration_seconds Request latency, by endpoint.\n")
+	p("# TYPE streachd_request_duration_seconds histogram\n")
+	for _, name := range srv.met.endpointNames() {
+		h := srv.met.endpoint(name).latency
+		var cum int64
+		for i, bound := range latencyBounds {
+			cum += h.buckets[i].Load()
+			p("streachd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(latencyBounds)].Load()
+		p("streachd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		p("streachd_request_duration_seconds_sum{endpoint=%q} %g\n",
+			name, time.Duration(h.sumNanos.Load()).Seconds())
+		p("streachd_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+
+	p("# HELP streachd_in_flight Queries currently evaluating.\n")
+	p("# TYPE streachd_in_flight gauge\n")
+	p("streachd_in_flight %d\n", srv.adm.inFlight.Load())
+	p("# HELP streachd_admission_waiting Queries waiting for an evaluation slot.\n")
+	p("# TYPE streachd_admission_waiting gauge\n")
+	p("streachd_admission_waiting %d\n", srv.adm.waiting.Load())
+	p("# HELP streachd_admission_rejected_total Requests shed, by reason.\n")
+	p("# TYPE streachd_admission_rejected_total counter\n")
+	p("streachd_admission_rejected_total{reason=\"queue_full\"} %d\n", srv.adm.rejectedQueue.Load())
+	p("streachd_admission_rejected_total{reason=\"quota\"} %d\n", srv.adm.rejectedQuota.Load())
+
+	p("# HELP streachd_cache_entries Query-result cache occupancy.\n")
+	p("# TYPE streachd_cache_entries gauge\n")
+	p("streachd_cache_entries %d\n", srv.cache.len())
+	p("# HELP streachd_cache_events_total Query-result cache events.\n")
+	p("# TYPE streachd_cache_events_total counter\n")
+	p("streachd_cache_events_total{event=\"hit\"} %d\n", srv.cache.hits.Load())
+	p("streachd_cache_events_total{event=\"miss\"} %d\n", srv.cache.misses.Load())
+	p("streachd_cache_events_total{event=\"invalidated\"} %d\n", srv.cache.invalidated.Load())
+	p("streachd_cache_events_total{event=\"evicted\"} %d\n", srv.cache.evicted.Load())
+	p("# HELP streachd_cache_hit_ratio Cache hits over lookups.\n")
+	p("# TYPE streachd_cache_hit_ratio gauge\n")
+	p("streachd_cache_hit_ratio %g\n", srv.cache.hitRate())
+
+	st := srv.eng.Stats()
+	p("# HELP streachd_engine_io_reads_total Simulated disk page reads, by kind.\n")
+	p("# TYPE streachd_engine_io_reads_total counter\n")
+	p("streachd_engine_io_reads_total{kind=\"random\"} %d\n", st.IO.RandomReads)
+	p("streachd_engine_io_reads_total{kind=\"sequential\"} %d\n", st.IO.SequentialReads)
+	p("# HELP streachd_engine_io_normalized_total The paper's normalized I/O metric (random + sequential/20).\n")
+	p("# TYPE streachd_engine_io_normalized_total counter\n")
+	p("streachd_engine_io_normalized_total %g\n", st.IO.Normalized)
+	p("# HELP streachd_engine_index_bytes Simulated on-disk index size.\n")
+	p("# TYPE streachd_engine_index_bytes gauge\n")
+	p("streachd_engine_index_bytes %d\n", st.IndexBytes)
+	p("# HELP streachd_engine_ticks Time-domain instants visible to queries.\n")
+	p("# TYPE streachd_engine_ticks gauge\n")
+	p("streachd_engine_ticks %d\n", st.NumTicks)
+	if st.HasPool {
+		p("# HELP streachd_pool_events_total Buffer-pool events.\n")
+		p("# TYPE streachd_pool_events_total counter\n")
+		p("streachd_pool_events_total{event=\"hit\"} %d\n", st.Pool.Hits)
+		p("streachd_pool_events_total{event=\"miss\"} %d\n", st.Pool.Misses)
+		p("streachd_pool_events_total{event=\"eviction\"} %d\n", st.Pool.Evictions)
+		p("# HELP streachd_pool_hit_ratio Buffer-pool hits over lookups.\n")
+		p("# TYPE streachd_pool_hit_ratio gauge\n")
+		p("streachd_pool_hit_ratio %g\n", st.Pool.HitRate())
+	}
+	if srv.live != nil {
+		p("# HELP streachd_sealed_segments Immutable sealed segments of the live engine.\n")
+		p("# TYPE streachd_sealed_segments gauge\n")
+		p("streachd_sealed_segments %d\n", st.SealedSegments)
+		p("# HELP streachd_ingested_ticks_total Feed instants ingested through /v1/ingest and preload.\n")
+		p("# TYPE streachd_ingested_ticks_total counter\n")
+		p("streachd_ingested_ticks_total %d\n", srv.met.ingestedTicks.Load())
+		p("# HELP streachd_seal_events_total Segment seals observed since start.\n")
+		p("# TYPE streachd_seal_events_total counter\n")
+		p("streachd_seal_events_total %d\n", srv.met.sealedEvents.Load())
+	}
+}

@@ -40,6 +40,17 @@ type LiveEngine struct {
 	numObjects int
 	joiner     *stjoin.Joiner
 	log        *segment.Log[frontierCore]
+
+	// pool is the buffer pool the sealed disk-resident segments share;
+	// nil for memory-resident bases.
+	pool *BufferPool
+
+	// ingestHook and sealHook are the notification hooks of OnIngest and
+	// OnSegmentSeal. They are invoked synchronously from AddInstant (the
+	// appender goroutine); registration must happen before the first
+	// append.
+	ingestHook func(tick Tick)
+	sealHook   func(span Interval)
 }
 
 // ErrNotLiveCapable reports a backend that cannot seal live segments: only
@@ -91,8 +102,24 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 		numObjects: numObjects,
 		joiner:     stjoin.NewJoiner(env, contactDist),
 		log:        segment.NewLog[frontierCore](numObjects, opts.SegmentTicks, build),
+		pool:       slabOpts.Pool,
 	}, nil
 }
+
+// OnIngest registers fn to be invoked synchronously after every
+// successfully ingested instant, with the tick just appended. A serving
+// layer uses it to invalidate derived state (query caches) whose interval
+// covers the new instant. Register before the first AddInstant; the hook
+// runs on the appender goroutine and must not call AddInstant itself.
+func (le *LiveEngine) OnIngest(fn func(tick Tick)) { le.ingestHook = fn }
+
+// OnSegmentSeal registers fn to be invoked synchronously whenever an
+// append closes the current time slab and seals it into an immutable
+// index segment, with the sealed slab's global tick span. Register before
+// the first AddInstant; the hook runs on the appender goroutine, after
+// the seal is published (a query issued from inside the hook already sees
+// the sealed segment).
+func (le *LiveEngine) OnSegmentSeal(fn func(span Interval)) { le.sealHook = fn }
 
 func joinLiveCapable() string {
 	return "oracle, reachgraph, reachgraph-mem"
@@ -111,7 +138,18 @@ func (le *LiveEngine) AddInstant(positions []Point) error {
 		pairs = append(pairs, stjoin.MakePair(ObjectID(a), ObjectID(b)))
 		return true
 	})
-	return le.log.AddInstant(pairs)
+	tick := Tick(le.log.NumTicks())
+	sealed, span, err := le.log.AddInstant(pairs)
+	if err != nil {
+		return err
+	}
+	if le.ingestHook != nil {
+		le.ingestHook(tick)
+	}
+	if sealed && le.sealHook != nil {
+		le.sealHook(span)
+	}
+	return nil
 }
 
 // NumTicks returns the number of instants ingested so far.
@@ -279,6 +317,32 @@ func (le *LiveEngine) IOTotals() IOStats {
 		sum.Add(s.core.ioTotals())
 	}
 	return statsOf(sum)
+}
+
+// Stats returns a consistent snapshot of the live engine's observable
+// state; see Engine.Stats. NumTicks and the segment counts reflect the
+// instants ingested before the snapshot, and may lag an ongoing append by
+// at most one instant.
+func (le *LiveEngine) Stats() EngineStats {
+	slabs, numTicks := le.view()
+	st := EngineStats{
+		Backend:        le.name,
+		NumObjects:     le.numObjects,
+		NumTicks:       numTicks,
+		Segments:       len(slabs),
+		SealedSegments: le.log.NumSealed(),
+	}
+	var io pagefile.Stats
+	for _, s := range slabs {
+		io.Add(s.core.ioTotals())
+		st.IndexBytes += s.core.indexBytes()
+	}
+	st.IO = statsOf(io)
+	if le.pool != nil {
+		st.HasPool = true
+		st.Pool = le.pool.Stats()
+	}
+	return st
 }
 
 // SegmentStats returns one entry per segment — sealed segments first, then

@@ -1,0 +1,60 @@
+// Engine statistics snapshots. A serving layer (metrics endpoints, load
+// shedders, dashboards) needs one consistent view of an engine's counters
+// instead of poking IOTotals, IndexBytes and the buffer pool separately;
+// EngineStats is that view, and every Engine — registry backends,
+// segmented engines and LiveEngine — produces it with Stats(). Snapshots
+// are safe to take while queries run and while a LiveEngine ingests: every
+// consolidated counter is atomic or taken under the owning lock.
+
+package streach
+
+// EngineStats is a point-in-time snapshot of an engine's observable state.
+type EngineStats struct {
+	// Backend is the engine's registry name (Engine.Name).
+	Backend string
+	// NumObjects and NumTicks are the time-domain dimensions. For a
+	// LiveEngine NumTicks grows with the feed: it counts the instants
+	// ingested before the snapshot.
+	NumObjects int
+	NumTicks   int
+	// IndexBytes is the simulated on-disk index size (summed across
+	// segments for segmented and live engines); zero for memory-resident
+	// backends.
+	IndexBytes int64
+	// IO is the engine's cumulative simulated disk traffic (IOTotals).
+	IO IOStats
+	// HasPool reports whether the engine draws on a buffer pool it can
+	// observe; Pool is that pool's global counters. Engines opened with a
+	// shared Options.Pool report the pool-wide counters (the pool may be
+	// serving other engines too).
+	HasPool bool
+	Pool    PoolStats
+	// Segments is the number of time slabs a segmented engine plans over
+	// (for a LiveEngine: sealed segments plus the mutable tail when it
+	// holds instants); zero for unsegmented engines.
+	Segments int
+	// SealedSegments is the number of immutable sealed segments of a
+	// LiveEngine; zero elsewhere.
+	SealedSegments int
+}
+
+func (e *engine) Stats() EngineStats {
+	st := EngineStats{
+		Backend:    e.name,
+		NumObjects: e.numObjects,
+		NumTicks:   e.numTicks,
+		IndexBytes: e.core.indexBytes(),
+		IO:         statsOf(e.core.ioTotals()),
+	}
+	if e.pool != nil {
+		st.HasPool = true
+		st.Pool = e.pool.Stats()
+	}
+	return st
+}
+
+func (e *segmentedEngine) Stats() EngineStats {
+	st := e.engine.Stats()
+	st.Segments = len(e.seg.slabs)
+	return st
+}

@@ -1,0 +1,216 @@
+package streach_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"streach"
+)
+
+// TestEngineStatsSnapshot pins the Stats() surface: one consistent struct
+// per engine kind, with the pool counters visible for disk-resident
+// backends and segment counts for segmented ones.
+func TestEngineStatsSnapshot(t *testing.T) {
+	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{NumObjects: 40, NumTicks: 300, Seed: 7})
+	ctx := context.Background()
+
+	for _, name := range []string{"reachgraph", "reachgraph-mem", "segmented:reachgraph", "oracle"} {
+		e, err := streach.Open(name, ds, streach.Options{SegmentTicks: 100})
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		if _, err := e.Reachable(ctx, streach.Query{Src: 1, Dst: 2, Interval: streach.NewInterval(0, 250)}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := e.Stats()
+		if st.Backend != name {
+			t.Errorf("%s: Stats().Backend = %q", name, st.Backend)
+		}
+		if st.NumObjects != ds.NumObjects() || st.NumTicks != ds.NumTicks() {
+			t.Errorf("%s: dims %d×%d, want %d×%d", name, st.NumObjects, st.NumTicks, ds.NumObjects(), ds.NumTicks())
+		}
+		if got, want := st.IO, e.IOTotals(); got != want {
+			t.Errorf("%s: Stats().IO %+v != IOTotals %+v", name, got, want)
+		}
+		if got, want := st.IndexBytes, e.IndexBytes(); got != want {
+			t.Errorf("%s: Stats().IndexBytes %d != IndexBytes %d", name, got, want)
+		}
+		info, _ := streach.LookupBackend(name)
+		if info.DiskResident {
+			if !st.HasPool {
+				t.Errorf("%s: disk-resident engine reports no pool", name)
+			}
+			if st.Pool.Hits+st.Pool.Misses == 0 {
+				t.Errorf("%s: pool counters untouched after a query", name)
+			}
+		} else if st.HasPool {
+			t.Errorf("%s: memory engine reports a pool", name)
+		}
+		wantSegs := 0
+		if name == "segmented:reachgraph" {
+			wantSegs = 3 // 300 ticks / 100-tick slabs
+		}
+		if st.Segments != wantSegs {
+			t.Errorf("%s: Segments = %d, want %d", name, st.Segments, wantSegs)
+		}
+	}
+}
+
+// TestEngineStatsRaceClean takes snapshots concurrently with a query storm
+// (and, for the live engine, with ingestion) — the satellite guarantee
+// that /metrics scrapes never race the serving path. Run under -race.
+func TestEngineStatsRaceClean(t *testing.T) {
+	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{NumObjects: 32, NumTicks: 200, Seed: 11})
+	e, err := streach.Open("reachgraph", ds, streach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := streach.Query{
+					Src:      streach.ObjectID((w*7 + i) % ds.NumObjects()),
+					Dst:      streach.ObjectID((w*13 + i*3) % ds.NumObjects()),
+					Interval: streach.NewInterval(0, 150),
+				}
+				if _, err := e.Reachable(ctx, q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st := e.Stats()
+				if st.IO.RandomReads < 0 {
+					t.Error("negative counter")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Live engine: snapshots concurrent with appends and queries.
+	live, err := streach.NewLiveEngine("reachgraph-mem", ds.NumObjects(), ds.Env(), ds.ContactDist(),
+		streach.Options{SegmentTicks: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var lwg sync.WaitGroup
+	lwg.Add(1)
+	go func() {
+		defer lwg.Done()
+		positions := make([]streach.Point, ds.NumObjects())
+		for tk := 0; tk < ds.NumTicks(); tk++ {
+			for o := range positions {
+				positions[o] = ds.Position(streach.ObjectID(o), streach.Tick(tk))
+			}
+			if err := live.AddInstant(positions); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		lwg.Add(1)
+		go func() {
+			defer lwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				st := live.Stats()
+				if st.SealedSegments > st.Segments {
+					t.Errorf("sealed %d > segments %d", st.SealedSegments, st.Segments)
+					return
+				}
+				if _, err := live.Reachable(context.Background(), streach.Query{
+					Src: 0, Dst: 1, Interval: streach.NewInterval(0, streach.Tick(ds.NumTicks())),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Let readers overlap the whole ingest, then stop them.
+	lwg.Add(1)
+	go func() { defer lwg.Done(); defer close(done) }()
+	lwg.Wait()
+
+	st := live.Stats()
+	if st.NumTicks != ds.NumTicks() {
+		t.Fatalf("live Stats().NumTicks = %d, want %d", st.NumTicks, ds.NumTicks())
+	}
+	if want := ds.NumTicks() / 50; st.SealedSegments != want {
+		t.Fatalf("live Stats().SealedSegments = %d, want %d", st.SealedSegments, want)
+	}
+}
+
+// TestLiveEngineHooks pins the seal/ingest notification contract: OnIngest
+// fires once per appended instant with consecutive ticks, OnSegmentSeal
+// fires exactly at slab boundaries with the sealed span, and a query
+// issued from inside the seal hook already sees the sealed segment.
+func TestLiveEngineHooks(t *testing.T) {
+	const numObjects, numTicks, slab = 24, 130, 40
+	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{NumObjects: numObjects, NumTicks: numTicks, Seed: 3})
+	live, err := streach.NewLiveEngine("oracle", numObjects, ds.Env(), ds.ContactDist(),
+		streach.Options{SegmentTicks: slab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ingested []streach.Tick
+	var seals []streach.Interval
+	live.OnIngest(func(tick streach.Tick) { ingested = append(ingested, tick) })
+	live.OnSegmentSeal(func(span streach.Interval) {
+		seals = append(seals, span)
+		if got := live.NumSealedSegments(); got != len(seals) {
+			t.Errorf("inside seal hook: %d sealed segments visible, want %d", got, len(seals))
+		}
+	})
+
+	positions := make([]streach.Point, numObjects)
+	for tk := 0; tk < numTicks; tk++ {
+		for o := range positions {
+			positions[o] = ds.Position(streach.ObjectID(o), streach.Tick(tk))
+		}
+		if err := live.AddInstant(positions); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(ingested) != numTicks {
+		t.Fatalf("ingest hook fired %d times, want %d", len(ingested), numTicks)
+	}
+	for i, tk := range ingested {
+		if tk != streach.Tick(i) {
+			t.Fatalf("ingest hook %d reported tick %d", i, tk)
+		}
+	}
+	want := []streach.Interval{
+		streach.NewInterval(0, slab-1),
+		streach.NewInterval(slab, 2*slab-1),
+		streach.NewInterval(2*slab, 3*slab-1),
+	}
+	if len(seals) != len(want) {
+		t.Fatalf("seal hook fired %d times, want %d (%v)", len(seals), len(want), seals)
+	}
+	for i := range want {
+		if seals[i] != want[i] {
+			t.Fatalf("seal %d span %v, want %v", i, seals[i], want[i])
+		}
+	}
+}
