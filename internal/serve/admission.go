@@ -78,22 +78,20 @@ func newAdmission(maxInFlight, maxQueue int, clientQPS float64, clientBurst int)
 
 // acquire admits one evaluation for client, blocking in the bounded queue
 // when all slots are busy. It returns a release func on success and an
-// *admissionError (quota, queue-full) or ctx.Err() on rejection.
+// *admissionError (queue-full, quota) or ctx.Err() on rejection. Capacity
+// (an evaluation slot or a queue position) is reserved before the quota
+// token is debited, so a request shed with 503 never also consumes the
+// client's quota.
 func (a *admission) acquire(ctx context.Context, client string) (release func(), err error) {
-	if retryAfter, ok := a.takeToken(client); !ok {
-		a.rejectedQuota.Add(1)
-		return nil, &admissionError{
-			code:       CodeQuota,
-			status:     429,
-			message:    fmt.Sprintf("client %q exceeded its query rate (%g/s)", client, a.rate),
-			retryAfter: retryAfter,
-		}
-	}
+	queued := false
 	select {
 	case a.sem <- struct{}{}:
 	default:
-		// All slots busy: join the bounded wait queue or shed.
-		if int(a.waiting.Load()) >= a.maxQueue {
+		// All slots busy: join the bounded wait queue or shed. The bound
+		// is enforced on the post-increment value, so concurrent arrivals
+		// cannot race past it.
+		if int(a.waiting.Add(1)) > a.maxQueue {
+			a.waiting.Add(-1)
 			a.rejectedQueue.Add(1)
 			return nil, &admissionError{
 				code:   CodeOverloaded,
@@ -103,7 +101,23 @@ func (a *admission) acquire(ctx context.Context, client string) (release func(),
 				retryAfter: time.Second,
 			}
 		}
-		a.waiting.Add(1)
+		queued = true
+	}
+	if retryAfter, ok := a.takeToken(client); !ok {
+		if queued {
+			a.waiting.Add(-1)
+		} else {
+			<-a.sem
+		}
+		a.rejectedQuota.Add(1)
+		return nil, &admissionError{
+			code:       CodeQuota,
+			status:     429,
+			message:    fmt.Sprintf("client %q exceeded its query rate (%g/s)", client, a.rate),
+			retryAfter: retryAfter,
+		}
+	}
+	if queued {
 		select {
 		case a.sem <- struct{}{}:
 			a.waiting.Add(-1)

@@ -51,16 +51,40 @@ type cacheEntry struct {
 	value any
 }
 
+// invalLogCap bounds how many recent invalidations the cache remembers for
+// freshness checks; versions older than the log's reach are treated as
+// unverifiable and their puts are conservatively dropped.
+const invalLogCap = 256
+
+// invalRecord is one logged invalidation: the version it produced and the
+// tick interval it covered.
+type invalRecord struct {
+	ver uint64
+	iv  streach.Interval
+}
+
 // resultCache is a mutex-guarded LRU over cacheKey with interval-overlap
 // invalidation. The value is the fully rendered response payload; hits
 // serve it without touching the engine.
+//
+// Handlers evaluate outside the cache lock, so an ingest can land between
+// the engine evaluation and the put; inserting the pre-ingest result then
+// would serve it stale until the next overlapping invalidation (forever,
+// when no future tick overlaps the entry's interval again). To close that
+// race the cache is versioned: every invalidation bumps ver and is logged,
+// handlers capture version() before evaluating and store through
+// putFresh, which discards the value if an invalidation overlapping its
+// interval occurred since the captured version.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
 	lru     *list.List // front: most recently used; values are *cacheEntry
 	entries map[cacheKey]*list.Element
 
-	hits, misses, invalidated, evicted atomic.Int64
+	ver      uint64       // bumped on every invalidation, under mu
+	invalLog []invalRecord // most recent invalidations, oldest first, under mu
+
+	hits, misses, invalidated, evicted, staleDrops atomic.Int64
 }
 
 // newResultCache returns a cache holding at most capacity entries; a
@@ -99,6 +123,62 @@ func (c *resultCache) put(k cacheKey, v any) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(k, v)
+}
+
+// version returns the current invalidation version, to be captured before
+// an evaluation and handed to putFresh.
+func (c *resultCache) version() uint64 {
+	if !c.enabled() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ver
+}
+
+// putFresh stores v under k only if no invalidation overlapping k's
+// interval occurred since version ver was read; a discarded stale value
+// reports false.
+func (c *resultCache) putFresh(k cacheKey, v any, ver uint64) bool {
+	if !c.enabled() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.staleSince(k, ver) {
+		c.staleDrops.Add(1)
+		return false
+	}
+	c.putLocked(k, v)
+	return true
+}
+
+// staleSince reports whether an invalidation overlapping k's interval
+// landed after version ver was read. When the log no longer reaches back
+// to ver the answer is conservatively true.
+func (c *resultCache) staleSince(k cacheKey, ver uint64) bool {
+	if c.ver == ver {
+		return false
+	}
+	// Each bump appends exactly one record, so the log covers the versions
+	// (invalLog[0].ver-1, c.ver]; ver outside that range is unverifiable.
+	if len(c.invalLog) == 0 || c.invalLog[0].ver > ver+1 {
+		return true
+	}
+	for i := len(c.invalLog) - 1; i >= 0; i-- {
+		rec := c.invalLog[i]
+		if rec.ver <= ver {
+			break
+		}
+		if k.interval().Overlaps(rec.iv) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *resultCache) putLocked(k cacheKey, v any) {
 	if el, ok := c.entries[k]; ok {
 		el.Value.(*cacheEntry).value = v
 		c.lru.MoveToFront(el)
@@ -135,6 +215,11 @@ func (c *resultCache) invalidateOverlapping(iv streach.Interval) int {
 		el = next
 	}
 	c.invalidated.Add(int64(dropped))
+	c.ver++
+	c.invalLog = append(c.invalLog, invalRecord{ver: c.ver, iv: iv})
+	if len(c.invalLog) > invalLogCap {
+		c.invalLog = append(c.invalLog[:0], c.invalLog[len(c.invalLog)-invalLogCap:]...)
+	}
 	return dropped
 }
 

@@ -51,6 +51,63 @@ func TestCacheInvalidateOverlappingExact(t *testing.T) {
 	}
 }
 
+// TestCachePutFreshDiscardsStale pins the evaluate-then-put race contract:
+// a result computed before an overlapping invalidation must not enter the
+// cache, while non-overlapping invalidations don't block the put.
+func TestCachePutFreshDiscardsStale(t *testing.T) {
+	c := newResultCache(16)
+	k := key(kindReachable, 1, 2, 0, 10)
+
+	// An ingest at the entry's upper-bound tick lands between evaluation
+	// (version captured) and the put: the stale result must be discarded.
+	ver := c.version()
+	c.invalidateOverlapping(streach.NewInterval(10, 10))
+	if c.putFresh(k, "stale", ver) {
+		t.Error("putFresh stored a result evaluated before an overlapping invalidation")
+	}
+	if _, ok := c.get(k); ok {
+		t.Error("stale result is served from the cache")
+	}
+	if c.staleDrops.Load() != 1 {
+		t.Errorf("staleDrops = %d, want 1", c.staleDrops.Load())
+	}
+
+	// A non-overlapping invalidation in the window doesn't poison the put.
+	ver = c.version()
+	c.invalidateOverlapping(streach.NewInterval(50, 50))
+	if !c.putFresh(k, "fresh", ver) {
+		t.Error("putFresh dropped a result despite only non-overlapping invalidations")
+	}
+	if v, ok := c.get(k); !ok || v != "fresh" {
+		t.Errorf("cache holds %v, want the fresh result", v)
+	}
+
+	// No invalidation at all: the plain fast path.
+	k2 := key(kindReachable, 3, 4, 0, 10)
+	if !c.putFresh(k2, "v", c.version()) {
+		t.Error("putFresh dropped a result with no intervening invalidation")
+	}
+}
+
+// TestCachePutFreshLogOverflow checks that a version older than the
+// invalidation log's reach is treated as unverifiable: the put is
+// conservatively dropped even though no logged record overlaps.
+func TestCachePutFreshLogOverflow(t *testing.T) {
+	c := newResultCache(16)
+	k := key(kindReachable, 1, 2, 0, 10)
+	ver := c.version()
+	for i := 0; i < invalLogCap+8; i++ {
+		c.invalidateOverlapping(streach.NewInterval(100, 100)) // never overlaps k
+	}
+	if c.putFresh(k, "v", ver) {
+		t.Error("putFresh trusted a version the invalidation log no longer covers")
+	}
+	// A freshly captured version is verifiable again.
+	if !c.putFresh(k, "v", c.version()) {
+		t.Error("putFresh dropped a result captured after the overflow")
+	}
+}
+
 // TestCacheKeySemanticsDistinct ensures semantics parameters participate in
 // the key: the same (src, dst, interval) under different hop bounds or k
 // must not collide.

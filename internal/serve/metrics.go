@@ -169,6 +169,7 @@ func (srv *Server) writeMetrics(w io.Writer) {
 	p("streachd_cache_events_total{event=\"miss\"} %d\n", srv.cache.misses.Load())
 	p("streachd_cache_events_total{event=\"invalidated\"} %d\n", srv.cache.invalidated.Load())
 	p("streachd_cache_events_total{event=\"evicted\"} %d\n", srv.cache.evicted.Load())
+	p("streachd_cache_events_total{event=\"stale_put\"} %d\n", srv.cache.staleDrops.Load())
 	p("# HELP streachd_cache_hit_ratio Cache hits over lookups.\n")
 	p("# TYPE streachd_cache_hit_ratio gauge\n")
 	p("streachd_cache_hit_ratio %g\n", srv.cache.hitRate())
@@ -201,7 +202,7 @@ func (srv *Server) writeMetrics(w io.Writer) {
 		p("# HELP streachd_sealed_segments Immutable sealed segments of the live engine.\n")
 		p("# TYPE streachd_sealed_segments gauge\n")
 		p("streachd_sealed_segments %d\n", st.SealedSegments)
-		p("# HELP streachd_ingested_ticks_total Feed instants ingested through /v1/ingest and preload.\n")
+		p("# HELP streachd_ingested_ticks_total Feed instants ingested through /v1/ingest since the server started (preload instants are not counted).\n")
 		p("# TYPE streachd_ingested_ticks_total counter\n")
 		p("streachd_ingested_ticks_total %d\n", srv.met.ingestedTicks.Load())
 		p("# HELP streachd_seal_events_total Segment seals observed since start.\n")

@@ -381,6 +381,7 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ver := s.cache.version()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	res, err := s.eng.Reachable(ctx, streach.Query{
@@ -406,7 +407,7 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		IO:        ioOf(res.IO),
 	}
 	if !req.NoCache {
-		s.cache.put(key, resp)
+		s.cache.putFresh(key, resp, ver)
 	}
 	writeJSON(w, resp)
 }
@@ -474,6 +475,7 @@ func (s *Server) handleReachableSet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !cached {
+		ver := s.cache.version()
 		ctx, cancel := s.queryCtx(r)
 		res, err := s.eng.ReachableSet(ctx, streach.ObjectID(req.Src),
 			streach.NewInterval(streach.Tick(req.From), streach.Tick(req.To)))
@@ -491,7 +493,7 @@ func (s *Server) handleReachableSet(w http.ResponseWriter, r *http.Request) {
 			IO:        ioOf(res.IO),
 		}
 		if !req.NoCache {
-			s.cache.put(key, cachedSet{objects: objects, trailer: trailer})
+			s.cache.putFresh(key, cachedSet{objects: objects, trailer: trailer}, ver)
 		}
 	}
 
@@ -566,6 +568,7 @@ func (s *Server) handleEarliestArrival(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ver := s.cache.version()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	res, err := s.eng.EarliestArrival(ctx, streach.ObjectID(req.Src), streach.ObjectID(req.Dst),
@@ -584,7 +587,7 @@ func (s *Server) handleEarliestArrival(w http.ResponseWriter, r *http.Request) {
 		IO:        ioOf(res.IO),
 	}
 	if !req.NoCache {
-		s.cache.put(key, resp)
+		s.cache.putFresh(key, resp, ver)
 	}
 	writeJSON(w, resp)
 }
@@ -650,6 +653,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ver := s.cache.version()
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	res, err := s.eng.TopKReachable(ctx, streach.ObjectID(req.Src),
@@ -672,7 +676,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		IO:        ioOf(res.IO),
 	}
 	if !req.NoCache {
-		s.cache.put(key, resp)
+		s.cache.putFresh(key, resp, ver)
 	}
 	writeJSON(w, resp)
 }
@@ -705,21 +709,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "no instants in ingest body", 0)
 		return
 	}
+	// Validate every instant before applying any, so a malformed body is
+	// rejected whole instead of leaving earlier instants silently ingested.
+	for t, inst := range req.Instants {
+		if len(inst) != s.numObjects {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("instant %d carries %d positions, want %d; nothing ingested", t, len(inst), s.numObjects), 0)
+			return
+		}
+	}
 	positions := make([]streach.Point, s.numObjects)
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	for t, inst := range req.Instants {
-		if len(inst) != s.numObjects {
-			writeError(w, http.StatusBadRequest, CodeBadRequest,
-				fmt.Sprintf("instant %d carries %d positions, want %d", t, len(inst), s.numObjects), 0)
-			return
-		}
 		for o, xy := range inst {
 			positions[o] = streach.Point{X: xy[0], Y: xy[1]}
 		}
 		if err := s.live.AddInstant(positions); err != nil {
 			writeError(w, http.StatusInternalServerError, CodeInternal,
-				fmt.Sprintf("ingest instant %d: %v", t, err), 0)
+				fmt.Sprintf("ingest instant %d: %v (%d of %d instants applied)", t, err, t, len(req.Instants)), 0)
 			return
 		}
 	}
@@ -755,6 +763,7 @@ type cacheJSON struct {
 	Misses      int64   `json:"misses"`
 	Invalidated int64   `json:"invalidated"`
 	Evicted     int64   `json:"evicted"`
+	StalePuts   int64   `json:"stale_puts"`
 	HitRate     float64 `json:"hit_rate"`
 }
 
@@ -819,6 +828,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Misses:      s.cache.misses.Load(),
 			Invalidated: s.cache.invalidated.Load(),
 			Evicted:     s.cache.evicted.Load(),
+			StalePuts:   s.cache.staleDrops.Load(),
 			HitRate:     s.cache.hitRate(),
 		},
 		Admission: admissionJSON{
