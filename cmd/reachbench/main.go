@@ -150,22 +150,24 @@ func main() {
 		// ran; with none selected the concurrency sweep is the default
 		// report (the historical BENCH_*.json contents).
 		var recs []bench.Record
-		ranConc, ranStream, ranCodec, ranSem := false, false, false, false
+		ranConc, ranStream, ranCodec, ranSem, ranCompact := false, false, false, false, false
 		for _, id := range ids {
 			switch strings.ToLower(strings.TrimSpace(id)) {
 			case "concurrency":
 				ranConc = true
 			case "all":
-				ranConc, ranStream, ranCodec, ranSem = true, true, true, true
+				ranConc, ranStream, ranCodec, ranSem, ranCompact = true, true, true, true, true
 			case "streaming":
 				ranStream = true
 			case "ablation-codec":
 				ranCodec = true
 			case "semantics":
 				ranSem = true
+			case "compaction":
+				ranCompact = true
 			}
 		}
-		if !ranConc && !ranStream && !ranCodec && !ranSem {
+		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact {
 			ranConc = true
 		}
 		if ranConc {
@@ -179,6 +181,9 @@ func main() {
 		}
 		if ranSem {
 			recs = append(recs, lab.SemanticsRecords()...)
+		}
+		if ranCompact {
+			recs = append(recs, lab.CompactionRecords()...)
 		}
 		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)

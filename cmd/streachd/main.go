@@ -46,6 +46,9 @@ func main() {
 		segmentTicks = flag.Int("segment-ticks", 0, "time-slab width for segmented/live engines (0: default)")
 		poolPages    = flag.Int("pool-pages", 0, "buffer-pool pages for disk-resident backends (0: default)")
 
+		ingestHorizon = flag.Int("ingest-horizon", 0, "live mode: reject ingest adds at or past frontier+horizon ticks (0: 4 segment widths, negative: unbounded)")
+		compactEvents = flag.Int("compact-events", 0, "live mode: re-seal a dirty segment once its delta log holds this many late/retraction events (0: manual compaction only)")
+
 		cacheEntries = flag.Int("cache", 0, "query-result cache entries (0: 4096, negative: off)")
 		maxInFlight  = flag.Int("max-inflight", 0, "concurrent query evaluations (0: 2×GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "admission wait-queue depth (0: 64)")
@@ -73,9 +76,11 @@ func main() {
 		Seed:       *seed,
 	})
 	opts := streach.Options{
-		SegmentTicks: *segmentTicks,
-		PoolPages:    *poolPages,
-		Seed:         *seed,
+		SegmentTicks:  *segmentTicks,
+		PoolPages:     *poolPages,
+		IngestHorizon: *ingestHorizon,
+		CompactEvents: *compactEvents,
+		Seed:          *seed,
 	}
 
 	var eng streach.Engine

@@ -46,6 +46,7 @@ func main() {
 		arrivals   = flag.Float64("arrival-frac", 0, "fraction of queries sent to /v1/earliest-arrival")
 		noCache    = flag.Bool("no-cache", false, "bypass the server's result cache")
 		ingestQPS  = flag.Float64("ingest-qps", 0, "feed instants per second to POST to /v1/ingest while measuring")
+		lateFrac   = flag.Float64("late-frac", 0, "fraction of ingest posts sent as v2 out-of-order contact events at a past tick (a quarter of those adds are later retracted)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		jsonPath   = flag.String("json", "", "write a streach-bench/v1 report here")
 		timeoutStr = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
@@ -88,6 +89,7 @@ func main() {
 			arrivalFrac: *arrivals,
 			noCache:     *noCache,
 			ingestQPS:   *ingestQPS,
+			lateFrac:    *lateFrac,
 			seed:        *seed,
 		})
 		records = append(records, rec)
@@ -132,6 +134,7 @@ type pointConfig struct {
 	arrivalFrac float64
 	noCache     bool
 	ingestQPS   float64
+	lateFrac    float64
 	seed        int64
 }
 
@@ -141,7 +144,7 @@ func runPoint(client *http.Client, base string, st *statsDoc, cfg pointConfig) b
 	stopIngest := make(chan struct{})
 	ingestDone := make(chan ingestReport, 1)
 	if cfg.ingestQPS > 0 {
-		go func() { ingestDone <- runIngest(client, base, st, cfg.ingestQPS, cfg.seed, stopIngest) }()
+		go func() { ingestDone <- runIngest(client, base, st, cfg.ingestQPS, cfg.lateFrac, cfg.seed, stopIngest) }()
 	}
 
 	hist := newHDRHistogram()
@@ -261,6 +264,10 @@ func runPoint(client *http.Client, base string, st *statsDoc, cfg pointConfig) b
 		rec.AppendsPerSec = float64(ing.instants) / ing.elapsed.Seconds()
 		rec.SealedSegments = final.Engine.SealedSegments
 	}
+	if ing.late > 0 {
+		rec.LateRate = cfg.lateFrac
+		rec.LateEvents = int64(ing.late)
+	}
 	return rec
 }
 
@@ -315,13 +322,17 @@ func logSampledError(format string, args ...any) {
 
 type ingestReport struct {
 	instants int
+	late     int
 	elapsed  time.Duration
 }
 
-// runIngest streams synthetic feed instants at rate instants/sec until
-// stop closes. Positions are uniform in the served environment, so the
-// contact density stays plausible for the dataset.
-func runIngest(client *http.Client, base string, st *statsDoc, rate float64, seed int64, stop <-chan struct{}) ingestReport {
+// runIngest streams synthetic feed ticks at rate posts/sec until stop
+// closes. Positions are uniform in the served environment, so the contact
+// density stays plausible for the dataset. With lateFrac > 0, that
+// fraction of posts instead carries a v2 contact event at a random past
+// tick — exercising the delta-log path under live query load — and about
+// a quarter of those late adds are retracted again a few posts later.
+func runIngest(client *http.Client, base string, st *statsDoc, rate, lateFrac float64, seed int64, stop <-chan struct{}) ingestReport {
 	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	w, h := st.EnvWidth, st.EnvHeight
 	if w <= 0 {
@@ -334,18 +345,50 @@ func runIngest(client *http.Client, base string, st *statsDoc, rate float64, see
 	tk := time.NewTicker(interval)
 	defer tk.Stop()
 	start := time.Now()
-	var sent int
+	var sent, late int
+	// Late adds remembered for retraction, deduplicated so no contact
+	// instant is ever retracted twice (the server 409s a blind retract).
+	type lateAdd struct{ tick, a, b int }
+	var toRetract []lateAdd
+	remembered := make(map[lateAdd]bool)
+	report := func() ingestReport {
+		return ingestReport{instants: sent, late: late, elapsed: time.Since(start)}
+	}
 	for {
 		select {
 		case <-stop:
-			return ingestReport{instants: sent, elapsed: time.Since(start)}
+			return report()
 		case <-tk.C:
 		}
-		instant := make([][2]float64, st.Engine.NumObjects)
-		for o := range instant {
-			instant[o] = [2]float64{rng.Float64() * w, rng.Float64() * h}
+		var body []byte
+		isLate := lateFrac > 0 && rng.Float64() < lateFrac && st.Engine.NumTicks+sent > 1
+		if isLate {
+			ev := map[string]any{}
+			if len(toRetract) > 0 && rng.Float64() < 0.25 {
+				r := toRetract[0]
+				toRetract = toRetract[1:]
+				ev = map[string]any{"tick": r.tick, "a": r.a, "b": r.b, "retract": true}
+			} else {
+				a := rng.Intn(st.Engine.NumObjects)
+				b := rng.Intn(st.Engine.NumObjects)
+				for b == a {
+					b = rng.Intn(st.Engine.NumObjects)
+				}
+				add := lateAdd{tick: rng.Intn(st.Engine.NumTicks + sent), a: a, b: b}
+				ev = map[string]any{"tick": add.tick, "a": add.a, "b": add.b}
+				if !remembered[add] {
+					remembered[add] = true
+					toRetract = append(toRetract, add)
+				}
+			}
+			body, _ = json.Marshal(map[string]any{"events": []any{ev}})
+		} else {
+			instant := make([][2]float64, st.Engine.NumObjects)
+			for o := range instant {
+				instant[o] = [2]float64{rng.Float64() * w, rng.Float64() * h}
+			}
+			body, _ = json.Marshal(map[string]any{"instants": [][][2]float64{instant}})
 		}
-		body, _ := json.Marshal(map[string]any{"instants": [][][2]float64{instant}})
 		resp, err := client.Post(base+"/v1/ingest", "application/json", bytes.NewReader(body))
 		if err != nil {
 			errCount.Add(1)
@@ -356,14 +399,18 @@ func runIngest(client *http.Client, base string, st *statsDoc, rate float64, see
 		resp.Body.Close()
 		switch code {
 		case 200:
-			sent++
+			if isLate {
+				late++
+			} else {
+				sent++
+			}
 		case 429, 503:
 			// Admission shed the append; the feed instant is simply lost
 			// this round, which is what backpressure on a feed means.
 			shedCount.Add(1)
 		case 501:
 			log.Print("server is frozen (501 on /v1/ingest); stopping the ingest stream")
-			return ingestReport{instants: sent, elapsed: time.Since(start)}
+			return report()
 		default:
 			logSampledError("POST /v1/ingest: status %d", code)
 			errCount.Add(1)

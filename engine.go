@@ -198,6 +198,21 @@ type Options struct {
 	// backends.
 	SegmentTicks int
 
+	// IngestHorizon bounds how far past the current frontier a LiveEngine
+	// contact event may land (LiveEngine.Ingest): an add at tick t is
+	// rejected with ErrIngestHorizon when t >= frontier + IngestHorizon.
+	// Zero selects 4 slab widths; negative disables the bound. Ignored by
+	// frozen backends.
+	IngestHorizon int
+
+	// CompactEvents is the LiveEngine delta-log compaction threshold: when
+	// an ingest leaves a sealed segment with at least this many pending
+	// late/retraction events, the segment is re-sealed (compacted) before
+	// Ingest returns. Zero disables the policy — dirty segments then only
+	// compact on an explicit LiveEngine.Compact call. Ignored by frozen
+	// backends.
+	CompactEvents int
+
 	// PageFormat selects the on-page record layout of the disk-resident
 	// indexes (reachgrid, spj, reachgraph and their segmented variants).
 	// Zero selects the default PageFormatVarint; PageFormatFixed rebuilds

@@ -167,14 +167,15 @@ func pad(s string, w int) string {
 type Lab struct {
 	opts Options
 
-	datasets   map[string]*trajectory.Dataset
-	contacts   map[string]*contact.Network
-	graphs     map[string]*dn.Graph
-	pub        map[string]*streach.Dataset
-	concRecs   []Record // memoized concurrency sweep
-	streamRecs []Record // memoized streaming sweep
-	codecRecs  []Record // memoized codec ablation
-	semRecs    []Record // memoized semantics sweep
+	datasets    map[string]*trajectory.Dataset
+	contacts    map[string]*contact.Network
+	graphs      map[string]*dn.Graph
+	pub         map[string]*streach.Dataset
+	concRecs    []Record // memoized concurrency sweep
+	streamRecs  []Record // memoized streaming sweep
+	compactRecs []Record // memoized compaction sweep
+	codecRecs   []Record // memoized codec ablation
+	semRecs     []Record // memoized semantics sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -432,6 +433,7 @@ func (l *Lab) All() []*Table {
 		l.BackendSweep(),
 		l.Concurrency(),
 		l.Streaming(),
+		l.Compaction(),
 		l.Semantics(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
@@ -486,6 +488,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.Concurrency
 	case "streaming":
 		return l.Streaming
+	case "compaction":
+		return l.Compaction
 	case "semantics":
 		return l.Semantics
 	}
@@ -497,7 +501,7 @@ func IDs() []string {
 	return []string{
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
-		"table5a", "table5b", "backends", "concurrency", "streaming", "semantics",
+		"table5a", "table5b", "backends", "concurrency", "streaming", "compaction", "semantics",
 		"ablation-pool", "ablation-bidir", "ablation-codec",
 	}
 }

@@ -68,6 +68,23 @@ type Record struct {
 	// IndexPages is the index's on-disk footprint in pages; set by the
 	// codec ablation, zero elsewhere.
 	IndexPages int64 `json:"index_pages,omitempty"`
+	// LateRate is the fraction of feed events delivered behind the frontier
+	// (out of order); set by the compaction experiment and by streachload
+	// runs with -late-frac, zero elsewhere.
+	LateRate float64 `json:"late_rate,omitempty"`
+	// LateEvents is the number of late adds actually absorbed into sealed
+	// segments' delta logs during the run.
+	LateEvents int64 `json:"late_events,omitempty"`
+	// Compactions is the number of dirty segments re-sealed with their
+	// deltas folded in during the run.
+	Compactions int64 `json:"compactions,omitempty"`
+	// DeltaDepth is the number of delta-log events still pending against
+	// sealed segments at the end of the run (what compaction left behind).
+	DeltaDepth int `json:"delta_depth,omitempty"`
+	// CompactionPolicy names how the compaction experiment folded deltas:
+	// "none" (let them accumulate), "threshold" (auto at CompactEvents), or
+	// "manual" (periodic Compact calls); empty elsewhere.
+	CompactionPolicy string `json:"compaction_policy,omitempty"`
 	// Semantics is the query class of a semantics-experiment point
 	// ("earliest-arrival" or "top-k"); empty elsewhere.
 	Semantics string `json:"semantics,omitempty"`

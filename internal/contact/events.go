@@ -1,0 +1,90 @@
+// Contact events: the unit of real-feed ingestion. Extract and Builder
+// consume positions in strict tick order; an Event instead names one
+// (pair, tick) co-location instant directly — possibly late, duplicated,
+// or retracting an instant ingested earlier — and ApplyEvents folds a
+// batch of them into an existing network. This is the patch primitive of
+// the segment delta log: a sealed slab's network plus its pending events
+// yields the corrected slab, without touching the sealed index until a
+// compaction rebuilds it.
+package contact
+
+import (
+	"streach/internal/stjoin"
+	"streach/internal/trajectory"
+)
+
+// Event is one contact-instant mutation: objects A and B were within
+// contact range at tick Tick (Retract false), or that observation is
+// withdrawn (Retract true — a privacy delete or bad-data correction).
+type Event struct {
+	Tick    trajectory.Tick
+	A, B    trajectory.ObjectID
+	Retract bool
+}
+
+// EventCounts tallies what a batch of events did when applied.
+type EventCounts struct {
+	// Applied counts adds landing on an instant where the pair was not
+	// already in contact; Duplicates counts adds where it was.
+	Applied, Duplicates int
+	// Retracted counts retractions that removed a live contact instant;
+	// Misses counts retractions of instants holding no such contact.
+	Retracted, Misses int
+}
+
+// ApplyEvents returns a copy of n with events folded in. Event ticks are
+// local to n and must lie in [0, NumTicks); events are applied in slice
+// order within each tick, so an add followed by a retraction of the same
+// pair at the same tick cancels out. The second result is the effective
+// subset of events — duplicates and misses removed — chosen so that
+// re-applying it to n in order reproduces the same network. n itself is
+// never mutated.
+func (n *Network) ApplyEvents(events []Event) (*Network, []Event, EventCounts) {
+	byTick := make(map[trajectory.Tick][]Event, len(events))
+	for _, ev := range events {
+		if ev.A > ev.B {
+			ev.A, ev.B = ev.B, ev.A
+		}
+		byTick[ev.Tick] = append(byTick[ev.Tick], ev)
+	}
+	b := NewBuilder(n.NumObjects)
+	var kept []Event
+	var counts EventCounts
+	set := make(map[stjoin.Pair]bool)
+	out := make([]stjoin.Pair, 0, 64)
+	n.Snapshot(0, trajectory.Tick(n.NumTicks)-1, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
+		evs := byTick[t]
+		if len(evs) == 0 {
+			b.AddInstant(pairs)
+			return true
+		}
+		clear(set)
+		for _, pr := range pairs {
+			set[pr] = true
+		}
+		for _, ev := range evs {
+			pr := stjoin.Pair{A: ev.A, B: ev.B}
+			switch {
+			case !ev.Retract && set[pr]:
+				counts.Duplicates++
+			case !ev.Retract:
+				set[pr] = true
+				counts.Applied++
+				kept = append(kept, ev)
+			case set[pr]:
+				delete(set, pr)
+				counts.Retracted++
+				kept = append(kept, ev)
+			default:
+				counts.Misses++
+			}
+		}
+		out = out[:0]
+		for pr := range set {
+			out = append(out, pr)
+		}
+		b.AddInstant(out)
+		return true
+	})
+	return b.Network(), kept, counts
+}

@@ -81,7 +81,7 @@ type resultCache struct {
 	lru     *list.List // front: most recently used; values are *cacheEntry
 	entries map[cacheKey]*list.Element
 
-	ver      uint64       // bumped on every invalidation, under mu
+	ver      uint64        // bumped on every invalidation, under mu
 	invalLog []invalRecord // most recent invalidations, oldest first, under mu
 
 	hits, misses, invalidated, evicted, staleDrops atomic.Int64

@@ -38,6 +38,14 @@ const (
 	// CodeNotLive: a live-only endpoint (/v1/ingest) on a frozen dataset
 	// (status 501).
 	CodeNotLive = "not_live"
+	// CodeBeyondHorizon: an ingest event adds a contact at a tick at or
+	// past frontier + Options.IngestHorizon; the batch is rejected whole
+	// (status 400).
+	CodeBeyondHorizon = "beyond_horizon"
+	// CodeRetractMiss: an ingest event retracts a contact instant the feed
+	// never ingested (or already retracted); the batch is rejected whole
+	// (status 409).
+	CodeRetractMiss = "retract_miss"
 	// CodeInternal: the engine failed (status 500).
 	CodeInternal = "internal"
 )

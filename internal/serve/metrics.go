@@ -208,5 +208,20 @@ func (srv *Server) writeMetrics(w io.Writer) {
 		p("# HELP streachd_seal_events_total Segment seals observed since start.\n")
 		p("# TYPE streachd_seal_events_total counter\n")
 		p("streachd_seal_events_total %d\n", srv.met.sealedEvents.Load())
+		p("# HELP streachd_delta_events Late/retraction events pending against sealed segments (delta-log depth).\n")
+		p("# TYPE streachd_delta_events gauge\n")
+		p("streachd_delta_events %d\n", st.DeltaEvents)
+		p("# HELP streachd_dirty_segments Sealed segments carrying pending delta-log events.\n")
+		p("# TYPE streachd_dirty_segments gauge\n")
+		p("streachd_dirty_segments %d\n", st.DirtySegments)
+		p("# HELP streachd_late_events_total Contact adds accepted behind the ingest frontier.\n")
+		p("# TYPE streachd_late_events_total counter\n")
+		p("streachd_late_events_total %d\n", st.LateEvents)
+		p("# HELP streachd_retractions_total Contact instants retracted.\n")
+		p("# TYPE streachd_retractions_total counter\n")
+		p("streachd_retractions_total %d\n", st.Retractions)
+		p("# HELP streachd_compactions_total Dirty segments re-sealed with their deltas folded in.\n")
+		p("# TYPE streachd_compactions_total counter\n")
+		p("streachd_compactions_total %d\n", st.Compactions)
 	}
 }

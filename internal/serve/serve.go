@@ -108,11 +108,11 @@ func New(eng streach.Engine, cfg Config) *Server {
 	}
 	if le, ok := eng.(*streach.LiveEngine); ok {
 		s.live = le
-		le.OnIngest(func(tick streach.Tick) {
-			s.met.ingestedTicks.Add(1)
-			// New data at tick t can only change answers whose interval
-			// contains t; drop exactly those.
-			s.cache.invalidateOverlapping(streach.NewInterval(tick, tick))
+		le.OnIngest(func(iv streach.Interval) {
+			// Changed contact content in iv — a frontier instant, a late
+			// add, a retraction — can only change answers whose interval
+			// overlaps iv; drop exactly those.
+			s.cache.invalidateOverlapping(iv)
 		})
 		le.OnSegmentSeal(func(streach.Interval) {
 			// Per-tick ingest invalidation already dropped everything the
@@ -685,13 +685,38 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 type ingestRequest struct {
 	// Instants holds one position list per feed instant; Instants[t][o]
-	// is [x, y] of object o.
+	// is [x, y] of object o — the v1 positional form, which can only
+	// append in tick order.
 	Instants [][][2]float64 `json:"instants"`
+	// Events is the v2 event form: contact adds and retractions at any
+	// tick. Exactly one of Instants and Events must be present.
+	Events []ingestEvent `json:"events"`
+}
+
+// ingestEvent is the wire form of streach.ContactEvent.
+type ingestEvent struct {
+	Tick    int  `json:"tick"`
+	A       int  `json:"a"`
+	B       int  `json:"b"`
+	Retract bool `json:"retract,omitempty"`
+}
+
+// ingestReportJSON is the wire form of streach.IngestReport, returned for
+// event-form ingests.
+type ingestReportJSON struct {
+	Applied       int      `json:"applied"`
+	Late          int      `json:"late"`
+	Retracted     int      `json:"retracted"`
+	Duplicates    int      `json:"duplicates,omitempty"`
+	RetractMisses int      `json:"retract_misses,omitempty"`
+	Compacted     int      `json:"compacted,omitempty"`
+	Sealed        [][2]int `json:"sealed,omitempty"`
 }
 
 type ingestResponse struct {
-	Ticks          int `json:"ticks"`
-	SealedSegments int `json:"sealed_segments"`
+	Ticks          int               `json:"ticks"`
+	SealedSegments int               `json:"sealed_segments"`
+	Report         *ingestReportJSON `json:"report,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -705,8 +730,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
 		return
 	}
-	if len(req.Instants) == 0 {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "no instants in ingest body", 0)
+	switch {
+	case len(req.Instants) > 0 && len(req.Events) > 0:
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"body carries both instants and events; send exactly one form", 0)
+		return
+	case len(req.Instants) == 0 && len(req.Events) == 0:
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "no instants or events in ingest body", 0)
+		return
+	case len(req.Events) > 0:
+		s.ingestEvents(w, req.Events)
 		return
 	}
 	// Validate every instant before applying any, so a malformed body is
@@ -731,9 +764,86 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.met.ingestedTicks.Add(int64(len(req.Instants)))
 	writeJSON(w, ingestResponse{
 		Ticks:          s.live.NumTicks(),
 		SealedSegments: s.live.NumSealedSegments(),
+	})
+}
+
+// ingestEvents is the event-form half of /v1/ingest. Everything is
+// validated before anything applies — structural problems are 400s, a
+// retraction of a contact instant the feed does not currently hold is a
+// 409 retract_miss (the wire contract is stricter than LiveEngine.Ingest,
+// which counts misses and proceeds: a client retracting blind is a bug
+// worth surfacing; note an add and its retraction therefore cannot share
+// one batch). Ticks at or past the ingest horizon are a 400
+// beyond_horizon.
+func (s *Server) ingestEvents(w http.ResponseWriter, events []ingestEvent) {
+	for i, ev := range events {
+		switch {
+		case ev.A < 0 || ev.A >= s.numObjects || ev.B < 0 || ev.B >= s.numObjects:
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("event %d: object outside [0, %d); nothing ingested", i, s.numObjects), 0)
+			return
+		case ev.A == ev.B:
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("event %d: self-contact of object %d; nothing ingested", i, ev.A), 0)
+			return
+		case ev.Tick < 0:
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("event %d: negative tick; nothing ingested", i), 0)
+			return
+		}
+	}
+	evs := make([]streach.ContactEvent, len(events))
+	for i, ev := range events {
+		evs[i] = streach.ContactEvent{
+			Tick:    streach.Tick(ev.Tick),
+			A:       streach.ObjectID(ev.A),
+			B:       streach.ObjectID(ev.B),
+			Retract: ev.Retract,
+		}
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	for i, ev := range evs {
+		if ev.Retract && !s.live.ContactActiveAt(ev.A, ev.B, ev.Tick) {
+			writeError(w, http.StatusConflict, CodeRetractMiss,
+				fmt.Sprintf("event %d retracts contact (%d, %d) at tick %d, which is not ingested; nothing ingested",
+					i, ev.A, ev.B, ev.Tick), 0)
+			return
+		}
+	}
+	before := s.live.NumTicks()
+	rep, err := s.live.Ingest(evs)
+	if err != nil {
+		switch {
+		case errors.Is(err, streach.ErrIngestHorizon):
+			writeError(w, http.StatusBadRequest, CodeBeyondHorizon, err.Error()+"; nothing ingested", 0)
+		case errors.Is(err, streach.ErrBadEvent):
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error()+"; nothing ingested", 0)
+		default:
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error(), 0)
+		}
+		return
+	}
+	s.met.ingestedTicks.Add(int64(s.live.NumTicks() - before))
+	report := &ingestReportJSON{
+		Applied:       rep.Applied,
+		Late:          rep.Late,
+		Retracted:     rep.Retracted,
+		Duplicates:    rep.Duplicates,
+		RetractMisses: rep.RetractMisses,
+		Compacted:     rep.Compacted,
+	}
+	for _, sp := range rep.Sealed {
+		report.Sealed = append(report.Sealed, [2]int{int(sp.Lo), int(sp.Hi)})
+	}
+	writeJSON(w, ingestResponse{
+		Ticks:          s.live.NumTicks(),
+		SealedSegments: s.live.NumSealedSegments(),
+		Report:         report,
 	})
 }
 
@@ -747,13 +857,20 @@ type poolJSON struct {
 }
 
 type engineJSON struct {
-	NumObjects     int       `json:"num_objects"`
-	NumTicks       int       `json:"num_ticks"`
-	IndexBytes     int64     `json:"index_bytes"`
-	Segments       int       `json:"segments,omitempty"`
-	SealedSegments int       `json:"sealed_segments,omitempty"`
-	IO             ioJSON    `json:"io"`
-	Pool           *poolJSON `json:"pool,omitempty"`
+	NumObjects     int   `json:"num_objects"`
+	NumTicks       int   `json:"num_ticks"`
+	IndexBytes     int64 `json:"index_bytes"`
+	Segments       int   `json:"segments,omitempty"`
+	SealedSegments int   `json:"sealed_segments,omitempty"`
+	// The live delta-log and out-of-order ingest counters; always present
+	// (zero on frozen backends) so monitors can rely on the fields.
+	DeltaEvents   int       `json:"delta_events"`
+	DirtySegments int       `json:"dirty_segments"`
+	LateEvents    int64     `json:"late_events"`
+	Retractions   int64     `json:"retractions"`
+	Compactions   int64     `json:"compactions"`
+	IO            ioJSON    `json:"io"`
+	Pool          *poolJSON `json:"pool,omitempty"`
 }
 
 type cacheJSON struct {
@@ -803,6 +920,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		IndexBytes:     st.IndexBytes,
 		Segments:       st.Segments,
 		SealedSegments: st.SealedSegments,
+		DeltaEvents:    st.DeltaEvents,
+		DirtySegments:  st.DirtySegments,
+		LateEvents:     st.LateEvents,
+		Retractions:    st.Retractions,
+		Compactions:    st.Compactions,
 		IO:             ioOf(st.IO),
 	}
 	if st.HasPool {

@@ -533,3 +533,195 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", st)
 	}
 }
+
+// newLiveEventServer spins up a live engine with a contact between objects
+// 2 and 3 at ticks 45 and 49 (so NumTicks is 50 and six 8-tick slabs are
+// sealed) behind a serving stack, for the event-ingest wire tests.
+func newLiveEventServer(t *testing.T) (*streach.LiveEngine, *httptest.Server) {
+	t.Helper()
+	env := streach.Rect{Min: streach.Point{X: 0, Y: 0}, Max: streach.Point{X: 1000, Y: 1000}}
+	le, err := streach.NewLiveEngine("oracle", 4, env, 10,
+		streach.Options{SegmentTicks: 8, IngestHorizon: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := le.Ingest([]streach.ContactEvent{
+		{Tick: 45, A: 2, B: 3},
+		{Tick: 49, A: 2, B: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(le, Config{}))
+	t.Cleanup(ts.Close)
+	return le, ts
+}
+
+// TestIngestEventErrors drives the failure paths of the event form of
+// /v1/ingest: structural problems and horizon overruns are 400s, blind
+// retractions are 409s, and in every case nothing is ingested.
+func TestIngestEventErrors(t *testing.T) {
+	le, ts := newLiveEventServer(t)
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"both forms", `{"instants":[[[0,0],[1,1],[2,2],[3,3]]],"events":[{"tick":0,"a":0,"b":1}]}`, 400, CodeBadRequest},
+		{"neither form", `{}`, 400, CodeBadRequest},
+		{"object out of range", `{"events":[{"tick":0,"a":0,"b":9}]}`, 400, CodeBadRequest},
+		{"negative object", `{"events":[{"tick":0,"a":-1,"b":1}]}`, 400, CodeBadRequest},
+		{"self contact", `{"events":[{"tick":0,"a":2,"b":2}]}`, 400, CodeBadRequest},
+		{"negative tick", `{"events":[{"tick":-1,"a":0,"b":1}]}`, 400, CodeBadRequest},
+		{"beyond horizon", `{"events":[{"tick":10000,"a":0,"b":1}]}`, 400, CodeBeyondHorizon},
+		{"good then beyond horizon rejects whole batch",
+			`{"events":[{"tick":0,"a":0,"b":1},{"tick":10000,"a":0,"b":1}]}`, 400, CodeBeyondHorizon},
+		{"retract of nonexistent", `{"events":[{"tick":45,"a":0,"b":1,"retract":true}]}`, 409, CodeRetractMiss},
+		{"good then blind retract rejects whole batch",
+			`{"events":[{"tick":0,"a":0,"b":1},{"tick":3,"a":0,"b":1,"retract":true}]}`, 409, CodeRetractMiss},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := post(t, ts.URL+"/v1/ingest", tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			apiErr := decodeErr(t, resp)
+			if apiErr.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", apiErr.Code, tc.wantCode)
+			}
+			if apiErr.Message == "" {
+				t.Error("error message is empty")
+			}
+		})
+	}
+	st := le.Stats()
+	if st.NumTicks != 50 || st.DeltaEvents != 0 || st.LateEvents != 0 {
+		t.Fatalf("rejected batches touched the engine: %+v", st)
+	}
+	if le.ContactActiveAt(0, 1, 0) {
+		t.Fatal("rejected batch partially applied")
+	}
+}
+
+// TestLiveEventStaleness is the out-of-order staleness regression: a late
+// add and its retraction at tick 15 must each invalidate exactly the
+// cached entries whose intervals cover tick 15 — flipping the covered
+// answer both ways — while every non-overlapping entry keeps serving from
+// cache, and the delta-log depth is visible in /v1/stats until Compact
+// folds it away.
+func TestLiveEventStaleness(t *testing.T) {
+	le, ts := newLiveEventServer(t)
+
+	query := func(body string) reachableResponse {
+		resp := post(t, ts.URL+"/v1/reachable", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("query %s: status %d", body, resp.StatusCode)
+		}
+		var r reachableResponse
+		json.NewDecoder(resp.Body).Decode(&r)
+		return r
+	}
+	warm := func(body string, wantReachable bool) {
+		t.Helper()
+		if r := query(body); r.Reachable != wantReachable {
+			t.Fatalf("warm %s: reachable = %v, want %v", body, r.Reachable, wantReachable)
+		}
+		if r := query(body); !r.Cached {
+			t.Fatalf("warm %s: repeat query missed the cache", body)
+		}
+	}
+	ingest := func(body string) *ingestReportJSON {
+		t.Helper()
+		resp := post(t, ts.URL+"/v1/ingest", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("ingest status %d: %+v", resp.StatusCode, decodeErr(t, resp))
+		}
+		var ing ingestResponse
+		json.NewDecoder(resp.Body).Decode(&ing)
+		resp.Body.Close()
+		if ing.Report == nil {
+			t.Fatalf("event ingest returned no report")
+		}
+		return ing.Report
+	}
+	stats := func() statsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st statsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	covered := `{"src":0,"dst":1,"from":10,"to":20}`  // covers tick 15
+	disjoint := `{"src":0,"dst":1,"from":30,"to":40}` // does not
+	other := `{"src":2,"dst":3,"from":40,"to":49}`    // different pair, preloaded contact
+	warm(covered, false)
+	warm(disjoint, false)
+	warm(other, true)
+
+	// Late add into sealed slab [8, 15].
+	if rep := ingest(`{"events":[{"tick":15,"a":0,"b":1}]}`); rep.Late != 1 || rep.Applied != 0 {
+		t.Fatalf("late add report = %+v", rep)
+	}
+	if r := query(covered); r.Cached || !r.Reachable {
+		t.Fatalf("after late add: %+v, want fresh reachable answer", r)
+	}
+	if r := query(disjoint); !r.Cached {
+		t.Error("disjoint entry [30,40] dropped by an ingest at tick 15")
+	}
+	if r := query(other); !r.Cached {
+		t.Error("other-pair entry [40,49] dropped by an ingest at tick 15")
+	}
+
+	// Retract it again: same invalidation footprint, answer flips back.
+	if rep := ingest(`{"events":[{"tick":15,"a":0,"b":1,"retract":true}]}`); rep.Retracted != 1 {
+		t.Fatalf("retraction report = %+v", rep)
+	}
+	if r := query(covered); r.Cached || r.Reachable {
+		t.Fatalf("after retraction: %+v, want fresh unreachable answer", r)
+	}
+	if r := query(disjoint); !r.Cached {
+		t.Error("disjoint entry dropped by the retraction")
+	}
+
+	st := stats()
+	if st.Engine.DeltaEvents != 2 || st.Engine.DirtySegments != 1 {
+		t.Errorf("delta log in stats = %d events / %d dirty, want 2 / 1",
+			st.Engine.DeltaEvents, st.Engine.DirtySegments)
+	}
+	if st.Engine.LateEvents != 1 || st.Engine.Retractions != 1 {
+		t.Errorf("counters = %d late / %d retractions, want 1 / 1",
+			st.Engine.LateEvents, st.Engine.Retractions)
+	}
+	// Exactly the covered entry was invalidated — twice — and no put was
+	// discarded as stale.
+	if st.Cache.Invalidated != 2 || st.Cache.StalePuts != 0 {
+		t.Errorf("cache counters = %d invalidated / %d stale puts, want 2 / 0",
+			st.Cache.Invalidated, st.Cache.StalePuts)
+	}
+
+	// Compaction folds the deltas into re-sealed slabs without touching
+	// answers or surviving cache entries.
+	if n, err := le.Compact(); err != nil || n != 1 {
+		t.Fatalf("Compact() = %d, %v, want 1 dirty slab rebuilt", n, err)
+	}
+	st = stats()
+	if st.Engine.DeltaEvents != 0 || st.Engine.DirtySegments != 0 || st.Engine.Compactions != 1 {
+		t.Errorf("post-compact stats = %+v", st.Engine)
+	}
+	if r := query(disjoint); !r.Cached {
+		t.Error("compaction dropped a cached entry")
+	}
+	if r := query(covered); r.Reachable {
+		t.Error("compaction changed an answer")
+	}
+}

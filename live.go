@@ -11,6 +11,16 @@
 //	          snapshot of the tail, so answers always cover every ingested
 //	          instant with no rebuild of historical slabs, ever.
 //
+// Real feeds are late, duplicated and occasionally wrong, so ingestion is
+// event-based underneath: Ingest accepts ContactEvents at any tick —
+// frontier appends, late adds into already-sealed slabs, retractions
+// (privacy deletes / bad-data corrections). Out-of-order events land in
+// per-slab delta logs (segment.Log) whose overlay networks the planner
+// consults instead of the stale sealed index, so answers are exact
+// immediately; Compact (or the Options.CompactEvents threshold) re-seals
+// dirty slabs through the same build machinery. AddInstant remains as a
+// thin position-join wrapper over the event path.
+//
 // Appends cost O(one instant) amortized (plus one slab-sized index build
 // each SegmentTicks instants); queries are lock-free after taking a
 // consistent view. One goroutine may append while any number query.
@@ -45,13 +55,63 @@ type LiveEngine struct {
 	// nil for memory-resident bases.
 	pool *BufferPool
 
+	// horizon bounds how far past the frontier an add may land (-1 means
+	// unbounded); compactEvents is the per-slab delta depth that triggers
+	// an automatic re-seal (0 means manual Compact only).
+	horizon       int
+	compactEvents int
+
+	// evScratch is AddInstant's reusable event buffer (single appender).
+	evScratch []contact.Event
+
 	// ingestHook and sealHook are the notification hooks of OnIngest and
-	// OnSegmentSeal. They are invoked synchronously from AddInstant (the
-	// appender goroutine); registration must happen before the first
+	// OnSegmentSeal. They are invoked synchronously from Ingest/AddInstant
+	// (the appender goroutine); registration must happen before the first
 	// append.
-	ingestHook func(tick Tick)
+	ingestHook func(iv Interval)
 	sealHook   func(span Interval)
 }
+
+// ContactEvent is one observation from a contact feed: objects A and B
+// were within contact range at tick Tick — or, with Retract set, that
+// earlier observation is withdrawn. Events may arrive in any tick order;
+// LiveEngine.Ingest is their entry point.
+type ContactEvent struct {
+	Tick    Tick
+	A, B    ObjectID
+	Retract bool
+}
+
+// IngestReport summarizes what one Ingest batch did.
+type IngestReport struct {
+	// Applied counts contact instants applied at (or beyond) the frontier;
+	// Late counts instants applied behind it, into the tail overlay or a
+	// sealed segment's delta log.
+	Applied int
+	Late    int
+	// Retracted counts removed contact instants; Duplicates counts adds of
+	// already-present instants; RetractMisses counts retractions that
+	// matched nothing (both are dropped, not errors — feeds repeat).
+	Retracted     int
+	Duplicates    int
+	RetractMisses int
+	// Sealed lists the global tick spans of segments sealed by the batch;
+	// Compacted counts dirty segments re-sealed by the Options.CompactEvents
+	// threshold policy.
+	Sealed    []Interval
+	Compacted int
+}
+
+// ErrBadEvent reports a structurally invalid contact event (object out of
+// range, self-contact, negative tick). Ingest validates the whole batch
+// before applying anything, so a batch rejected with ErrBadEvent left the
+// engine untouched.
+var ErrBadEvent = errors.New("streach: bad contact event")
+
+// ErrIngestHorizon reports an add whose tick lies at or beyond
+// frontier + Options.IngestHorizon. Like ErrBadEvent it is raised during
+// pre-validation: the batch is rejected whole.
+var ErrIngestHorizon = errors.New("streach: event tick beyond ingest horizon")
 
 // ErrNotLiveCapable reports a backend that cannot seal live segments: only
 // contact-sourced backends with frontier entry points (reachgraph,
@@ -96,22 +156,33 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 	if _, err := build(NewInterval(0, 0), contact.FromContacts(numObjects, 1, nil)); err != nil {
 		return nil, err
 	}
+	horizon := opts.IngestHorizon
+	switch {
+	case horizon == 0:
+		horizon = 4 * segment.Width(opts.SegmentTicks)
+	case horizon < 0:
+		horizon = -1
+	}
 	return &LiveEngine{
-		name:       "live:" + spec.info.Name,
-		base:       spec.info.Name,
-		numObjects: numObjects,
-		joiner:     stjoin.NewJoiner(env, contactDist),
-		log:        segment.NewLog[frontierCore](numObjects, opts.SegmentTicks, build),
-		pool:       slabOpts.Pool,
+		name:          "live:" + spec.info.Name,
+		base:          spec.info.Name,
+		numObjects:    numObjects,
+		joiner:        stjoin.NewJoiner(env, contactDist),
+		log:           segment.NewLog[frontierCore](numObjects, opts.SegmentTicks, build),
+		pool:          slabOpts.Pool,
+		horizon:       horizon,
+		compactEvents: max(opts.CompactEvents, 0),
 	}, nil
 }
 
-// OnIngest registers fn to be invoked synchronously after every
-// successfully ingested instant, with the tick just appended. A serving
-// layer uses it to invalidate derived state (query caches) whose interval
-// covers the new instant. Register before the first AddInstant; the hook
-// runs on the appender goroutine and must not call AddInstant itself.
-func (le *LiveEngine) OnIngest(fn func(tick Tick)) { le.ingestHook = fn }
+// OnIngest registers fn to be invoked synchronously after every ingest
+// that changes contact content, once per contiguous interval of changed
+// ticks — a frontier append reports the new instant [t, t]; a late add or
+// retraction reports the historical ticks it patched. A serving layer uses
+// it to invalidate derived state (query caches) overlapping the interval.
+// Register before the first append; the hook runs on the appender
+// goroutine and must not ingest itself.
+func (le *LiveEngine) OnIngest(fn func(iv Interval)) { le.ingestHook = fn }
 
 // OnSegmentSeal registers fn to be invoked synchronously whenever an
 // append closes the current time slab and seals it into an immutable
@@ -125,31 +196,126 @@ func joinLiveCapable() string {
 	return "oracle, reachgraph, reachgraph-mem"
 }
 
+// Ingest folds a batch of contact events into the feed — the primary
+// ingest surface. Events may target any tick: adds at the frontier extend
+// the time domain (padding any gap with empty instants, sealing slabs as
+// widths close), adds behind it land in the tail overlay or a sealed
+// segment's delta log, and retractions remove previously ingested contact
+// instants. Answers reflect the batch exactly as soon as Ingest returns —
+// no compaction is needed for correctness.
+//
+// The whole batch is validated before anything is applied: a structurally
+// invalid event (ErrBadEvent) or an add past the ingest horizon
+// (ErrIngestHorizon) rejects the batch with the engine untouched. A seal
+// or compaction build error can still leave the batch partially applied;
+// the report states what was applied and the engine stays consistent.
+// Like AddInstant, calls must come from a single goroutine.
+func (le *LiveEngine) Ingest(events []ContactEvent) (IngestReport, error) {
+	frontier := le.log.NumTicks()
+	for i, ev := range events {
+		switch {
+		case ev.A < 0 || int(ev.A) >= le.numObjects || ev.B < 0 || int(ev.B) >= le.numObjects:
+			return IngestReport{}, fmt.Errorf("%w: event %d: object out of range [0, %d)",
+				ErrBadEvent, i, le.numObjects)
+		case ev.A == ev.B:
+			return IngestReport{}, fmt.Errorf("%w: event %d: self-contact of object %d",
+				ErrBadEvent, i, ev.A)
+		case ev.Tick < 0:
+			return IngestReport{}, fmt.Errorf("%w: event %d: negative tick %d",
+				ErrBadEvent, i, ev.Tick)
+		case !ev.Retract && le.horizon >= 0 && int(ev.Tick) >= frontier+le.horizon:
+			return IngestReport{}, fmt.Errorf("%w: event %d: tick %d vs frontier %d (horizon %d)",
+				ErrIngestHorizon, i, ev.Tick, frontier, le.horizon)
+		}
+	}
+	evs := make([]contact.Event, len(events))
+	for i, ev := range events {
+		evs[i] = contact.Event{Tick: ev.Tick, A: ev.A, B: ev.B, Retract: ev.Retract}
+	}
+	res, err := le.log.IngestEvents(evs, le.compactEvents)
+	le.fireHooks(res)
+	return IngestReport{
+		Applied:       res.Frontier,
+		Late:          res.Late,
+		Retracted:     res.Retracted,
+		Duplicates:    res.Duplicates,
+		RetractMisses: res.RetractMisses,
+		Sealed:        res.Sealed,
+		Compacted:     res.Compacted,
+	}, err
+}
+
 // AddInstant ingests the next instant of the feed; positions[i] is object
-// i's position. Appends must come from a single goroutine; queries may run
-// concurrently. When the append closes the current slab, the slab is
-// sealed into an immutable index segment before AddInstant returns.
+// i's position. It is a thin position-join wrapper over the event path:
+// the joined pairs become frontier ContactEvents (a pair-less instant
+// still advances the clock). Appends must come from a single goroutine;
+// queries may run concurrently. When the append closes the current slab,
+// the slab is sealed into an immutable index segment before AddInstant
+// returns.
 func (le *LiveEngine) AddInstant(positions []Point) error {
 	if len(positions) != le.numObjects {
 		return fmt.Errorf("streach: got %d positions, want %d", len(positions), le.numObjects)
 	}
-	var pairs []stjoin.Pair
+	tick := Tick(le.log.NumTicks())
+	le.evScratch = le.evScratch[:0]
 	le.joiner.Join(positions, func(a, b int) bool {
-		pairs = append(pairs, stjoin.MakePair(ObjectID(a), ObjectID(b)))
+		le.evScratch = append(le.evScratch, contact.Event{Tick: tick, A: ObjectID(a), B: ObjectID(b)})
 		return true
 	})
-	tick := Tick(le.log.NumTicks())
-	sealed, span, err := le.log.AddInstant(pairs)
-	if err != nil {
-		return err
+	var res segment.ApplyResult
+	var err error
+	if len(le.evScratch) == 0 {
+		res, err = le.log.AdvanceTo(int(tick) + 1)
+	} else {
+		res, err = le.log.IngestEvents(le.evScratch, 0)
 	}
+	le.fireHooks(res)
+	return err
+}
+
+// AdvanceTo pads the feed with empty instants until tick is part of the
+// time domain — the clock half of ingestion, decoupled from contact
+// arrival so a quiet feed still moves the frontier (and with it the
+// ingest horizon). Already-covered ticks are a no-op; the clock never
+// rewinds. Single appender goroutine, like all ingestion.
+func (le *LiveEngine) AdvanceTo(tick Tick) error {
+	res, err := le.log.AdvanceTo(int(tick) + 1)
+	le.fireHooks(res)
+	return err
+}
+
+// Compact re-seals every sealed segment carrying pending delta-log events,
+// folding the corrections into fresh immutable index segments built
+// through the base backend; the delta logs reset to empty. Query answers
+// are unchanged — compaction trades the overlay's oracle evaluation for
+// the base backend's indexed one. Returns the number of segments rebuilt.
+// Runs on the appender goroutine; queries may run concurrently and keep
+// their (still-exact) views.
+func (le *LiveEngine) Compact() (int, error) {
+	return le.log.Compact()
+}
+
+// ContactActiveAt reports whether contact (a, b) is part of the feed's
+// current effective state at tick t — ingested (directly or late) and not
+// retracted. A serving layer uses it to pre-validate wire retractions.
+func (le *LiveEngine) ContactActiveAt(a, b ObjectID, t Tick) bool {
+	return le.log.ActiveAt(a, b, t)
+}
+
+// fireHooks reports an ingest outcome to the registered hooks. Hooks fire
+// even when the ingest ultimately erred: everything listed in res was
+// genuinely applied, so derived state must still hear about it.
+func (le *LiveEngine) fireHooks(res segment.ApplyResult) {
 	if le.ingestHook != nil {
-		le.ingestHook(tick)
+		for _, iv := range res.Changed {
+			le.ingestHook(iv)
+		}
 	}
-	if sealed && le.sealHook != nil {
-		le.sealHook(span)
+	if le.sealHook != nil {
+		for _, span := range res.Sealed {
+			le.sealHook(span)
+		}
 	}
-	return nil
 }
 
 // NumTicks returns the number of instants ingested so far.
@@ -167,12 +333,19 @@ func (le *LiveEngine) Snapshot() *ContactNetwork {
 
 // view assembles the planner's slab list: sealed segments plus, when the
 // tail holds instants, an oracle core over the tail's slab-local network.
+// A dirty sealed segment — one with pending delta-log events — is served
+// by an oracle over its overlay network instead of its (stale) sealed
+// index, so out-of-order corrections are query-visible immediately.
 // Everything returned is immutable, so the query proceeds lock-free.
 func (le *LiveEngine) view() ([]segSlab, int) {
 	sealed, tailSpan, tailNet, numTicks := le.log.View()
 	slabs := make([]segSlab, 0, len(sealed)+1)
 	for _, s := range sealed {
-		slabs = append(slabs, segSlab{span: s.Span, core: s.Value})
+		core := s.Value
+		if s.Overlay != nil {
+			core = oracleCore{o: queries.NewOracle(s.Overlay)}
+		}
+		slabs = append(slabs, segSlab{span: s.Span, core: core})
 	}
 	if tailNet != nil {
 		slabs = append(slabs, segSlab{span: tailSpan, core: oracleCore{o: queries.NewOracle(tailNet)}})
@@ -298,12 +471,14 @@ func (le *LiveEngine) TopKReachable(ctx context.Context, src ObjectID, iv Interv
 }
 
 // IndexBytes returns the total on-disk size of the sealed segments (zero
-// for memory-resident bases and before the first seal).
+// for memory-resident bases and before the first seal). Dirty segments
+// still count: the sealed index exists on disk until compaction replaces
+// it.
 func (le *LiveEngine) IndexBytes() int64 {
-	slabs, _ := le.view()
+	sealed, _, _, _ := le.log.View()
 	var sum int64
-	for _, s := range slabs {
-		sum += s.core.indexBytes()
+	for _, s := range sealed {
+		sum += s.Value.indexBytes()
 	}
 	return sum
 }
@@ -311,10 +486,10 @@ func (le *LiveEngine) IndexBytes() int64 {
 // IOTotals returns the cumulative simulated disk traffic of the sealed
 // segments.
 func (le *LiveEngine) IOTotals() IOStats {
-	slabs, _ := le.view()
+	sealed, _, _, _ := le.log.View()
 	var sum pagefile.Stats
-	for _, s := range slabs {
-		sum.Add(s.core.ioTotals())
+	for _, s := range sealed {
+		sum.Add(s.Value.ioTotals())
 	}
 	return statsOf(sum)
 }
@@ -322,22 +497,35 @@ func (le *LiveEngine) IOTotals() IOStats {
 // Stats returns a consistent snapshot of the live engine's observable
 // state; see Engine.Stats. NumTicks and the segment counts reflect the
 // instants ingested before the snapshot, and may lag an ongoing append by
-// at most one instant.
+// at most one instant. DeltaEvents/DirtySegments expose the current
+// delta-log pressure; LateEvents/Retractions/Compactions are cumulative.
 func (le *LiveEngine) Stats() EngineStats {
-	slabs, numTicks := le.view()
+	sealed, _, tailNet, numTicks := le.log.View()
+	segments := len(sealed)
+	if tailNet != nil {
+		segments++
+	}
 	st := EngineStats{
 		Backend:        le.name,
 		NumObjects:     le.numObjects,
 		NumTicks:       numTicks,
-		Segments:       len(slabs),
-		SealedSegments: le.log.NumSealed(),
+		Segments:       segments,
+		SealedSegments: len(sealed),
 	}
 	var io pagefile.Stats
-	for _, s := range slabs {
-		io.Add(s.core.ioTotals())
-		st.IndexBytes += s.core.indexBytes()
+	for _, s := range sealed {
+		io.Add(s.Value.ioTotals())
+		st.IndexBytes += s.Value.indexBytes()
+		st.DeltaEvents += s.Pending
+		if s.Pending > 0 {
+			st.DirtySegments++
+		}
 	}
 	st.IO = statsOf(io)
+	c := le.log.Counters()
+	st.LateEvents = c.LateApplied
+	st.Retractions = c.Retractions
+	st.Compactions = c.Compactions
 	if le.pool != nil {
 		st.HasPool = true
 		st.Pool = le.pool.Stats()
@@ -346,16 +534,21 @@ func (le *LiveEngine) Stats() EngineStats {
 }
 
 // SegmentStats returns one entry per segment — sealed segments first, then
-// the mutable tail (which never charges I/O) when it holds instants.
+// the mutable tail (which never charges I/O) when it holds instants. A
+// sealed segment's DeltaEvents is its pending delta-log depth.
 func (le *LiveEngine) SegmentStats() []SegmentStats {
-	slabs, _ := le.view()
-	out := make([]SegmentStats, len(slabs))
-	for i, s := range slabs {
-		out[i] = SegmentStats{
-			Span:       s.span,
-			IO:         statsOf(s.core.ioTotals()),
-			IndexBytes: s.core.indexBytes(),
-		}
+	sealed, tailSpan, tailNet, _ := le.log.View()
+	out := make([]SegmentStats, 0, len(sealed)+1)
+	for _, s := range sealed {
+		out = append(out, SegmentStats{
+			Span:        s.Span,
+			IO:          statsOf(s.Value.ioTotals()),
+			IndexBytes:  s.Value.indexBytes(),
+			DeltaEvents: s.Pending,
+		})
+	}
+	if tailNet != nil {
+		out = append(out, SegmentStats{Span: tailSpan})
 	}
 	return out
 }

@@ -414,11 +414,14 @@ func (c *segmentedCore) segmentStats() []SegmentStats {
 // global tick span, the cumulative simulated I/O its segment has served,
 // and its on-disk size. The per-segment counters make planner locality
 // observable — a query must only ever charge the segments overlapping its
-// interval.
+// interval. For a LiveEngine, DeltaEvents is the segment's pending
+// delta-log depth (late/retracted contacts not yet compacted into the
+// sealed index); zero for frozen segments.
 type SegmentStats struct {
-	Span       Interval
-	IO         IOStats
-	IndexBytes int64
+	Span        Interval
+	IO          IOStats
+	IndexBytes  int64
+	DeltaEvents int
 }
 
 // Segmented is implemented by engines built from time-sliced segments

@@ -36,6 +36,19 @@ type EngineStats struct {
 	// SealedSegments is the number of immutable sealed segments of a
 	// LiveEngine; zero elsewhere.
 	SealedSegments int
+	// DeltaEvents is the live delta-log depth: effective late/retraction
+	// events pending against sealed segments, awaiting compaction.
+	// DirtySegments is the number of sealed segments carrying such deltas.
+	// Zero for frozen engines.
+	DeltaEvents   int
+	DirtySegments int
+	// LateEvents, Retractions and Compactions are a LiveEngine's
+	// cumulative out-of-order ingest counters: contact adds accepted
+	// behind the frontier, contact instants retracted, and dirty segments
+	// re-sealed. Zero for frozen engines.
+	LateEvents  int64
+	Retractions int64
+	Compactions int64
 }
 
 func (e *engine) Stats() EngineStats {

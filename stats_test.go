@@ -161,9 +161,10 @@ func TestEngineStatsRaceClean(t *testing.T) {
 }
 
 // TestLiveEngineHooks pins the seal/ingest notification contract: OnIngest
-// fires once per appended instant with consecutive ticks, OnSegmentSeal
-// fires exactly at slab boundaries with the sealed span, and a query
-// issued from inside the seal hook already sees the sealed segment.
+// fires once per appended instant with that instant's [t, t] interval,
+// OnSegmentSeal fires exactly at slab boundaries with the sealed span, and
+// a query issued from inside the seal hook already sees the sealed
+// segment.
 func TestLiveEngineHooks(t *testing.T) {
 	const numObjects, numTicks, slab = 24, 130, 40
 	ds := streach.GenerateRandomWaypoint(streach.RWPOptions{NumObjects: numObjects, NumTicks: numTicks, Seed: 3})
@@ -172,9 +173,9 @@ func TestLiveEngineHooks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ingested []streach.Tick
+	var ingested []streach.Interval
 	var seals []streach.Interval
-	live.OnIngest(func(tick streach.Tick) { ingested = append(ingested, tick) })
+	live.OnIngest(func(iv streach.Interval) { ingested = append(ingested, iv) })
 	live.OnSegmentSeal(func(span streach.Interval) {
 		seals = append(seals, span)
 		if got := live.NumSealedSegments(); got != len(seals) {
@@ -195,9 +196,9 @@ func TestLiveEngineHooks(t *testing.T) {
 	if len(ingested) != numTicks {
 		t.Fatalf("ingest hook fired %d times, want %d", len(ingested), numTicks)
 	}
-	for i, tk := range ingested {
-		if tk != streach.Tick(i) {
-			t.Fatalf("ingest hook %d reported tick %d", i, tk)
+	for i, iv := range ingested {
+		if want := streach.NewInterval(streach.Tick(i), streach.Tick(i)); iv != want {
+			t.Fatalf("ingest hook %d reported %v, want %v", i, iv, want)
 		}
 	}
 	want := []streach.Interval{
