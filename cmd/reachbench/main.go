@@ -150,13 +150,13 @@ func main() {
 		// ran; with none selected the concurrency sweep is the default
 		// report (the historical BENCH_*.json contents).
 		var recs []bench.Record
-		ranConc, ranStream, ranCodec, ranSem, ranCompact := false, false, false, false, false
+		ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir := false, false, false, false, false, false
 		for _, id := range ids {
 			switch strings.ToLower(strings.TrimSpace(id)) {
 			case "concurrency":
 				ranConc = true
 			case "all":
-				ranConc, ranStream, ranCodec, ranSem, ranCompact = true, true, true, true, true
+				ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir = true, true, true, true, true, true
 			case "streaming":
 				ranStream = true
 			case "ablation-codec":
@@ -165,9 +165,11 @@ func main() {
 				ranSem = true
 			case "compaction":
 				ranCompact = true
+			case "bidir":
+				ranBidir = true
 			}
 		}
-		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact {
+		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact && !ranBidir {
 			ranConc = true
 		}
 		if ranConc {
@@ -184,6 +186,9 @@ func main() {
 		}
 		if ranCompact {
 			recs = append(recs, lab.CompactionRecords()...)
+		}
+		if ranBidir {
+			recs = append(recs, lab.BidirRecords()...)
 		}
 		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)

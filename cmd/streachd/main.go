@@ -38,13 +38,14 @@ func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:8317", "listen address")
 		backend = flag.String("backend", "reachgraph", "frozen-mode backend (see -list)")
-		liveStr = flag.String("live", "", "serve a LiveEngine over this base backend (oracle, reachgraph, reachgraph-mem); replays the generated dataset as the initial feed and enables /v1/ingest")
+		liveStr = flag.String("live", "", "serve a LiveEngine over this base backend (oracle, reachgraph, reachgraph-mem, or bidir:<base> for bidirectional point queries); replays the generated dataset as the initial feed and enables /v1/ingest")
 		objects = flag.Int("objects", 400, "dataset objects")
 		ticks   = flag.Int("ticks", 1000, "dataset ticks (live mode: preloaded feed instants)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
 
 		segmentTicks = flag.Int("segment-ticks", 0, "time-slab width for segmented/live engines (0: default)")
 		poolPages    = flag.Int("pool-pages", 0, "buffer-pool pages for disk-resident backends (0: default)")
+		parallelism  = flag.Int("parallelism", 0, "intra-query workers for large frontier sweeps on segmented/bidir/live engines (0 or 1: serial)")
 
 		ingestHorizon = flag.Int("ingest-horizon", 0, "live mode: reject ingest adds at or past frontier+horizon ticks (0: 4 segment widths, negative: unbounded)")
 		compactEvents = flag.Int("compact-events", 0, "live mode: re-seal a dirty segment once its delta log holds this many late/retraction events (0: manual compaction only)")
@@ -76,11 +77,12 @@ func main() {
 		Seed:       *seed,
 	})
 	opts := streach.Options{
-		SegmentTicks:  *segmentTicks,
-		PoolPages:     *poolPages,
-		IngestHorizon: *ingestHorizon,
-		CompactEvents: *compactEvents,
-		Seed:          *seed,
+		SegmentTicks:     *segmentTicks,
+		PoolPages:        *poolPages,
+		QueryParallelism: *parallelism,
+		IngestHorizon:    *ingestHorizon,
+		CompactEvents:    *compactEvents,
+		Seed:             *seed,
 	}
 
 	var eng streach.Engine

@@ -47,6 +47,7 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "bypass the server's result cache")
 		ingestQPS  = flag.Float64("ingest-qps", 0, "feed instants per second to POST to /v1/ingest while measuring")
 		lateFrac   = flag.Float64("late-frac", 0, "fraction of ingest posts sent as v2 out-of-order contact events at a past tick (a quarter of those adds are later retracted)")
+		strategy   = flag.String("strategy", "auto", `strategy label on emitted records: "forward", "bidir", or "auto" (derive from the server's backend name)`)
 		seed       = flag.Int64("seed", 1, "workload seed")
 		jsonPath   = flag.String("json", "", "write a streach-bench/v1 report here")
 		timeoutStr = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
@@ -65,6 +66,21 @@ func main() {
 	}
 	log.Printf("target: %s serving %s via %s — %d objects × %d ticks, live=%v",
 		base, st.Dataset, st.Backend, st.Engine.NumObjects, st.Engine.NumTicks, st.Live)
+
+	// Sweeping bidir:* against forward backends is the point of the label:
+	// "auto" reads the direction off the served backend's name, so a sweep
+	// script only has to change -addr (or the daemon's -backend).
+	strat := *strategy
+	switch strat {
+	case "auto":
+		strat = "forward"
+		if strings.Contains(st.Backend, "bidir:") {
+			strat = "bidir"
+		}
+	case "forward", "bidir":
+	default:
+		log.Fatalf(`bad -strategy %q (want "forward", "bidir" or "auto")`, strat)
+	}
 
 	counts := []int{*clients}
 	if *sweep != "" {
@@ -90,6 +106,7 @@ func main() {
 			noCache:     *noCache,
 			ingestQPS:   *ingestQPS,
 			lateFrac:    *lateFrac,
+			strategy:    strat,
 			seed:        *seed,
 		})
 		records = append(records, rec)
@@ -135,12 +152,20 @@ type pointConfig struct {
 	noCache     bool
 	ingestQPS   float64
 	lateFrac    float64
+	strategy    string
 	seed        int64
 }
 
 // runPoint measures one client-count point: warmup, then cfg.duration of
 // recorded traffic, with the optional ingest stream running throughout.
 func runPoint(client *http.Client, base string, st *statsDoc, cfg pointConfig) bench.Record {
+	// Snapshot the server's expanded-contacts histograms so this point's
+	// per-query expansion cost can be read as a delta (earlier sweep points
+	// and the warmup of other tools already moved the counters).
+	initial, err := fetchStats(client, base)
+	if err != nil {
+		initial = st
+	}
 	stopIngest := make(chan struct{})
 	ingestDone := make(chan ingestReport, 1)
 	if cfg.ingestQPS > 0 {
@@ -259,6 +284,19 @@ func runPoint(client *http.Client, base string, st *statsDoc, cfg pointConfig) b
 		P95LatencyUS:  hist.quantileUS(0.95),
 		P99LatencyUS:  hist.quantileUS(0.99),
 		CacheHitRate:  final.Cache.HitRate,
+		Strategy:      cfg.strategy,
+	}
+	// Mean contact expansions per fresh evaluation across the query
+	// endpoints this point exercised (cache hits expand nothing and are not
+	// in the server's histogram, so the mean is undiluted).
+	var dCount, dTotal int64
+	for name, ex := range final.ExpandedContacts {
+		prev := initial.ExpandedContacts[name]
+		dCount += ex.Count - prev.Count
+		dTotal += ex.Total - prev.Total
+	}
+	if dCount > 0 {
+		rec.ExpandedPerQuery = float64(dTotal) / float64(dCount)
 	}
 	if ing.instants > 0 {
 		rec.AppendsPerSec = float64(ing.instants) / ing.elapsed.Seconds()
@@ -487,6 +525,14 @@ type statsDoc struct {
 	Cache struct {
 		HitRate float64 `json:"hit_rate"`
 	} `json:"cache"`
+	ExpandedContacts map[string]expandedDoc `json:"expanded_contacts"`
+}
+
+// expandedDoc mirrors one endpoint's expanded-contacts summary (the bucket
+// list is not needed here).
+type expandedDoc struct {
+	Count int64 `json:"count"`
+	Total int64 `json:"total"`
 }
 
 func fetchStats(client *http.Client, base string) (*statsDoc, error) {

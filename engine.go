@@ -213,6 +213,16 @@ type Options struct {
 	// backends.
 	CompactEvents int
 
+	// QueryParallelism is the intra-query worker budget of the segmented
+	// planners ("segmented:*", "bidir:*" and LiveEngine): when a carried
+	// frontier outgrows an internal threshold, its next sweep is
+	// partitioned across up to this many workers, each charging a private
+	// I/O accountant that is summed into the query's on merge. Zero or one
+	// keeps every sweep serial (the allocation-free steady-state path);
+	// values above one only ever engage on large frontiers. Ignored by
+	// unsegmented backends.
+	QueryParallelism int
+
 	// PageFormat selects the on-page record layout of the disk-resident
 	// indexes (reachgrid, spj, reachgraph and their segmented variants).
 	// Zero selects the default PageFormatVarint; PageFormatFixed rebuilds

@@ -26,7 +26,7 @@ func TestCrossBackendConformanceBothFormats(t *testing.T) {
 	ctx := context.Background()
 
 	diskBackends := []string{"reachgrid", "spj", "reachgraph", "reachgraph-bbfs",
-		"segmented:reachgrid", "segmented:reachgraph"}
+		"segmented:reachgrid", "segmented:reachgraph", "bidir:reachgraph"}
 	sizes := map[string]map[streach.PageFormat]int64{}
 	for _, name := range diskBackends {
 		sizes[name] = map[streach.PageFormat]int64{}

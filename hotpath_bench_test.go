@@ -77,10 +77,99 @@ func BenchmarkHotpathSegmentedPlannerMem(b *testing.B) {
 	benchmarkHotpath(b, "segmented:reachgraph-mem", streach.Options{SegmentTicks: 60})
 }
 
+// The bidirectional planner benchmarks pit "bidir:*" against the forward
+// planner on the same dataset. Long-interval queries are where the
+// backward frontier pays: the forward frontier saturates while the
+// destination's deliverer set stays small.
+
+func hotpathLongWorkload(ds *streach.Dataset) []streach.Query {
+	return streach.RandomQueries(streach.WorkloadOptions{
+		NumObjects: ds.NumObjects(),
+		NumTicks:   ds.NumTicks(),
+		Count:      32,
+		MinLen:     3 * ds.NumTicks() / 4,
+		MaxLen:     ds.NumTicks(),
+		Seed:       7,
+	})
+}
+
+func benchmarkLongInterval(b *testing.B, backend string, opts streach.Options) {
+	ds := hotpathDataset()
+	e, err := streach.Open(backend, ds, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := hotpathLongWorkload(ds)
+	ctx := context.Background()
+	for _, q := range work {
+		if _, err := e.Reachable(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Reachable(ctx, work[i%len(work)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBidirReachGraph(b *testing.B) {
+	benchmarkLongInterval(b, "bidir:reachgraph", streach.Options{SegmentTicks: 60})
+}
+
+func BenchmarkBidirReachGraphMem(b *testing.B) {
+	benchmarkLongInterval(b, "bidir:reachgraph-mem", streach.Options{SegmentTicks: 60})
+}
+
+func BenchmarkBidirForwardBaseline(b *testing.B) {
+	benchmarkLongInterval(b, "segmented:reachgraph", streach.Options{SegmentTicks: 60})
+}
+
+// The parallel-sweep benchmarks need frontiers above the engagement
+// threshold, so they run a larger population than the hotpath dataset.
+func parallelSweepDataset() *streach.Dataset {
+	return streach.GenerateRandomWaypoint(streach.RWPOptions{
+		NumObjects: 256, NumTicks: 240, Seed: 56,
+	})
+}
+
+func benchmarkParallelSweep(b *testing.B, parallelism int) {
+	ds := parallelSweepDataset()
+	e, err := streach.Open("segmented:reachgraph-mem", ds, streach.Options{
+		SegmentTicks:     40,
+		QueryParallelism: parallelism,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := hotpathLongWorkload(ds)
+	ctx := context.Background()
+	for _, q := range work {
+		if _, err := e.Reachable(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Reachable(ctx, work[i%len(work)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelSweepSerial(b *testing.B) { benchmarkParallelSweep(b, 1) }
+
+func BenchmarkParallelSweepWorkers4(b *testing.B) { benchmarkParallelSweep(b, 4) }
+
 // TestHotpathSteadyStateAllocs asserts the tentpole claim directly: once
 // the pooled scratch is warm, point queries on the memory backends perform
 // zero heap allocations per evaluation — visited sets, frontier queues and
-// object sets all come from the per-engine pools.
+// object sets all come from the per-engine pools. The bidir planner is
+// held to the same bar on its serial path (RWP48 frontiers stay below the
+// parallel-sweep threshold).
 func TestHotpathSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; allocation counts only hold un-instrumented")
@@ -88,7 +177,7 @@ func TestHotpathSteadyStateAllocs(t *testing.T) {
 	ds := hotpathDataset()
 	work := hotpathWorkload(ds)
 	ctx := context.Background()
-	for _, backend := range []string{"reachgraph-mem", "grail-mem"} {
+	for _, backend := range []string{"reachgraph-mem", "grail-mem", "bidir:reachgraph-mem"} {
 		e, err := streach.Open(backend, ds, streach.Options{})
 		if err != nil {
 			t.Fatal(err)

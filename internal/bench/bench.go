@@ -176,6 +176,7 @@ type Lab struct {
 	compactRecs []Record // memoized compaction sweep
 	codecRecs   []Record // memoized codec ablation
 	semRecs     []Record // memoized semantics sweep
+	bidirRecs   []Record // memoized bidirectional-search sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -435,6 +436,7 @@ func (l *Lab) All() []*Table {
 		l.Streaming(),
 		l.Compaction(),
 		l.Semantics(),
+		l.Bidir(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
 		l.AblationCodec(),
@@ -492,6 +494,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.Compaction
 	case "semantics":
 		return l.Semantics
+	case "bidir":
+		return l.Bidir
 	}
 	return nil
 }
@@ -502,6 +506,6 @@ func IDs() []string {
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
 		"table5a", "table5b", "backends", "concurrency", "streaming", "compaction", "semantics",
-		"ablation-pool", "ablation-bidir", "ablation-codec",
+		"bidir", "ablation-pool", "ablation-bidir", "ablation-codec",
 	}
 }

@@ -85,6 +85,16 @@ type Record struct {
 	// "none" (let them accumulate), "threshold" (auto at CompactEvents), or
 	// "manual" (periodic Compact calls); empty elsewhere.
 	CompactionPolicy string `json:"compaction_policy,omitempty"`
+	// Strategy labels the temporal search direction of the point: "forward"
+	// (the slab planner's default sweep) or "bidir" (meet-in-the-middle
+	// bidirectional search); set by the bidir experiment and by streachload,
+	// empty elsewhere.
+	Strategy string `json:"strategy,omitempty"`
+	// ExpandedPerQuery is the mean contact-list entries expanded per query —
+	// the work metric the bidirectional planner is built to shrink; set by
+	// the bidir experiment and by streachload when the server reports it,
+	// zero elsewhere.
+	ExpandedPerQuery float64 `json:"expanded_per_query,omitempty"`
 	// Semantics is the query class of a semantics-experiment point
 	// ("earliest-arrival" or "top-k"); empty elsewhere.
 	Semantics string `json:"semantics,omitempty"`

@@ -10,7 +10,12 @@
 // correctness of the forward rules carries over verbatim.
 package dn
 
-import "streach/internal/trajectory"
+import (
+	"sort"
+
+	"streach/internal/contact"
+	"streach/internal/trajectory"
+)
 
 // Reverse returns the time-reversed graph: node IDs are mirrored
 // (id′ = n−1−id) so ascending IDs remain a topological order, spans are
@@ -115,3 +120,59 @@ func (g *Graph) RevBoundary(id NodeID, L int) (trajectory.Tick, bool) {
 
 // HasReverseLongs reports whether reverse long edges have been computed.
 func (g *Graph) HasReverseLongs() bool { return g.revLongs != nil }
+
+// ReverseReach is the backward propagation primitive over the reduced
+// graph: walking DN1 in-edges in reverse time order from the runs of the
+// seed objects at iv.Hi, it returns every object that, holding an item at
+// iv.Lo, delivers it to some seed by iv.Hi (the deliverer set; seeds
+// included when the interval overlaps the time domain), sorted ascending.
+// This is forward propagation on Reverse() of the receiver, executed
+// directly without materializing the mirrored graph: an in-edge u ← v means
+// u is the adjacent run ending at Start(v)−1 that shares a member with v,
+// so any member of u holding the item within u's span hands it to v's
+// component, and by induction to a seed. A run starting at or before iv.Lo
+// is not expanded further — its predecessors end before the interval.
+//
+// ReverseReach allocates its own scratch per call (it is the reference
+// implementation; the reachgraph engines run the same walk on pooled,
+// epoch-stamped state).
+func (g *Graph) ReverseReach(seeds []trajectory.ObjectID, iv contact.Interval) []trajectory.ObjectID {
+	iv = iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(g.NumTicks - 1)})
+	if iv.Len() == 0 {
+		return nil
+	}
+	visited := make([]bool, len(g.Nodes))
+	var queue []NodeID
+	for _, o := range seeds {
+		id := g.NodeOf(o, iv.Hi)
+		if id == Invalid || visited[id] {
+			continue
+		}
+		visited[id] = true
+		queue = append(queue, id)
+	}
+	delivers := make(map[trajectory.ObjectID]bool)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		nd := &g.Nodes[id]
+		for _, m := range nd.Members {
+			delivers[m] = true
+		}
+		if nd.Start <= iv.Lo {
+			continue
+		}
+		for _, u := range nd.In {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	out := make([]trajectory.ObjectID, 0, len(delivers))
+	for o := range delivers {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}

@@ -162,6 +162,117 @@ func (o *Oracle) ReachableSetFrom(seeds []trajectory.ObjectID, iv contact.Interv
 	return out
 }
 
+// ReverseReachableSetFrom returns the deliverer set of seeds over iv: every
+// object x such that an item held by x at iv.Lo reaches some seed by iv.Hi
+// (seeds included when the interval overlaps the time domain). Propagation is
+// symmetric in time, so this is ReachableSetFrom on the time-mirrored contact
+// sequence — the backward frontier primitive of the bidirectional planner.
+// The set is sorted ascending.
+func (o *Oracle) ReverseReachableSetFrom(seeds []trajectory.ObjectID, iv contact.Interval) []trajectory.ObjectID {
+	var out []trajectory.ObjectID
+	o.reversePropagateFrom(seeds, iv, func(obj trajectory.ObjectID, _ trajectory.Tick) bool {
+		out = append(out, obj)
+		return true
+	})
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
+// ReverseProfileFrom is ReverseReachableSetFrom plus each deliverer's latest
+// departure tick: the last tick of iv at which the object can still pick up
+// the item and have it delivered to a seed by iv.Hi (iv.Hi itself for the
+// seeds). Entries are sorted by object; Hops is -1 — the reverse sweep does
+// not track transfer counts.
+func (o *Oracle) ReverseProfileFrom(seeds []trajectory.ObjectID, iv contact.Interval) []ProfileEntry {
+	var out []ProfileEntry
+	o.reversePropagateFrom(seeds, iv, func(obj trajectory.ObjectID, t trajectory.Tick) bool {
+		out = append(out, ProfileEntry{Obj: obj, Hops: -1, Arrival: t})
+		return true
+	})
+	sort.Slice(out, func(i, k int) bool { return out[i].Obj < out[k].Obj })
+	return out
+}
+
+// reversePropagateFrom runs the time-mirrored simulation. With D(iv.Hi+1) =
+// seeds, walking ticks descending gives D(t) = {x : component(x, t) ∩ D(t+1)
+// ≠ ∅}: x's whole component at tick t becomes infected the moment x is, so x
+// delivers exactly when its component contains someone who delivers from the
+// next tick on. Objects hold items forever, so D only grows as t decreases;
+// onDeliver fires once per object at its latest departure tick (seeds first,
+// at iv.Hi). Snapshot iterates forward and reuses its pairs slice, so the
+// per-tick contact lists are buffered (copied) before the descending pass.
+func (o *Oracle) reversePropagateFrom(seeds []trajectory.ObjectID, iv contact.Interval,
+	onDeliver func(trajectory.ObjectID, trajectory.Tick) bool) {
+
+	n := o.net.NumObjects
+	if iv.Len() == 0 {
+		return
+	}
+	delivers := make([]bool, n)
+	any := false
+	for _, s := range seeds {
+		if int(s) >= 0 && int(s) < n {
+			delivers[s] = true
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if delivers[i] && !onDeliver(trajectory.ObjectID(i), iv.Hi) {
+			return
+		}
+	}
+	type tickPairs struct {
+		t     trajectory.Tick
+		pairs []stjoin.Pair
+	}
+	var ticks []tickPairs
+	o.net.Snapshot(iv.Lo, iv.Hi, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		ticks = append(ticks, tickPairs{t, append([]stjoin.Pair(nil), pairs...)})
+		return true
+	})
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for k := len(ticks) - 1; k >= 0; k-- {
+		t, pairs := ticks[k].t, ticks[k].pairs
+		for i := 0; i < n; i++ {
+			parent[i] = int32(i)
+			size[i] = 1
+		}
+		for _, pr := range pairs {
+			ra, rb := ufFind(parent, int32(pr.A)), ufFind(parent, int32(pr.B))
+			if ra == rb {
+				continue
+			}
+			if size[ra] < size[rb] {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+			size[ra] += size[rb]
+		}
+		// A component holding a deliverer delivers as a whole.
+		deliverRoot := make(map[int32]bool)
+		for i := 0; i < n; i++ {
+			if delivers[i] {
+				deliverRoot[ufFind(parent, int32(i))] = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !delivers[i] && deliverRoot[ufFind(parent, int32(i))] {
+				delivers[i] = true
+				if !onDeliver(trajectory.ObjectID(i), t) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // EarliestReach returns the first tick in iv at which dst holds the item, or
 // false. It implements |T'p| of Theorems 4.1/5.4: the smallest prefix of the
 // query interval that decides a positive query.

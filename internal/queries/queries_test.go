@@ -135,6 +135,81 @@ func TestReachableSetConsistentWithReachable(t *testing.T) {
 	}
 }
 
+func TestReverseReachableSetDuality(t *testing.T) {
+	// x delivers to d over iv exactly when d is forward-reachable from x:
+	// the reverse sweep is the forward sweep on the time-mirrored network.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(8)
+		ticks := 6 + rng.Intn(20)
+		var cs []contact.Contact
+		for i := 0; i < rng.Intn(30); i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			lo := rng.Intn(ticks)
+			cs = append(cs, contact.Contact{
+				A: trajectory.ObjectID(a), B: trajectory.ObjectID(b),
+				Validity: contact.Interval{Lo: trajectory.Tick(lo), Hi: trajectory.Tick(lo + rng.Intn(3))},
+			})
+		}
+		net := contact.FromContacts(n, ticks, cs)
+		o := NewOracle(net)
+		for q := 0; q < 8; q++ {
+			d := trajectory.ObjectID(rng.Intn(n))
+			lo := rng.Intn(ticks)
+			iv := contact.Interval{Lo: trajectory.Tick(lo), Hi: trajectory.Tick(lo + rng.Intn(ticks-lo))}
+			rev := make(map[trajectory.ObjectID]bool)
+			for _, obj := range o.ReverseReachableSetFrom([]trajectory.ObjectID{d}, iv) {
+				rev[obj] = true
+			}
+			for x := 0; x < n; x++ {
+				fwd := o.Reachable(Query{Src: trajectory.ObjectID(x), Dst: d, Interval: iv})
+				if fwd != rev[trajectory.ObjectID(x)] {
+					t.Fatalf("trial %d: duality violated for %d⤳%d over %v: forward %v, reverse %v",
+						trial, x, d, iv, fwd, rev[trajectory.ObjectID(x)])
+				}
+			}
+		}
+	}
+}
+
+func TestReverseProfileDepartures(t *testing.T) {
+	// The departure tick of each deliverer must be the last tick from which
+	// a delivery still succeeds: reachable over [dep, hi] but not [dep+1, hi].
+	d := mobility.RandomWaypoint(mobility.RWPConfig{NumObjects: 30, NumTicks: 80, Seed: 9})
+	net := contact.Extract(d)
+	o := NewOracle(net)
+	dst := trajectory.ObjectID(3)
+	iv := contact.Interval{Lo: 5, Hi: 70}
+	for _, e := range o.ReverseProfileFrom([]trajectory.ObjectID{dst}, iv) {
+		if e.Arrival < iv.Lo || e.Arrival > iv.Hi {
+			t.Fatalf("departure %d outside %v", e.Arrival, iv)
+		}
+		if !o.Reachable(Query{Src: e.Obj, Dst: dst, Interval: contact.Interval{Lo: e.Arrival, Hi: iv.Hi}}) {
+			t.Fatalf("object %d cannot deliver from its own departure tick %d", e.Obj, e.Arrival)
+		}
+		if e.Arrival < iv.Hi && o.Reachable(Query{Src: e.Obj, Dst: dst, Interval: contact.Interval{Lo: e.Arrival + 1, Hi: iv.Hi}}) {
+			t.Fatalf("object %d delivers after its supposed latest departure %d", e.Obj, e.Arrival)
+		}
+	}
+	// Seeds always deliver to themselves, departing at iv.Hi.
+	prof := o.ReverseProfileFrom([]trajectory.ObjectID{dst}, iv)
+	found := false
+	for _, e := range prof {
+		if e.Obj == dst {
+			found = true
+			if e.Arrival != iv.Hi {
+				t.Fatalf("seed departure = %d, want %d", e.Arrival, iv.Hi)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("seed missing from its own reverse profile")
+	}
+}
+
 func TestEarliestReach(t *testing.T) {
 	o := NewOracle(figure1Network())
 	// o1 → o4 over [0,3]: earliest delivery is tick 1 (o2 hands over at 1).

@@ -198,7 +198,47 @@ func (m *Mem) AppendArrivalProfileFrom(ctx context.Context, dst []queries.Profil
 	if err := arrivalCollect(ctx, m, sc, starts, iv); err != nil {
 		return dst, sc.visits, err
 	}
-	return appendArrivalEntries(dst, sc), sc.visits, nil
+	return appendProfileEntries(dst, sc), sc.visits, nil
+}
+
+// AppendReverseSetFromCounted appends onto dst the deliverer set of the seed
+// frontier over iv; see Index.AppendReverseSetFromCounted.
+func (m *Mem) AppendReverseSetFromCounted(ctx context.Context, dst, seeds []trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, int, error) {
+	iv = m.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes), m.g.NumObjects)
+	starts, err := m.seedEntries(sc, seeds, iv.Hi)
+	if err != nil {
+		return dst, 0, err
+	}
+	if err := collectBackward(ctx, m, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return append(dst, trajectory.SortDedupObjects(sc.objList)...), sc.visits, nil
+}
+
+// AppendReverseProfileFrom appends to dst the latest-departure profile of
+// the seed frontier over iv; see Index.AppendReverseProfileFrom.
+func (m *Mem) AppendReverseProfileFrom(ctx context.Context, dst []queries.ProfileEntry, seeds []trajectory.ObjectID, iv contact.Interval) ([]queries.ProfileEntry, int, error) {
+	iv = m.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes), m.g.NumObjects)
+	starts, err := m.seedEntries(sc, seeds, iv.Hi)
+	if err != nil {
+		return dst, 0, err
+	}
+	if err := departureCollect(ctx, m, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return appendProfileEntries(dst, sc), sc.visits, nil
 }
 
 // seedEntries maps the seed objects to their (deduplicated) vertices at

@@ -785,12 +785,66 @@ func (ix *Index) AppendArrivalProfileFrom(ctx context.Context, dst []queries.Pro
 	if err := arrivalCollect(ctx, &sc.cur, sc, starts, iv); err != nil {
 		return dst, sc.visits, err
 	}
-	return appendArrivalEntries(dst, sc), sc.visits, nil
+	return appendProfileEntries(dst, sc), sc.visits, nil
 }
 
-// appendArrivalEntries drains an arrival sweep's per-object results into
-// sorted profile entries.
-func appendArrivalEntries(dst []queries.ProfileEntry, sc *scratch) []queries.ProfileEntry {
+// AppendReverseSetFromCounted appends onto dst the deliverer set of the seed
+// frontier over iv: every object that, holding the item at iv.Lo, delivers
+// it to some seed by iv.Hi (seeds included when the interval overlaps the
+// time domain), sorted ascending, plus the vertex-visit counter. It is the
+// native backward primitive — collectForward on the time-mirrored graph —
+// seeding at the runs covering iv.Hi and walking DN1 in-edges toward iv.Lo.
+// The backward cross-segment plan carries its frontier with it: the
+// deliverer set of one time slab becomes the seed set of the previous one.
+func (ix *Index) AppendReverseSetFromCounted(ctx context.Context, dst, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]trajectory.ObjectID, int, error) {
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix.numNodes, ix.numObjects)
+	sc.cur.reset(ix.numNodes, len(ix.partRefs))
+	sc.cur.ix, sc.cur.acct = ix, acct
+	starts, err := ix.seedEntries(sc, seeds, iv.Hi, acct)
+	if err != nil {
+		return dst, sc.visits, err
+	}
+	if err := collectBackward(ctx, &sc.cur, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return append(dst, trajectory.SortDedupObjects(sc.objList)...), sc.visits, nil
+}
+
+// AppendReverseProfileFrom appends to dst the latest-departure profile of
+// the seed frontier over iv: one entry per deliverer (seeds included),
+// sorted by object ID, with Arrival the *latest* tick the object can pick
+// the item up and still have it delivered to a seed by iv.Hi, and Hops
+// always -1 (see AppendArrivalProfileFrom). The int result is the
+// vertex-visit counter.
+func (ix *Index) AppendReverseProfileFrom(ctx context.Context, dst []queries.ProfileEntry, seeds []trajectory.ObjectID, iv contact.Interval, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix.numNodes, ix.numObjects)
+	sc.cur.reset(ix.numNodes, len(ix.partRefs))
+	sc.cur.ix, sc.cur.acct = ix, acct
+	starts, err := ix.seedEntries(sc, seeds, iv.Hi, acct)
+	if err != nil {
+		return dst, sc.visits, err
+	}
+	if err := departureCollect(ctx, &sc.cur, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return appendProfileEntries(dst, sc), sc.visits, nil
+}
+
+// appendProfileEntries drains a tick-tracking sweep's per-object results
+// (earliest arrivals or latest departures) into sorted profile entries.
+func appendProfileEntries(dst []queries.ProfileEntry, sc *scratch) []queries.ProfileEntry {
 	list := trajectory.SortDedupObjects(sc.objList)
 	for _, o := range list {
 		arr, _ := sc.objTicks.Get(int(o))

@@ -501,6 +501,106 @@ func arrivalCollect(ctx context.Context, g graphAccess, sc *scratch, starts []en
 	return nil
 }
 
+// collectBackward is the time-mirror of collectForward: it sweeps DN1 edges
+// backward from the start vertices (the seed runs at iv.Hi) and records in
+// sc.bwObjs/sc.objList every object that, holding the item at iv.Lo, delivers
+// it to a seed by iv.Hi — the native reverse-set primitive behind
+// AppendReverseSetFromCounted and the backward cross-segment plan. The entry
+// invariant mirrors the forward one: every visited run has a hand-over tick
+// inside its span and inside iv, so any member holding the item then infects
+// the run's whole component — including the member a DN1 in-edge shares with
+// the next run, which carries the item forward, by induction up to a seed.
+// Predecessors are adjacent runs ending at span start − 1, so a run starting
+// at or before iv.Lo is not expanded further: its predecessors end before
+// the interval and cannot pick the item up in time.
+func collectBackward(ctx context.Context, g graphAccess, sc *scratch, starts []entry, iv contact.Interval) error {
+	for _, e := range starts {
+		if e.node == dn.Invalid {
+			continue
+		}
+		if sc.nodes.Visit(int(e.node)) {
+			sc.queue.PushBack(e)
+		}
+	}
+	for sc.queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cur, _ := sc.queue.PopFront()
+		sc.visits++
+		v, err := g.vertex(cur.node, cur.part)
+		if err != nil {
+			return err
+		}
+		for _, o := range v.members {
+			if sc.bwObjs.Visit(int(o)) {
+				sc.objList = append(sc.objList, o)
+			}
+		}
+		if v.start <= iv.Lo {
+			// The run reaches back to the interval start: its predecessors
+			// end before iv.Lo and cannot pick the item up in time.
+			continue
+		}
+		for _, e := range v.in {
+			if sc.nodes.Visit(int(e.node)) {
+				sc.queue.PushBack(entry{e.node, e.part})
+			}
+		}
+	}
+	return nil
+}
+
+// departureCollect is collectBackward tracking latest departures: for every
+// deliverer it records, in sc.objTicks/sc.objList, the last tick at which the
+// object can still pick the item up and have it reach a seed by iv.Hi. DN1
+// in-edges come from exactly adjacent runs, so a non-seed run reached over
+// *any* backward path is departed at its span end (the one tick its
+// component can hand carriers to the next instant); only seed runs depart
+// later, at iv.Hi. Every visited run therefore has a single fixed departure
+// tick — a plain visited set suffices, no re-queueing on improvement — and
+// an object's latest departure is the maximum over the visited runs that
+// contain it, mirroring arrivalCollect's earliest-arrival argument.
+func departureCollect(ctx context.Context, g graphAccess, sc *scratch, starts []entry, iv contact.Interval) error {
+	for _, e := range starts {
+		if e.node == dn.Invalid {
+			continue
+		}
+		if sc.nodes.Visit(int(e.node)) {
+			sc.bwQueue.PushBack(tickItem{e, iv.Hi})
+		}
+	}
+	for sc.bwQueue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it, _ := sc.bwQueue.PopFront()
+		sc.visits++
+		v, err := g.vertex(it.e.node, it.e.part)
+		if err != nil {
+			return err
+		}
+		for _, o := range v.members {
+			if prev, ok := sc.objTicks.Get(int(o)); !ok || int32(it.t) > prev {
+				sc.objTicks.Set(int(o), int32(it.t))
+				if !ok {
+					sc.objList = append(sc.objList, o)
+				}
+			}
+		}
+		if v.start <= iv.Lo {
+			continue
+		}
+		dep := v.start - 1 // predecessors are adjacent runs ending this tick
+		for _, e := range v.in {
+			if sc.nodes.Visit(int(e.node)) {
+				sc.bwQueue.PushBack(tickItem{entry{e.node, e.part}, dep})
+			}
+		}
+	}
+	return nil
+}
+
 // boundary mirrors dn.Graph.Boundary on a decoded record: the departure
 // time of v's level-L long edges.
 func boundary(v *vertexRec, L int) (trajectory.Tick, bool) {

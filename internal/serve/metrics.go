@@ -26,24 +26,39 @@ var latencyBounds = []float64{
 	.025, .05, .1, .25, .5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram with atomic cells.
+// expandedBounds bucket the contact-list entries one query evaluation
+// expanded. The 0 bucket catches meets proven from the seeds alone (the
+// bidirectional planner's best case); the top buckets catch saturated
+// long-interval sweeps.
+var expandedBounds = []float64{
+	0, 1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000,
+}
+
+// histogram is a fixed-bucket histogram with atomic cells. sum carries
+// nanoseconds for latency histograms and expanded-contact counts for
+// expansion histograms.
 type histogram struct {
-	buckets  []atomic.Int64 // len(latencyBounds)+1; last is +Inf
-	count    atomic.Int64
-	sumNanos atomic.Int64
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{buckets: make([]atomic.Int64, len(latencyBounds)+1)}
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
 }
 
-func (h *histogram) observe(d time.Duration) {
-	secs := d.Seconds()
-	i := sort.SearchFloat64s(latencyBounds, secs)
+func (h *histogram) observe(value float64, raw int64) {
+	i := sort.SearchFloat64s(h.bounds, value)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
-	h.sumNanos.Add(int64(d))
+	h.sum.Add(raw)
 }
+
+func (h *histogram) observeDuration(d time.Duration) { h.observe(d.Seconds(), int64(d)) }
+
+func (h *histogram) observeCount(n int) { h.observe(float64(n), int64(n)) }
 
 // endpointMetrics is one endpoint's request counters by status code plus
 // its latency histogram.
@@ -54,7 +69,7 @@ type endpointMetrics struct {
 }
 
 func newEndpointMetrics() *endpointMetrics {
-	return &endpointMetrics{byCode: make(map[int]*atomic.Int64), latency: newHistogram()}
+	return &endpointMetrics{byCode: make(map[int]*atomic.Int64), latency: newHistogram(latencyBounds)}
 }
 
 func (m *endpointMetrics) record(code int, d time.Duration) {
@@ -66,7 +81,7 @@ func (m *endpointMetrics) record(code int, d time.Duration) {
 	}
 	m.mu.Unlock()
 	c.Add(1)
-	m.latency.observe(d)
+	m.latency.observeDuration(d)
 }
 
 // codes snapshots the per-status counters in sorted order.
@@ -88,12 +103,52 @@ type metricsSet struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 
+	// expanded histograms the contact-list entries each fresh evaluation
+	// expanded, per query endpoint. Cache hits expand nothing and are not
+	// observed, so the ratio of forward to bidirectional expansion work
+	// survives any cache hit rate.
+	expandedMu sync.Mutex
+	expanded   map[string]*histogram
+
 	ingestedTicks atomic.Int64
 	sealedEvents  atomic.Int64
 }
 
 func newMetricsSet() *metricsSet {
-	return &metricsSet{endpoints: make(map[string]*endpointMetrics)}
+	return &metricsSet{
+		endpoints: make(map[string]*endpointMetrics),
+		expanded:  make(map[string]*histogram),
+	}
+}
+
+// observeExpanded records the expanded-contact count of one fresh query
+// evaluation against the endpoint's histogram.
+func (s *metricsSet) observeExpanded(name string, n int) {
+	s.expandedMu.Lock()
+	h, ok := s.expanded[name]
+	if !ok {
+		h = newHistogram(expandedBounds)
+		s.expanded[name] = h
+	}
+	s.expandedMu.Unlock()
+	h.observeCount(n)
+}
+
+func (s *metricsSet) expandedNames() []string {
+	s.expandedMu.Lock()
+	defer s.expandedMu.Unlock()
+	names := make([]string, 0, len(s.expanded))
+	for name := range s.expanded {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *metricsSet) expandedHistogram(name string) *histogram {
+	s.expandedMu.Lock()
+	defer s.expandedMu.Unlock()
+	return s.expanded[name]
 }
 
 func (s *metricsSet) endpoint(name string) *endpointMetrics {
@@ -145,8 +200,24 @@ func (srv *Server) writeMetrics(w io.Writer) {
 		cum += h.buckets[len(latencyBounds)].Load()
 		p("streachd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
 		p("streachd_request_duration_seconds_sum{endpoint=%q} %g\n",
-			name, time.Duration(h.sumNanos.Load()).Seconds())
+			name, time.Duration(h.sum.Load()).Seconds())
 		p("streachd_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+
+	p("# HELP streachd_expanded_contacts Contact-list entries expanded per fresh query evaluation, by endpoint (cache hits not observed).\n")
+	p("# TYPE streachd_expanded_contacts histogram\n")
+	for _, name := range srv.met.expandedNames() {
+		h := srv.met.expandedHistogram(name)
+		var cum int64
+		for i, bound := range expandedBounds {
+			cum += h.buckets[i].Load()
+			p("streachd_expanded_contacts_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		cum += h.buckets[len(expandedBounds)].Load()
+		p("streachd_expanded_contacts_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		p("streachd_expanded_contacts_sum{endpoint=%q} %d\n", name, h.sum.Load())
+		p("streachd_expanded_contacts_count{endpoint=%q} %d\n", name, h.count.Load())
 	}
 
 	p("# HELP streachd_in_flight Queries currently evaluating.\n")

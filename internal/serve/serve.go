@@ -397,6 +397,7 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
+	s.met.observeExpanded("reachable", res.Expanded)
 	resp := reachableResponse{
 		Reachable: res.Reachable,
 		Arrival:   int(res.Arrival),
@@ -484,6 +485,7 @@ func (s *Server) handleReachableSet(w http.ResponseWriter, r *http.Request) {
 			writeEngineError(w, err)
 			return
 		}
+		s.met.observeExpanded("reachable-set", res.Expanded)
 		objects = res.Objects
 		trailer = setTrailer{
 			Done:      true,
@@ -577,6 +579,7 @@ func (s *Server) handleEarliestArrival(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
+	s.met.observeExpanded("earliest-arrival", res.Expanded)
 	resp := arrivalResponse{
 		Reachable: res.Reachable,
 		Arrival:   int(res.Arrival),
@@ -662,6 +665,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
+	s.met.observeExpanded("topk", res.Expanded)
 	items := make([]rankedJSON, len(res.Items))
 	for i, it := range res.Items {
 		items[i] = rankedJSON{
@@ -894,6 +898,21 @@ type admissionJSON struct {
 	ClientQPS        float64 `json:"client_qps,omitempty"`
 }
 
+// expandedBucketJSON is one cumulative histogram cell: observations ≤ LE.
+type expandedBucketJSON struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// expandedJSON is one endpoint's expanded-contacts histogram: how many
+// contact-list entries fresh evaluations expanded (cache hits excluded).
+type expandedJSON struct {
+	Count   int64                `json:"count"`
+	Total   int64                `json:"total"`
+	Mean    float64              `json:"mean"`
+	Buckets []expandedBucketJSON `json:"buckets"`
+}
+
 type statsResponse struct {
 	Backend   string        `json:"backend"`
 	Dataset   string        `json:"dataset,omitempty"`
@@ -904,6 +923,9 @@ type statsResponse struct {
 	Engine    engineJSON    `json:"engine"`
 	Cache     cacheJSON     `json:"cache"`
 	Admission admissionJSON `json:"admission"`
+	// ExpandedContacts is keyed by query endpoint; absent until the first
+	// fresh evaluation has been observed.
+	ExpandedContacts map[string]expandedJSON `json:"expanded_contacts,omitempty"`
 }
 
 // envDims is set by cmd/streachd via SetEnv for load generators that need
@@ -935,6 +957,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			HitRate:   st.Pool.HitRate(),
 		}
 	}
+	var expanded map[string]expandedJSON
+	if names := s.met.expandedNames(); len(names) > 0 {
+		expanded = make(map[string]expandedJSON, len(names))
+		for _, name := range names {
+			h := s.met.expandedHistogram(name)
+			ex := expandedJSON{Count: h.count.Load(), Total: h.sum.Load()}
+			if ex.Count > 0 {
+				ex.Mean = float64(ex.Total) / float64(ex.Count)
+			}
+			var cum int64
+			for i, bound := range expandedBounds {
+				cum += h.buckets[i].Load()
+				ex.Buckets = append(ex.Buckets, expandedBucketJSON{LE: bound, Count: cum})
+			}
+			expanded[name] = ex
+		}
+	}
 	writeJSON(w, statsResponse{
 		Backend:   s.eng.Name(),
 		Dataset:   s.cfg.Dataset,
@@ -962,6 +1001,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			RejectedQuota:    s.adm.rejectedQuota.Load(),
 			ClientQPS:        s.adm.rate,
 		},
+		ExpandedContacts: expanded,
 	})
 }
 

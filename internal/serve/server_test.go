@@ -503,10 +503,32 @@ func TestMetricsEndpoint(t *testing.T) {
 		`streachd_cache_events_total{event="miss"} 1`,
 		"streachd_request_duration_seconds_bucket",
 		"streachd_engine_ticks 120",
+		// One fresh evaluation and one cache hit: the expanded-contacts
+		// histogram must count exactly the fresh one.
+		`streachd_expanded_contacts_bucket{endpoint="reachable",le="+Inf"} 1`,
+		`streachd_expanded_contacts_count{endpoint="reachable"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics is missing %q", want)
 		}
+	}
+
+	// The same histogram surfaces in /v1/stats.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.ExpandedContacts["reachable"]
+	if !ok {
+		t.Fatalf("stats carry no expanded_contacts for reachable: %+v", st.ExpandedContacts)
+	}
+	if ex.Count != 1 || len(ex.Buckets) != len(expandedBounds) {
+		t.Errorf("expanded_contacts[reachable] = %+v, want count 1 with %d buckets", ex, len(expandedBounds))
 	}
 }
 

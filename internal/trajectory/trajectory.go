@@ -10,6 +10,7 @@ package trajectory
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"streach/internal/geo"
@@ -284,9 +285,12 @@ func Interpolate(tr *Trajectory, factor int) Trajectory {
 
 // SortDedupObjects sorts ids ascending and removes duplicates in place —
 // the one normalization every reachable-set answer in the module goes
-// through, keeping set results identical across backends.
+// through, keeping set results identical across backends. slices.Sort
+// rather than sort.Slice: the planners normalize a frontier per slab, and
+// the interface boxing plus reflect-based swapper of sort.Slice would put
+// two heap allocations on that per-slab path.
 func SortDedupObjects(ids []ObjectID) []ObjectID {
-	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	slices.Sort(ids)
 	w := 0
 	for i, o := range ids {
 		if i == 0 || o != ids[w-1] {

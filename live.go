@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"streach/internal/contact"
@@ -60,6 +61,12 @@ type LiveEngine struct {
 	// an automatic re-seal (0 means manual Compact only).
 	horizon       int
 	compactEvents int
+
+	// bidir routes point queries through the bidirectional planner
+	// (engine opened as "bidir:<base>"); parallelism is the worker budget
+	// for large frontier sweeps (Options.QueryParallelism).
+	bidir       bool
+	parallelism int
 
 	// evScratch is AddInstant's reusable event buffer (single appender).
 	evScratch []contact.Event
@@ -123,8 +130,15 @@ var ErrNotLiveCapable = errors.New("streach: backend cannot serve a live feed")
 // named base backend, which must open from a contact network and support
 // the segmented planner ("reachgraph", "reachgraph-mem" or "oracle");
 // Options.SegmentTicks sets the slab width and disk-resident segments
-// share one buffer pool (Options.Pool or a private one).
+// share one buffer pool (Options.Pool or a private one). A "bidir:"
+// prefix on the backend name ("bidir:reachgraph", ...) routes point
+// queries through the bidirectional planner, exactly as for the frozen
+// "bidir:*" registry backends; the base must then be reverse-capable.
 func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64, opts Options) (*LiveEngine, error) {
+	bidir := strings.HasPrefix(strings.ToLower(strings.TrimSpace(backend)), "bidir:")
+	if bidir {
+		backend = strings.TrimSpace(backend)[len("bidir:"):]
+	}
 	spec, ok := lookupSpec(backend)
 	if !ok {
 		return nil, fmt.Errorf("%w %q (available: %s)",
@@ -153,8 +167,12 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 	}
 	// Probe seal-ability now, not at the first slab boundary: a one-tick
 	// empty network must build.
-	if _, err := build(NewInterval(0, 0), contact.FromContacts(numObjects, 1, nil)); err != nil {
+	probe, err := build(NewInterval(0, 0), contact.FromContacts(numObjects, 1, nil))
+	if err != nil {
 		return nil, err
+	}
+	if _, ok := probe.(reverseFrontierCore); bidir && !ok {
+		return nil, fmt.Errorf("live bidir:%s: %w (no reverse frontier entry points)", spec.info.Name, ErrNotLiveCapable)
 	}
 	horizon := opts.IngestHorizon
 	switch {
@@ -163,8 +181,12 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 	case horizon < 0:
 		horizon = -1
 	}
+	name := "live:" + spec.info.Name
+	if bidir {
+		name = "live:bidir:" + spec.info.Name
+	}
 	return &LiveEngine{
-		name:          "live:" + spec.info.Name,
+		name:          name,
 		base:          spec.info.Name,
 		numObjects:    numObjects,
 		joiner:        stjoin.NewJoiner(env, contactDist),
@@ -172,6 +194,8 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 		pool:          slabOpts.Pool,
 		horizon:       horizon,
 		compactEvents: max(opts.CompactEvents, 0),
+		bidir:         bidir,
+		parallelism:   opts.QueryParallelism,
 	}, nil
 }
 
@@ -369,7 +393,14 @@ func (le *LiveEngine) Reachable(ctx context.Context, q Query) (Result, error) {
 	slabs, numTicks := le.view()
 	var acct pagefile.Stats
 	start := time.Now()
-	ok, expanded, err := planReach(ctx, slabs, le.numObjects, numTicks, q, &acct)
+	var ok bool
+	var expanded int
+	var err error
+	if le.bidir {
+		ok, expanded, err = planReachBidir(ctx, slabs, le.numObjects, numTicks, q, le.parallelism, &acct)
+	} else {
+		ok, expanded, err = planReach(ctx, slabs, le.numObjects, numTicks, q, le.parallelism, &acct)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -395,7 +426,7 @@ func (le *LiveEngine) ReachableSet(ctx context.Context, src ObjectID, iv Interva
 	slabs, numTicks := le.view()
 	var acct pagefile.Stats
 	start := time.Now()
-	objs, _, err := planSet(ctx, slabs, le.numObjects, numTicks, src, iv, &acct)
+	objs, _, err := planSet(ctx, slabs, le.numObjects, numTicks, src, iv, le.parallelism, &acct)
 	if err != nil {
 		return SetResult{}, err
 	}

@@ -48,6 +48,21 @@ type frontierCore interface {
 	appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error)
 }
 
+// reverseFrontierCore is the backward surface of a bidir-capable backend:
+// appendReverseFrontier appends the deliverer set of the seeds over iv —
+// every object that, holding an item at iv.Lo, would deliver it to some
+// seed by iv.Hi (seeds included when the interval overlaps the time
+// domain) — onto dst and returns it, sorted and deduplicated. Like
+// appendFrontier, dst's backing array is reused across the slab walk.
+// Implemented by the backends with a native reverse traversal (reachgraph
+// disk/mem walk DN1 in-edges in reverse time order; the oracle runs its
+// time-mirrored propagation); ReachGrid's guided spatial expansion has no
+// backward analogue, so bidirectional planning excludes it.
+type reverseFrontierCore interface {
+	frontierCore
+	appendReverseFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error)
+}
+
 func (c gridCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, acct *pagefile.Stats) (bool, int, error) {
 	return c.ix.ReachFromCounted(ctx, seeds, dst, iv, acct)
 }
@@ -64,12 +79,20 @@ func (c graphCore) appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv
 	return c.ix.AppendReachableSetFromCounted(ctx, dst, seeds, iv, acct)
 }
 
+func (c graphCore) appendReverseFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.ix.AppendReverseSetFromCounted(ctx, dst, seeds, iv, acct)
+}
+
 func (c graphMemCore) reachFrom(ctx context.Context, seeds []ObjectID, dst ObjectID, iv Interval, _ *pagefile.Stats) (bool, int, error) {
 	return c.m.ReachFromCounted(ctx, seeds, dst, iv, BMBFS)
 }
 
 func (c graphMemCore) appendFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
 	return c.m.AppendReachableSetFromCounted(ctx, dst, seeds, iv)
+}
+
+func (c graphMemCore) appendReverseFrontier(ctx context.Context, dst, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
+	return c.m.AppendReverseSetFromCounted(ctx, dst, seeds, iv)
 }
 
 func (c oracleCore) reachFrom(_ context.Context, seeds []ObjectID, dst ObjectID, iv Interval, _ *pagefile.Stats) (bool, int, error) {
@@ -79,6 +102,11 @@ func (c oracleCore) reachFrom(_ context.Context, seeds []ObjectID, dst ObjectID,
 
 func (c oracleCore) appendFrontier(_ context.Context, dst, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
 	set := c.o.ReachableSetFrom(seeds, iv)
+	return append(dst, set...), len(set), nil
+}
+
+func (c oracleCore) appendReverseFrontier(_ context.Context, dst, seeds []ObjectID, iv Interval, _ *pagefile.Stats) ([]ObjectID, int, error) {
+	set := c.o.ReverseReachableSetFrom(seeds, iv)
 	return append(dst, set...), len(set), nil
 }
 
@@ -104,8 +132,9 @@ var planPool = visit.NewPool(func() *planScratch { return new(planScratch) })
 // ascending span order and tile the time domain prefix they cover; the
 // planner touches only the slabs overlapping the query interval. It
 // validates ids against numObjects and clamps the interval to
-// [0, numTicks).
-func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q Query, acct *pagefile.Stats) (bool, int, error) {
+// [0, numTicks). par is the worker budget for large frontier sweeps
+// (Options.QueryParallelism; <= 1 keeps every sweep serial).
+func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q Query, par int, acct *pagefile.Stats) (bool, int, error) {
 	if err := validatePlanIDs(numObjects, q.Src, q.Dst); err != nil {
 		return false, 0, err
 	}
@@ -134,7 +163,7 @@ func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q
 			ok, n, err := slabs[i].core.reachFrom(ctx, frontier, q.Dst, local, acct)
 			return ok, expanded + n, err
 		}
-		fr, n, err := slabs[i].core.appendFrontier(ctx, sc.b[:0], frontier, local, acct)
+		fr, n, err := sweepFrontier(ctx, slabs[i].core, sc.b[:0], frontier, local, par, acct)
 		sc.b = fr
 		expanded += n
 		if err != nil {
@@ -154,7 +183,7 @@ func planReach(ctx context.Context, slabs []segSlab, numObjects, numTicks int, q
 // planSet is the cross-segment reachable-set planner: the frontier is
 // carried through every overlapping slab and the final frontier is the
 // answer (sorted, deduplicated; copied out of the pooled buffers).
-func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, int, error) {
+func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src ObjectID, iv Interval, par int, acct *pagefile.Stats) ([]ObjectID, int, error) {
 	if err := validatePlanIDs(numObjects, src, src); err != nil {
 		return nil, 0, err
 	}
@@ -176,7 +205,7 @@ func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src
 		if w.Len() == 0 {
 			continue
 		}
-		fr, n, err := slabs[i].core.appendFrontier(ctx, sc.b[:0], frontier, local, acct)
+		fr, n, err := sweepFrontier(ctx, slabs[i].core, sc.b[:0], frontier, local, par, acct)
 		sc.b = fr
 		expanded += n
 		if err != nil {
@@ -186,6 +215,46 @@ func planSet(ctx context.Context, slabs []segSlab, numObjects, numTicks int, src
 		frontier = sc.a
 	}
 	return append([]ObjectID(nil), frontier...), expanded, nil
+}
+
+// planReverseSet is the backward cross-segment plan, the time mirror of
+// planSet: it visits slabs[from..to] newest-first, seeding slab k with
+// slab k+1's reverse frontier (the initial seeds stand in for the frontier
+// beyond slab to), and appends the final frontier — every object that,
+// holding an item at the start of slab from's overlap with iv, delivers it
+// to one of the original seeds by iv.Hi — onto dst, sorted and
+// deduplicated. Correctness is the time mirror of the forward planner's:
+// delivery composes across consecutive sub-intervals with the deliverer
+// frontier as the only carried state. Every visited slab core must
+// implement reverseFrontierCore (the bidir backends verify this at open).
+func planReverseSet(ctx context.Context, slabs []segSlab, from, to int, dst, seeds []ObjectID, iv Interval, par int, acct *pagefile.Stats) ([]ObjectID, int, error) {
+	sc := planPool.Get()
+	defer planPool.Put(sc)
+	sc.a = append(sc.a[:0], seeds...)
+	frontier := sc.a
+	expanded := 0
+	for i := to; i >= from; i-- {
+		if err := ctx.Err(); err != nil {
+			return dst, expanded, err
+		}
+		w, local := localInterval(slabs[i].span, iv)
+		if w.Len() == 0 {
+			continue
+		}
+		rc, ok := slabs[i].core.(reverseFrontierCore)
+		if !ok {
+			return dst, expanded, fmt.Errorf("streach: segment %v has no reverse frontier entry points", slabs[i].span)
+		}
+		fr, n, err := sweepReverseFrontier(ctx, rc, sc.b[:0], frontier, local, par, acct)
+		sc.b = fr
+		expanded += n
+		if err != nil {
+			return dst, expanded, err
+		}
+		sc.a, sc.b = sc.b, sc.a
+		frontier = sc.a
+	}
+	return append(dst, frontier...), expanded, nil
 }
 
 // semPlanScratch is the pooled working state of one cross-segment
@@ -359,14 +428,26 @@ type segmentedCore struct {
 	slabs      []segSlab
 	numObjects int
 	numTicks   int
+
+	// bidir routes point queries through the bidirectional planner
+	// (planReachBidir); set only by the "bidir:*" backends, whose slab
+	// cores are all reverseFrontierCore. Set/semantics queries keep the
+	// forward planner either way.
+	bidir bool
+	// parallelism is the worker budget for large frontier sweeps
+	// (Options.QueryParallelism); <= 1 keeps every sweep serial.
+	parallelism int
 }
 
 func (c *segmentedCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
-	return planReach(ctx, c.slabs, c.numObjects, c.numTicks, q, acct)
+	if c.bidir {
+		return planReachBidir(ctx, c.slabs, c.numObjects, c.numTicks, q, c.parallelism, acct)
+	}
+	return planReach(ctx, c.slabs, c.numObjects, c.numTicks, q, c.parallelism, acct)
 }
 
 func (c *segmentedCore) reachSet(ctx context.Context, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
-	objs, _, err := planSet(ctx, c.slabs, c.numObjects, c.numTicks, src, iv, acct)
+	objs, _, err := planSet(ctx, c.slabs, c.numObjects, c.numTicks, src, iv, c.parallelism, acct)
 	return objs, err
 }
 
@@ -505,7 +586,12 @@ func buildSegmentedCore(base string, src Source, opts Options) (*segmentedCore, 
 	}
 	layout := segment.NewLayout(opts.SegmentTicks, numTicks)
 	slabOpts := withSharedSlabPool(opts, spec.info.DiskResident)
-	core := &segmentedCore{base: base, numObjects: numObjects, numTicks: numTicks}
+	core := &segmentedCore{
+		base:        base,
+		numObjects:  numObjects,
+		numTicks:    numTicks,
+		parallelism: opts.QueryParallelism,
+	}
 	for i := 0; i < layout.NumSlabs(); i++ {
 		span := layout.Span(i)
 		var slabSrc Source

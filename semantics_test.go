@@ -240,11 +240,16 @@ func TestSemanticsNativeMatrix(t *testing.T) {
 		"reachgraph-mem":   true,
 		"segmented:oracle": true, "segmented:reachgrid": true,
 		"segmented:reachgraph": true, "segmented:reachgraph-mem": true,
+		// Bidirectional planning covers boolean point queries only; the
+		// semantics layer routes through the same forward planner as the
+		// segmented backends, so native-ness matches them.
+		"bidir:oracle": true, "bidir:reachgraph": true, "bidir:reachgraph-mem": true,
 		"spj": false, "grail": false, "grail-mem": false,
 	}
 	hopNative := map[string]bool{
 		"oracle": true, "reachgrid": true,
 		"segmented:oracle": true, "segmented:reachgrid": true,
+		"bidir:oracle": true,
 	}
 	for _, name := range streach.Backends() {
 		e, err := streach.Open(name, ds, opts)
