@@ -150,13 +150,13 @@ func main() {
 		// ran; with none selected the concurrency sweep is the default
 		// report (the historical BENCH_*.json contents).
 		var recs []bench.Record
-		ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir := false, false, false, false, false, false
+		ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir, ranShard := false, false, false, false, false, false, false
 		for _, id := range ids {
 			switch strings.ToLower(strings.TrimSpace(id)) {
 			case "concurrency":
 				ranConc = true
 			case "all":
-				ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir = true, true, true, true, true, true
+				ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir, ranShard = true, true, true, true, true, true, true
 			case "streaming":
 				ranStream = true
 			case "ablation-codec":
@@ -167,9 +167,11 @@ func main() {
 				ranCompact = true
 			case "bidir":
 				ranBidir = true
+			case "sharding":
+				ranShard = true
 			}
 		}
-		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact && !ranBidir {
+		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact && !ranBidir && !ranShard {
 			ranConc = true
 		}
 		if ranConc {
@@ -189,6 +191,9 @@ func main() {
 		}
 		if ranBidir {
 			recs = append(recs, lab.BidirRecords()...)
+		}
+		if ranShard {
+			recs = append(recs, lab.ShardRecords()...)
 		}
 		if err := bench.WriteJSONFile(*jsonOut, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "reachbench: write %s: %v\n", *jsonOut, err)

@@ -43,6 +43,9 @@ func main() {
 		ticks   = flag.Int("ticks", 1000, "dataset ticks (live mode: preloaded feed instants)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
 
+		shards      = flag.Int("shards", 0, "partition the engine into this many shards (0: unsharded); wraps the backend as shard:<K>[:partitioner]:<base>")
+		partitioner = flag.String("partitioner", "", "shard partitioner: hash | spatial (default hash)")
+
 		segmentTicks = flag.Int("segment-ticks", 0, "time-slab width for segmented/live engines (0: default)")
 		poolPages    = flag.Int("pool-pages", 0, "buffer-pool pages for disk-resident backends (0: default)")
 		parallelism  = flag.Int("parallelism", 0, "intra-query workers for large frontier sweeps on segmented/bidir/live engines (0 or 1: serial)")
@@ -76,6 +79,16 @@ func main() {
 		NumTicks:   *ticks,
 		Seed:       *seed,
 	})
+	if *shards > 0 {
+		prefix := fmt.Sprintf("shard:%d:", *shards)
+		if *partitioner != "" {
+			prefix = fmt.Sprintf("shard:%d:%s:", *shards, *partitioner)
+		}
+		*backend = prefix + *backend
+		if *liveStr != "" {
+			*liveStr = prefix + *liveStr
+		}
+	}
 	opts := streach.Options{
 		SegmentTicks:     *segmentTicks,
 		PoolPages:        *poolPages,

@@ -6,6 +6,7 @@
 //	streachgen -kind vn -objects 200 -contacts                     # + contact stats
 //	streachgen -kind taxi -csv /tmp/vnr.csv                        # trajectory CSV
 //	streachgen -kind rwp -backend reachgraph -queries 100          # serve a workload
+//	streachgen -kind clustered -clusters 12 -roam 0.002            # sharding preset
 //
 // The CSV format is one row per (object, tick): object,tick,x,y. With
 // -backend, the named registry backend (see -backend list) is opened over
@@ -26,10 +27,12 @@ import (
 
 func main() {
 	var (
-		kind        = flag.String("kind", "rwp", "dataset kind: rwp | vn | taxi")
+		kind        = flag.String("kind", "rwp", "dataset kind: rwp | vn | taxi | clustered")
 		objects     = flag.Int("objects", 200, "number of moving objects")
-		ticks       = flag.Int("ticks", 1000, "time-domain length in ticks (rwp/vn)")
+		ticks       = flag.Int("ticks", 1000, "time-domain length in ticks (rwp/vn/clustered)")
 		minutes     = flag.Int("minutes", 120, "trace length in minutes (taxi)")
+		clusters    = flag.Int("clusters", 0, "home regions (clustered; 0 = default)")
+		roam        = flag.Float64("roam", 0, "per-waypoint roaming probability (clustered; 0 = default)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		contactsFlg = flag.Bool("contacts", false, "extract and summarize the contact network")
 		csvPath     = flag.String("csv", "", "write trajectories as CSV to this path")
@@ -59,6 +62,11 @@ func main() {
 	case "taxi":
 		ds = streach.GenerateTaxiDay(streach.TaxiOptions{
 			NumObjects: *objects, NumMinutes: *minutes, Seed: *seed,
+		})
+	case "clustered":
+		ds = streach.GenerateClustered(streach.ClusteredOptions{
+			NumObjects: *objects, NumTicks: *ticks,
+			NumClusters: *clusters, RoamProb: *roam, Seed: *seed,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "streachgen: unknown kind %q\n", *kind)

@@ -286,6 +286,11 @@ func runPoint(client *http.Client, base string, st *statsDoc, cfg pointConfig) b
 		CacheHitRate:  final.Cache.HitRate,
 		Strategy:      cfg.strategy,
 	}
+	if final.Engine.Shards > 0 {
+		rec.Shards = final.Engine.Shards
+		rec.Partitioner = final.Engine.Partitioner
+		rec.CrossShardRatio = final.Engine.CrossShardRatio
+	}
 	// Mean contact expansions per fresh evaluation across the query
 	// endpoints this point exercised (cache hits expand nothing and are not
 	// in the server's histogram, so the mean is undiluted).
@@ -518,9 +523,12 @@ type statsDoc struct {
 	EnvWidth  float64 `json:"env_width"`
 	EnvHeight float64 `json:"env_height"`
 	Engine    struct {
-		NumObjects     int `json:"num_objects"`
-		NumTicks       int `json:"num_ticks"`
-		SealedSegments int `json:"sealed_segments"`
+		NumObjects      int     `json:"num_objects"`
+		NumTicks        int     `json:"num_ticks"`
+		SealedSegments  int     `json:"sealed_segments"`
+		Shards          int     `json:"shards"`
+		Partitioner     string  `json:"partitioner"`
+		CrossShardRatio float64 `json:"cross_shard_ratio"`
 	} `json:"engine"`
 	Cache struct {
 		HitRate float64 `json:"hit_rate"`

@@ -259,6 +259,11 @@ type BackendInfo struct {
 type backendSpec struct {
 	info BackendInfo
 	open func(src Source, opts Options) (engineCore, error)
+	// ownPool marks backends that manage buffer pools themselves (the
+	// shard coordinators, which give each disk-resident child a private
+	// pool unless the caller shares one); Open then skips the usual
+	// pool materialization.
+	ownPool bool
 }
 
 // defaultResolutions are the paper's optimal long-edge levels (§6.2.1.4).
@@ -419,8 +424,13 @@ func lookupSpec(name string) (backendSpec, bool) {
 	if alias, ok := aliases[canonical]; ok {
 		canonical = alias
 	}
-	spec, ok := registry[canonical]
-	return spec, ok
+	if spec, ok := registry[canonical]; ok {
+		return spec, ok
+	}
+	// "shard:<K>[:partitioner]:<base>" names compose dynamically: any
+	// shard count over any registered contact-sourced base resolves even
+	// without a pre-registered entry.
+	return shardSpec(canonical)
 }
 
 // Open builds the named backend over src and returns it as an Engine.
@@ -442,8 +452,12 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 	// Materialize the buffer pool at the Open level so the engine can
 	// snapshot its counters (Engine.Stats): disk-resident backends that
 	// would otherwise build a private pool get the same 64-page default,
-	// now visible to the engine wrapper.
-	opts = withSharedSlabPool(opts, spec.info.DiskResident)
+	// now visible to the engine wrapper. Backends that manage their own
+	// pools (shard coordinators) are left alone — a pool materialized here
+	// would force all shards onto one budget.
+	if !spec.ownPool {
+		opts = withSharedSlabPool(opts, spec.info.DiskResident)
+	}
 	core, err := spec.open(src, opts)
 	if err != nil {
 		return nil, fmt.Errorf("streach: open %q: %w", spec.info.Name, err)
@@ -466,6 +480,11 @@ func Open(name string, src Source, opts Options) (Engine, error) {
 		// Segmented engines additionally expose per-segment statistics
 		// (the Segmented interface).
 		return &segmentedEngine{engine: eng, seg: sc}, nil
+	}
+	if sh, ok := core.(*shardCore); ok {
+		// Shard coordinators additionally expose per-shard statistics
+		// (the Sharded interface).
+		return &shardEngine{engine: eng, sh: sh}, nil
 	}
 	return eng, nil
 }
@@ -687,7 +706,7 @@ func (c graphCore) reachSet(context.Context, ObjectID, Interval, *pagefile.Stats
 func (c graphCore) ioTotals() pagefile.Stats { return c.ix.Counters() }
 func (c graphCore) resetIO()                 { c.ix.ResetCounters() }
 func (c graphCore) indexBytes() int64        { return c.ix.Store().SizeBytes() }
-func (c graphCore) dropCache()               { c.ix.Store().DropCache() }
+func (c graphCore) dropCache()               { c.ix.DropCache() }
 
 type graphMemCore struct {
 	memCore

@@ -25,8 +25,14 @@ func TestCrossBackendConformanceBothFormats(t *testing.T) {
 	})
 	ctx := context.Background()
 
+	// The shard rows sweep the scatter-gather coordinator across both
+	// partitioners at K ∈ {1, 2, 4}: every per-shard child index must
+	// round-trip both page layouts and the coordinator must still agree
+	// with the oracle across the cut.
 	diskBackends := []string{"reachgrid", "spj", "reachgraph", "reachgraph-bbfs",
-		"segmented:reachgrid", "segmented:reachgraph", "bidir:reachgraph"}
+		"segmented:reachgrid", "segmented:reachgraph", "bidir:reachgraph",
+		"shard:1:reachgraph", "shard:2:reachgraph", "shard:4:reachgraph",
+		"shard:1:spatial:reachgraph", "shard:2:spatial:reachgraph", "shard:4:spatial:reachgraph"}
 	sizes := map[string]map[streach.PageFormat]int64{}
 	for _, name := range diskBackends {
 		sizes[name] = map[streach.PageFormat]int64{}

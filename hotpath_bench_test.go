@@ -164,6 +164,105 @@ func BenchmarkParallelSweepSerial(b *testing.B) { benchmarkParallelSweep(b, 1) }
 
 func BenchmarkParallelSweepWorkers4(b *testing.B) { benchmarkParallelSweep(b, 4) }
 
+// The sharding benchmarks measure the scatter-gather planner against the
+// single-engine baseline on large reachable-set queries — the workload the
+// partitioned design targets (point queries keep their serial fast path at
+// K=1 and pay hand-off rounds at K>1).
+
+func benchmarkShardSet(b *testing.B, backend string, parallelism int) {
+	ds := parallelSweepDataset()
+	e, err := streach.Open(backend, ds, streach.Options{QueryParallelism: parallelism})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	iv := streach.NewInterval(0, streach.Tick(3*ds.NumTicks()/4))
+	for src := streach.ObjectID(0); src < 4; src++ { // warm
+		if _, err := e.ReachableSet(ctx, src, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ReachableSet(ctx, streach.ObjectID(i%ds.NumObjects()), iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardSetBaseline1(b *testing.B) { benchmarkShardSet(b, "shard:1:reachgraph", 0) }
+
+func BenchmarkShardSetHash4(b *testing.B) { benchmarkShardSet(b, "shard:4:reachgraph", 0) }
+
+func BenchmarkShardSetSpatial4(b *testing.B) { benchmarkShardSet(b, "shard:4:spatial:reachgraph", 0) }
+
+// The clustered benchmarks run the workload the partitioned design is
+// built for: objects orbit home regions, so a spatial cut keeps almost
+// every contact — and every query's expansion — shard-local. The win on a
+// single core is resource locality, not parallelism: each shard owns a
+// private buffer pool and decoded-record cache sized like the monolith's,
+// and its region-local working set fits where the monolith's union of all
+// regions cycles, so the sharded engine answers from warm records while
+// the single engine re-reads and re-decodes pages on every query.
+func clusteredBenchDataset() *streach.Dataset {
+	return streach.GenerateClustered(streach.ClusteredOptions{
+		NumObjects: 384, NumTicks: 288, NumClusters: 12, RoamProb: 0.002, Seed: 57,
+	})
+}
+
+func benchmarkShardClustered(b *testing.B, backend string) {
+	ds := clusteredBenchDataset()
+	e, err := streach.Open(backend, ds, streach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	iv := streach.NewInterval(0, streach.Tick(ds.NumTicks()/3))
+	for src := streach.ObjectID(0); src < 8; src++ { // warm
+		if _, err := e.ReachableSet(ctx, src, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ReachableSet(ctx, streach.ObjectID(i*7%ds.NumObjects()), iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardClusteredBaseline1(b *testing.B) {
+	benchmarkShardClustered(b, "shard:1:reachgraph")
+}
+
+func BenchmarkShardClusteredSpatial4(b *testing.B) {
+	benchmarkShardClustered(b, "shard:4:spatial:reachgraph")
+}
+
+func BenchmarkShardPointHash4(b *testing.B) {
+	ds := parallelSweepDataset()
+	e, err := streach.Open("shard:4:reachgraph", ds, streach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := hotpathLongWorkload(ds)
+	ctx := context.Background()
+	for _, q := range work {
+		if _, err := e.Reachable(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Reachable(ctx, work[i%len(work)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestHotpathSteadyStateAllocs asserts the tentpole claim directly: once
 // the pooled scratch is warm, point queries on the memory backends perform
 // zero heap allocations per evaluation — visited sets, frontier queues and
@@ -177,7 +276,10 @@ func TestHotpathSteadyStateAllocs(t *testing.T) {
 	ds := hotpathDataset()
 	work := hotpathWorkload(ds)
 	ctx := context.Background()
-	for _, backend := range []string{"reachgraph-mem", "grail-mem", "bidir:reachgraph-mem"} {
+	// "shard:1:reachgraph-mem" pins the K=1 serial fast path: the
+	// coordinator must delegate to its single child without touching the
+	// scatter-gather scratch.
+	for _, backend := range []string{"reachgraph-mem", "grail-mem", "bidir:reachgraph-mem", "shard:1:reachgraph-mem"} {
 		e, err := streach.Open(backend, ds, streach.Options{})
 		if err != nil {
 			t.Fatal(err)

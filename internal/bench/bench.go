@@ -171,12 +171,14 @@ type Lab struct {
 	contacts    map[string]*contact.Network
 	graphs      map[string]*dn.Graph
 	pub         map[string]*streach.Dataset
-	concRecs    []Record // memoized concurrency sweep
-	streamRecs  []Record // memoized streaming sweep
-	compactRecs []Record // memoized compaction sweep
-	codecRecs   []Record // memoized codec ablation
-	semRecs     []Record // memoized semantics sweep
-	bidirRecs   []Record // memoized bidirectional-search sweep
+	clusteredDS *streach.Dataset // memoized sharding preset
+	concRecs    []Record         // memoized concurrency sweep
+	streamRecs  []Record         // memoized streaming sweep
+	compactRecs []Record         // memoized compaction sweep
+	codecRecs   []Record         // memoized codec ablation
+	semRecs     []Record         // memoized semantics sweep
+	bidirRecs   []Record         // memoized bidirectional-search sweep
+	shardRecs   []Record         // memoized sharding sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -437,6 +439,7 @@ func (l *Lab) All() []*Table {
 		l.Compaction(),
 		l.Semantics(),
 		l.Bidir(),
+		l.Sharding(),
 		l.AblationPool(),
 		l.AblationBidirectional(),
 		l.AblationCodec(),
@@ -496,6 +499,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.Semantics
 	case "bidir":
 		return l.Bidir
+	case "sharding":
+		return l.Sharding
 	}
 	return nil
 }
@@ -506,6 +511,6 @@ func IDs() []string {
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
 		"table5a", "table5b", "backends", "concurrency", "streaming", "compaction", "semantics",
-		"bidir", "ablation-pool", "ablation-bidir", "ablation-codec",
+		"bidir", "sharding", "ablation-pool", "ablation-bidir", "ablation-codec",
 	}
 }

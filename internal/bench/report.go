@@ -102,6 +102,21 @@ type Record struct {
 	// answered in the backend's own traversal core (false: the explicit
 	// oracle fallback); meaningful only when Semantics is set.
 	NativeSemantics bool `json:"native_semantics,omitempty"`
+	// Shards is the partition count of a sharded point; zero when the
+	// engine is unsharded.
+	Shards int `json:"shards,omitempty"`
+	// Partitioner names the object-to-shard assignment of a sharded point
+	// ("hash" or "spatial"); empty when unsharded.
+	Partitioner string `json:"partitioner,omitempty"`
+	// CrossShardRatio is the fraction of frontier contacts whose endpoints
+	// live on different shards — the scatter-gather locality metric the
+	// spatial partitioner is built to shrink; meaningful only when Shards
+	// is set.
+	CrossShardRatio float64 `json:"cross_shard_ratio,omitempty"`
+	// ShardBuildMS is the wall time to cut the dataset and build every
+	// per-shard index, in milliseconds; set by the sharding experiment,
+	// zero elsewhere.
+	ShardBuildMS float64 `json:"shard_build_ms,omitempty"`
 }
 
 // Report is the JSON document wrapping an experiment's records.

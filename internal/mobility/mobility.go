@@ -127,6 +127,172 @@ func RandomWaypoint(cfg RWPConfig) *trajectory.Dataset {
 	return d
 }
 
+// ClusteredConfig configures Clustered.
+type ClusteredConfig struct {
+	NumObjects int
+	NumTicks   int
+	// Env defaults to a square sized for 100 objects/km² when empty (the
+	// RWP density rule; clusters are then ~NumClusters× denser inside).
+	Env geo.Rect
+	// NumClusters is the number of home regions (default max(4,
+	// NumObjects/64)). Objects are assigned round-robin, so cluster
+	// populations differ by at most one.
+	NumClusters int
+	// ClusterRadius is each home region's radius; the default spaces the
+	// regions on a square grid and sizes them to a third of the grid pitch,
+	// so neighboring regions stay well separated.
+	ClusterRadius float64
+	// RoamProb is the per-waypoint probability that the next leg leaves the
+	// home region for a uniform point of the whole environment — the knob
+	// separating clustered mixing from RWP's uniform mixing (default 0.02).
+	// A roaming object returns home on the following leg.
+	RoamProb float64
+	// MinSpeed and MaxSpeed bound the per-leg uniform speed in m/s
+	// (defaults 1 and 3, as RWP).
+	MinSpeed, MaxSpeed float64
+	// TickSeconds defaults to 6, ContactDist to 25 m (both as RWP).
+	TickSeconds float64
+	ContactDist float64
+	// PauseTicks is the maximum pause at each waypoint.
+	PauseTicks int
+	Seed       int64
+}
+
+func (c *ClusteredConfig) applyDefaults() {
+	if c.NumObjects <= 0 {
+		c.NumObjects = 100
+	}
+	if c.NumTicks <= 0 {
+		c.NumTicks = 1000
+	}
+	if c.Env.IsEmpty() || c.Env.Width() <= 0 || c.Env.Height() <= 0 {
+		side := math.Sqrt(float64(c.NumObjects) / 100.0 * 1e6)
+		c.Env = geo.NewRect(geo.Point{}, geo.Point{X: side, Y: side})
+	}
+	if c.NumClusters <= 0 {
+		c.NumClusters = maxInt(4, c.NumObjects/64)
+	}
+	if c.NumClusters > c.NumObjects {
+		c.NumClusters = c.NumObjects
+	}
+	if c.ClusterRadius <= 0 {
+		grid := int(math.Ceil(math.Sqrt(float64(c.NumClusters))))
+		pitch := math.Min(c.Env.Width(), c.Env.Height()) / float64(grid)
+		c.ClusterRadius = pitch / 3
+	}
+	if c.RoamProb <= 0 {
+		c.RoamProb = 0.02
+	}
+	if c.MinSpeed <= 0 {
+		c.MinSpeed = 1
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		c.MaxSpeed = c.MinSpeed + 2
+	}
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 6
+	}
+	if c.ContactDist <= 0 {
+		c.ContactDist = 25
+	}
+}
+
+// clusterCenters spaces the home regions on a square grid with a
+// half-pitch margin, so every region disc lies inside the environment.
+func clusterCenters(env geo.Rect, k int) []geo.Point {
+	grid := int(math.Ceil(math.Sqrt(float64(k))))
+	px := env.Width() / float64(grid)
+	py := env.Height() / float64(grid)
+	centers := make([]geo.Point, 0, k)
+	for i := 0; i < k; i++ {
+		gx, gy := i%grid, i/grid
+		centers = append(centers, geo.Point{
+			X: env.Min.X + (float64(gx)+0.5)*px,
+			Y: env.Min.Y + (float64(gy)+0.5)*py,
+		})
+	}
+	return centers
+}
+
+// Clustered generates a clustered-mobility dataset: every object orbits a
+// home region (random waypoints inside a disc around its cluster center),
+// occasionally roaming across the environment and returning. Contacts are
+// therefore overwhelmingly intra-cluster — the locality a spatial
+// partitioner exploits — while the rare roamers still bridge the clusters
+// over time, unlike RWP's uniform mixing where every pair meets anywhere.
+func Clustered(cfg ClusteredConfig) *trajectory.Dataset {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := clusterCenters(cfg.Env, cfg.NumClusters)
+	d := &trajectory.Dataset{
+		Name:        fmt.Sprintf("CLU%d", cfg.NumObjects),
+		Env:         cfg.Env,
+		TickSeconds: cfg.TickSeconds,
+		ContactDist: cfg.ContactDist,
+	}
+	homePoint := func(home geo.Point) geo.Point {
+		// Uniform in the home disc via rejection on the bounding square.
+		for {
+			p := geo.Point{
+				X: home.X + (rng.Float64()*2-1)*cfg.ClusterRadius,
+				Y: home.Y + (rng.Float64()*2-1)*cfg.ClusterRadius,
+			}
+			if p.Dist(home) <= cfg.ClusterRadius {
+				return p
+			}
+		}
+	}
+	for id := 0; id < cfg.NumObjects; id++ {
+		home := centers[id%cfg.NumClusters]
+		pos := make([]geo.Point, cfg.NumTicks)
+		cur := homePoint(home)
+		roaming := false
+		nextDest := func() geo.Point {
+			if roaming {
+				// One leg out ends the trip: head back to the home region.
+				roaming = false
+				return homePoint(home)
+			}
+			if rng.Float64() < cfg.RoamProb {
+				roaming = true
+				return randPoint(rng, cfg.Env)
+			}
+			return homePoint(home)
+		}
+		dest := nextDest()
+		speed := uniform(rng, cfg.MinSpeed, cfg.MaxSpeed)
+		pause := 0
+		for t := 0; t < cfg.NumTicks; t++ {
+			pos[t] = cur
+			if pause > 0 {
+				pause--
+				continue
+			}
+			step := speed * cfg.TickSeconds
+			for legs := 0; step > 0 && legs < 64; legs++ {
+				d2 := cur.Dist(dest)
+				if d2 > step {
+					cur = cur.Lerp(dest, step/d2)
+					break
+				}
+				step -= d2
+				cur = dest
+				dest = nextDest()
+				speed = uniform(rng, cfg.MinSpeed, cfg.MaxSpeed)
+				if cfg.PauseTicks > 0 {
+					pause = rng.Intn(cfg.PauseTicks + 1)
+					break
+				}
+			}
+		}
+		d.Trajs = append(d.Trajs, trajectory.Trajectory{
+			Object: trajectory.ObjectID(id),
+			Pos:    pos,
+		})
+	}
+	return d
+}
+
 // VNConfig configures NetworkVehicles.
 type VNConfig struct {
 	NumObjects int

@@ -18,6 +18,7 @@ package queries
 
 import (
 	"math"
+	"sort"
 
 	"streach/internal/contact"
 	"streach/internal/stjoin"
@@ -69,6 +70,13 @@ const NoObject = trajectory.ObjectID(-1)
 type SeedState struct {
 	Obj  trajectory.ObjectID
 	Hops int32
+	// Start is the tick the seed begins holding the item. Values at or
+	// below the query interval's start (including the zero value) mean
+	// "holds it from the interval start"; later values defer the seed's
+	// activation, which is how the scatter-gather shard planner hands a
+	// whole round of boundary discoveries — each at its own best-known
+	// arrival — to an owner shard as one multi-seed sweep.
+	Start trajectory.Tick
 }
 
 // ProfileEntry is one reachable object's propagation profile.
@@ -86,12 +94,13 @@ type ProfileEntry struct {
 // ProfileFrom computes the propagation profile of the seed frontier over
 // iv: for every object reachable under the transfer budget (budget < 0
 // means unbounded), its minimal transfer count and earliest arrival tick.
-// Seeds enter holding the item at iv.Lo with their recorded hop counts
-// (seeds beyond the budget or outside the ID space are ignored). When
-// earlyDst is a valid object, the simulation stops as soon as earlyDst is
-// reachable — the returned profile is then partial but earlyDst's entry is
-// exact. Entries are sorted by object ID; the int result is the number of
-// objects reached (the expansion counter).
+// Seeds enter holding the item at max(Start, iv.Lo) with their recorded
+// hop counts (seeds beyond the budget, outside the ID space, or starting
+// after iv.Hi are ignored). When earlyDst is a valid object, the
+// simulation stops as soon as earlyDst is reachable — the returned profile
+// is then partial but earlyDst's entry is exact. Entries are sorted by
+// object ID; the int result is the number of objects reached (the
+// expansion counter).
 func (o *Oracle) ProfileFrom(seeds []SeedState, iv contact.Interval, budget int32, earlyDst trajectory.ObjectID) ([]ProfileEntry, int) {
 	n := o.net.NumObjects
 	iv = iv.Intersect(contact.Interval{Lo: 0, Hi: trajectory.Tick(o.net.NumTicks - 1)})
@@ -108,26 +117,46 @@ func (o *Oracle) ProfileFrom(seeds []SeedState, iv contact.Interval, budget int3
 		hops[i] = -1
 	}
 	var reached []trajectory.ObjectID
-	for _, s := range seeds {
-		if int(s.Obj) < 0 || int(s.Obj) >= n || s.Hops < 0 || s.Hops > budget {
-			continue
-		}
+	activate := func(s SeedState, at trajectory.Tick) {
 		if hops[s.Obj] < 0 {
-			arrival[s.Obj] = iv.Lo
+			arrival[s.Obj] = at
 			reached = append(reached, s.Obj)
 			hops[s.Obj] = s.Hops
 		} else if s.Hops < hops[s.Obj] {
 			hops[s.Obj] = s.Hops
 		}
 	}
-	if len(reached) == 0 {
+	var deferred []SeedState // seeds activating after iv.Lo, ordered by Start
+	for _, s := range seeds {
+		if int(s.Obj) < 0 || int(s.Obj) >= n || s.Hops < 0 || s.Hops > budget {
+			continue
+		}
+		if s.Start > iv.Hi {
+			continue
+		}
+		if s.Start > iv.Lo {
+			deferred = append(deferred, s)
+			continue
+		}
+		activate(s, iv.Lo)
+	}
+	if len(reached) == 0 && len(deferred) == 0 {
 		return nil, 0
 	}
+	sort.Slice(deferred, func(i, j int) bool { return deferred[i].Start < deferred[j].Start })
+	di := 0
 	dstReached := func() bool {
 		return int(earlyDst) >= 0 && int(earlyDst) < n && hops[earlyDst] >= 0
 	}
 	if !dstReached() {
 		o.net.Snapshot(iv.Lo, iv.Hi, func(t trajectory.Tick, pairs []stjoin.Pair) bool {
+			// Seeds whose activation tick the sweep has reached join the
+			// carriers before the instant relaxes (an earlier organic
+			// arrival, if any, is kept by activate).
+			for di < len(deferred) && deferred[di].Start <= t {
+				activate(deferred[di], deferred[di].Start)
+				di++
+			}
 			// Relax the instant's contact graph to fixpoint: hop counts
 			// inside one instant are multi-source BFS distances, and
 			// repeated sweeps over the (small) pair list converge to them
@@ -145,6 +174,13 @@ func (o *Oracle) ProfileFrom(seeds []SeedState, iv contact.Interval, budget int3
 			}
 			return !dstReached()
 		})
+	}
+	// Deferred seeds the sweep never visited (it stops early on earlyDst,
+	// and some snapshots skip contact-free instants) still hold the item
+	// from their activation tick — with no contacts after it, holding is
+	// all they do, so recording the activation is exact.
+	for ; di < len(deferred); di++ {
+		activate(deferred[di], deferred[di].Start)
 	}
 	reached = trajectory.SortDedupObjects(reached)
 	entries := make([]ProfileEntry, len(reached))

@@ -201,6 +201,37 @@ func (m *Mem) AppendArrivalProfileFrom(ctx context.Context, dst []queries.Profil
 	return appendProfileEntries(dst, sc), sc.visits, nil
 }
 
+// AppendArrivalProfileSeeds is the per-seed-tick arrival profile over the
+// in-memory graph; see Index.AppendArrivalProfileSeeds.
+func (m *Mem) AppendArrivalProfileSeeds(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv contact.Interval) ([]queries.ProfileEntry, int, error) {
+	iv = m.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := m.pool.Get()
+	defer m.pool.Put(sc)
+	sc.reset(len(m.g.Nodes), m.g.NumObjects)
+	for _, s := range seeds {
+		if int(s.Obj) < 0 || int(s.Obj) >= m.g.NumObjects {
+			return dst, 0, fmt.Errorf("reachgraph: seed %d outside [0, %d)", s.Obj, m.g.NumObjects)
+		}
+		at := s.Start
+		if at < iv.Lo {
+			at = iv.Lo
+		}
+		if at > iv.Hi {
+			continue
+		}
+		if v := m.g.NodeOf(s.Obj, at); v != dn.Invalid {
+			sc.tickStarts = append(sc.tickStarts, tickItem{entry{v, -1}, at})
+		}
+	}
+	if err := arrivalCollectTicked(ctx, m, sc, sc.tickStarts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return appendProfileEntries(dst, sc), sc.visits, nil
+}
+
 // AppendReverseSetFromCounted appends onto dst the deliverer set of the seed
 // frontier over iv; see Index.AppendReverseSetFromCounted.
 func (m *Mem) AppendReverseSetFromCounted(ctx context.Context, dst, seeds []trajectory.ObjectID, iv contact.Interval) ([]trajectory.ObjectID, int, error) {

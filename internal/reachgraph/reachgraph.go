@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"streach/internal/contact"
 	"streach/internal/dn"
@@ -55,6 +56,13 @@ type Params struct {
 	// Format selects the on-page record layout; zero means the default
 	// (pagefile.FormatVarint). Both formats answer queries identically.
 	Format pagefile.Format
+	// RecordCacheSlots bounds the decoded-record cache: vertex records
+	// parsed from visited pages are retained across queries — the index
+	// is immutable once built, so a cached record never goes stale — and
+	// evicted clock-wise once the bound is hit. The cache sits above the
+	// buffer pool: a record hit skips both the page read and the varint
+	// decode. Defaults to 4096 records; negative disables the cache.
+	RecordCacheSlots int
 }
 
 func (p *Params) applyDefaults() {
@@ -66,6 +74,9 @@ func (p *Params) applyDefaults() {
 	}
 	if p.PoolPages == 0 {
 		p.PoolPages = 64
+	}
+	if p.RecordCacheSlots == 0 {
+		p.RecordCacheSlots = 4096
 	}
 	p.Format = pagefile.NormalizeFormat(p.Format)
 }
@@ -81,7 +92,8 @@ type Index struct {
 	partRefs []pagefile.BlobRef // partition catalogue (in memory, as in §5.1.3)
 	dirRefs  []pagefile.BlobRef // per-object run directory blobs
 
-	pool *visit.Pool[scratch] // per-query traversal scratch
+	pool   *visit.Pool[scratch] // per-query traversal scratch
+	vcache *vertexCache         // decoded records shared across queries
 }
 
 // Build constructs the ReachGraph of the reduced graph g. Long edges at
@@ -104,6 +116,7 @@ func Build(g *dn.Graph, params Params) (*Index, error) {
 		numTicks:   g.NumTicks,
 		numNodes:   len(g.Nodes),
 		pool:       newScratchPool(),
+		vcache:     newVertexCache(params.RecordCacheSlots),
 	}
 
 	partOf, parts := partition(g, params.PartitionDepth)
@@ -471,6 +484,13 @@ func decodeVertex(dec *pagefile.Decoder, format pagefile.Format, numNodes, numOb
 // Store exposes the underlying simulated disk.
 func (ix *Index) Store() *pagefile.Store { return ix.store }
 
+// DropCache evicts the index's pages from the buffer pool and empties the
+// decoded-record cache — the cold-start reset between measurement runs.
+func (ix *Index) DropCache() {
+	ix.store.DropCache()
+	ix.vcache.drop()
+}
+
 // Format returns the on-page record layout the index was built with.
 func (ix *Index) Format() pagefile.Format { return ix.params.Format }
 
@@ -486,6 +506,82 @@ func (ix *Index) NumPartitions() int { return len(ix.partRefs) }
 
 // NumTicks returns |T| of the indexed graph.
 func (ix *Index) NumTicks() int { return ix.numTicks }
+
+// vertexCache retains decoded vertex records across queries. The index
+// never changes after Build, so records are immutable and shared freely
+// between concurrent traversals; the only mutable state is the admission
+// bookkeeping, guarded by one mutex (held for map-sized critical sections
+// only — decoding happens outside the lock). Eviction is clock/second
+// chance: a hit sets the slot's reference bit, the clock hand clears bits
+// until it finds a cold slot to reuse.
+type vertexCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[dn.NodeID]int32
+	keys []dn.NodeID
+	recs []*vertexRec
+	ref  []bool
+	hand int
+}
+
+func newVertexCache(slots int) *vertexCache {
+	if slots <= 0 {
+		return nil
+	}
+	return &vertexCache{cap: slots, m: make(map[dn.NodeID]int32, slots)}
+}
+
+func (vc *vertexCache) get(id dn.NodeID) (*vertexRec, bool) {
+	if vc == nil {
+		return nil, false
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	i, ok := vc.m[id]
+	if !ok {
+		return nil, false
+	}
+	vc.ref[i] = true
+	return vc.recs[i], true
+}
+
+func (vc *vertexCache) put(id dn.NodeID, v *vertexRec) {
+	if vc == nil {
+		return
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	if _, ok := vc.m[id]; ok {
+		return
+	}
+	if len(vc.recs) < vc.cap {
+		vc.m[id] = int32(len(vc.recs))
+		vc.keys = append(vc.keys, id)
+		vc.recs = append(vc.recs, v)
+		vc.ref = append(vc.ref, true)
+		return
+	}
+	for vc.ref[vc.hand] {
+		vc.ref[vc.hand] = false
+		vc.hand = (vc.hand + 1) % len(vc.recs)
+	}
+	i := vc.hand
+	delete(vc.m, vc.keys[i])
+	vc.m[id] = int32(i)
+	vc.keys[i], vc.recs[i], vc.ref[i] = id, v, true
+	vc.hand = (i + 1) % len(vc.recs)
+}
+
+// drop empties the cache (cold-start measurements).
+func (vc *vertexCache) drop() {
+	if vc == nil {
+		return
+	}
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	clear(vc.m)
+	vc.keys, vc.recs, vc.ref, vc.hand = vc.keys[:0], vc.recs[:0], vc.ref[:0], 0
+}
 
 // cursor is the per-query working set: buffered partitions (the paper's
 // traversal buffer) with raw record slices, decoded lazily on first visit,
@@ -583,6 +679,10 @@ func (c *cursor) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
 	if v, ok := c.verts.Get(int(id)); ok {
 		return v, nil
 	}
+	if v, ok := c.ix.vcache.get(id); ok {
+		c.verts.Set(int(id), v)
+		return v, nil
+	}
 	if _, ok := c.raw.Get(int(id)); !ok {
 		if err := c.loadPartition(part); err != nil {
 			return nil, err
@@ -597,6 +697,7 @@ func (c *cursor) vertex(id dn.NodeID, part int32) (*vertexRec, error) {
 	if err := dec.Err(); err != nil {
 		return nil, fmt.Errorf("reachgraph: vertex %d: %w", id, err)
 	}
+	c.ix.vcache.put(id, v)
 	c.verts.Set(int(id), v)
 	return v, nil
 }
@@ -783,6 +884,43 @@ func (ix *Index) AppendArrivalProfileFrom(ctx context.Context, dst []queries.Pro
 		return dst, sc.visits, err
 	}
 	if err := arrivalCollect(ctx, &sc.cur, sc, starts, iv); err != nil {
+		return dst, sc.visits, err
+	}
+	return appendProfileEntries(dst, sc), sc.visits, nil
+}
+
+// AppendArrivalProfileSeeds is AppendArrivalProfileFrom for a frontier of
+// seed states: each seed begins holding the item at max(Start, iv.Lo) —
+// seeds starting after iv.Hi are ignored. It is the owner-side expansion
+// primitive of the scatter-gather shard planner, which hands a whole round
+// of boundary discoveries to a shard as one multi-seed sweep. Hop counts
+// are -1 as in AppendArrivalProfileFrom; seed Hops values are not
+// consulted (the planner is hop-agnostic by contract).
+func (ix *Index) AppendArrivalProfileSeeds(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv contact.Interval, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	iv = ix.clampInterval(iv)
+	if iv.Len() == 0 {
+		return dst, 0, nil
+	}
+	sc := ix.pool.Get()
+	defer ix.pool.Put(sc)
+	sc.reset(ix.numNodes, ix.numObjects)
+	sc.cur.reset(ix.numNodes, len(ix.partRefs))
+	sc.cur.ix, sc.cur.acct = ix, acct
+	for _, s := range seeds {
+		at := s.Start
+		if at < iv.Lo {
+			at = iv.Lo
+		}
+		if at > iv.Hi {
+			continue
+		}
+		v, p, err := ix.findVertex(s.Obj, at, acct)
+		if err != nil {
+			return dst, sc.visits, err
+		}
+		sc.tickStarts = append(sc.tickStarts, tickItem{entry{v, p}, at})
+	}
+	if err := arrivalCollectTicked(ctx, &sc.cur, sc, sc.tickStarts, iv); err != nil {
 		return dst, sc.visits, err
 	}
 	return appendProfileEntries(dst, sc), sc.visits, nil

@@ -133,7 +133,7 @@ func TestBMBFSReadsLessThanEDFS(t *testing.T) {
 
 	measure := func(s Strategy) float64 {
 		ix.ResetCounters()
-		ix.Store().DropCache()
+		ix.DropCache()
 		for _, q := range work {
 			if _, err := ix.ReachStrategy(q, s); err != nil {
 				t.Fatal(err)

@@ -106,6 +106,7 @@ type scratch struct {
 	fwQueue, bwQueue visit.Deque[tickItem]
 	queue            visit.Deque[entry] // unidirectional frontier / stack
 	starts           []entry
+	tickStarts       []tickItem // per-seed-tick starts (ticked sweeps)
 
 	cur cursor // disk-side record cache; unused by Mem
 }
@@ -133,6 +134,7 @@ func (sc *scratch) reset(numNodes, numObjects int) {
 	sc.bwQueue.Reset()
 	sc.queue.Reset()
 	sc.starts = sc.starts[:0]
+	sc.tickStarts = sc.tickStarts[:0]
 }
 
 // traverse runs strategy s from the start vertices (source frontier at
@@ -496,6 +498,66 @@ func arrivalCollect(ctx context.Context, g graphAccess, sc *scratch, starts []en
 			if sc.nodes.Visit(int(e.node)) {
 				sc.fwQueue.PushBack(tickItem{entry{e.node, e.part}, arr})
 			}
+		}
+	}
+	return nil
+}
+
+// arrivalCollectTicked is arrivalCollect for frontiers whose seeds
+// activate at their own ticks — the scatter-gather shard planner hands a
+// whole round of boundary discoveries to an owner shard as one sweep, each
+// seed entering at its best-known arrival. The plain-visited-set argument
+// of arrivalCollect no longer holds: a run seeded mid-span can also be
+// entered at its span start through an edge from an earlier seed's
+// propagation, so the visited set becomes an entry-tick table (sc.fwTicks)
+// with re-queueing on improvement. Each run still has at most two
+// candidate entry ticks — its span start (identical over every edge path)
+// and its minimal seed activation — so a run is expanded at most twice and
+// the sweep stays linear. Successor entries are span starts either way,
+// which is why a re-entry never cascades: it only tightens the members'
+// arrivals.
+func arrivalCollectTicked(ctx context.Context, g graphAccess, sc *scratch, starts []tickItem, iv contact.Interval) error {
+	push := func(e entry, t trajectory.Tick) {
+		if prev, ok := sc.fwTicks.Get(int(e.node)); ok && prev <= int32(t) {
+			return
+		}
+		sc.fwTicks.Set(int(e.node), int32(t))
+		sc.fwQueue.PushBack(tickItem{e, t})
+	}
+	for _, it := range starts {
+		if it.e.node != dn.Invalid {
+			push(it.e, it.t)
+		}
+	}
+	for sc.fwQueue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it, _ := sc.fwQueue.PopFront()
+		if cur, _ := sc.fwTicks.Get(int(it.e.node)); cur != int32(it.t) {
+			continue // superseded by an earlier entry before expansion
+		}
+		sc.visits++
+		v, err := g.vertex(it.e.node, it.e.part)
+		if err != nil {
+			return err
+		}
+		for _, o := range v.members {
+			if prev, ok := sc.objTicks.Get(int(o)); !ok || int32(it.t) < prev {
+				sc.objTicks.Set(int(o), int32(it.t))
+				if !ok {
+					sc.objList = append(sc.objList, o)
+				}
+			}
+		}
+		if v.end >= iv.Hi {
+			// The run outlives the interval: its successors start after
+			// iv.Hi and cannot be infected in time.
+			continue
+		}
+		arr := v.end + 1 // successors are adjacent runs covering this tick
+		for _, e := range v.out {
+			push(entry{e.node, e.part}, arr)
 		}
 	}
 	return nil

@@ -432,6 +432,8 @@ type gridScratch struct {
 	arrTicks     visit.Ticks
 	reached      []trajectory.ObjectID
 	pairA, pairB []trajectory.ObjectID
+	deferred     []queries.SeedState   // seeds activating after iv.Lo
+	activated    []trajectory.ObjectID // seeds activated this instant
 
 	posPage int64 // disk page just past the last blob read; -1 unknown
 	posCell int   // first cell of the current bucket at or past posPage

@@ -13,6 +13,7 @@ package reachgrid
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"streach/internal/contact"
 	"streach/internal/pagefile"
@@ -29,12 +30,13 @@ func (ix *Index) SemProfileFrom(ctx context.Context, seeds []queries.SeedState, 
 // AppendSemProfileFrom appends to dst the propagation profile of the seed
 // frontier over iv: for every object reachable under the transfer budget
 // (budget < 0 means unbounded), its minimal transfer count and earliest
-// arrival tick, sorted by object ID. Seeds enter at iv.Lo with their
-// recorded hop counts (seeds beyond the budget are ignored; out-of-range
-// seed IDs are an error). When earlyDst is a valid object the sweep stops
-// as soon as earlyDst becomes reachable — the profile is then partial but
-// earlyDst's entry is exact. The int result is the number of objects
-// reached. Page reads are charged to acct (which may be nil).
+// arrival tick, sorted by object ID. Seeds enter at max(Start, iv.Lo) with
+// their recorded hop counts (seeds beyond the budget or starting after
+// iv.Hi are ignored; out-of-range seed IDs are an error). When earlyDst is
+// a valid object the sweep stops as soon as earlyDst becomes reachable —
+// the profile is then partial but earlyDst's entry is exact. The int
+// result is the number of objects reached. Page reads are charged to acct
+// (which may be nil).
 func (ix *Index) AppendSemProfileFrom(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv contact.Interval, budget int32, earlyDst trajectory.ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
 	if acct == nil {
 		acct = &pagefile.Stats{}
@@ -52,11 +54,16 @@ func (ix *Index) AppendSemProfileFrom(ctx context.Context, dst []queries.Profile
 	sc.hops.Reset(ix.numObjects)
 	sc.arrTicks.Reset(ix.numObjects)
 	sc.reached = sc.reached[:0]
+	sc.deferred = sc.deferred[:0]
 	for _, s := range seeds {
 		if int(s.Obj) < 0 || int(s.Obj) >= ix.numObjects {
 			return dst, 0, fmt.Errorf("reachgrid: seed %d outside [0, %d)", s.Obj, ix.numObjects)
 		}
-		if s.Hops < 0 || s.Hops > budget {
+		if s.Hops < 0 || s.Hops > budget || s.Start > iv.Hi {
+			continue
+		}
+		if s.Start > iv.Lo {
+			sc.deferred = append(sc.deferred, s)
 			continue
 		}
 		if prev, ok := sc.hops.Get(int(s.Obj)); !ok {
@@ -67,9 +74,10 @@ func (ix *Index) AppendSemProfileFrom(ctx context.Context, dst []queries.Profile
 			sc.hops.Set(int(s.Obj), s.Hops)
 		}
 	}
-	if len(sc.reached) == 0 {
+	if len(sc.reached) == 0 && len(sc.deferred) == 0 {
 		return dst, 0, nil
 	}
+	sort.Slice(sc.deferred, func(i, j int) bool { return sc.deferred[i].Start < sc.deferred[j].Start })
 	dstReached := func() bool {
 		if int(earlyDst) < 0 || int(earlyDst) >= ix.numObjects {
 			return false
@@ -86,8 +94,23 @@ func (ix *Index) AppendSemProfileFrom(ctx context.Context, dst []queries.Profile
 }
 
 // semSweep is the guided bucket walk of Algorithm 1 driving relaxAt
-// instead of infectAt. stop is polled after every relaxation fixpoint.
+// instead of infectAt. Deferred seeds (sc.deferred, ascending by Start)
+// join the carriers — and admit their cells — as the walk reaches their
+// activation ticks; an early-stopped sweep records the leftovers'
+// activations after the walk, exactly like the oracle. stop is polled
+// after every relaxation fixpoint.
 func (ix *Index) semSweep(ctx context.Context, sc *gridScratch, iv contact.Interval, budget int32, stop func() bool, acct *pagefile.Stats) error {
+	di := 0
+	defer func() {
+		for ; di < len(sc.deferred); di++ {
+			s := sc.deferred[di]
+			if _, ok := sc.hops.Get(int(s.Obj)); !ok {
+				sc.hops.Set(int(s.Obj), s.Hops)
+				sc.arrTicks.Set(int(s.Obj), int32(s.Start))
+				sc.reached = append(sc.reached, s.Obj)
+			}
+		}
+	}()
 	prevBi := -1
 	for bi := ix.bucketOf(iv.Lo); bi <= ix.bucketOf(iv.Hi) && bi < len(ix.buckets); bi++ {
 		w := ix.buckets[bi].span.Intersect(iv)
@@ -105,6 +128,25 @@ func (ix *Index) semSweep(ctx context.Context, sc *gridScratch, iv contact.Inter
 		for t := w.Lo; t <= w.Hi; t++ {
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if di < len(sc.deferred) && sc.deferred[di].Start <= t {
+				sc.activated = sc.activated[:0]
+				for ; di < len(sc.deferred) && sc.deferred[di].Start <= t; di++ {
+					s := sc.deferred[di]
+					if prev, ok := sc.hops.Get(int(s.Obj)); !ok {
+						sc.hops.Set(int(s.Obj), s.Hops)
+						sc.arrTicks.Set(int(s.Obj), int32(s.Start))
+						sc.reached = append(sc.reached, s.Obj)
+						sc.activated = append(sc.activated, s.Obj)
+					} else if s.Hops < prev {
+						sc.hops.Set(int(s.Obj), s.Hops)
+					}
+				}
+				if len(sc.activated) > 0 {
+					if err := ix.admitSeeds(bi, sc, sc.activated, t, w.Hi, acct); err != nil {
+						return err
+					}
+				}
 			}
 			// Fixpoint per instant, exactly like the boolean sweep: a
 			// newly reached object's cells are admitted and the instant is

@@ -269,6 +269,37 @@ func (srv *Server) writeMetrics(w io.Writer) {
 		p("# TYPE streachd_pool_hit_ratio gauge\n")
 		p("streachd_pool_hit_ratio %g\n", st.Pool.HitRate())
 	}
+	if st.Shards > 0 {
+		p("# HELP streachd_shards Shard count of the partitioned engine.\n")
+		p("# TYPE streachd_shards gauge\n")
+		p("streachd_shards{partitioner=%q} %d\n", st.Partitioner, st.Shards)
+		p("# HELP streachd_cross_shard_ratio Fraction of contacts crossing the shard cut (static partition quality).\n")
+		p("# TYPE streachd_cross_shard_ratio gauge\n")
+		p("streachd_cross_shard_ratio %g\n", st.CrossShardRatio)
+		p("# HELP streachd_cross_shard_frontier_total Boundary objects handed across the shard cut by scatter-gather queries.\n")
+		p("# TYPE streachd_cross_shard_frontier_total counter\n")
+		p("streachd_cross_shard_frontier_total %d\n", st.CrossShardFrontier)
+		p("# HELP streachd_shard_objects Objects owned, by shard.\n")
+		p("# TYPE streachd_shard_objects gauge\n")
+		for _, sh := range st.ShardDetails {
+			p("streachd_shard_objects{shard=\"%d\"} %d\n", sh.Shard, sh.Objects)
+		}
+		p("# HELP streachd_shard_contacts Sub-network contacts (cross-shard contacts counted on both sides), by shard.\n")
+		p("# TYPE streachd_shard_contacts gauge\n")
+		for _, sh := range st.ShardDetails {
+			p("streachd_shard_contacts{shard=\"%d\"} %d\n", sh.Shard, sh.Contacts)
+		}
+		p("# HELP streachd_shard_index_bytes Simulated on-disk index size, by shard.\n")
+		p("# TYPE streachd_shard_index_bytes gauge\n")
+		for _, sh := range st.ShardDetails {
+			p("streachd_shard_index_bytes{shard=\"%d\"} %d\n", sh.Shard, sh.IndexBytes)
+		}
+		p("# HELP streachd_shard_io_normalized_total Normalized simulated I/O, by shard.\n")
+		p("# TYPE streachd_shard_io_normalized_total counter\n")
+		for _, sh := range st.ShardDetails {
+			p("streachd_shard_io_normalized_total{shard=\"%d\"} %g\n", sh.Shard, sh.IO.Normalized)
+		}
+	}
 	if srv.live != nil {
 		p("# HELP streachd_sealed_segments Immutable sealed segments of the live engine.\n")
 		p("# TYPE streachd_sealed_segments gauge\n")

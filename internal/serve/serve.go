@@ -875,6 +875,22 @@ type engineJSON struct {
 	Compactions   int64     `json:"compactions"`
 	IO            ioJSON    `json:"io"`
 	Pool          *poolJSON `json:"pool,omitempty"`
+	// Sharding topology and scatter-gather traffic; present only on
+	// "shard:*" backends (Shards > 0).
+	Shards             int         `json:"shards,omitempty"`
+	Partitioner        string      `json:"partitioner,omitempty"`
+	CrossShardRatio    float64     `json:"cross_shard_ratio,omitempty"`
+	CrossShardFrontier int64       `json:"cross_shard_frontier,omitempty"`
+	ShardDetails       []shardJSON `json:"shard_details,omitempty"`
+}
+
+// shardJSON is the wire form of streach.ShardStats.
+type shardJSON struct {
+	Shard      int    `json:"shard"`
+	Objects    int    `json:"objects"`
+	Contacts   int    `json:"contacts"`
+	IndexBytes int64  `json:"index_bytes"`
+	IO         ioJSON `json:"io"`
 }
 
 type cacheJSON struct {
@@ -955,6 +971,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Misses:    st.Pool.Misses,
 			Evictions: st.Pool.Evictions,
 			HitRate:   st.Pool.HitRate(),
+		}
+	}
+	if st.Shards > 0 {
+		ej.Shards = st.Shards
+		ej.Partitioner = st.Partitioner
+		ej.CrossShardRatio = st.CrossShardRatio
+		ej.CrossShardFrontier = st.CrossShardFrontier
+		for _, sh := range st.ShardDetails {
+			ej.ShardDetails = append(ej.ShardDetails, shardJSON{
+				Shard:      sh.Shard,
+				Objects:    sh.Objects,
+				Contacts:   sh.Contacts,
+				IndexBytes: sh.IndexBytes,
+				IO:         ioOf(sh.IO),
+			})
 		}
 	}
 	var expanded map[string]expandedJSON

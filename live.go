@@ -32,12 +32,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"streach/internal/contact"
 	"streach/internal/pagefile"
 	"streach/internal/queries"
 	"streach/internal/segment"
+	"streach/internal/shard"
 	"streach/internal/stjoin"
 )
 
@@ -70,6 +72,32 @@ type LiveEngine struct {
 
 	// evScratch is AddInstant's reusable event buffer (single appender).
 	evScratch []contact.Event
+
+	// Sharding state ("shard:<K>:" name prefix, hash partitioner only —
+	// spatial needs trajectories the live feed does not carry). With K > 1
+	// lanes[s] is shard s's own segment log: events route to the lane of
+	// each endpoint's owner (cross-shard contacts to both), so sealing and
+	// compaction stay per-shard, and queries run the scatter-gather
+	// relaxation over per-lane views. log aliases lanes[0]; lanes is nil
+	// for unsharded engines (shards is still set when "shard:1:" was asked
+	// for, so Stats reports the declared count). laneEvs/laneSecEvs are the
+	// appender's routing buffers: primary-lane batches (owner of endpoint
+	// A) carry the report counts, secondary batches only the duplicated
+	// cross-shard side.
+	shards     int
+	assign     *shard.Assignment
+	lanes      []*segment.Log[frontierCore]
+	lanePools  []*BufferPool
+	laneEvs    [][]contact.Event
+	laneSecEvs [][]contact.Event
+
+	// crossFrontier counts boundary objects queries handed across the
+	// shard cut; crossContacts/totalContacts/laneContacts count the routed
+	// contact adds (the live cross_shard_ratio numerator/denominator).
+	crossFrontier atomic.Int64
+	crossContacts atomic.Int64
+	totalContacts atomic.Int64
+	laneContacts  []atomic.Int64
 
 	// ingestHook and sealHook are the notification hooks of OnIngest and
 	// OnSegmentSeal. They are invoked synchronously from Ingest/AddInstant
@@ -134,10 +162,29 @@ var ErrNotLiveCapable = errors.New("streach: backend cannot serve a live feed")
 // prefix on the backend name ("bidir:reachgraph", ...) routes point
 // queries through the bidirectional planner, exactly as for the frozen
 // "bidir:*" registry backends; the base must then be reverse-capable.
+//
+// A "shard:<K>:" prefix ("shard:4:reachgraph", "shard:2:bidir:reachgraph")
+// hash-partitions the object population into K ingest lanes, each with its
+// own segment log, buffer pool (unless Options.Pool is shared) and
+// per-shard sealing/compaction; queries run the scatter-gather frontier
+// relaxation over the lanes. Only the hash partitioner is live-capable —
+// spatial partitioning snaps trajectories the feed does not carry.
 func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64, opts Options) (*LiveEngine, error) {
-	bidir := strings.HasPrefix(strings.ToLower(strings.TrimSpace(backend)), "bidir:")
+	backend = strings.TrimSpace(backend)
+	shards := 0
+	if k, partitioner, rest, ok := parseShardName(strings.ToLower(backend)); ok {
+		if partitioner != "hash" {
+			return nil, fmt.Errorf("live shard:%s: %w (spatial partitioning snaps trajectories; live shards are hash-partitioned)",
+				partitioner, ErrNotLiveCapable)
+		}
+		if k > numObjects {
+			return nil, fmt.Errorf("streach: %d live shards exceed %d objects", k, numObjects)
+		}
+		shards, backend = k, rest
+	}
+	bidir := strings.HasPrefix(strings.ToLower(backend), "bidir:")
 	if bidir {
-		backend = strings.TrimSpace(backend)[len("bidir:"):]
+		backend = backend[len("bidir:"):]
 	}
 	spec, ok := lookupSpec(backend)
 	if !ok {
@@ -153,18 +200,21 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 	if contactDist <= 0 {
 		return nil, errors.New("streach: contact threshold must be positive")
 	}
-	slabOpts := withSharedSlabPool(opts, spec.info.DiskResident)
-	build := func(span Interval, net *contact.Network) (frontierCore, error) {
-		core, err := spec.open(&ContactNetwork{net: net}, slabOpts)
-		if err != nil {
-			return nil, err
+	makeBuild := func(laneOpts Options) segment.BuildFunc[frontierCore] {
+		return func(span Interval, net *contact.Network) (frontierCore, error) {
+			core, err := spec.open(&ContactNetwork{net: net}, laneOpts)
+			if err != nil {
+				return nil, err
+			}
+			fc, ok := core.(frontierCore)
+			if !ok {
+				return nil, fmt.Errorf("live %q: %w (no frontier entry points)", spec.info.Name, ErrNotLiveCapable)
+			}
+			return fc, nil
 		}
-		fc, ok := core.(frontierCore)
-		if !ok {
-			return nil, fmt.Errorf("live %q: %w (no frontier entry points)", spec.info.Name, ErrNotLiveCapable)
-		}
-		return fc, nil
 	}
+	slabOpts := withSharedSlabPool(opts, spec.info.DiskResident)
+	build := makeBuild(slabOpts)
 	// Probe seal-ability now, not at the first slab boundary: a one-tick
 	// empty network must build.
 	probe, err := build(NewInterval(0, 0), contact.FromContacts(numObjects, 1, nil))
@@ -181,11 +231,15 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 	case horizon < 0:
 		horizon = -1
 	}
-	name := "live:" + spec.info.Name
+	innerName := spec.info.Name
 	if bidir {
-		name = "live:bidir:" + spec.info.Name
+		innerName = "bidir:" + spec.info.Name
 	}
-	return &LiveEngine{
+	name := "live:" + innerName
+	if shards > 0 {
+		name = fmt.Sprintf("live:shard:%d:%s", shards, innerName)
+	}
+	le := &LiveEngine{
 		name:          name,
 		base:          spec.info.Name,
 		numObjects:    numObjects,
@@ -196,7 +250,37 @@ func NewLiveEngine(backend string, numObjects int, env Rect, contactDist float64
 		compactEvents: max(opts.CompactEvents, 0),
 		bidir:         bidir,
 		parallelism:   opts.QueryParallelism,
-	}, nil
+		shards:        shards,
+	}
+	if shards > 1 {
+		// K ingest lanes, lane 0 aliasing the primary log. Each lane gets a
+		// private buffer pool via its own slab options unless the caller
+		// shared Options.Pool (then every lane draws on that one and Stats
+		// reports it pool-wide, exactly like unsharded engines).
+		assign, err := shard.Hash(numObjects, shards)
+		if err != nil {
+			return nil, err
+		}
+		le.assign = assign
+		le.lanes = make([]*segment.Log[frontierCore], shards)
+		le.lanePools = make([]*BufferPool, shards)
+		le.laneEvs = make([][]contact.Event, shards)
+		le.laneSecEvs = make([][]contact.Event, shards)
+		le.laneContacts = make([]atomic.Int64, shards)
+		le.lanes[0] = le.log
+		le.lanePools[0] = slabOpts.Pool
+		for s := 1; s < shards; s++ {
+			laneOpts := withSharedSlabPool(opts, spec.info.DiskResident)
+			le.lanes[s] = segment.NewLog[frontierCore](numObjects, opts.SegmentTicks, makeBuild(laneOpts))
+			le.lanePools[s] = laneOpts.Pool
+		}
+		if opts.Pool == nil {
+			// Per-lane private pools: no single pool speaks for the engine;
+			// Stats sums the lane pools instead.
+			le.pool = nil
+		}
+	}
+	return le, nil
 }
 
 // OnIngest registers fn to be invoked synchronously after every ingest
@@ -252,6 +336,16 @@ func (le *LiveEngine) Ingest(events []ContactEvent) (IngestReport, error) {
 				ErrIngestHorizon, i, ev.Tick, frontier, le.horizon)
 		}
 	}
+	if le.lanes != nil {
+		for s := range le.lanes {
+			le.laneEvs[s] = le.laneEvs[s][:0]
+			le.laneSecEvs[s] = le.laneSecEvs[s][:0]
+		}
+		for _, ev := range events {
+			le.routeEvent(contact.Event{Tick: ev.Tick, A: ev.A, B: ev.B, Retract: ev.Retract})
+		}
+		return le.applyLanes()
+	}
 	evs := make([]contact.Event, len(events))
 	for i, ev := range events {
 		evs[i] = contact.Event{Tick: ev.Tick, A: ev.A, B: ev.B, Retract: ev.Retract}
@@ -267,6 +361,99 @@ func (le *LiveEngine) Ingest(events []ContactEvent) (IngestReport, error) {
 		Sealed:        res.Sealed,
 		Compacted:     res.Compacted,
 	}, err
+}
+
+// routeEvent appends e to its owner lanes' routing buffers: owner(A)'s
+// primary batch carries the report counts, and when the endpoints live on
+// different shards the duplicated copy lands in owner(B)'s secondary batch,
+// so both shard sub-networks stay complete for their own objects. Adds also
+// feed the live partition-quality counters.
+func (le *LiveEngine) routeEvent(e contact.Event) {
+	sa, sb := le.assign.Owner(e.A), le.assign.Owner(e.B)
+	le.laneEvs[sa] = append(le.laneEvs[sa], e)
+	if sb != sa {
+		le.laneSecEvs[sb] = append(le.laneSecEvs[sb], e)
+	}
+	if !e.Retract {
+		le.totalContacts.Add(1)
+		le.laneContacts[sa].Add(1)
+		if sb != sa {
+			le.crossContacts.Add(1)
+			le.laneContacts[sb].Add(1)
+		}
+	}
+}
+
+// applyLanes folds the routed batches into every lane and re-aligns the
+// lane clocks to the common frontier, so a shard whose objects were quiet
+// still covers the ticks its peers ingested. Per-event report counts come
+// from the primary batches alone (a cross-shard event is one event, however
+// many lanes store it); Compacted sums over lanes, and Sealed — with the
+// seal hook — reports lane 0's spans, identical across lanes once aligned.
+func (le *LiveEngine) applyLanes() (IngestReport, error) {
+	var rep IngestReport
+	var firstErr error
+	for s, lg := range le.lanes {
+		if len(le.laneEvs[s]) > 0 {
+			res, err := lg.IngestEvents(le.laneEvs[s], le.compactEvents)
+			le.countLane(s, res, &rep, true)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if len(le.laneSecEvs[s]) > 0 {
+			res, err := lg.IngestEvents(le.laneSecEvs[s], le.compactEvents)
+			le.countLane(s, res, &rep, false)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	frontier := 0
+	for _, lg := range le.lanes {
+		if n := lg.NumTicks(); n > frontier {
+			frontier = n
+		}
+	}
+	for s, lg := range le.lanes {
+		if lg.NumTicks() >= frontier {
+			continue
+		}
+		res, err := lg.AdvanceTo(frontier)
+		le.countLane(s, res, &rep, false)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return rep, firstErr
+}
+
+// countLane accumulates one lane apply into the batch report and fires the
+// hooks for it. The ingest hook fires per lane — an invalidation heard once
+// per shard that changed is idempotent for derived state; the seal hook
+// fires from lane 0 only, whose slab boundaries speak for all lanes.
+func (le *LiveEngine) countLane(s int, res segment.ApplyResult, rep *IngestReport, primary bool) {
+	if primary {
+		rep.Applied += res.Frontier
+		rep.Late += res.Late
+		rep.Retracted += res.Retracted
+		rep.Duplicates += res.Duplicates
+		rep.RetractMisses += res.RetractMisses
+	}
+	rep.Compacted += res.Compacted
+	if s == 0 {
+		rep.Sealed = append(rep.Sealed, res.Sealed...)
+	}
+	if le.ingestHook != nil {
+		for _, iv := range res.Changed {
+			le.ingestHook(iv)
+		}
+	}
+	if s == 0 && le.sealHook != nil {
+		for _, span := range res.Sealed {
+			le.sealHook(span)
+		}
+	}
 }
 
 // AddInstant ingests the next instant of the feed; positions[i] is object
@@ -286,6 +473,20 @@ func (le *LiveEngine) AddInstant(positions []Point) error {
 		le.evScratch = append(le.evScratch, contact.Event{Tick: tick, A: ObjectID(a), B: ObjectID(b)})
 		return true
 	})
+	if le.lanes != nil {
+		if len(le.evScratch) == 0 {
+			return le.advanceLanes(int(tick) + 1)
+		}
+		for s := range le.lanes {
+			le.laneEvs[s] = le.laneEvs[s][:0]
+			le.laneSecEvs[s] = le.laneSecEvs[s][:0]
+		}
+		for _, e := range le.evScratch {
+			le.routeEvent(e)
+		}
+		_, err := le.applyLanes()
+		return err
+	}
 	var res segment.ApplyResult
 	var err error
 	if len(le.evScratch) == 0 {
@@ -297,12 +498,29 @@ func (le *LiveEngine) AddInstant(positions []Point) error {
 	return err
 }
 
+// advanceLanes pads every lane to numTicks ticks, firing hooks per lane.
+func (le *LiveEngine) advanceLanes(numTicks int) error {
+	var rep IngestReport
+	var firstErr error
+	for s, lg := range le.lanes {
+		res, err := lg.AdvanceTo(numTicks)
+		le.countLane(s, res, &rep, false)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // AdvanceTo pads the feed with empty instants until tick is part of the
 // time domain — the clock half of ingestion, decoupled from contact
 // arrival so a quiet feed still moves the frontier (and with it the
 // ingest horizon). Already-covered ticks are a no-op; the clock never
 // rewinds. Single appender goroutine, like all ingestion.
 func (le *LiveEngine) AdvanceTo(tick Tick) error {
+	if le.lanes != nil {
+		return le.advanceLanes(int(tick) + 1)
+	}
 	res, err := le.log.AdvanceTo(int(tick) + 1)
 	le.fireHooks(res)
 	return err
@@ -316,6 +534,18 @@ func (le *LiveEngine) AdvanceTo(tick Tick) error {
 // Runs on the appender goroutine; queries may run concurrently and keep
 // their (still-exact) views.
 func (le *LiveEngine) Compact() (int, error) {
+	if le.lanes != nil {
+		total := 0
+		var firstErr error
+		for _, lg := range le.lanes {
+			n, err := lg.Compact()
+			total += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return total, firstErr
+	}
 	return le.log.Compact()
 }
 
@@ -323,6 +553,11 @@ func (le *LiveEngine) Compact() (int, error) {
 // current effective state at tick t — ingested (directly or late) and not
 // retracted. A serving layer uses it to pre-validate wire retractions.
 func (le *LiveEngine) ContactActiveAt(a, b ObjectID, t Tick) bool {
+	if le.lanes != nil {
+		// Owner(a)'s lane holds every contact incident to a, including the
+		// duplicated cross-shard copies.
+		return le.lanes[le.assign.Owner(a)].ActiveAt(a, b, t)
+	}
 	return le.log.ActiveAt(a, b, t)
 }
 
@@ -352,7 +587,24 @@ func (le *LiveEngine) NumSealedSegments() int { return le.log.NumSealed() }
 // — the same network a ContactStream would snapshot — for validation
 // against ground truth. The engine remains usable.
 func (le *LiveEngine) Snapshot() *ContactNetwork {
-	return &ContactNetwork{net: le.log.Snapshot()}
+	return &ContactNetwork{net: le.snapshotNet()}
+}
+
+func (le *LiveEngine) snapshotNet() *contact.Network {
+	if le.lanes == nil {
+		return le.log.Snapshot()
+	}
+	// Merge the lane snapshots back into the whole-population network,
+	// deduplicating the cross-shard contacts the cut stored twice.
+	nets := make([]*contact.Network, len(le.lanes))
+	numTicks := 0
+	for s, lg := range le.lanes {
+		nets[s] = lg.Snapshot()
+		if nets[s].NumTicks > numTicks {
+			numTicks = nets[s].NumTicks
+		}
+	}
+	return shard.Merge(nets, le.numObjects, numTicks)
 }
 
 // view assembles the planner's slab list: sealed segments plus, when the
@@ -362,7 +614,11 @@ func (le *LiveEngine) Snapshot() *ContactNetwork {
 // index, so out-of-order corrections are query-visible immediately.
 // Everything returned is immutable, so the query proceeds lock-free.
 func (le *LiveEngine) view() ([]segSlab, int) {
-	sealed, tailSpan, tailNet, numTicks := le.log.View()
+	return logView(le.log)
+}
+
+func logView(lg *segment.Log[frontierCore]) ([]segSlab, int) {
+	sealed, tailSpan, tailNet, numTicks := lg.View()
 	slabs := make([]segSlab, 0, len(sealed)+1)
 	for _, s := range sealed {
 		core := s.Value
@@ -377,6 +633,55 @@ func (le *LiveEngine) view() ([]segSlab, int) {
 	return slabs, numTicks
 }
 
+// laneSemView is one shard lane's scatter-gather entry point: a semCore
+// over a pinned view of the lane's log, evaluated through the
+// cross-segment planner. Expansions are clamped by the coordinator to the
+// common time domain, so a lane mid-append never leaks ticks its peers
+// have not covered yet.
+type laneSemView struct {
+	slabs      []segSlab
+	numObjects int
+	numTicks   int
+}
+
+func (v laneSemView) semSupports(spec semSpec) bool {
+	for _, s := range v.slabs {
+		sc, ok := s.core.(semCore)
+		if !ok || !sc.semSupports(spec) {
+			return false
+		}
+	}
+	return true
+}
+
+func (v laneSemView) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	return planSemProfile(ctx, v.slabs, v.numObjects, v.numTicks, dst, seeds, iv, spec, earlyDst, acct)
+}
+
+// shardParts pins one consistent view per lane and returns them as the
+// scatter-gather planner's parts, with the common time domain — the
+// minimum lane frontier, so queries racing an append see only ticks every
+// lane has covered.
+func (le *LiveEngine) shardParts() ([]semCore, int) {
+	parts := make([]semCore, len(le.lanes))
+	numTicks := -1
+	for s, lg := range le.lanes {
+		slabs, nt := logView(lg)
+		parts[s] = laneSemView{slabs: slabs, numObjects: le.numObjects, numTicks: nt}
+		if numTicks < 0 || nt < numTicks {
+			numTicks = nt
+		}
+	}
+	return parts, max(numTicks, 0)
+}
+
+func (le *LiveEngine) shardPar() int {
+	if le.parallelism > 0 {
+		return le.parallelism
+	}
+	return len(le.lanes)
+}
+
 // Name returns "live:<base>".
 func (le *LiveEngine) Name() string { return le.name }
 
@@ -389,6 +694,9 @@ func (le *LiveEngine) Reachable(ctx context.Context, q Query) (Result, error) {
 	}
 	if q.Semantics.Active() {
 		return evalReachableSem(ctx, le.semView(), q)
+	}
+	if le.lanes != nil {
+		return le.reachableSharded(ctx, q)
 	}
 	slabs, numTicks := le.view()
 	var acct pagefile.Stats
@@ -423,6 +731,9 @@ func (le *LiveEngine) ReachableSet(ctx context.Context, src ObjectID, iv Interva
 	if err := ctx.Err(); err != nil {
 		return SetResult{}, err
 	}
+	if le.lanes != nil {
+		return le.reachableSetSharded(ctx, src, iv)
+	}
 	slabs, numTicks := le.view()
 	var acct pagefile.Stats
 	start := time.Now()
@@ -431,6 +742,81 @@ func (le *LiveEngine) ReachableSet(ctx context.Context, src ObjectID, iv Interva
 		return SetResult{}, err
 	}
 	objs = sortDedupObjects(objs)
+	return SetResult{
+		Src:      src,
+		Interval: iv,
+		Objects:  objs,
+		IO:       statsOf(acct),
+		Latency:  time.Since(start),
+		Expanded: len(objs),
+	}, nil
+}
+
+// reachableSharded answers a plain point query over the ingest lanes with
+// the scatter-gather frontier relaxation — the same planner as the frozen
+// shard backends, with q.Dst as the early-exit target. A sharded live
+// engine routes every point query here (including "bidir:" bases: the
+// bidirectional planner needs the undivided network, which no single lane
+// holds).
+func (le *LiveEngine) reachableSharded(ctx context.Context, q Query) (Result, error) {
+	parts, numTicks := le.shardParts()
+	if err := validatePlanIDs(le.numObjects, q.Src, q.Dst); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	res := Result{
+		Query:     q,
+		Evaluated: true,
+		Arrival:   -1,
+		Hops:      -1,
+		Native:    true,
+	}
+	iv := clampDomain(q.Interval, numTicks)
+	switch {
+	case numTicks == 0 || iv.Len() == 0:
+	case q.Src == q.Dst:
+		res.Reachable = true
+	default:
+		sc := semPool.Get()
+		defer semPool.Put(sc)
+		sc.seeds = append(sc.seeds[:0], queries.SeedState{Obj: q.Src})
+		var acct pagefile.Stats
+		entries, n, err := planShardProfile(ctx, parts, le.assign, le.numObjects, numTicks,
+			sc.entries[:0], sc.seeds, iv, hopAgnostic, q.Dst, le.shardPar(), &acct, &le.crossFrontier)
+		sc.entries = entries
+		if err != nil {
+			return Result{}, err
+		}
+		_, res.Reachable = findEntry(entries, q.Dst)
+		res.IO = statsOf(acct)
+		res.Expanded = n
+	}
+	res.Latency = time.Since(start)
+	return res, nil
+}
+
+// reachableSetSharded computes the reachable set over the ingest lanes with
+// one exhaustive scatter-gather relaxation (no early exit).
+func (le *LiveEngine) reachableSetSharded(ctx context.Context, src ObjectID, iv Interval) (SetResult, error) {
+	parts, numTicks := le.shardParts()
+	if err := validatePlanIDs(le.numObjects, src, src); err != nil {
+		return SetResult{}, err
+	}
+	sc := semPool.Get()
+	defer semPool.Put(sc)
+	sc.seeds = append(sc.seeds[:0], queries.SeedState{Obj: src})
+	var acct pagefile.Stats
+	start := time.Now()
+	entries, _, err := planShardProfile(ctx, parts, le.assign, le.numObjects, numTicks,
+		sc.entries[:0], sc.seeds, iv, hopAgnostic, queries.NoObject, le.shardPar(), &acct, &le.crossFrontier)
+	sc.entries = entries
+	if err != nil {
+		return SetResult{}, err
+	}
+	objs := make([]ObjectID, len(entries))
+	for i, en := range entries {
+		objs[i] = en.Obj
+	}
 	return SetResult{
 		Src:      src,
 		Interval: iv,
@@ -455,9 +841,49 @@ type liveSemView struct {
 	numTicks int
 }
 
-func (le *LiveEngine) semView() *liveSemView {
+func (le *LiveEngine) semView() semEvaluator {
+	if le.lanes != nil {
+		parts, numTicks := le.shardParts()
+		return &liveShardSemView{le: le, parts: parts, numTicks: numTicks}
+	}
 	slabs, numTicks := le.view()
 	return &liveSemView{le: le, slabs: slabs, numTicks: numTicks}
+}
+
+// liveShardSemView is the semEvaluator of a sharded LiveEngine: pinned
+// per-lane views evaluated through the scatter-gather relaxation. Like the
+// frozen shard backends it is native exactly for hop-agnostic specs every
+// lane supports; hop-tracking specs (and any slab that cannot serve the
+// spec) fall back to a brute-force oracle over a merged feed snapshot.
+type liveShardSemView struct {
+	le       *LiveEngine
+	parts    []semCore
+	numTicks int
+}
+
+func (v *liveShardSemView) semDims() (int, int) { return v.le.numObjects, v.numTicks }
+
+func (v *liveShardSemView) semNativeFor(spec semSpec) bool {
+	if spec.tracksHops() {
+		return false
+	}
+	for _, p := range v.parts {
+		if !p.semSupports(spec) {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *liveShardSemView) semEvaluate(ctx context.Context, sc *semScratch, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, bool, error) {
+	if v.semNativeFor(spec) {
+		entries, n, err := planShardProfile(ctx, v.parts, v.le.assign, v.le.numObjects, v.numTicks,
+			sc.entries[:0], seeds, iv, spec, earlyDst, v.le.shardPar(), acct, &v.le.crossFrontier)
+		sc.entries = entries
+		return entries, n, true, err
+	}
+	entries, n := queries.NewOracle(v.le.snapshotNet()).ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	return entries, n, false, nil
 }
 
 func (v *liveSemView) semDims() (int, int) { return v.le.numObjects, v.numTicks }
@@ -478,7 +904,7 @@ func (v *liveSemView) semEvaluate(ctx context.Context, sc *semScratch, seeds []q
 		sc.entries = entries
 		return entries, n, true, err
 	}
-	entries, n := queries.NewOracle(v.le.log.Snapshot()).ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	entries, n := queries.NewOracle(v.le.snapshotNet()).ProfileFrom(seeds, iv, spec.budget, earlyDst)
 	return entries, n, false, nil
 }
 
@@ -506,21 +932,34 @@ func (le *LiveEngine) TopKReachable(ctx context.Context, src ObjectID, iv Interv
 // still count: the sealed index exists on disk until compaction replaces
 // it.
 func (le *LiveEngine) IndexBytes() int64 {
-	sealed, _, _, _ := le.log.View()
 	var sum int64
-	for _, s := range sealed {
-		sum += s.Value.indexBytes()
+	for _, lg := range le.allLogs() {
+		sealed, _, _, _ := lg.View()
+		for _, s := range sealed {
+			sum += s.Value.indexBytes()
+		}
 	}
 	return sum
+}
+
+// allLogs returns the engine's segment logs: the ingest lanes of a sharded
+// engine, or the single log otherwise.
+func (le *LiveEngine) allLogs() []*segment.Log[frontierCore] {
+	if le.lanes != nil {
+		return le.lanes
+	}
+	return []*segment.Log[frontierCore]{le.log}
 }
 
 // IOTotals returns the cumulative simulated disk traffic of the sealed
 // segments.
 func (le *LiveEngine) IOTotals() IOStats {
-	sealed, _, _, _ := le.log.View()
 	var sum pagefile.Stats
-	for _, s := range sealed {
-		sum.Add(s.Value.ioTotals())
+	for _, lg := range le.allLogs() {
+		sealed, _, _, _ := lg.View()
+		for _, s := range sealed {
+			sum.Add(s.Value.ioTotals())
+		}
 	}
 	return statsOf(sum)
 }
@@ -543,25 +982,83 @@ func (le *LiveEngine) Stats() EngineStats {
 		Segments:       segments,
 		SealedSegments: len(sealed),
 	}
+	// Sharded engines sum the per-lane footprints and ingest counters; the
+	// counters count lane applications, so a cross-shard event stored on
+	// both sides counts once per side, like ShardStats.Contacts. Segment
+	// counts come from lane 0, whose slab boundaries speak for all lanes.
 	var io pagefile.Stats
-	for _, s := range sealed {
-		io.Add(s.Value.ioTotals())
-		st.IndexBytes += s.Value.indexBytes()
-		st.DeltaEvents += s.Pending
-		if s.Pending > 0 {
-			st.DirtySegments++
+	for _, lg := range le.allLogs() {
+		laneSealed, _, _, _ := lg.View()
+		for _, s := range laneSealed {
+			io.Add(s.Value.ioTotals())
+			st.IndexBytes += s.Value.indexBytes()
+			st.DeltaEvents += s.Pending
+			if s.Pending > 0 {
+				st.DirtySegments++
+			}
 		}
+		c := lg.Counters()
+		st.LateEvents += c.LateApplied
+		st.Retractions += c.Retractions
+		st.Compactions += c.Compactions
 	}
 	st.IO = statsOf(io)
-	c := le.log.Counters()
-	st.LateEvents = c.LateApplied
-	st.Retractions = c.Retractions
-	st.Compactions = c.Compactions
 	if le.pool != nil {
 		st.HasPool = true
 		st.Pool = le.pool.Stats()
+	} else {
+		// Per-lane private pools: report their summed counters, the same
+		// convention as the frozen shard backends.
+		for _, p := range le.lanePools {
+			if p == nil {
+				continue
+			}
+			ps := p.Stats()
+			st.HasPool = true
+			st.Pool.Hits += ps.Hits
+			st.Pool.Misses += ps.Misses
+			st.Pool.Evictions += ps.Evictions
+			st.Pool.Resident += ps.Resident
+			st.Pool.Capacity += ps.Capacity
+		}
+	}
+	if le.shards > 0 {
+		st.Shards = le.shards
+		st.Partitioner = "hash"
+		st.CrossShardFrontier = le.crossFrontier.Load()
+		if total := le.totalContacts.Load(); total > 0 {
+			st.CrossShardRatio = float64(le.crossContacts.Load()) / float64(total)
+		}
+		st.ShardDetails = le.ShardStats()
 	}
 	return st
+}
+
+// ShardStats returns one entry per ingest lane; nil for engines opened
+// without a "shard:<K>:" prefix (or with K = 1, which keeps the single
+// unsharded log). Contacts counts the contact adds routed to the lane so
+// far — cross-shard contacts once per side.
+func (le *LiveEngine) ShardStats() []ShardStats {
+	if le.lanes == nil {
+		return nil
+	}
+	out := make([]ShardStats, len(le.lanes))
+	for s, lg := range le.lanes {
+		sealed, _, _, _ := lg.View()
+		st := ShardStats{
+			Shard:    s,
+			Objects:  le.assign.Objects(s),
+			Contacts: int(le.laneContacts[s].Load()),
+		}
+		var io pagefile.Stats
+		for _, sv := range sealed {
+			io.Add(sv.Value.ioTotals())
+			st.IndexBytes += sv.Value.indexBytes()
+		}
+		st.IO = statsOf(io)
+		out[s] = st
+	}
+	return out
 }
 
 // SegmentStats returns one entry per segment — sealed segments first, then
@@ -570,13 +1067,33 @@ func (le *LiveEngine) Stats() EngineStats {
 func (le *LiveEngine) SegmentStats() []SegmentStats {
 	sealed, tailSpan, tailNet, _ := le.log.View()
 	out := make([]SegmentStats, 0, len(sealed)+1)
-	for _, s := range sealed {
+	io := make([]pagefile.Stats, len(sealed))
+	for i, s := range sealed {
+		io[i] = s.Value.ioTotals()
 		out = append(out, SegmentStats{
 			Span:        s.Span,
-			IO:          statsOf(s.Value.ioTotals()),
 			IndexBytes:  s.Value.indexBytes(),
 			DeltaEvents: s.Pending,
 		})
+	}
+	// Lanes 1..K-1 seal the same slab spans as lane 0 (the appender keeps
+	// the clocks aligned); fold their per-slab footprints in by index so an
+	// entry stays "one time slab, summed across shards".
+	if le.lanes != nil {
+		for _, lg := range le.lanes[1:] {
+			laneSealed, _, _, _ := lg.View()
+			for i, s := range laneSealed {
+				if i >= len(out) {
+					break
+				}
+				io[i].Add(s.Value.ioTotals())
+				out[i].IndexBytes += s.Value.indexBytes()
+				out[i].DeltaEvents += s.Pending
+			}
+		}
+	}
+	for i := range out {
+		out[i].IO = statsOf(io[i])
 	}
 	if tailNet != nil {
 		out = append(out, SegmentStats{Span: tailSpan})
@@ -586,3 +1103,4 @@ func (le *LiveEngine) SegmentStats() []SegmentStats {
 
 var _ Engine = (*LiveEngine)(nil)
 var _ Segmented = (*LiveEngine)(nil)
+var _ Sharded = (*LiveEngine)(nil)

@@ -297,9 +297,16 @@ func planSemProfile(ctx context.Context, slabs []segSlab, numObjects, numTicks i
 		if int(s.Obj) < 0 || int(s.Obj) >= numObjects || s.Hops < 0 || s.Hops > spec.budget {
 			continue
 		}
+		if s.Start > iv.Hi {
+			continue
+		}
+		at := s.Start
+		if at < iv.Lo {
+			at = iv.Lo
+		}
 		if prev, ok := ps.hops.Get(int(s.Obj)); !ok {
 			ps.hops.Set(int(s.Obj), s.Hops)
-			ps.arrival.Set(int(s.Obj), int32(iv.Lo))
+			ps.arrival.Set(int(s.Obj), int32(at))
 			ps.reached = append(ps.reached, s.Obj)
 		} else if s.Hops < prev {
 			ps.hops.Set(int(s.Obj), s.Hops)
@@ -325,13 +332,30 @@ func planSemProfile(ctx context.Context, slabs []segSlab, numObjects, numTicks i
 		if w.Len() == 0 {
 			continue
 		}
+		// Seed the slab with every object holding the item by the slab's
+		// window: objects arriving in an earlier slab enter at the window
+		// start (Start re-bases below local lo and clamps up), objects
+		// activating inside this slab enter at their own local tick, and
+		// objects activating later stay out of the frontier for now.
+		base := slabs[i].span.Lo
 		ps.seeds = ps.seeds[:0]
 		for _, o := range ps.reached {
+			arr, _ := ps.arrival.Get(int(o))
+			if Tick(arr) > w.Hi {
+				continue
+			}
 			h := int32(0)
 			if trackHops {
 				h, _ = ps.hops.Get(int(o))
 			}
-			ps.seeds = append(ps.seeds, queries.SeedState{Obj: o, Hops: h})
+			st := Tick(arr) - base
+			if st < 0 {
+				st = 0
+			}
+			ps.seeds = append(ps.seeds, queries.SeedState{Obj: o, Hops: h, Start: st})
+		}
+		if len(ps.seeds) == 0 {
+			continue
 		}
 		sc, ok := slabs[i].core.(semCore)
 		if !ok {
@@ -343,7 +367,6 @@ func planSemProfile(ctx context.Context, slabs []segSlab, numObjects, numTicks i
 		if err != nil {
 			return dst, expanded, err
 		}
-		base := slabs[i].span.Lo
 		for _, en := range entries {
 			if prev, ok := ps.hops.Get(int(en.Obj)); !ok {
 				h := en.Hops
@@ -356,10 +379,17 @@ func planSemProfile(ctx context.Context, slabs []segSlab, numObjects, numTicks i
 				ps.hops.Set(int(en.Obj), h)
 				ps.arrival.Set(int(en.Obj), int32(base+en.Arrival))
 				ps.reached = append(ps.reached, en.Obj)
-			} else if trackHops && en.Hops >= 0 && en.Hops < prev {
-				// Already reached: the arrival keeps its earlier tick, but
-				// a later slab may deliver the item over fewer transfers.
-				ps.hops.Set(int(en.Obj), en.Hops)
+			} else {
+				// Already reached: a slab can still beat a deferred seed's
+				// provisional activation arrival (organic propagation inside
+				// the seed's own slab arrives first), and a later slab may
+				// deliver the item over fewer transfers.
+				if prevArr, _ := ps.arrival.Get(int(en.Obj)); int32(base+en.Arrival) < prevArr {
+					ps.arrival.Set(int(en.Obj), int32(base+en.Arrival))
+				}
+				if trackHops && en.Hops >= 0 && en.Hops < prev {
+					ps.hops.Set(int(en.Obj), en.Hops)
+				}
 			}
 		}
 	}

@@ -146,23 +146,13 @@ func (c gridCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, se
 func (c graphCore) semSupports(spec semSpec) bool { return !spec.tracksHops() }
 
 func (c graphCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, _ semSpec, _ ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
-	return c.ix.AppendArrivalProfileFrom(ctx, dst, seedObjects(seeds), iv, acct)
+	return c.ix.AppendArrivalProfileSeeds(ctx, dst, seeds, iv, acct)
 }
 
 func (c graphMemCore) semSupports(spec semSpec) bool { return !spec.tracksHops() }
 
 func (c graphMemCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, _ semSpec, _ ObjectID, _ *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
-	return c.m.AppendArrivalProfileFrom(ctx, dst, seedObjects(seeds), iv)
-}
-
-// seedObjects projects a frontier onto bare object IDs for the
-// hop-agnostic arrival sweeps.
-func seedObjects(seeds []queries.SeedState) []ObjectID {
-	objs := make([]ObjectID, len(seeds))
-	for i, s := range seeds {
-		objs[i] = s.Obj
-	}
-	return objs
+	return c.m.AppendArrivalProfileSeeds(ctx, dst, seeds, iv)
 }
 
 // semScratch is the pooled working state of one facade-level semantic

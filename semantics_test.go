@@ -244,6 +244,11 @@ func TestSemanticsNativeMatrix(t *testing.T) {
 		// semantics layer routes through the same forward planner as the
 		// segmented backends, so native-ness matches them.
 		"bidir:oracle": true, "bidir:reachgraph": true, "bidir:reachgraph-mem": true,
+		// The scatter-gather relaxation exchanges exact arrival ticks
+		// across the shard cut, so arrival queries stay native; hop
+		// tracking does not compose across shards and falls back.
+		"shard:1:reachgraph": true, "shard:2:reachgraph": true, "shard:4:reachgraph": true,
+		"shard:1:spatial:reachgraph": true, "shard:2:spatial:reachgraph": true, "shard:4:spatial:reachgraph": true,
 		"spj": false, "grail": false, "grail-mem": false,
 	}
 	hopNative := map[string]bool{

@@ -49,6 +49,42 @@ type EngineStats struct {
 	LateEvents  int64
 	Retractions int64
 	Compactions int64
+	// Shards is the shard count of a sharded engine ("shard:*" backends
+	// and sharded LiveEngines); zero for unsharded engines. Partitioner
+	// names the scheme that produced the object assignment ("hash" or
+	// "spatial").
+	Shards      int
+	Partitioner string
+	// CrossShardRatio is the fraction of contacts crossing the shard cut
+	// (each such contact is duplicated into both endpoint shards) — the
+	// static partition-quality metric: ~1-1/K for a uniform random cut,
+	// near zero for a spatial cut of clustered mobility.
+	CrossShardRatio float64
+	// CrossShardFrontier counts the boundary objects queries handed across
+	// the shard cut so far — the cumulative scatter-gather traffic.
+	CrossShardFrontier int64
+	// ShardDetails holds one entry per shard in shard order; nil for
+	// unsharded engines.
+	ShardDetails []ShardStats
+}
+
+// ShardStats describes one shard of a sharded engine: its owned object
+// count, the contacts of its sub-network (cross-shard contacts counted on
+// both sides), its index footprint and its cumulative simulated I/O.
+type ShardStats struct {
+	Shard      int
+	Objects    int
+	Contacts   int
+	IndexBytes int64
+	IO         IOStats
+}
+
+// Sharded is implemented by engines built from object shards (the
+// "shard:*" backends and sharded LiveEngines). Callers obtain it by type
+// assertion from an Engine.
+type Sharded interface {
+	// ShardStats returns one entry per shard in shard order.
+	ShardStats() []ShardStats
 }
 
 func (e *engine) Stats() EngineStats {

@@ -126,6 +126,11 @@ type VNOptions = mobility.VNConfig
 // paper's Beijing GPS dataset, VNR).
 type TaxiOptions = mobility.TaxiConfig
 
+// ClusteredOptions configures the clustered-mobility generator (objects
+// orbiting home regions with rare cross-region roaming — the workload a
+// spatial partitioner keeps shard-local).
+type ClusteredOptions = mobility.ClusteredConfig
+
 // Dataset is a contact dataset: trajectories of all objects over a common
 // discrete time domain plus the contact threshold metadata.
 type Dataset struct {
@@ -148,6 +153,11 @@ func GenerateVehicles(opts VNOptions) *Dataset {
 // GenerateTaxiDay synthesizes a day of hotspot-biased taxi trips.
 func GenerateTaxiDay(opts TaxiOptions) *Dataset {
 	return &Dataset{d: mobility.TaxiDay(opts)}
+}
+
+// GenerateClustered synthesizes a clustered-mobility dataset.
+func GenerateClustered(opts ClusteredOptions) *Dataset {
+	return &Dataset{d: mobility.Clustered(opts)}
 }
 
 // Name returns the dataset's display name (e.g. "RWP500").
@@ -379,7 +389,7 @@ func (g *ReachGraph) IOStats() IOStats { return statsOf(g.ix.Counters()) }
 // ResetStats zeroes the I/O counters and drops the buffer pool.
 func (g *ReachGraph) ResetStats() {
 	g.ix.ResetCounters()
-	g.ix.Store().DropCache()
+	g.ix.DropCache()
 }
 
 // IndexBytes returns the on-disk size of the index.
