@@ -150,19 +150,21 @@ func main() {
 		// ran; with none selected the concurrency sweep is the default
 		// report (the historical BENCH_*.json contents).
 		var recs []bench.Record
-		ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir, ranShard := false, false, false, false, false, false, false
+		ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir, ranShard, ranFiltered := false, false, false, false, false, false, false, false
 		for _, id := range ids {
 			switch strings.ToLower(strings.TrimSpace(id)) {
 			case "concurrency":
 				ranConc = true
 			case "all":
-				ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir, ranShard = true, true, true, true, true, true, true
+				ranConc, ranStream, ranCodec, ranSem, ranCompact, ranBidir, ranShard, ranFiltered = true, true, true, true, true, true, true, true
 			case "streaming":
 				ranStream = true
 			case "ablation-codec":
 				ranCodec = true
 			case "semantics":
 				ranSem = true
+			case "filtered":
+				ranFiltered = true
 			case "compaction":
 				ranCompact = true
 			case "bidir":
@@ -171,7 +173,7 @@ func main() {
 				ranShard = true
 			}
 		}
-		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact && !ranBidir && !ranShard {
+		if !ranConc && !ranStream && !ranCodec && !ranSem && !ranCompact && !ranBidir && !ranShard && !ranFiltered {
 			ranConc = true
 		}
 		if ranConc {
@@ -185,6 +187,9 @@ func main() {
 		}
 		if ranSem {
 			recs = append(recs, lab.SemanticsRecords()...)
+		}
+		if ranFiltered {
+			recs = append(recs, lab.FilteredRecords()...)
 		}
 		if ranCompact {
 			recs = append(recs, lab.CompactionRecords()...)

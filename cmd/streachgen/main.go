@@ -7,6 +7,7 @@
 //	streachgen -kind taxi -csv /tmp/vnr.csv                        # trajectory CSV
 //	streachgen -kind rwp -backend reachgraph -queries 100          # serve a workload
 //	streachgen -kind clustered -clusters 12 -roam 0.002            # sharding preset
+//	streachgen -kind rwp -lifetime 5 -backend reachgraph           # non-immediate net
 //
 // The CSV format is one row per (object, tick): object,tick,x,y. With
 // -backend, the named registry backend (see -backend list) is opened over
@@ -39,6 +40,7 @@ func main() {
 		backend     = flag.String("backend", "", "registry backend to serve -queries through ('list' to enumerate)")
 		queriesFlg  = flag.Int("queries", 0, "random queries to evaluate against -backend")
 		workers     = flag.Int("workers", 0, "batch worker-pool bound (default GOMAXPROCS)")
+		lifetime    = flag.Int("lifetime", -1, "non-immediate item lifetime in ticks (§7); -1 = immediate contacts")
 	)
 	flag.Parse()
 
@@ -81,8 +83,20 @@ func main() {
 	fmt.Printf("contact dT %.0f m\n", ds.ContactDist())
 	fmt.Printf("raw size   %d bytes\n", ds.SizeBytes())
 
+	// With -lifetime ≥ 0 the non-immediate contacts are extracted and folded
+	// into an undirected network; -contacts and -backend both run over that
+	// projection instead of the immediate contact network.
+	var nonimm *streach.ContactNetwork
+	if *lifetime >= 0 {
+		nonimm = ds.NonImmediateContacts(*lifetime)
+		fmt.Printf("lifetime   %d ticks (non-immediate projection)\n", *lifetime)
+	}
+
 	if *contactsFlg {
-		cn := ds.Contacts()
+		cn := nonimm
+		if cn == nil {
+			cn = ds.Contacts()
+		}
 		fmt.Printf("contacts   %d\n", cn.NumContacts())
 		var longest, total int
 		for _, c := range cn.All() {
@@ -107,26 +121,30 @@ func main() {
 	}
 
 	if *backend != "" {
-		if err := serve(ds, *backend, *queriesFlg, *workers, *seed); err != nil {
+		var src streach.Source = ds
+		if nonimm != nil {
+			src = nonimm
+		}
+		if err := serve(src, ds.NumObjects(), ds.NumTicks(), *backend, *queriesFlg, *workers, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "streachgen: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-// serve opens the named backend over ds and batch-evaluates a random
+// serve opens the named backend over src and batch-evaluates a random
 // workload through it, summarizing the typed per-query results.
-func serve(ds *streach.Dataset, backend string, count, workers int, seed int64) error {
+func serve(src streach.Source, numObjects, numTicks int, backend string, count, workers int, seed int64) error {
 	if count <= 0 {
 		count = 50
 	}
-	e, err := streach.Open(backend, ds, streach.Options{})
+	e, err := streach.Open(backend, src, streach.Options{})
 	if err != nil {
 		return err
 	}
 	work := streach.RandomQueries(streach.WorkloadOptions{
-		NumObjects: ds.NumObjects(),
-		NumTicks:   ds.NumTicks(),
+		NumObjects: numObjects,
+		NumTicks:   numTicks,
 		Count:      count,
 		Seed:       seed + 13,
 	})

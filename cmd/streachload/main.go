@@ -4,7 +4,10 @@
 // back-to-back) or an open loop (-qps target pacing with intended-start
 // latency accounting, so coordinated omission does not hide queueing).
 // With -ingest-qps it simultaneously streams synthetic feed instants into
-// /v1/ingest, measuring query service while the engine ingests.
+// /v1/ingest, measuring query service while the engine ingests. The §7
+// extension knobs (-min-duration, -prob, -prob-threshold) attach contact
+// predicates and probabilistic semantics to the reachability traffic and
+// stamp the emitted records accordingly.
 //
 // Latencies land in an HDR-style log-bucketed histogram (1µs resolution
 // floor, ~5% bucket growth to 60s) from which p50/p95/p99 are read.
@@ -44,6 +47,9 @@ func main() {
 		warmup     = flag.Duration("warmup", time.Second, "warmup before measurement (not recorded)")
 		window     = flag.Int("window", 250, "query interval length in ticks")
 		arrivals   = flag.Float64("arrival-frac", 0, "fraction of queries sent to /v1/earliest-arrival")
+		minDur     = flag.Int("min-duration", 0, "contact-duration floor (ticks) attached to reachability queries (0: unfiltered)")
+		prob       = flag.Float64("prob", 0, "per-contact transmission probability attached to reachability queries (0: deterministic)")
+		probThresh = flag.Float64("prob-threshold", 0, "reachability threshold τ attached to probabilistic queries (requires -prob)")
 		noCache    = flag.Bool("no-cache", false, "bypass the server's result cache")
 		ingestQPS  = flag.Float64("ingest-qps", 0, "feed instants per second to POST to /v1/ingest while measuring")
 		lateFrac   = flag.Float64("late-frac", 0, "fraction of ingest posts sent as v2 out-of-order contact events at a past tick (a quarter of those adds are later retracted)")
@@ -82,6 +88,19 @@ func main() {
 		log.Fatalf(`bad -strategy %q (want "forward", "bidir" or "auto")`, strat)
 	}
 
+	// τ is meaningless without a per-contact probability (the server 400s the
+	// combination), so fill in a conventional default rather than fail late.
+	if *probThresh > 0 && *prob == 0 {
+		log.Printf("-prob-threshold %v without -prob: defaulting -prob to 0.9", *probThresh)
+		*prob = 0.9
+	}
+	// The earliest-arrival endpoint strict-decodes its body and carries no
+	// semantics fields, so the extension knobs only compose with pure
+	// reachability traffic.
+	if (*minDur > 0 || *prob > 0) && *arrivals > 0 {
+		log.Fatal("-min-duration/-prob do not combine with -arrival-frac (earliest-arrival carries no semantics fields)")
+	}
+
 	counts := []int{*clients}
 	if *sweep != "" {
 		counts = counts[:0]
@@ -103,6 +122,9 @@ func main() {
 			warmup:      *warmup,
 			window:      *window,
 			arrivalFrac: *arrivals,
+			minDuration: *minDur,
+			prob:        *prob,
+			probThresh:  *probThresh,
 			noCache:     *noCache,
 			ingestQPS:   *ingestQPS,
 			lateFrac:    *lateFrac,
@@ -149,6 +171,9 @@ type pointConfig struct {
 	warmup      time.Duration
 	window      int
 	arrivalFrac float64
+	minDuration int
+	prob        float64
+	probThresh  float64
 	noCache     bool
 	ingestQPS   float64
 	lateFrac    float64
@@ -286,6 +311,14 @@ func runPoint(client *http.Client, base string, st *statsDoc, cfg pointConfig) b
 		CacheHitRate:  final.Cache.HitRate,
 		Strategy:      cfg.strategy,
 	}
+	if cfg.minDuration > 0 {
+		rec.Filtered = true
+		rec.MinDuration = cfg.minDuration
+	}
+	if cfg.prob > 0 {
+		rec.Prob = cfg.prob
+		rec.ProbThreshold = cfg.probThresh
+	}
 	if final.Engine.Shards > 0 {
 		rec.Shards = final.Engine.Shards
 		rec.Partitioner = final.Engine.Partitioner
@@ -334,6 +367,19 @@ func randomQuery(rng *rand.Rand, st *statsDoc, cfg pointConfig) (body []byte, pa
 	path = "/v1/reachable"
 	if cfg.arrivalFrac > 0 && rng.Float64() < cfg.arrivalFrac {
 		path = "/v1/earliest-arrival"
+	} else {
+		// Extension semantics attach to reachability bodies only; the
+		// earliest-arrival decoder rejects unknown fields (and main refuses
+		// the flag combination anyway).
+		if cfg.minDuration > 0 {
+			req["min_duration"] = cfg.minDuration
+		}
+		if cfg.prob > 0 {
+			req["prob"] = cfg.prob
+		}
+		if cfg.probThresh > 0 {
+			req["prob_threshold"] = cfg.probThresh
+		}
 	}
 	body, _ = json.Marshal(req)
 	return body, path

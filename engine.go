@@ -100,12 +100,20 @@ type Result struct {
 	// Hops is the minimal number of inter-object transfers among delivery
 	// chains arriving by the Arrival tick, when the evaluator tracks
 	// transfer counts (hop-bounded queries on hop-counting backends); -1
-	// otherwise.
+	// otherwise. Probabilistic queries instead report the full-interval
+	// minimum — the transfer count of the best path, which may arrive
+	// after the Arrival tick.
 	Hops int
 	// Native reports whether the semantics layer answered natively in the
 	// backend's traversal core; false means the oracle fallback evaluated
 	// the query. Plain boolean queries are always native.
 	Native bool
+	// Prob is the delivery probability under Query.Semantics.Prob: the
+	// best single-path probability p^Hops for exact evaluations, or the
+	// sampled two-terminal reliability estimate when MCTrials requested the
+	// Monte-Carlo fallback. Zero for non-probabilistic queries and for
+	// unreachable destinations.
+	Prob float64
 }
 
 // SetResult is the typed answer to one reachable-set query.
@@ -427,10 +435,13 @@ func lookupSpec(name string) (backendSpec, bool) {
 	if spec, ok := registry[canonical]; ok {
 		return spec, ok
 	}
-	// "shard:<K>[:partitioner]:<base>" names compose dynamically: any
-	// shard count over any registered contact-sourced base resolves even
-	// without a pre-registered entry.
-	return shardSpec(canonical)
+	// "shard:<K>[:partitioner]:<base>" and "uncertain:<base>" names compose
+	// dynamically: any shard count or uncertain wrapper over any registered
+	// contact-sourced base resolves even without a pre-registered entry.
+	if spec, ok := shardSpec(canonical); ok {
+		return spec, ok
+	}
+	return uncertainSpec(canonical)
 }
 
 // Open builds the named backend over src and returns it as an Engine.

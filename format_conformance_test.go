@@ -32,7 +32,8 @@ func TestCrossBackendConformanceBothFormats(t *testing.T) {
 	diskBackends := []string{"reachgrid", "spj", "reachgraph", "reachgraph-bbfs",
 		"segmented:reachgrid", "segmented:reachgraph", "bidir:reachgraph",
 		"shard:1:reachgraph", "shard:2:reachgraph", "shard:4:reachgraph",
-		"shard:1:spatial:reachgraph", "shard:2:spatial:reachgraph", "shard:4:spatial:reachgraph"}
+		"shard:1:spatial:reachgraph", "shard:2:spatial:reachgraph", "shard:4:spatial:reachgraph",
+		"uncertain:reachgraph"}
 	sizes := map[string]map[streach.PageFormat]int64{}
 	for _, name := range diskBackends {
 		sizes[name] = map[streach.PageFormat]int64{}

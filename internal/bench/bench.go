@@ -167,18 +167,19 @@ func pad(s string, w int) string {
 type Lab struct {
 	opts Options
 
-	datasets    map[string]*trajectory.Dataset
-	contacts    map[string]*contact.Network
-	graphs      map[string]*dn.Graph
-	pub         map[string]*streach.Dataset
-	clusteredDS *streach.Dataset // memoized sharding preset
-	concRecs    []Record         // memoized concurrency sweep
-	streamRecs  []Record         // memoized streaming sweep
-	compactRecs []Record         // memoized compaction sweep
-	codecRecs   []Record         // memoized codec ablation
-	semRecs     []Record         // memoized semantics sweep
-	bidirRecs   []Record         // memoized bidirectional-search sweep
-	shardRecs   []Record         // memoized sharding sweep
+	datasets     map[string]*trajectory.Dataset
+	contacts     map[string]*contact.Network
+	graphs       map[string]*dn.Graph
+	pub          map[string]*streach.Dataset
+	clusteredDS  *streach.Dataset // memoized sharding preset
+	concRecs     []Record         // memoized concurrency sweep
+	streamRecs   []Record         // memoized streaming sweep
+	compactRecs  []Record         // memoized compaction sweep
+	codecRecs    []Record         // memoized codec ablation
+	semRecs      []Record         // memoized semantics sweep
+	filteredRecs []Record         // memoized filtered/probabilistic sweep
+	bidirRecs    []Record         // memoized bidirectional-search sweep
+	shardRecs    []Record         // memoized sharding sweep
 }
 
 // NewLab returns a Lab with the given options (zero value = defaults).
@@ -438,6 +439,7 @@ func (l *Lab) All() []*Table {
 		l.Streaming(),
 		l.Compaction(),
 		l.Semantics(),
+		l.Filtered(),
 		l.Bidir(),
 		l.Sharding(),
 		l.AblationPool(),
@@ -497,6 +499,8 @@ func (l *Lab) ByID(id string) func() *Table {
 		return l.Compaction
 	case "semantics":
 		return l.Semantics
+	case "filtered":
+		return l.Filtered
 	case "bidir":
 		return l.Bidir
 	case "sharding":
@@ -511,6 +515,6 @@ func IDs() []string {
 		"table1", "table2", "fig8a", "fig8b", "fig9", "spj",
 		"fig10", "fig11", "table4", "fig12", "fig12b", "fig13", "fig14", "fig15",
 		"table5a", "table5b", "backends", "concurrency", "streaming", "compaction", "semantics",
-		"bidir", "sharding", "ablation-pool", "ablation-bidir", "ablation-codec",
+		"filtered", "bidir", "sharding", "ablation-pool", "ablation-bidir", "ablation-codec",
 	}
 }

@@ -1,0 +1,180 @@
+// The filtered experiment: §7's extension queries under a contact-tracing
+// preset — a k-hop exposure ring restricted to sustained contacts
+// (min-duration filter) with a probabilistic τ sweep on top. As in the
+// semantics experiment, every answer is validated against the oracle under
+// the same semantics before it is counted, so the records double as a
+// conformance certificate for the filtered/probabilistic propagation path.
+//
+// The probabilistic rows additionally cross-check the seeded Monte-Carlo
+// estimator against the exact evaluation: the sampled two-terminal
+// reliability is an upper bound on the exact best-path probability
+// (p^minHops), so any shortfall below it is pure sampling error. The
+// largest shortfall observed lands in MaxProbShortfall, which CI gates.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streach"
+)
+
+// filteredPreset is the contact-tracing parameterization the experiment
+// sweeps: exposure rings of at most ExposureHops transfers over contacts of
+// at least MinDuration ticks, with per-contact transmission probability
+// Prob thresholded at each τ of TauSweep.
+var filteredPreset = struct {
+	ExposureHops int
+	MinDuration  int
+	Prob         float64
+	TauSweep     []float64
+	MCTrials     int
+	MCSeed       int64
+}{
+	ExposureHops: 3,
+	MinDuration:  2,
+	Prob:         0.8,
+	TauSweep:     []float64{0.1, 0.3, 0.5},
+	MCTrials:     400,
+	MCSeed:       17,
+}
+
+// filteredBackends is the representative slice the experiment measures: the
+// ground-truth oracle, a trajectory index, the uncertain contact store, and
+// the segmented planner — one of each propagation architecture. Backends
+// missing from the registry (never, today) are skipped.
+var filteredBackends = []string{"oracle", "reachgrid", "uncertain:reachgraph", "segmented:oracle"}
+
+// FilteredRecords measures the contact-tracing preset per backend on the
+// middle RWP dataset, validating every answer against the oracle under
+// identical semantics. The sweep runs once per Lab.
+func (l *Lab) FilteredRecords() []Record {
+	if l.filteredRecs != nil {
+		return l.filteredRecs
+	}
+	d := l.RWP(l.opts.RWPSizes[len(l.opts.RWPSizes)/2])
+	work := l.Workload(d, 0)
+	ctx := context.Background()
+	oracle := l.OpenBackend("oracle", d, streach.Options{})
+	p := filteredPreset
+
+	// The semantics blocks of the sweep: one pure filtered row, then the
+	// full preset at each τ.
+	type variant struct {
+		label string
+		sem   streach.Semantics
+	}
+	variants := []variant{{
+		label: "filtered",
+		sem:   streach.Semantics{MaxHops: p.ExposureHops, MinDuration: p.MinDuration},
+	}}
+	for _, tau := range p.TauSweep {
+		variants = append(variants, variant{
+			label: "probabilistic",
+			sem: streach.Semantics{
+				MaxHops:       p.ExposureHops,
+				MinDuration:   p.MinDuration,
+				Prob:          p.Prob,
+				ProbThreshold: tau,
+			},
+		})
+	}
+
+	var recs []Record
+	for _, name := range filteredBackends {
+		if _, ok := streach.LookupBackend(name); !ok {
+			continue
+		}
+		e := l.OpenBackend(name, d, streach.Options{})
+		for _, v := range variants {
+			var lats []time.Duration
+			var pages, hits int64
+			var normalized, maxShortfall float64
+			native := true
+			for _, q := range work {
+				fq := q
+				fq.Semantics = v.sem
+				r, err := e.Reachable(ctx, fq)
+				if err != nil {
+					panic(fmt.Sprintf("bench: filtered %s on %v: %v", name, fq, err))
+				}
+				ref, err := oracle.Reachable(ctx, fq)
+				if err != nil {
+					panic(fmt.Sprintf("bench: filtered oracle on %v: %v", fq, err))
+				}
+				if r.Reachable != ref.Reachable || r.Prob != ref.Prob {
+					panic(fmt.Sprintf("bench: filtered conformance: %s on %v: (reachable=%v, prob=%v) vs oracle (%v, %v)",
+						name, fq, r.Reachable, r.Prob, ref.Reachable, ref.Prob))
+				}
+				if v.sem.Prob > 0 && name == filteredBackends[0] {
+					// Monte-Carlo cross-check on the ground-truth row only:
+					// the estimator routes through the fallback oracle on
+					// every backend, so one row covers it.
+					mq := fq
+					mq.Semantics.MCTrials = p.MCTrials
+					mq.Semantics.MCSeed = p.MCSeed
+					mr, err := e.Reachable(ctx, mq)
+					if err != nil {
+						panic(fmt.Sprintf("bench: monte-carlo on %v: %v", mq, err))
+					}
+					if r.Reachable && r.Prob-mr.Prob > maxShortfall {
+						maxShortfall = r.Prob - mr.Prob
+					}
+				}
+				lats = append(lats, r.Latency)
+				pages += r.IO.RandomReads + r.IO.SequentialReads
+				hits += r.IO.BufferHits
+				normalized += r.IO.Normalized
+				native = native && r.Native
+			}
+			rec := semRecord(name, d.Name, v.label, native, lats, pages, hits, normalized)
+			rec.Experiment = "filtered"
+			rec.Filtered = true
+			rec.MinDuration = v.sem.MinDuration
+			rec.Prob = v.sem.Prob
+			rec.ProbThreshold = v.sem.ProbThreshold
+			if v.sem.Prob > 0 && name == filteredBackends[0] {
+				rec.MCTrials = p.MCTrials
+				rec.MaxProbShortfall = maxShortfall
+			}
+			recs = append(recs, rec)
+		}
+	}
+	l.filteredRecs = recs
+	return recs
+}
+
+// Filtered renders the contact-tracing sweep as a table (the human-readable
+// view of FilteredRecords).
+func (l *Lab) Filtered() *Table {
+	t := &Table{
+		ID:      "filtered",
+		Title:   "Filtered + probabilistic reachability: contact-tracing preset across backends",
+		Columns: []string{"Backend", "Dataset", "Kind", "τ", "Native", "Queries", "q/s", "p50", "IO/q", "MC shortfall"},
+	}
+	for _, rec := range l.FilteredRecords() {
+		tau, shortfall := "-", "-"
+		if rec.ProbThreshold > 0 {
+			tau = fmt.Sprintf("%.2f", rec.ProbThreshold)
+		}
+		if rec.MCTrials > 0 {
+			shortfall = fmt.Sprintf("%.3f", rec.MaxProbShortfall)
+		}
+		t.AddRow(
+			rec.Backend, rec.Dataset, rec.Semantics, tau,
+			fmt.Sprint(rec.NativeSemantics),
+			fmt.Sprint(rec.Queries),
+			fmt.Sprintf("%.0f", rec.QueriesPerSec),
+			fmt.Sprintf("%.0fµs", rec.P50LatencyUS),
+			fmt.Sprintf("%.1f", rec.NormalizedIOPerQuery),
+			shortfall,
+		)
+	}
+	t.AddNote("preset: %d-hop exposure rings over contacts ≥ %d ticks, p=%.1f per contact, τ swept",
+		filteredPreset.ExposureHops, filteredPreset.MinDuration, filteredPreset.Prob)
+	t.AddNote("every answer (reachable bit AND best-path probability) validated against the oracle;")
+	t.AddNote("MC shortfall is max(exact − monte-carlo estimate): reliability bounds best-path")
+	t.AddNote("probability from above, so the shortfall is pure sampling error (CI gates on it)")
+	return t
+}

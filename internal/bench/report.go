@@ -96,8 +96,32 @@ type Record struct {
 	// zero elsewhere.
 	ExpandedPerQuery float64 `json:"expanded_per_query,omitempty"`
 	// Semantics is the query class of a semantics-experiment point
-	// ("earliest-arrival" or "top-k"); empty elsewhere.
+	// ("earliest-arrival", "top-k", "filtered", "probabilistic" or
+	// "monte-carlo"); empty elsewhere.
 	Semantics string `json:"semantics,omitempty"`
+	// Filtered reports whether the point's queries carried per-contact
+	// predicates (duration/weight bounds or a registered filter); set by
+	// the filtered experiment and by streachload's -min-duration.
+	Filtered bool `json:"filtered,omitempty"`
+	// MinDuration is the contact-duration floor (ticks) of a filtered
+	// point; zero when no duration bound applied.
+	MinDuration int `json:"min_duration,omitempty"`
+	// Prob is the per-contact transmission probability of a probabilistic
+	// point; zero for deterministic points.
+	Prob float64 `json:"prob,omitempty"`
+	// ProbThreshold is the reachability threshold τ of a probabilistic
+	// point; set by the filtered experiment's τ sweep and by streachload's
+	// -prob-threshold, zero elsewhere.
+	ProbThreshold float64 `json:"prob_threshold,omitempty"`
+	// MCTrials is the Monte-Carlo sample count of a monte-carlo point;
+	// zero for exact evaluation.
+	MCTrials int `json:"mc_trials,omitempty"`
+	// MaxProbShortfall is the largest amount by which a Monte-Carlo
+	// reliability estimate fell below the exact best-path probability
+	// across the point's queries. Reliability is an upper bound on the
+	// best single-path probability, so the shortfall measures pure
+	// sampling error and must stay near zero; CI gates on it.
+	MaxProbShortfall float64 `json:"max_prob_shortfall,omitempty"`
 	// NativeSemantics reports whether every query of a semantics point was
 	// answered in the backend's own traversal core (false: the explicit
 	// oracle fallback); meaningful only when Semantics is set.

@@ -15,6 +15,7 @@ type Builder struct {
 	numObjects   int
 	numTicks     int
 	open         map[stjoin.Pair]trajectory.Tick
+	minDist      map[stjoin.Pair]float32 // closest approach of open contacts
 	closed       []Contact
 	pairsPerTick []int32
 	active       map[stjoin.Pair]bool
@@ -25,6 +26,7 @@ func NewBuilder(numObjects int) *Builder {
 	return &Builder{
 		numObjects: numObjects,
 		open:       map[stjoin.Pair]trajectory.Tick{},
+		minDist:    map[stjoin.Pair]float32{},
 		active:     map[stjoin.Pair]bool{},
 	}
 }
@@ -41,43 +43,61 @@ func (b *Builder) ActivePairs() int { return len(b.active) }
 
 // AddInstant ingests the contact pairs active at the next instant.
 // Contacts absent from pairs that were previously open are closed with the
-// previous instant as their validity end.
+// previous instant as their validity end. Pair sets carry no positions, so
+// contacts ingested this way have a zero Weight; AddPositions records the
+// closest approach.
 func (b *Builder) AddInstant(pairs []stjoin.Pair) {
+	b.addInstant(pairs, nil)
+}
+
+func (b *Builder) addInstant(pairs []stjoin.Pair, dists []float32) {
 	t := trajectory.Tick(b.numTicks)
 	b.numTicks++
 	for k := range b.active {
 		delete(b.active, k)
 	}
 	var count int32
-	for _, pr := range pairs {
+	for i, pr := range pairs {
 		if pr.A == pr.B || b.active[pr] {
 			continue
 		}
 		b.active[pr] = true
 		count++
+		wasOpen := true
 		if _, isOpen := b.open[pr]; !isOpen {
 			b.open[pr] = t
+			wasOpen = false
+		}
+		if dists != nil {
+			if d, seen := b.minDist[pr]; !wasOpen || !seen || dists[i] < d {
+				b.minDist[pr] = dists[i]
+			}
 		}
 	}
 	b.pairsPerTick = append(b.pairsPerTick, count)
 	for pr, start := range b.open {
 		if !b.active[pr] {
-			b.closed = append(b.closed, Contact{A: pr.A, B: pr.B, Validity: Interval{Lo: start, Hi: t - 1}})
+			b.closed = append(b.closed, Contact{A: pr.A, B: pr.B,
+				Validity: Interval{Lo: start, Hi: t - 1}, Weight: b.minDist[pr]})
 			delete(b.open, pr)
+			delete(b.minDist, pr)
 		}
 	}
 }
 
 // AddPositions joins the given per-object positions with joiner j and
 // ingests the resulting pairs — the convenience for feeding raw location
-// samples. positions[i] is object i's position at the new instant.
+// samples. positions[i] is object i's position at the new instant; each
+// open contact remembers its closest approach as its Weight.
 func (b *Builder) AddPositions(j *stjoin.Joiner, positions []geo.Point) {
 	var pairs []stjoin.Pair
+	var dists []float32
 	j.Join(positions, func(x, y int) bool {
 		pairs = append(pairs, stjoin.MakePair(trajectory.ObjectID(x), trajectory.ObjectID(y)))
+		dists = append(dists, float32(positions[x].Dist(positions[y])))
 		return true
 	})
-	b.AddInstant(pairs)
+	b.addInstant(pairs, dists)
 }
 
 // Network snapshots the contact network over the instants ingested so far.
@@ -92,7 +112,8 @@ func (b *Builder) Network() *Network {
 	}
 	last := trajectory.Tick(b.numTicks) - 1
 	for pr, start := range b.open {
-		net.Contacts = append(net.Contacts, Contact{A: pr.A, B: pr.B, Validity: Interval{Lo: start, Hi: last}})
+		net.Contacts = append(net.Contacts, Contact{A: pr.A, B: pr.B,
+			Validity: Interval{Lo: start, Hi: last}, Weight: b.minDist[pr]})
 	}
 	net.sortContacts()
 	return net

@@ -1,0 +1,149 @@
+package contact
+
+import (
+	"testing"
+
+	"streach/internal/pagefile"
+	"streach/internal/trajectory"
+)
+
+func codecNetwork(contacts []Contact) *Network {
+	maxObj, maxTick := 0, 0
+	for _, c := range contacts {
+		if int(c.A) > maxObj {
+			maxObj = int(c.A)
+		}
+		if int(c.B) > maxObj {
+			maxObj = int(c.B)
+		}
+		if int(c.Validity.Hi) > maxTick {
+			maxTick = int(c.Validity.Hi)
+		}
+	}
+	return FromContacts(maxObj+1, maxTick+1, contacts)
+}
+
+func TestContactsBlobRoundTrip(t *testing.T) {
+	cases := map[string][]Contact{
+		"empty": nil,
+		"plain": {
+			{A: 0, B: 1, Validity: Interval{Lo: 0, Hi: 4}},
+			{A: 2, B: 5, Validity: Interval{Lo: 3, Hi: 3}},
+			{A: 1, B: 2, Validity: Interval{Lo: 3, Hi: 9}},
+		},
+		"sidecar": {
+			{A: 0, B: 1, Validity: Interval{Lo: 0, Hi: 4}, Weight: 12.5, Dur: 9},
+			{A: 4, B: 7, Validity: Interval{Lo: 2, Hi: 2}, Weight: 0.25},
+			{A: 1, B: 2, Validity: Interval{Lo: 8, Hi: 9}, Dur: 30},
+		},
+	}
+	for name, contacts := range cases {
+		net := codecNetwork(contacts)
+		for _, f := range []pagefile.Format{pagefile.FormatFixed, pagefile.FormatVarint} {
+			e := pagefile.NewEncoder(64)
+			AppendContactsBlob(e, net.Contacts, f)
+			got, err := DecodeContactsBlob(pagefile.NewDecoder(e.Bytes()))
+			if err != nil {
+				t.Fatalf("%s (%v): decode: %v", name, f, err)
+			}
+			if len(got) != len(net.Contacts) {
+				t.Fatalf("%s (%v): %d contacts, want %d", name, f, len(got), len(net.Contacts))
+			}
+			for i, c := range net.Contacts {
+				want := c
+				if f == pagefile.FormatFixed {
+					// v1 predates the sidecar: Weight/Dur decode as zero.
+					want.Weight, want.Dur = 0, 0
+				}
+				if got[i] != want {
+					t.Fatalf("%s (%v) contact %d: got %+v, want %+v", name, f, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestContactsBlobSidecarFlag pins the compatibility claim: a v2 blob of an
+// unweighted contact list carries no sidecar flag, so its bytes (and any
+// pre-sidecar v2 blob, which is the same byte string) decode forever.
+func TestContactsBlobSidecarFlag(t *testing.T) {
+	plain := codecNetwork([]Contact{{A: 0, B: 1, Validity: Interval{Lo: 1, Hi: 3}}})
+	e := pagefile.NewEncoder(16)
+	AppendContactsBlob(e, plain.Contacts, pagefile.FormatVarint)
+	if flags := e.Bytes()[1]; flags != 0 {
+		t.Fatalf("unweighted v2 blob has flags %#x, want 0", flags)
+	}
+	weighted := codecNetwork([]Contact{{A: 0, B: 1, Validity: Interval{Lo: 1, Hi: 3}, Weight: 2}})
+	e.Reset()
+	AppendContactsBlob(e, weighted.Contacts, pagefile.FormatVarint)
+	if flags := e.Bytes()[1]; flags != sidecarFlag {
+		t.Fatalf("weighted v2 blob has flags %#x, want %#x", flags, sidecarFlag)
+	}
+}
+
+func TestContactsBlobCorrupt(t *testing.T) {
+	for _, raw := range [][]byte{
+		{},                 // no format byte
+		{99},               // unknown format
+		{2, 0x80},          // unknown flags
+		{2, 0, 200},        // count beyond remaining bytes
+		{1, 255, 255, 255}, // truncated fixed count
+		{2, 0, 2, 1},       // truncated varint record
+	} {
+		if _, err := DecodeContactsBlob(pagefile.NewDecoder(raw)); err == nil {
+			t.Errorf("decode(%v): want error, got none", raw)
+		}
+	}
+}
+
+func FuzzContactCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 5, 3, 4, 2, 2}, false)
+	f.Add([]byte{0, 1, 0, 0, 9, 9, 1, 3, 200, 1}, true)
+	f.Fuzz(func(t *testing.T, raw []byte, fixed bool) {
+		// Derive a normalized contact list from the raw bytes, then demand
+		// an exact round trip through both layouts.
+		var contacts []Contact
+		for i := 0; i+5 < len(raw); i += 6 {
+			a := trajectory.ObjectID(raw[i] % 32)
+			b := trajectory.ObjectID(raw[i+1] % 32)
+			if a == b {
+				b = a + 1
+			}
+			lo := trajectory.Tick(raw[i+2])
+			c := Contact{
+				A: a, B: b,
+				Validity: Interval{Lo: lo, Hi: lo + trajectory.Tick(raw[i+3]%16)},
+				Dur:      int32(raw[i+4] % 64),
+			}
+			if raw[i+5]%2 == 1 {
+				c.Weight = float32(raw[i+5]) / 8
+			}
+			contacts = append(contacts, c)
+		}
+		net := codecNetwork(contacts)
+		format := pagefile.FormatVarint
+		if fixed {
+			format = pagefile.FormatFixed
+		}
+		e := pagefile.NewEncoder(64)
+		AppendContactsBlob(e, net.Contacts, format)
+		got, err := DecodeContactsBlob(pagefile.NewDecoder(e.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(net.Contacts) {
+			t.Fatalf("%d contacts, want %d", len(got), len(net.Contacts))
+		}
+		for i, c := range net.Contacts {
+			want := c
+			if format == pagefile.FormatFixed {
+				want.Weight, want.Dur = 0, 0
+			}
+			if got[i] != want {
+				t.Fatalf("contact %d: got %+v, want %+v", i, got[i], want)
+			}
+		}
+		// Arbitrary bytes must fail cleanly, never panic.
+		DecodeContactsBlob(pagefile.NewDecoder(raw))
+	})
+}

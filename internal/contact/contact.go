@@ -53,9 +53,31 @@ func (iv Interval) String() string { return fmt.Sprintf("[%d, %d]", iv.Lo, iv.Hi
 // A < B always. Two contacts between the same objects with disjoint
 // validity intervals are distinct contacts, matching the paper's Figure 1
 // (c1 and c4 share objects but are separate contacts).
+//
+// Weight and Dur are the optional per-contact sidecar of the filtered
+// propagation extension (§7): Weight is the minimal pair distance observed
+// over the contact's validity at extraction time (0 when the producer had
+// no positions — incremental builders and event replays see only pair
+// sets), and Dur preserves the length of the contact's original validity
+// across Window clipping, so a min-duration predicate evaluated inside one
+// time slab still sees the full contact, not the slab-local residual. A
+// zero Dur means "Validity is the full validity"; use Duration to read the
+// effective value.
 type Contact struct {
 	A, B     trajectory.ObjectID
 	Validity Interval
+	Weight   float32
+	Dur      int32
+}
+
+// Duration returns the length in ticks of the contact's original validity:
+// Dur when a Window split recorded it, the (unclipped) validity length
+// otherwise.
+func (c Contact) Duration() int32 {
+	if c.Dur > 0 {
+		return c.Dur
+	}
+	return int32(c.Validity.Len())
 }
 
 // Network is the contact network C of a dataset over the ticks [0, NumTicks).
@@ -82,6 +104,7 @@ func Extract(d *trajectory.Dataset) *Network {
 	}
 	j := stjoin.NewJoiner(d.Env, d.ContactDist)
 	open := make(map[stjoin.Pair]trajectory.Tick) // pair → validity start
+	minDist := make(map[stjoin.Pair]float32)      // pair → closest approach
 	active := make(map[stjoin.Pair]bool)
 	pts := make([]geo.Point, 0, d.NumObjects())
 	ids := make([]trajectory.ObjectID, 0, d.NumObjects())
@@ -100,8 +123,12 @@ func Extract(d *trajectory.Dataset) *Network {
 		j.Join(pts, func(a, b int) bool {
 			pr := stjoin.MakePair(ids[a], ids[b])
 			active[pr] = true
+			dist := float32(pts[a].Dist(pts[b]))
 			if _, isOpen := open[pr]; !isOpen {
 				open[pr] = t
+				minDist[pr] = dist
+			} else if dist < minDist[pr] {
+				minDist[pr] = dist
 			}
 			return true
 		})
@@ -112,8 +139,10 @@ func Extract(d *trajectory.Dataset) *Network {
 				net.Contacts = append(net.Contacts, Contact{
 					A: pr.A, B: pr.B,
 					Validity: Interval{Lo: start, Hi: t - 1},
+					Weight:   minDist[pr],
 				})
 				delete(open, pr)
+				delete(minDist, pr)
 			}
 		}
 	}
@@ -122,6 +151,7 @@ func Extract(d *trajectory.Dataset) *Network {
 		net.Contacts = append(net.Contacts, Contact{
 			A: pr.A, B: pr.B,
 			Validity: Interval{Lo: start, Hi: last},
+			Weight:   minDist[pr],
 		})
 	}
 	net.sortContacts()
@@ -196,13 +226,37 @@ func (n *Network) Window(lo, hi trajectory.Tick) *Network {
 		if v.Len() == 0 {
 			continue
 		}
+		// A clipped contact records its original full duration so slab-local
+		// predicate evaluation (min-duration filters) stays exact.
+		dur := c.Dur
+		if dur == 0 && v.Len() != c.Validity.Len() {
+			dur = int32(c.Validity.Len())
+		}
 		w.Contacts = append(w.Contacts, Contact{
 			A: c.A, B: c.B,
 			Validity: Interval{Lo: v.Lo - lo, Hi: v.Hi - lo},
+			Weight:   c.Weight,
+			Dur:      dur,
 		})
 	}
 	w.sortContacts()
 	return w
+}
+
+// Filter returns the sub-network of the contacts satisfying keep — the
+// projection primitive of predicate-filtered reachability: because a
+// per-contact predicate depends only on the contact record, filtered
+// propagation over n equals plain propagation over n.Filter(keep), so any
+// exact evaluator becomes an exact filtered evaluator by running over the
+// projection. The tick domain and object space are unchanged.
+func (n *Network) Filter(keep func(Contact) bool) *Network {
+	kept := make([]Contact, 0, len(n.Contacts))
+	for _, c := range n.Contacts {
+		if keep(c) {
+			kept = append(kept, c)
+		}
+	}
+	return FromContacts(n.NumObjects, n.NumTicks, kept)
 }
 
 // Snapshot visits every tick in [lo, hi] in increasing order with the set of

@@ -102,6 +102,48 @@ func Extract(d *trajectory.Dataset, lifetime int) []Contact {
 	return dedup(out)
 }
 
+// ProjectNetwork folds directed non-immediate contacts into an undirected
+// contact network any registry backend can index: each From→To contact
+// contributes its [Emit, Receive] span to the unordered pair's validity,
+// and overlapping or adjacent spans merge. The projection over-approximates
+// the directed semantics for positive lifetimes (the pair is connected both
+// ways across the whole span); at lifetime 0 every span is a single instant
+// in both directions, so the projection reproduces the immediate contact
+// network of contact.Extract exactly — the round-trip the tests pin.
+func ProjectNetwork(numObjects, numTicks int, cs []Contact) *contact.Network {
+	type pair struct{ a, b trajectory.ObjectID }
+	spans := make(map[pair][]contact.Interval)
+	for _, c := range cs {
+		a, b := c.From, c.To
+		if a > b {
+			a, b = b, a
+		}
+		spans[pair{a, b}] = append(spans[pair{a, b}], contact.Interval{Lo: c.Emit, Hi: c.Receive})
+	}
+	var out []contact.Contact
+	for p, list := range spans {
+		sort.Slice(list, func(i, k int) bool {
+			if list[i].Lo != list[k].Lo {
+				return list[i].Lo < list[k].Lo
+			}
+			return list[i].Hi < list[k].Hi
+		})
+		cur := list[0]
+		for _, iv := range list[1:] {
+			if iv.Lo <= cur.Hi+1 {
+				if iv.Hi > cur.Hi {
+					cur.Hi = iv.Hi
+				}
+				continue
+			}
+			out = append(out, contact.Contact{A: p.a, B: p.b, Validity: cur})
+			cur = iv
+		}
+		out = append(out, contact.Contact{A: p.a, B: p.b, Validity: cur})
+	}
+	return contact.FromContacts(numObjects, numTicks, out)
+}
+
 func dedup(cs []Contact) []Contact {
 	w := 0
 	for i, c := range cs {

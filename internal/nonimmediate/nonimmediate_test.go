@@ -43,6 +43,64 @@ func TestLifetimeZeroMatchesImmediateOracle(t *testing.T) {
 	}
 }
 
+// TestProjectNetworkLifetimeZeroRoundTrip pins the projection round-trip:
+// folding the lifetime-0 directed contacts into an undirected network must
+// reproduce the deterministic oracle of contact.Extract exactly — same
+// contact records, same answers.
+func TestProjectNetworkLifetimeZeroRoundTrip(t *testing.T) {
+	d := rwp(35, 160, 89)
+	direct := contact.Extract(d)
+	projected := ProjectNetwork(d.NumObjects(), d.NumTicks(), Extract(d, 0))
+	if got, want := len(projected.Contacts), len(direct.Contacts); got != want {
+		t.Fatalf("projected %d contacts, direct extraction %d", got, want)
+	}
+	for i, dc := range direct.Contacts {
+		pc := projected.Contacts[i]
+		// The projection carries no distance sidecar (Weight 0 = unknown),
+		// so compare the topology and validity only.
+		if pc.A != dc.A || pc.B != dc.B || pc.Validity != dc.Validity {
+			t.Fatalf("contact %d differs: projected %+v, direct %+v", i, pc, dc)
+		}
+	}
+	want := queries.NewOracle(direct)
+	got := queries.NewOracle(projected)
+	work := queries.RandomWorkload(queries.WorkloadConfig{
+		NumObjects: d.NumObjects(), NumTicks: d.NumTicks(),
+		Count: 80, MinLen: 10, MaxLen: 120, Seed: 97,
+	})
+	for _, q := range work {
+		if got.Reachable(q) != want.Reachable(q) {
+			t.Fatalf("%v: projected oracle disagrees with deterministic oracle", q)
+		}
+	}
+}
+
+// TestProjectNetworkOverApproximates: for positive lifetimes the undirected
+// projection may only add reachability over the exact directed engine,
+// never remove it.
+func TestProjectNetworkOverApproximates(t *testing.T) {
+	d := rwp(25, 100, 101)
+	cs := Extract(d, 4)
+	exact, err := NewEngine(d.NumObjects(), d.NumTicks(), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := queries.NewOracle(ProjectNetwork(d.NumObjects(), d.NumTicks(), cs))
+	work := queries.RandomWorkload(queries.WorkloadConfig{
+		NumObjects: d.NumObjects(), NumTicks: d.NumTicks(),
+		Count: 60, MinLen: 10, MaxLen: 80, Seed: 103,
+	})
+	for _, q := range work {
+		want, err := exact.Reachable(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want && !proj.Reachable(q) {
+			t.Fatalf("%v: directed engine reaches but projection does not", q)
+		}
+	}
+}
+
 // TestLifetimeMonotone verifies that a longer item lifetime never shrinks
 // the reachable set.
 func TestLifetimeMonotone(t *testing.T) {

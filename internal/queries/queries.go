@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"streach/internal/contact"
 	"streach/internal/stjoin"
@@ -90,15 +91,46 @@ func RandomWorkload(cfg WorkloadConfig) []Query {
 // semantics of §3.2 executed literally, with no indexing — O(|Tp|·|O|) per
 // query — so every engine is validated against it.
 //
-// The oracle holds no mutable state: each propagation allocates its own
-// scratch, so one Oracle serves concurrent queries.
+// The oracle holds no query-scoped mutable state: each propagation
+// allocates its own scratch, so one Oracle serves concurrent queries. (The
+// filtered-projection cache behind Filtered is guarded by its own mutex.)
 type Oracle struct {
 	net *contact.Network
+
+	mu       sync.Mutex
+	filtered map[Filter]*Oracle
 }
 
 // NewOracle returns an oracle over net.
 func NewOracle(net *contact.Network) *Oracle {
 	return &Oracle{net: net}
+}
+
+// Network returns the contact network the oracle evaluates over.
+func (o *Oracle) Network() *contact.Network { return o.net }
+
+// Filtered returns an oracle over the projection of the network onto the
+// contacts f accepts. Because per-contact predicates depend only on the
+// contact record, every query against the filtered oracle is the exact
+// filtered-propagation answer — this is how the oracle (and every
+// evaluator that falls back to it) is natively predicate-capable.
+// Projections are cached per filter value, so workloads that sweep queries
+// under one predicate pay the projection once.
+func (o *Oracle) Filtered(f Filter) *Oracle {
+	if !f.Active() {
+		return o
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if cached, ok := o.filtered[f]; ok {
+		return cached
+	}
+	if o.filtered == nil {
+		o.filtered = make(map[Filter]*Oracle)
+	}
+	fo := NewOracle(o.net.Filter(f.Match))
+	o.filtered[f] = fo
+	return fo
 }
 
 // Reachable answers the query against ground truth.

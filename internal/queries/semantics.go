@@ -19,6 +19,7 @@ package queries
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"streach/internal/contact"
 	"streach/internal/stjoin"
@@ -40,11 +41,49 @@ type Semantics struct {
 	// item forwarded over h transfers arrives with weight d^h. Point
 	// queries ignore it; TopKReachable sets it from its argument.
 	Decay float64
+
+	// MinDuration restricts propagation to contacts whose full original
+	// validity spans at least this many ticks (contact-tracing exposure
+	// thresholds: a transmission needs sustained proximity); 0 disables.
+	MinDuration int
+	// MaxWeight restricts propagation to contacts whose closest approach
+	// at extraction time was at most this many metres; 0 disables. Contacts
+	// without a recorded weight (incremental pair-set feeds) count as
+	// distance 0 and always pass.
+	MaxWeight float64
+	// FilterID names a predicate registered with RegisterFilter; the query
+	// propagates only over contacts the predicate accepts. Empty disables.
+	FilterID string
+
+	// Prob is the uncertain-contact extension (§7): every contact transmits
+	// independently with probability Prob ∈ (0, 1]; 0 keeps propagation
+	// deterministic. The best path probability Prob^hops is reported in the
+	// Result.
+	Prob float64
+	// ProbThreshold is the reachability threshold τ ∈ (0, 1]: dst counts as
+	// reachable only via a path of probability ≥ τ. Because path
+	// probability is Prob^hops, τ folds into a transfer budget (see
+	// EffectiveBudget) and rides the hop-tracking plumbing exactly. Only
+	// meaningful with Prob set.
+	ProbThreshold float64
+	// MCTrials selects the seeded Monte-Carlo estimator instead of exact
+	// evaluation: that many sampled propagation worlds estimate the
+	// reachability probability (network reliability, an upper bound on the
+	// best single-path probability). Only meaningful with Prob set; 0 keeps
+	// evaluation exact.
+	MCTrials int
+	// MCSeed seeds the Monte-Carlo sampler for reproducibility.
+	MCSeed int64
 }
 
 // Active reports whether the query needs the semantics evaluation path.
+// Any nonzero extension field routes there — including out-of-range or NaN
+// values (NaN != 0), so malformed parameters reach validation instead of
+// silently riding the plain boolean path.
 func (s Semantics) Active() bool {
-	return s.MaxHops > 0 || s.TrackArrival || s.Decay != 0
+	return s.MaxHops > 0 || s.TrackArrival || s.Decay != 0 ||
+		s.MinDuration != 0 || s.MaxWeight != 0 || s.FilterID != "" ||
+		s.Prob != 0 || s.ProbThreshold != 0 || s.MCTrials != 0
 }
 
 // HopBudget returns the transfer budget as the evaluators consume it:
@@ -54,6 +93,91 @@ func (s Semantics) HopBudget() int32 {
 		return int32(s.MaxHops)
 	}
 	return UnboundedHops
+}
+
+// EffectiveBudget folds the probability threshold into the transfer
+// budget: a path of h transfers has probability Prob^h, so Prob^h ≥ τ is
+// exactly h ≤ log τ / log Prob. The returned budget is the tighter of that
+// bound and HopBudget — which is how probabilistic reachability rides
+// every hop-tracking evaluator (the profile oracle, the guided grid sweep,
+// the cross-segment planner's residual budgets) without new propagation
+// code.
+func (s Semantics) EffectiveBudget() int32 {
+	b := s.HopBudget()
+	if s.Prob > 0 && s.Prob < 1 && s.ProbThreshold > 0 && s.ProbThreshold <= 1 {
+		// The epsilon absorbs float error at exact powers (τ = p^k).
+		h := math.Floor(math.Log(s.ProbThreshold)/math.Log(s.Prob) + 1e-9)
+		if h < 0 {
+			h = 0
+		}
+		if h < float64(b) {
+			b = int32(h)
+		}
+	}
+	return b
+}
+
+// Filter returns the query's compiled contact predicate.
+func (s Semantics) Filter() Filter {
+	return Filter{MinDuration: s.MinDuration, MaxWeight: s.MaxWeight, FilterID: s.FilterID}
+}
+
+// Filter is a compiled per-contact predicate: the conjunction of the
+// built-in duration/weight bounds and an optional registered predicate.
+// The zero value accepts everything. Filters are comparable, so evaluators
+// cache per-filter network projections keyed on the value.
+type Filter struct {
+	MinDuration int
+	MaxWeight   float64
+	FilterID    string
+}
+
+// Active reports whether the filter rejects anything.
+func (f Filter) Active() bool {
+	return f.MinDuration > 0 || f.MaxWeight > 0 || f.FilterID != ""
+}
+
+// Match reports whether contact c participates in filtered propagation.
+// The FilterID must be registered (validate with ResolveFilter first; an
+// unregistered ID matches nothing rather than silently passing).
+func (f Filter) Match(c contact.Contact) bool {
+	if f.MinDuration > 0 && int(c.Duration()) < f.MinDuration {
+		return false
+	}
+	if f.MaxWeight > 0 && float64(c.Weight) > f.MaxWeight {
+		return false
+	}
+	if f.FilterID != "" {
+		fn, ok := ResolveFilter(f.FilterID)
+		if !ok || !fn(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// filterRegistry holds the compiled contact predicates addressable from
+// query semantics by ID.
+var filterRegistry sync.Map // string → func(contact.Contact) bool
+
+// RegisterFilter registers (or replaces) a compiled contact predicate
+// under id. Queries reference it via Semantics.FilterID; serving layers
+// accept only registered IDs, so the predicate set is fixed at process
+// setup rather than parsed from requests.
+func RegisterFilter(id string, fn func(contact.Contact) bool) {
+	if id == "" || fn == nil {
+		panic("queries: RegisterFilter needs a non-empty id and a predicate")
+	}
+	filterRegistry.Store(id, fn)
+}
+
+// ResolveFilter returns the predicate registered under id.
+func ResolveFilter(id string) (func(contact.Contact) bool, bool) {
+	v, ok := filterRegistry.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(func(contact.Contact) bool), true
 }
 
 // UnboundedHops is the transfer budget meaning "no bound". It is one below

@@ -31,14 +31,17 @@ const (
 // cacheKey identifies one cacheable query exactly. All fields participate
 // in equality; fields irrelevant to a kind stay zero.
 type cacheKey struct {
-	backend      string
-	kind         queryKind
-	src, dst     streach.ObjectID
-	lo, hi       streach.Tick
-	maxHops      int
-	trackArrival bool
-	k            int
-	decay        float64
+	backend  string
+	kind     queryKind
+	src, dst streach.ObjectID
+	lo, hi   streach.Tick
+	// sem is the full semantics block of a point query (hop bound, arrival
+	// tracking, contact predicates, probability). Semantics is comparable,
+	// so distinct filtered/probabilistic parameterizations can never collide
+	// on one cache slot.
+	sem   streach.Semantics
+	k     int
+	decay float64
 }
 
 // interval returns the tick range the cached answer depends on.

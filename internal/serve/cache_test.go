@@ -115,7 +115,7 @@ func TestCacheKeySemanticsDistinct(t *testing.T) {
 	c := newResultCache(16)
 	a := key(kindReachable, 1, 2, 0, 10)
 	b := a
-	b.maxHops = 3
+	b.sem.MaxHops = 3
 	c.put(a, "unbounded")
 	c.put(b, "bounded")
 	if v, _ := c.get(a); v != "unbounded" {
@@ -123,6 +123,22 @@ func TestCacheKeySemanticsDistinct(t *testing.T) {
 	}
 	if v, _ := c.get(b); v != "bounded" {
 		t.Errorf("hop-bounded key returned %v", v)
+	}
+	// The §7 extension parameters must be just as distinguishing.
+	d := a
+	d.sem.MinDuration = 5
+	e := a
+	e.sem.Prob, e.sem.ProbThreshold = 0.7, 0.3
+	c.put(d, "filtered")
+	c.put(e, "probabilistic")
+	if v, _ := c.get(a); v != "unbounded" {
+		t.Errorf("plain key collided with an extension key: %v", v)
+	}
+	if v, _ := c.get(d); v != "filtered" {
+		t.Errorf("min-duration key returned %v", v)
+	}
+	if v, _ := c.get(e); v != "probabilistic" {
+		t.Errorf("probabilistic key returned %v", v)
 	}
 }
 

@@ -112,6 +112,11 @@ type metricsSet struct {
 
 	ingestedTicks atomic.Int64
 	sealedEvents  atomic.Int64
+
+	// filteredQueries and probabilisticQueries count fresh point-query
+	// evaluations using the §7 extensions (cache hits are not observed).
+	filteredQueries      atomic.Int64
+	probabilisticQueries atomic.Int64
 }
 
 func newMetricsSet() *metricsSet {
@@ -219,6 +224,11 @@ func (srv *Server) writeMetrics(w io.Writer) {
 		p("streachd_expanded_contacts_sum{endpoint=%q} %d\n", name, h.sum.Load())
 		p("streachd_expanded_contacts_count{endpoint=%q} %d\n", name, h.count.Load())
 	}
+
+	p("# HELP streachd_semantic_queries_total Fresh point-query evaluations using the §7 extensions, by class (cache hits not observed).\n")
+	p("# TYPE streachd_semantic_queries_total counter\n")
+	p("streachd_semantic_queries_total{class=\"filtered\"} %d\n", srv.met.filteredQueries.Load())
+	p("streachd_semantic_queries_total{class=\"probabilistic\"} %d\n", srv.met.probabilisticQueries.Load())
 
 	p("# HELP streachd_in_flight Queries currently evaluating.\n")
 	p("# TYPE streachd_in_flight gauge\n")

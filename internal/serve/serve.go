@@ -281,10 +281,14 @@ func decode(r *http.Request, into any) error {
 	return nil
 }
 
-// writeEngineError maps an evaluation error onto the envelope: context
-// cancellation (client gone or timeout) is 499/504, anything else 500.
+// writeEngineError maps an evaluation error onto the envelope: semantics
+// validation failures (inconsistent probabilistic parameters, unregistered
+// filter IDs) are the client's fault (400), context cancellation (client
+// gone or timeout) is 499/504, anything else 500.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, streach.ErrBadSemantics):
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error(), 0)
 	case errors.Is(err, context.Canceled):
 		writeError(w, StatusClientClosedRequest, CodeCanceled, "query cancelled: "+err.Error(), 0)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -336,13 +340,29 @@ type reachableRequest struct {
 	To           int  `json:"to"`
 	MaxHops      int  `json:"max_hops,omitempty"`
 	TrackArrival bool `json:"track_arrival,omitempty"`
-	NoCache      bool `json:"no_cache,omitempty"`
+	// Contact predicates (§7 filtered reachability): propagation uses only
+	// contacts of at least min_duration ticks, closest approach at most
+	// max_weight metres, accepted by the registered predicate filter_id.
+	MinDuration int     `json:"min_duration,omitempty"`
+	MaxWeight   float64 `json:"max_weight,omitempty"`
+	FilterID    string  `json:"filter_id,omitempty"`
+	// Probabilistic reachability (§7 uncertain contacts): per-contact
+	// transmission probability, reachability threshold τ, and the optional
+	// seeded Monte-Carlo estimator (mc_trials > 0 selects it).
+	Prob          float64 `json:"prob,omitempty"`
+	ProbThreshold float64 `json:"prob_threshold,omitempty"`
+	MCTrials      int     `json:"mc_trials,omitempty"`
+	MCSeed        int64   `json:"mc_seed,omitempty"`
+	NoCache       bool    `json:"no_cache,omitempty"`
 }
 
 type reachableResponse struct {
-	Reachable bool    `json:"reachable"`
-	Arrival   int     `json:"arrival"`
-	Hops      int     `json:"hops"`
+	Reachable bool `json:"reachable"`
+	Arrival   int  `json:"arrival"`
+	Hops      int  `json:"hops"`
+	// Prob is the best-path probability (exact) or the Monte-Carlo
+	// reliability estimate; omitted on non-probabilistic queries.
+	Prob      float64 `json:"prob,omitempty"`
 	Native    bool    `json:"native"`
 	Expanded  int     `json:"expanded"`
 	LatencyUS float64 `json:"latency_us"`
@@ -367,11 +387,22 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "max_hops must be non-negative", 0)
 		return
 	}
+	sem := streach.Semantics{
+		MaxHops:       req.MaxHops,
+		TrackArrival:  req.TrackArrival,
+		MinDuration:   req.MinDuration,
+		MaxWeight:     req.MaxWeight,
+		FilterID:      req.FilterID,
+		Prob:          req.Prob,
+		ProbThreshold: req.ProbThreshold,
+		MCTrials:      req.MCTrials,
+		MCSeed:        req.MCSeed,
+	}
 	key := cacheKey{
 		backend: s.eng.Name(), kind: kindReachable,
 		src: streach.ObjectID(req.Src), dst: streach.ObjectID(req.Dst),
 		lo: streach.Tick(req.From), hi: streach.Tick(req.To),
-		maxHops: req.MaxHops, trackArrival: req.TrackArrival,
+		sem: sem,
 	}
 	if !req.NoCache {
 		if v, ok := s.cache.get(key); ok {
@@ -385,23 +416,27 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	res, err := s.eng.Reachable(ctx, streach.Query{
-		Src:      streach.ObjectID(req.Src),
-		Dst:      streach.ObjectID(req.Dst),
-		Interval: streach.NewInterval(streach.Tick(req.From), streach.Tick(req.To)),
-		Semantics: streach.Semantics{
-			MaxHops:      req.MaxHops,
-			TrackArrival: req.TrackArrival,
-		},
+		Src:       streach.ObjectID(req.Src),
+		Dst:       streach.ObjectID(req.Dst),
+		Interval:  streach.NewInterval(streach.Tick(req.From), streach.Tick(req.To)),
+		Semantics: sem,
 	})
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
 	s.met.observeExpanded("reachable", res.Expanded)
+	if sem.Filter().Active() {
+		s.met.filteredQueries.Add(1)
+	}
+	if sem.Prob > 0 {
+		s.met.probabilisticQueries.Add(1)
+	}
 	resp := reachableResponse{
 		Reachable: res.Reachable,
 		Arrival:   int(res.Arrival),
 		Hops:      res.Hops,
+		Prob:      res.Prob,
 		Native:    res.Native,
 		Expanded:  res.Expanded,
 		LatencyUS: float64(res.Latency) / float64(time.Microsecond),

@@ -30,10 +30,22 @@ import (
 
 // Contact is an uncertain contact: the pair may transmit an item at any
 // instant of Validity, each attempt succeeding with probability Prob.
+// Weight and Dur carry the deterministic network's per-contact sidecar
+// through the lift, so filtered probabilistic queries (min-duration,
+// max-weight) evaluate against the same record the deterministic engines
+// see.
 type Contact struct {
 	A, B     trajectory.ObjectID
 	Validity contact.Interval
 	Prob     float64
+	Weight   float32
+	Dur      int32
+}
+
+// Deterministic returns the contact record without its probability — the
+// value per-contact predicates evaluate against.
+func (c Contact) Deterministic() contact.Contact {
+	return contact.Contact{A: c.A, B: c.B, Validity: c.Validity, Weight: c.Weight, Dur: c.Dur}
 }
 
 // Network is an uncertain contact network.
@@ -45,18 +57,23 @@ type Network struct {
 
 // FromNetwork lifts a deterministic contact network into an uncertain one,
 // assigning each contact the probability prob(c). Probabilities outside
-// (0, 1] are clamped.
+// (0, 1] are clamped. The comparison is written so NaN drops the contact:
+// `p <= 0` is false for NaN, which used to let NaN probabilities into the
+// network, where they silently poison every downstream max/product DP
+// (NaN fails both sides of a comparison, so relaxations never fire and
+// never fail either).
 func FromNetwork(net *contact.Network, prob func(contact.Contact) float64) *Network {
 	un := &Network{NumObjects: net.NumObjects, NumTicks: net.NumTicks}
 	for _, c := range net.Contacts {
 		p := prob(c)
-		if p <= 0 {
+		if !(p > 0) { // rejects NaN as well as p ≤ 0
 			continue
 		}
 		if p > 1 {
 			p = 1
 		}
-		un.Contacts = append(un.Contacts, Contact{A: c.A, B: c.B, Validity: c.Validity, Prob: p})
+		un.Contacts = append(un.Contacts, Contact{A: c.A, B: c.B, Validity: c.Validity,
+			Prob: p, Weight: c.Weight, Dur: c.Dur})
 	}
 	return un
 }
@@ -70,7 +87,9 @@ func (n *Network) Validate() error {
 		if c.Validity.Len() == 0 {
 			return fmt.Errorf("uncertain: contact %v has empty validity", c)
 		}
-		if c.Prob <= 0 || c.Prob > 1 {
+		// Negated-range form so NaN (which fails every comparison) is
+		// rejected along with out-of-range values.
+		if !(c.Prob > 0 && c.Prob <= 1) {
 			return fmt.Errorf("uncertain: contact %v has probability %v", c, c.Prob)
 		}
 	}
@@ -192,11 +211,14 @@ func (e *Engine) Reachable(src, dst trajectory.ObjectID, iv contact.Interval, mi
 	return p >= minProb, nil
 }
 
-// pqState is a Dijkstra state: object o holding the item at tick t.
+// pqState is a Dijkstra state: object o holding the item at tick t after
+// hops transfers. hops rides along for reporting; ordering and dominance
+// stay on (cost, t).
 type pqState struct {
 	cost float64 // −log probability
 	o    trajectory.ObjectID
 	t    trajectory.Tick
+	hops int32
 }
 
 type stateHeap []pqState
@@ -224,12 +246,65 @@ func (h *stateHeap) Pop() interface{} {
 // cost-ordered, so the first settled destination state carries the optimal
 // probability.
 func (e *Engine) BestProbDijkstra(src, dst trajectory.ObjectID, iv contact.Interval) (float64, error) {
+	r, err := e.BestProbPath(src, dst, iv, PathOpts{})
+	return r.Prob, err
+}
+
+// PathOpts modifies a BestProbPath search per query, which is how one
+// indexed Engine serves the whole probabilistic query surface without
+// rebuilding: the registry's uncertain backend indexes the network once
+// and threads each query's uniform probability and contact predicate
+// through here.
+type PathOpts struct {
+	// Prob, when > 0, overrides every contact's probability with one
+	// per-query value (the uniform per-contact p of Query.Semantics.Prob).
+	Prob float64
+	// Filter, when set, restricts the search to contacts it accepts —
+	// exact predicate-filtered propagation, no projection needed.
+	Filter func(Contact) bool
+	// MaxHops, when > 0, bounds the number of transfers on the path.
+	MaxHops int32
+}
+
+// PathResult describes the best path found by BestProbPath.
+type PathResult struct {
+	// Prob is the maximum path probability; 0 when dst is unreachable.
+	Prob float64
+	// Arrival is the tick the best-probability path delivers the item
+	// (not necessarily the overall earliest arrival: a lower-probability
+	// path may arrive sooner).
+	Arrival trajectory.Tick
+	// Hops is that path's transfer count.
+	Hops int
+	// OK reports whether any qualifying path exists.
+	OK bool
+}
+
+// BestProbPath is BestProbDijkstra with per-query options and a full path
+// report: the maximum probability along with the best path's arrival tick
+// and transfer count.
+//
+// States carry both a cost (−log probability) and an arrival time, and
+// neither dominates alone: a costlier path that arrives earlier can use a
+// contact that has expired by the time the cheaper path arrives. A state
+// is therefore pruned only when another settled state of the same object
+// is at least as early *and* at least as cheap (Pareto dominance). Pops
+// are cost-ordered, so the first settled destination state carries the
+// optimal probability.
+func (e *Engine) BestProbPath(src, dst trajectory.ObjectID, iv contact.Interval, opts PathOpts) (PathResult, error) {
 	if err := e.checkObjects(src, dst); err != nil {
-		return 0, err
+		return PathResult{}, err
 	}
 	iv = e.clamp(iv)
 	if iv.Len() == 0 {
-		return 0, nil
+		return PathResult{}, nil
+	}
+	if src == dst {
+		return PathResult{Prob: 1, Arrival: iv.Lo, OK: true}, nil
+	}
+	budget := opts.MaxHops
+	if budget <= 0 {
+		budget = math.MaxInt32
 	}
 	type timeCost struct {
 		t    trajectory.Tick
@@ -252,7 +327,10 @@ func (e *Engine) BestProbDijkstra(src, dst trajectory.ObjectID, iv contact.Inter
 		}
 		frontier[s.o] = append(frontier[s.o], timeCost{s.t, s.cost})
 		if s.o == dst {
-			return math.Exp(-s.cost), nil
+			return PathResult{Prob: math.Exp(-s.cost), Arrival: s.t, Hops: int(s.hops), OK: true}, nil
+		}
+		if s.hops >= budget {
+			continue
 		}
 		// Relax every contact of s.o active at or after s.t and within
 		// the interval; the transfer cost is time-independent, so the
@@ -263,6 +341,9 @@ func (e *Engine) BestProbDijkstra(src, dst trajectory.ObjectID, iv contact.Inter
 			if c.Validity.Hi < s.t || c.Validity.Lo > iv.Hi {
 				continue
 			}
+			if opts.Filter != nil && !opts.Filter(*c) {
+				continue
+			}
 			other := c.A
 			if other == s.o {
 				other = c.B
@@ -271,11 +352,18 @@ func (e *Engine) BestProbDijkstra(src, dst trajectory.ObjectID, iv contact.Inter
 			if c.Validity.Lo > when {
 				when = c.Validity.Lo
 			}
-			cost := s.cost - math.Log(c.Prob)
+			p := c.Prob
+			if opts.Prob > 0 {
+				p = opts.Prob
+				if p > 1 {
+					p = 1
+				}
+			}
+			cost := s.cost - math.Log(p)
 			if !dominated(other, when, cost) {
-				heap.Push(h, pqState{cost: cost, o: other, t: when})
+				heap.Push(h, pqState{cost: cost, o: other, t: when, hops: s.hops + 1})
 			}
 		}
 	}
-	return 0, nil
+	return PathResult{}, nil
 }

@@ -229,3 +229,84 @@ func TestBestProbAllMonotoneInInterval(t *testing.T) {
 		}
 	}
 }
+
+// TestNaNProbabilityRejected pins the NaN clamping fix: NaN fails every
+// comparison, so the old `p <= 0` / `Prob <= 0 || Prob > 1` guards let it
+// through, and a single NaN contact silently disabled every relaxation it
+// touched.
+func TestNaNProbabilityRejected(t *testing.T) {
+	det := contact.FromContacts(2, 5, []contact.Contact{
+		{A: 0, B: 1, Validity: contact.Interval{Lo: 0, Hi: 1}},
+	})
+	un := FromNetwork(det, func(contact.Contact) float64 { return math.NaN() })
+	if len(un.Contacts) != 0 {
+		t.Fatalf("NaN probability not dropped by FromNetwork: %v", un.Contacts)
+	}
+	bad := handNetwork()
+	bad.Contacts[0].Prob = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted a NaN probability")
+	}
+	if _, err := NewEngine(bad); err == nil {
+		t.Fatal("NewEngine accepted a NaN probability")
+	}
+}
+
+func TestFromNetworkKeepsSidecar(t *testing.T) {
+	det := contact.FromContacts(2, 8, []contact.Contact{
+		{A: 0, B: 1, Validity: contact.Interval{Lo: 1, Hi: 3}, Weight: 2.5, Dur: 9},
+	})
+	un := FromNetwork(det, func(contact.Contact) float64 { return 0.5 })
+	if len(un.Contacts) != 1 {
+		t.Fatalf("lifted %d contacts, want 1", len(un.Contacts))
+	}
+	c := un.Contacts[0]
+	if c.Weight != 2.5 || c.Dur != 9 {
+		t.Fatalf("sidecar lost in lift: %+v", c)
+	}
+	d := c.Deterministic()
+	if d.Weight != 2.5 || d.Dur != 9 || d.A != 0 || d.B != 1 {
+		t.Fatalf("Deterministic() = %+v", d)
+	}
+}
+
+func TestBestProbPathOptions(t *testing.T) {
+	e, err := NewEngine(handNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := contact.Interval{Lo: 0, Hi: 5}
+	// Baseline: best 0→2 path goes 0-3-2 (0.81) in two hops, arriving at 4.
+	r, err := e.BestProbPath(0, 2, iv, PathOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK || math.Abs(r.Prob-0.81) > 1e-12 || r.Hops != 2 || r.Arrival != 4 {
+		t.Fatalf("baseline path = %+v", r)
+	}
+	// Uniform probability override: both 2-hop paths now score p².
+	r, _ = e.BestProbPath(0, 2, iv, PathOpts{Prob: 0.6})
+	if !r.OK || math.Abs(r.Prob-0.36) > 1e-12 || r.Hops != 2 {
+		t.Fatalf("override path = %+v", r)
+	}
+	// Filtering out object 3's contacts forces the 0-1-2 route (0.4).
+	noThree := func(c Contact) bool { return c.A != 3 && c.B != 3 }
+	r, _ = e.BestProbPath(0, 2, iv, PathOpts{Filter: noThree})
+	if !r.OK || math.Abs(r.Prob-0.4) > 1e-12 || r.Arrival != 3 {
+		t.Fatalf("filtered path = %+v", r)
+	}
+	// A 1-hop budget reaches 1 and 3 but never 2.
+	r, _ = e.BestProbPath(0, 2, iv, PathOpts{MaxHops: 1})
+	if r.OK {
+		t.Fatalf("budgeted path should not exist: %+v", r)
+	}
+	r, _ = e.BestProbPath(0, 1, iv, PathOpts{MaxHops: 1})
+	if !r.OK || r.Hops != 1 {
+		t.Fatalf("1-hop path = %+v", r)
+	}
+	// Self query succeeds at the interval start.
+	r, _ = e.BestProbPath(2, 2, iv, PathOpts{})
+	if !r.OK || r.Prob != 1 || r.Hops != 0 || r.Arrival != iv.Lo {
+		t.Fatalf("self path = %+v", r)
+	}
+}

@@ -882,8 +882,12 @@ func (v *liveShardSemView) semEvaluate(ctx context.Context, sc *semScratch, seed
 		sc.entries = entries
 		return entries, n, true, err
 	}
-	entries, n := queries.NewOracle(v.le.snapshotNet()).ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	entries, n := queries.NewOracle(v.le.snapshotNet()).Filtered(spec.filter).ProfileFrom(seeds, iv, spec.budget, earlyDst)
 	return entries, n, false, nil
+}
+
+func (v *liveShardSemView) semOracle() *queries.Oracle {
+	return queries.NewOracle(v.le.snapshotNet())
 }
 
 func (v *liveSemView) semDims() (int, int) { return v.le.numObjects, v.numTicks }
@@ -904,8 +908,12 @@ func (v *liveSemView) semEvaluate(ctx context.Context, sc *semScratch, seeds []q
 		sc.entries = entries
 		return entries, n, true, err
 	}
-	entries, n := queries.NewOracle(v.le.snapshotNet()).ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	entries, n := queries.NewOracle(v.le.snapshotNet()).Filtered(spec.filter).ProfileFrom(seeds, iv, spec.budget, earlyDst)
 	return entries, n, false, nil
+}
+
+func (v *liveSemView) semOracle() *queries.Oracle {
+	return queries.NewOracle(v.le.snapshotNet())
 }
 
 // EarliestArrival returns the first ingested tick in iv at which dst

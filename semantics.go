@@ -31,6 +31,7 @@ package streach
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -101,16 +102,81 @@ type TopKResult struct {
 }
 
 // semSpec classifies one semantic evaluation: the transfer budget
-// (queries.UnboundedHops for none) and whether per-object transfer counts
-// must be reported (top-k decay ranking needs them even when unbounded).
+// (queries.UnboundedHops for none), whether per-object transfer counts
+// must be reported (top-k decay ranking needs them even when unbounded),
+// and the per-contact predicate restricting propagation. Probability does
+// not appear: under the uniform per-contact p of §7 the best path
+// probability is p^minHops and the threshold τ folds into the budget
+// (Semantics.EffectiveBudget), so probabilistic queries ride the
+// hop-tracking plumbing of every layer — the spec they compile to is just
+// a budgeted, hop-reporting spec, and the facade stamps Result.Prob from
+// the returned transfer count.
 type semSpec struct {
 	budget   int32
 	needHops bool
+	filter   queries.Filter
 }
 
 // tracksHops reports whether the evaluation must count transfers.
 func (s semSpec) tracksHops() bool {
 	return s.budget != queries.UnboundedHops || s.needHops
+}
+
+// ErrBadSemantics wraps every Semantics validation failure — inconsistent
+// probabilistic parameters, negative bounds, unregistered filter IDs — so
+// callers (the serving layer in particular) can distinguish a malformed
+// query from an evaluation failure.
+var ErrBadSemantics = errors.New("streach: invalid query semantics")
+
+// specFor compiles a query's Semantics into the evaluation spec, folding
+// the probability threshold into the transfer budget and forcing hop
+// tracking when a probability must be reported. It rejects inconsistent
+// probabilistic parameters and unregistered filter IDs up front, so no
+// evaluator ever sees a predicate it cannot resolve.
+func specFor(sem Semantics) (semSpec, error) {
+	if sem.Prob < 0 || sem.Prob > 1 || math.IsNaN(sem.Prob) {
+		return semSpec{}, fmt.Errorf("%w: contact probability %v outside [0, 1]", ErrBadSemantics, sem.Prob)
+	}
+	if sem.ProbThreshold != 0 {
+		if sem.Prob == 0 {
+			return semSpec{}, fmt.Errorf("%w: probability threshold %v without a contact probability", ErrBadSemantics, sem.ProbThreshold)
+		}
+		if !(sem.ProbThreshold > 0 && sem.ProbThreshold <= 1) {
+			return semSpec{}, fmt.Errorf("%w: probability threshold %v outside (0, 1]", ErrBadSemantics, sem.ProbThreshold)
+		}
+	}
+	if sem.MCTrials < 0 {
+		return semSpec{}, fmt.Errorf("%w: negative Monte-Carlo trial count %d", ErrBadSemantics, sem.MCTrials)
+	}
+	if sem.MCTrials > 0 && sem.Prob == 0 {
+		return semSpec{}, fmt.Errorf("%w: Monte-Carlo trials without a contact probability", ErrBadSemantics)
+	}
+	if sem.MinDuration < 0 {
+		return semSpec{}, fmt.Errorf("%w: negative minimum duration %d", ErrBadSemantics, sem.MinDuration)
+	}
+	if sem.MaxWeight < 0 || math.IsNaN(sem.MaxWeight) {
+		return semSpec{}, fmt.Errorf("%w: invalid maximum weight %v", ErrBadSemantics, sem.MaxWeight)
+	}
+	if sem.FilterID != "" {
+		if _, ok := queries.ResolveFilter(sem.FilterID); !ok {
+			return semSpec{}, fmt.Errorf("%w: unregistered contact filter %q", ErrBadSemantics, sem.FilterID)
+		}
+	}
+	return semSpec{
+		budget:   sem.EffectiveBudget(),
+		needHops: sem.Prob > 0,
+		filter:   sem.Filter(),
+	}, nil
+}
+
+// RegisterContactFilter registers a compiled per-contact predicate under
+// id for use via Semantics.FilterID: queries then propagate only over
+// contacts the predicate accepts, on every backend (natively where the
+// backend evaluates contact records, through the exact oracle projection
+// otherwise). Register at process setup; serving layers accept only
+// registered IDs.
+func RegisterContactFilter(id string, fn func(Contact) bool) {
+	queries.RegisterFilter(id, fn)
 }
 
 // semCore is the optional native temporal-semantics surface of an
@@ -133,23 +199,29 @@ type semCore interface {
 func (c oracleCore) semSupports(semSpec) bool { return true }
 
 func (c oracleCore) semProfile(_ context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, _ *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
-	entries, n := c.o.ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	entries, n := c.o.Filtered(spec.filter).ProfileFrom(seeds, iv, spec.budget, earlyDst)
 	return append(dst, entries...), n, nil
 }
 
-func (c gridCore) semSupports(semSpec) bool { return true }
+// The grid joins object positions per instant and never sees contact
+// records, so per-contact predicates cannot be pushed into the sweep.
+func (c gridCore) semSupports(spec semSpec) bool { return !spec.filter.Active() }
 
 func (c gridCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
 	return c.ix.AppendSemProfileFrom(ctx, dst, seeds, iv, spec.budget, earlyDst, acct)
 }
 
-func (c graphCore) semSupports(spec semSpec) bool { return !spec.tracksHops() }
+func (c graphCore) semSupports(spec semSpec) bool {
+	return !spec.tracksHops() && !spec.filter.Active()
+}
 
 func (c graphCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, _ semSpec, _ ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
 	return c.ix.AppendArrivalProfileSeeds(ctx, dst, seeds, iv, acct)
 }
 
-func (c graphMemCore) semSupports(spec semSpec) bool { return !spec.tracksHops() }
+func (c graphMemCore) semSupports(spec semSpec) bool {
+	return !spec.tracksHops() && !spec.filter.Active()
+}
 
 func (c graphMemCore) semProfile(ctx context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, _ semSpec, _ ObjectID, _ *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
 	return c.m.AppendArrivalProfileSeeds(ctx, dst, seeds, iv)
@@ -180,6 +252,10 @@ type semEvaluator interface {
 	// semEvaluate runs one profile evaluation; the returned entries may
 	// alias sc.entries and must be consumed before sc is released.
 	semEvaluate(ctx context.Context, sc *semScratch, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, bool, error)
+	// semOracle returns an exact oracle over the evaluator's current
+	// contact set, for estimators that need the raw network (Monte-Carlo
+	// sampling) rather than a profile evaluation.
+	semOracle() *queries.Oracle
 }
 
 func (e *engine) semDims() (int, int) { return e.numObjects, e.numTicks }
@@ -198,9 +274,11 @@ func (e *engine) semEvaluate(ctx context.Context, sc *semScratch, seeds []querie
 		sc.entries = entries
 		return entries, n, true, err
 	}
-	entries, n := e.fallbackOracle().ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	entries, n := e.fallbackOracle().Filtered(spec.filter).ProfileFrom(seeds, iv, spec.budget, earlyDst)
 	return entries, n, false, nil
 }
+
+func (e *engine) semOracle() *queries.Oracle { return e.fallbackOracle() }
 
 // fallbackOracle lazily builds the brute-force oracle over the engine's
 // source contacts. For trajectory sources this triggers (or reuses) the
@@ -227,13 +305,23 @@ func clampDomain(iv Interval, numTicks int) Interval {
 }
 
 // evalReachableSem answers a point query whose Semantics field is active:
-// hop-bounded reachability and/or earliest-arrival tracking.
+// hop-bounded, predicate-filtered and/or probabilistic reachability with
+// earliest-arrival tracking. Probabilistic queries report the best-path
+// probability p^minHops under the τ-folded budget, except when MCTrials
+// requests the seeded Monte-Carlo reliability estimate, which diverts to
+// the evaluator's exact oracle before any profile evaluation.
 func evalReachableSem(ctx context.Context, ev semEvaluator, q Query) (Result, error) {
 	numObjects, numTicks := ev.semDims()
 	if err := validatePlanIDs(numObjects, q.Src, q.Dst); err != nil {
 		return Result{}, err
 	}
-	spec := semSpec{budget: q.Semantics.HopBudget()}
+	spec, err := specFor(q.Semantics)
+	if err != nil {
+		return Result{}, err
+	}
+	if q.Semantics.MCTrials > 0 {
+		return evalMonteCarlo(ev, q, numTicks)
+	}
 	res := Result{Query: q, Evaluated: true, Arrival: -1, Hops: -1, Native: ev.semNativeFor(spec)}
 	iv := clampDomain(q.Interval, numTicks)
 	if numTicks == 0 || iv.Len() == 0 {
@@ -241,6 +329,9 @@ func evalReachableSem(ctx context.Context, ev semEvaluator, q Query) (Result, er
 	}
 	if q.Src == q.Dst {
 		res.Reachable, res.Arrival, res.Hops = true, iv.Lo, 0
+		if q.Semantics.Prob > 0 {
+			res.Prob = 1
+		}
 		return res, nil
 	}
 	acct := acctPool.Get().(*pagefile.Stats)
@@ -251,7 +342,15 @@ func evalReachableSem(ctx context.Context, ev semEvaluator, q Query) (Result, er
 	start := time.Now()
 	seeds := append(sc.seeds[:0], queries.SeedState{Obj: q.Src, Hops: 0})
 	sc.seeds = seeds
-	entries, expanded, native, err := ev.semEvaluate(ctx, sc, seeds, iv, spec, q.Dst, acct)
+	// Early termination stops the profile at the destination's earliest
+	// arrival, whose delivery chain may use more transfers than the
+	// interval's overall minimum. The best-path probability is p^minHops
+	// over the whole interval, so probabilistic queries run it to the end.
+	early := q.Dst
+	if q.Semantics.Prob > 0 {
+		early = queries.NoObject
+	}
+	entries, expanded, native, err := ev.semEvaluate(ctx, sc, seeds, iv, spec, early, acct)
 	if err != nil {
 		return Result{}, err
 	}
@@ -260,10 +359,41 @@ func evalReachableSem(ctx context.Context, ev semEvaluator, q Query) (Result, er
 		res.Reachable = true
 		res.Arrival = en.Arrival
 		res.Hops = int(en.Hops)
+		if p := q.Semantics.Prob; p > 0 && res.Hops >= 0 {
+			res.Prob = math.Pow(p, float64(res.Hops))
+		}
 	}
 	res.IO = statsOf(*acct)
 	res.Latency = time.Since(start)
 	res.Expanded = expanded
+	return res, nil
+}
+
+// evalMonteCarlo answers a probabilistic point query by seeded world
+// sampling over the evaluator's exact contact oracle (two-terminal
+// reliability, an upper bound on the best-path probability). It is the
+// documented fallback — never native — and reports the estimate in
+// Result.Prob; Reachable compares it against the query's threshold.
+func evalMonteCarlo(ev semEvaluator, q Query, numTicks int) (Result, error) {
+	res := Result{Query: q, Evaluated: true, Arrival: -1, Hops: -1}
+	iv := clampDomain(q.Interval, numTicks)
+	if numTicks == 0 || iv.Len() == 0 {
+		return res, nil
+	}
+	start := time.Now()
+	mq := q
+	mq.Interval = iv
+	est := ev.semOracle().MonteCarloReachable(mq)
+	res.Prob = est
+	if tau := q.Semantics.ProbThreshold; tau > 0 {
+		res.Reachable = est >= tau
+	} else {
+		res.Reachable = est > 0
+	}
+	if q.Src == q.Dst {
+		res.Arrival, res.Hops = iv.Lo, 0
+	}
+	res.Latency = time.Since(start)
 	return res, nil
 }
 

@@ -508,6 +508,17 @@ func ExtractNonImmediate(ds *Dataset, lifetimeTicks int) (*NonImmediate, error) 
 	return &NonImmediate{engine: e}, nil
 }
 
+// NonImmediateContacts extracts ds's non-immediate contacts with the given
+// item lifetime (in ticks) and folds them into an undirected contact
+// network that any registry backend can index. At lifetime 0 this is
+// exactly Contacts(); for positive lifetimes the projection is a
+// conservative over-approximation of the directed semantics (use
+// ExtractNonImmediate for exact directed answers).
+func (ds *Dataset) NonImmediateContacts(lifetimeTicks int) *ContactNetwork {
+	cs := nonimmediate.Extract(ds.d, lifetimeTicks)
+	return &ContactNetwork{net: nonimmediate.ProjectNetwork(ds.NumObjects(), ds.NumTicks(), cs)}
+}
+
 // Reachable answers q under non-immediate semantics.
 func (ni *NonImmediate) Reachable(q Query) (bool, error) { return ni.engine.Reachable(q) }
 

@@ -1,0 +1,287 @@
+// The uncertain:* backend family: §7's probabilistic contact-network
+// engines lifted into the registry. An "uncertain:<base>" backend wraps any
+// registered contact-sourced base with a disk-resident contact store —
+// time-bucketed blobs in the versioned contact codec (the v2 layout carries
+// the per-contact weight/duration sidecar; v1 blobs decode forever with a
+// zero sidecar) — and answers every temporal-semantics spec natively:
+// filtered and hop-bounded profiles evaluate over the decoded, predicate-
+// projected network, charging real blob reads to the query's accountant,
+// while plain boolean queries delegate to the base index untouched.
+//
+// For probabilistic point queries the facade's profile evaluation reports
+// Prob = p^minHops under the τ-folded budget — exactly the maximum path
+// probability the paper's −log p Dijkstra computes for a uniform per-
+// contact p (minimal cost ⇔ minimal transfers). The Dijkstra itself
+// (internal/uncertain) is the core's cross-validation surface: probPath
+// runs it over the same decoded store, and tests assert the two
+// formulations agree query-by-query; the bench harness additionally gates
+// the seeded Monte-Carlo fallback against it on small presets.
+
+package streach
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"streach/internal/contact"
+	"streach/internal/pagefile"
+	"streach/internal/queries"
+	"streach/internal/uncertain"
+)
+
+// uncertainBucketTicks is the validity-start width of one contact bucket.
+// Buckets are skipped per query via their recorded [lo, maxHi] coverage, so
+// the width only trades blob count against decode granularity.
+const uncertainBucketTicks = 64
+
+// uncertainBucket locates one encoded contact blob: ref addresses the blob
+// in the store, lo is the smallest Validity.Lo of its contacts and maxHi
+// the largest Validity.Hi — a query interval disjoint from [lo, maxHi]
+// skips the bucket without reading it.
+type uncertainBucket struct {
+	ref   pagefile.BlobRef
+	lo    Tick
+	maxHi Tick
+}
+
+// uncertainCore wraps a base engineCore with the bucketed contact store.
+type uncertainCore struct {
+	base       engineCore
+	store      *pagefile.Store
+	buckets    []uncertainBucket
+	numObjects int
+	numTicks   int
+}
+
+func buildUncertainCore(base string, src Source, opts Options) (engineCore, error) {
+	baseSpec, ok := registry[base]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (uncertain base)", ErrUnknownBackend, base)
+	}
+	if baseSpec.info.NeedsTrajectories && src.sourceDataset() == nil {
+		return nil, fmt.Errorf("open %q: %w", base, ErrNeedsTrajectories)
+	}
+	bc, err := baseSpec.open(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	net := src.sourceContacts().net
+	c := &uncertainCore{
+		base:       bc,
+		store:      pagefile.NewStoreWith(opts.Pool, opts.PoolPages),
+		numObjects: net.NumObjects,
+		numTicks:   net.NumTicks,
+	}
+	// Contacts are sorted by Validity.Lo, so bucketing by start tick is one
+	// linear pass and every bucket's blob stays codec-normalized.
+	enc := pagefile.NewEncoder(1 << 12)
+	flush := func(cs []contact.Contact) {
+		if len(cs) == 0 {
+			return
+		}
+		lo, maxHi := cs[0].Validity.Lo, cs[0].Validity.Hi
+		for _, cc := range cs[1:] {
+			if cc.Validity.Hi > maxHi {
+				maxHi = cc.Validity.Hi
+			}
+		}
+		enc.Reset()
+		contact.AppendContactsBlob(enc, cs, opts.PageFormat)
+		c.buckets = append(c.buckets, uncertainBucket{ref: c.store.AppendBlob(enc.Bytes()), lo: lo, maxHi: maxHi})
+	}
+	var group []contact.Contact
+	groupBucket := int64(-1)
+	for _, cc := range net.Contacts {
+		b := int64(cc.Validity.Lo) / uncertainBucketTicks
+		if b != groupBucket && len(group) > 0 {
+			flush(group)
+			group = group[:0]
+		}
+		groupBucket = b
+		group = append(group, cc)
+	}
+	flush(group)
+	return c, nil
+}
+
+// loadNetwork decodes the buckets overlapping iv, keeps the contacts that
+// overlap iv and pass f, and assembles them into a network over the full
+// object/tick domain. Blob reads are charged to acct.
+func (c *uncertainCore) loadNetwork(iv Interval, f queries.Filter, acct *pagefile.Stats) (*contact.Network, error) {
+	var kept []contact.Contact
+	for _, b := range c.buckets {
+		if b.maxHi < iv.Lo || b.lo > iv.Hi {
+			continue
+		}
+		data, err := c.store.ReadBlob(b.ref, acct)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := contact.DecodeContactsBlob(pagefile.NewDecoder(data))
+		if err != nil {
+			return nil, err
+		}
+		for _, cc := range cs {
+			if cc.Validity.Overlaps(iv) && (!f.Active() || f.Match(cc)) {
+				kept = append(kept, cc)
+			}
+		}
+	}
+	return contact.FromContacts(c.numObjects, c.numTicks, kept), nil
+}
+
+// --- engineCore: plain boolean queries ride the base index ---
+
+func (c *uncertainCore) reach(ctx context.Context, q Query, acct *pagefile.Stats) (bool, int, error) {
+	return c.base.reach(ctx, q, acct)
+}
+
+func (c *uncertainCore) reachSet(ctx context.Context, src ObjectID, iv Interval, acct *pagefile.Stats) ([]ObjectID, error) {
+	return c.base.reachSet(ctx, src, iv, acct)
+}
+
+func (c *uncertainCore) ioTotals() pagefile.Stats {
+	sum := c.base.ioTotals()
+	sum.Add(c.store.Counters())
+	return sum
+}
+
+func (c *uncertainCore) resetIO() {
+	c.base.resetIO()
+	c.store.ResetCounters()
+}
+
+func (c *uncertainCore) indexBytes() int64 {
+	return c.base.indexBytes() + c.store.SizeBytes()
+}
+
+func (c *uncertainCore) dropCache() {
+	c.base.dropCache()
+	c.store.DropCache()
+}
+
+// --- semCore: every spec is native over the decoded store ---
+
+func (c *uncertainCore) semSupports(semSpec) bool { return true }
+
+func (c *uncertainCore) semProfile(_ context.Context, dst []queries.ProfileEntry, seeds []queries.SeedState, iv Interval, spec semSpec, earlyDst ObjectID, acct *pagefile.Stats) ([]queries.ProfileEntry, int, error) {
+	net, err := c.loadNetwork(iv, spec.filter, acct)
+	if err != nil {
+		return dst, 0, err
+	}
+	entries, n := queries.NewOracle(net).ProfileFrom(seeds, iv, spec.budget, earlyDst)
+	return append(dst, entries...), n, nil
+}
+
+// probPath runs the paper's exact −log p Dijkstra (internal/uncertain)
+// over the decoded store for one probabilistic point query: the uniform
+// per-contact probability and the query's contact predicate thread through
+// PathOpts, the τ-folded budget bounds the transfer count. Tests and the
+// bench harness use it to cross-validate the facade's p^minHops answers
+// and the Monte-Carlo estimator against the shortest-path formulation.
+func (c *uncertainCore) probPath(q Query, acct *pagefile.Stats) (uncertain.PathResult, error) {
+	sem := q.Semantics
+	iv := clampDomain(q.Interval, c.numTicks)
+	if iv.Len() == 0 {
+		return uncertain.PathResult{}, nil
+	}
+	net, err := c.loadNetwork(iv, queries.Filter{}, acct)
+	if err != nil {
+		return uncertain.PathResult{}, err
+	}
+	p := sem.Prob
+	if p <= 0 || p > 1 {
+		p = 1
+	}
+	un := uncertain.FromNetwork(net, func(contact.Contact) float64 { return p })
+	if len(un.Contacts) == 0 {
+		if q.Src == q.Dst {
+			return uncertain.PathResult{Prob: 1, Arrival: iv.Lo, OK: true}, nil
+		}
+		return uncertain.PathResult{}, nil
+	}
+	eng, err := uncertain.NewEngine(un)
+	if err != nil {
+		return uncertain.PathResult{}, err
+	}
+	popts := uncertain.PathOpts{Prob: p}
+	if f := sem.Filter(); f.Active() {
+		popts.Filter = func(uc uncertain.Contact) bool { return f.Match(uc.Deterministic()) }
+	}
+	if b := sem.EffectiveBudget(); b != queries.UnboundedHops {
+		if b <= 0 {
+			// A zero budget admits no transfer at all; PathOpts.MaxHops ≤ 0
+			// means unbounded, so answer the degenerate case here.
+			if q.Src == q.Dst {
+				return uncertain.PathResult{Prob: 1, Arrival: iv.Lo, OK: true}, nil
+			}
+			return uncertain.PathResult{}, nil
+		}
+		popts.MaxHops = b
+	}
+	return eng.BestProbPath(q.Src, q.Dst, iv, popts)
+}
+
+// --- registry wiring ---
+
+// uncertainName is the canonical "uncertain:<base>" spelling.
+func uncertainName(base string) string { return "uncertain:" + base }
+
+// parseUncertainName splits "uncertain:<base>"; ok is false for anything
+// else (including nested uncertain bases).
+func parseUncertainName(name string) (base string, ok bool) {
+	base, found := strings.CutPrefix(name, "uncertain:")
+	if !found || base == "" || strings.HasPrefix(base, "uncertain:") {
+		return "", false
+	}
+	return base, true
+}
+
+// uncertainSpec synthesizes the registry entry of an uncertain backend
+// name, resolving the base against the static registry — any registered
+// base composes dynamically, not just the pre-registered points.
+func uncertainSpec(name string) (backendSpec, bool) {
+	base, ok := parseUncertainName(name)
+	if !ok {
+		return backendSpec{}, false
+	}
+	base = strings.ToLower(strings.TrimSpace(base))
+	if alias, ok := aliases[base]; ok {
+		base = alias
+	}
+	baseSpec, ok := registry[base]
+	if !ok {
+		return backendSpec{}, false
+	}
+	return backendSpec{
+		info: BackendInfo{
+			Name:        uncertainName(base),
+			Description: fmt.Sprintf("uncertain contact store over %s: filtered + probabilistic queries native (§7)", base),
+			// Plain boolean queries delegate to the base index, so the
+			// wrapper's disk residency is the base's; the contact store
+			// additionally charges blob reads on semantic queries.
+			DiskResident:      baseSpec.info.DiskResident,
+			NeedsTrajectories: baseSpec.info.NeedsTrajectories,
+		},
+		open: func(src Source, opts Options) (engineCore, error) {
+			return buildUncertainCore(base, src, opts)
+		},
+	}, true
+}
+
+// uncertainPoints are the pre-registered uncertain configurations: the
+// ground-truth base and the flagship disk index. Every other
+// "uncertain:<base>" combination resolves dynamically through lookupSpec.
+var uncertainPoints = []string{"oracle", "reachgraph"}
+
+func init() {
+	for _, base := range uncertainPoints {
+		spec, ok := uncertainSpec(uncertainName(base))
+		if !ok {
+			panic("streach: unresolvable uncertain point " + base)
+		}
+		registry[spec.info.Name] = spec
+	}
+	aliases["uncertain"] = uncertainName("oracle")
+}
